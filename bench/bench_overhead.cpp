@@ -1,0 +1,161 @@
+// Section V-A reproduction: instrumentation overhead.
+//
+// The paper reports a 37.2x-68.95x slowdown of the instrumented hArtes wfs
+// versus native execution, depending on the time-slice interval and the
+// stack-area option. Our equivalents:
+//   * "native execution"      -> the golden model (compiled C++);
+//   * "instrumented execution"-> the VM running the guest under tQUAD/QUAD.
+// The VM itself contributes a baseline interpretation cost, so the bench
+// reports both the tool-over-VM factor (what instrumentation adds) and the
+// tool-over-native factor (the paper's measurement).
+//
+// google-benchmark drives the steady-state measurements on the tiny
+// configuration; a one-shot standard-configuration run prints the headline
+// slowdown table.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "gprofsim/gprof_tool.hpp"
+#include "minipin/minipin.hpp"
+#include "quad/quad_tool.hpp"
+#include "tquad/tquad_tool.hpp"
+#include "wfs/runner.hpp"
+
+#include "paper_reference.hpp"
+
+namespace {
+
+using namespace tq;
+
+void BM_GoldenModel(benchmark::State& state) {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
+  const wfs::WavData input = wfs::make_test_signal(cfg.input_samples());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wfs::run_golden(cfg, input));
+  }
+}
+BENCHMARK(BM_GoldenModel)->Unit(benchmark::kMillisecond);
+
+void BM_VmNative(benchmark::State& state) {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
+  std::uint64_t retired = 0;
+  for (auto _ : state) {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    vm::Machine machine(run.artifacts.program, run.host);
+    retired = machine.run().retired;
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(retired), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_VmNative)->Unit(benchmark::kMillisecond);
+
+void BM_VmTquad(benchmark::State& state) {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
+  const auto slice = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t retired = 0;
+  for (auto _ : state) {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    pin::Engine engine(run.artifacts.program, run.host);
+    tquad::TQuadTool tool(engine, tquad::Options{.slice_interval = slice});
+    retired = engine.run().retired;
+    benchmark::DoNotOptimize(tool.total_retired());
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(retired), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_VmTquad)->Arg(5000)->Arg(100000)->Arg(10'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VmQuad(benchmark::State& state) {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
+  for (auto _ : state) {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    pin::Engine engine(run.artifacts.program, run.host);
+    quad::QuadTool tool(engine);
+    engine.run();
+    benchmark::DoNotOptimize(tool.kernel_count());
+  }
+}
+BENCHMARK(BM_VmQuad)->Unit(benchmark::kMillisecond);
+
+void BM_VmGprof(benchmark::State& state) {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
+  for (auto _ : state) {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    pin::Engine engine(run.artifacts.program, run.host);
+    gprof::GprofTool tool(engine, {});
+    engine.run();
+    benchmark::DoNotOptimize(tool.total_retired());
+  }
+}
+BENCHMARK(BM_VmGprof)->Unit(benchmark::kMillisecond);
+
+double time_once(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void print_headline_slowdowns() {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::standard();
+  const wfs::WavData input = wfs::make_test_signal(cfg.input_samples());
+
+  const double golden_s = time_once([&] {
+    benchmark::DoNotOptimize(wfs::run_golden(cfg, input));
+  });
+  std::uint64_t retired = 0;
+  const double native_s = time_once([&] {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    vm::Machine machine(run.artifacts.program, run.host);
+    retired = machine.run().retired;
+  });
+  const double tquad_fine_s = time_once([&] {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    pin::Engine engine(run.artifacts.program, run.host);
+    tquad::TQuadTool tool(engine, tquad::Options{.slice_interval = 5000});
+    engine.run();
+  });
+  const double tquad_coarse_s = time_once([&] {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    pin::Engine engine(run.artifacts.program, run.host);
+    tquad::TQuadTool tool(engine, tquad::Options{.slice_interval = 10'000'000});
+    engine.run();
+  });
+  const double quad_s = time_once([&] {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    pin::Engine engine(run.artifacts.program, run.host);
+    quad::QuadTool tool(engine);
+    engine.run();
+  });
+
+  std::printf("\n== headline slowdowns (standard configuration, %s instructions) ==\n",
+              format_count(retired).c_str());
+  std::printf("%-28s %10s %18s %18s\n", "configuration", "seconds", "vs native (C++)",
+              "vs plain VM");
+  auto row = [&](const char* name, double seconds) {
+    std::printf("%-28s %10.3f %17.1fx %17.1fx\n", name, seconds, seconds / golden_s,
+                seconds / native_s);
+  };
+  row("golden model (native C++)", golden_s);
+  row("VM, uninstrumented", native_s);
+  row("VM + tQUAD, slice 5e3", tquad_fine_s);
+  row("VM + tQUAD, slice 1e7", tquad_coarse_s);
+  row("VM + QUAD", quad_s);
+  std::printf("\npaper: instrumented vs native slowdown %.1fx-%.1fx depending on the\n"
+              "slice interval and the stack option; the 'vs native' column is the\n"
+              "comparable measurement here.\n",
+              tq::bench::kPaperSlowdownLow, tq::bench::kPaperSlowdownHigh);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_headline_slowdowns();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Table I reproduction: gprof-style flat profile of the wfs application.
+//
+// Regenerates the paper's Table I with gsim (instruction-count PC sampling)
+// over the reimplemented hArtes wfs, printing our rows next to the paper's
+// %time column. Expected shape: wav_store and fft1d on top together taking
+// ~60% of the run, then DelayLine_processChunk, with bitrev/zeroRealVec in
+// the 7-9% band.
+//
+// Known deviation (documented in EXPERIMENTS.md): AudioIo_setFrames reports
+// ~4% in the paper because gprof samples *wall-clock* time and the kernel is
+// memory-bound on real hardware; an instruction-count time base — the
+// platform-independent unit the paper itself advocates — charges it almost
+// nothing, since block moves retire few instructions. Table IV's
+// bytes-per-instruction view is where its cost shows up.
+#include <cstdio>
+#include <map>
+
+#include "gprofsim/gprof_tool.hpp"
+#include "minipin/minipin.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "wfs/runner.hpp"
+
+#include "paper_reference.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tq;
+  CliParser cli("bench_table1_flat_profile: regenerate the paper's Table I");
+  cli.add_int("sample_period", 10'000, "instructions between PC samples");
+  cli.add_flag("tiny", false, "use the tiny test configuration");
+  cli.add_flag("csv", false, "also print CSV");
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 1;
+  }
+
+  const wfs::WfsConfig cfg =
+      cli.flag("tiny") ? wfs::WfsConfig::tiny() : wfs::WfsConfig::standard();
+  wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+  pin::Engine engine(run.artifacts.program, run.host);
+  gprof::Options options;
+  options.sample_period = static_cast<std::uint64_t>(cli.integer("sample_period"));
+  gprof::GprofTool tool(engine, options);
+  engine.run();
+
+  std::map<std::string, double> paper_percent;
+  std::map<std::string, std::uint64_t> paper_calls;
+  for (const auto& row : bench::paper_table1()) {
+    paper_percent[row.kernel] = row.percent_time;
+    paper_calls[row.kernel] = row.calls;
+  }
+
+  TextTable table({"kernel", "%time", "self seconds", "calls", "self ms/call",
+                   "total ms/call", "paper %time", "paper calls"});
+  for (const auto& row : tool.flat_profile()) {
+    if (row.name == "main") continue;  // the paper lists only the kernels
+    auto paper_it = paper_percent.find(row.name);
+    table.add_row({row.name, format_percent(row.time_fraction),
+                   format_fixed(row.self_seconds, 4), format_count(row.calls),
+                   format_fixed(row.self_ms_per_call, 3),
+                   format_fixed(row.total_ms_per_call, 3),
+                   paper_it == paper_percent.end() ? "-"
+                                                   : format_fixed(paper_it->second, 2),
+                   paper_it == paper_percent.end()
+                       ? "-"
+                       : format_count(paper_calls[row.name])});
+  }
+
+  std::printf("== Table I: flat profile of the wfs application ==\n");
+  std::printf("workload: %u speakers, %u chunks x %u samples, FFT %u; %s retired"
+              " instructions, %llu samples at period %llu\n\n",
+              cfg.speakers, cfg.chunks, cfg.chunk_size, cfg.fft_size,
+              format_count(tool.total_retired()).c_str(),
+              static_cast<unsigned long long>(tool.total_samples()),
+              static_cast<unsigned long long>(options.sample_period));
+  std::fputs(tool.flat_profile_table().to_ascii().c_str(), stdout);
+  std::printf("\n-- side by side with the paper --\n");
+  std::fputs(table.to_ascii().c_str(), stdout);
+  if (cli.flag("csv")) std::fputs(table.to_csv().c_str(), stdout);
+
+  // Shape checks the paper's text calls out.
+  const auto rows = tool.flat_profile();
+  double top2 = 0;
+  bool top2_are_store_fft = rows.size() >= 2 &&
+                            ((rows[0].name == "wav_store" && rows[1].name == "fft1d") ||
+                             (rows[0].name == "fft1d" && rows[1].name == "wav_store"));
+  if (rows.size() >= 2) top2 = rows[0].time_fraction + rows[1].time_fraction;
+  std::printf("\nshape checks:\n");
+  std::printf("  top two kernels are wav_store+fft1d: %s (paper: yes)\n",
+              top2_are_store_fft ? "yes" : "NO");
+  std::printf("  their combined share: %.1f%% (paper: ~60%%)\n", top2 * 100.0);
+  return 0;
+}

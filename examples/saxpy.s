@@ -1,0 +1,60 @@
+; saxpy in guest assembly: y = a*x + y over 1024 doubles, 20 passes.
+; Run it:            ./build/tools/asm_run examples/saxpy.s
+; Profile it:        ./build/tools/asm_run examples/saxpy.s -profile
+.entry main
+.global x 8192 64
+.global y 8192 64
+
+.func init
+    movi   r8, x
+    movi   r9, y
+    movi   r10, 0                 ; i
+init_loop:
+    sltsi  r0, r10, 1024
+    brz    r0, init_done
+    i2f    f1, r10
+    shli   r11, r10, 3
+    add    r12, r11, r8
+    fstore [r12+0], f1            ; x[i] = i
+    fmovi  f2, 0.5
+    add    r12, r11, r9
+    fstore [r12+0], f2            ; y[i] = 0.5
+    addi   r10, r10, 1
+    jmp    init_loop
+init_done:
+    ret
+
+.func saxpy
+    movi   r8, x
+    movi   r9, y
+    fmovi  f8, 1.0009765625       ; a
+    movi   r10, 0
+saxpy_loop:
+    sltsi  r0, r10, 1024
+    brz    r0, saxpy_done
+    shli   r11, r10, 3
+    add    r12, r11, r8
+    fload  f1, [r12+0]
+    fmul   f1, f1, f8             ; a*x[i]
+    add    r12, r11, r9
+    fload  f2, [r12+0]
+    fadd   f2, f2, f1
+    fstore [r12+0], f2            ; y[i] += a*x[i]
+    addi   r10, r10, 1
+    jmp    saxpy_loop
+saxpy_done:
+    ret
+
+.func main
+    call   init
+    movi   r28, 0
+pass_loop:
+    sltsi  r0, r28, 20
+    brz    r0, done
+    call   saxpy
+    addi   r28, r28, 1
+    jmp    pass_loop
+done:
+    movi   r1, 1024
+    sys    printi                 ; report the element count
+    halt

@@ -1,0 +1,146 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace tq::cluster {
+
+std::size_t Clustering::cluster_of(std::uint32_t kernel) const noexcept {
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (std::uint32_t member : clusters[c]) {
+      if (member == kernel) return c;
+    }
+  }
+  return SIZE_MAX;
+}
+
+Clustering cluster_edges(std::size_t kernel_count, std::vector<Edge> edges,
+                         const std::vector<std::uint64_t>& weights,
+                         const ClusterOptions& options) {
+  TQUAD_CHECK(weights.empty() || weights.size() == kernel_count,
+              "weights must match the kernel count");
+  // Cluster state: parent pointers + per-cluster weight; pair traffic in a
+  // map keyed by (root_a, root_b) that is rebuilt lazily after merges.
+  std::vector<std::size_t> parent(kernel_count);
+  std::vector<std::uint64_t> weight(kernel_count, 1);
+  for (std::size_t i = 0; i < kernel_count; ++i) {
+    parent[i] = i;
+    if (!weights.empty()) weight[i] = weights[i];
+  }
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  // Drop self-loops and out-of-range edges up front. Edges below the noise
+  // floor stay in the graph (they keep their kernels *mentioned* and count
+  // toward the cut) but never justify a merge.
+  std::erase_if(edges, [&](const Edge& edge) {
+    return edge.a == edge.b || edge.a >= kernel_count || edge.b >= kernel_count;
+  });
+
+  std::vector<bool> mentioned(kernel_count, false);
+  for (const Edge& edge : edges) {
+    mentioned[edge.a] = true;
+    mentioned[edge.b] = true;
+  }
+  std::size_t cluster_count = 0;
+  for (std::size_t k = 0; k < kernel_count; ++k) {
+    if (mentioned[k]) ++cluster_count;
+  }
+  const std::size_t target =
+      options.target_clusters == 0 ? 1 : options.target_clusters;
+  while (cluster_count > target) {
+    // Aggregate current inter-cluster traffic.
+    std::map<std::pair<std::size_t, std::size_t>, std::uint64_t> traffic;
+    for (const Edge& edge : edges) {
+      const std::size_t ra = find(edge.a);
+      const std::size_t rb = find(edge.b);
+      if (ra == rb) continue;
+      traffic[{std::min(ra, rb), std::max(ra, rb)}] += edge.bytes;
+    }
+    // Pick the heaviest mergeable pair.
+    std::uint64_t best_bytes = 0;
+    std::pair<std::size_t, std::size_t> best{SIZE_MAX, SIZE_MAX};
+    for (const auto& [pair, bytes] : traffic) {
+      if (bytes < options.min_edge_bytes || bytes <= best_bytes) continue;
+      if (options.max_cluster_weight != 0 &&
+          weight[pair.first] + weight[pair.second] > options.max_cluster_weight) {
+        continue;
+      }
+      best_bytes = bytes;
+      best = pair;
+    }
+    if (best.first == SIZE_MAX) break;  // nothing profitable/permitted left
+    parent[best.first] = best.second;
+    weight[best.second] += weight[best.first];
+    --cluster_count;
+  }
+
+  // Materialise clusters and the cut.
+  Clustering result;
+  std::map<std::size_t, std::size_t> root_to_index;
+  for (std::size_t k = 0; k < kernel_count; ++k) {
+    if (!mentioned[k]) continue;  // isolated kernels are not part of the graph
+    const std::size_t root = find(k);
+    auto [it, inserted] = root_to_index.try_emplace(root, result.clusters.size());
+    if (inserted) result.clusters.emplace_back();
+    result.clusters[it->second].push_back(static_cast<std::uint32_t>(k));
+  }
+  for (const Edge& edge : edges) {
+    if (find(edge.a) == find(edge.b)) {
+      result.intra_bytes += edge.bytes;
+    } else {
+      result.inter_bytes += edge.bytes;
+    }
+  }
+  // Stable presentation: biggest communicators first.
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  return result;
+}
+
+Clustering cluster_kernels(const quad::QuadTool& tool, const ClusterOptions& options) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> undirected;
+  for (const quad::Binding& binding : tool.bindings()) {
+    if (binding.producer == binding.consumer) continue;
+    if (!tool.reported(binding.producer) || !tool.reported(binding.consumer)) continue;
+    const auto key = std::minmax(binding.producer, binding.consumer);
+    undirected[{key.first, key.second}] += binding.bytes;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(undirected.size());
+  for (const auto& [pair, bytes] : undirected) {
+    edges.push_back(Edge{pair.first, pair.second, bytes});
+  }
+  std::vector<std::uint64_t> weights(tool.kernel_count());
+  for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
+    weights[k] = tool.instructions(k);
+  }
+  return cluster_edges(tool.kernel_count(), std::move(edges), weights, options);
+}
+
+std::string describe_clustering(const quad::QuadTool& tool,
+                                const Clustering& clustering) {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < clustering.clusters.size(); ++c) {
+    out << "cluster " << (c + 1) << ":";
+    for (std::uint32_t kernel : clustering.clusters[c]) {
+      out << ' ' << tool.kernel_name(kernel);
+    }
+    out << '\n';
+  }
+  out << "intra-cluster bytes: " << clustering.intra_bytes
+      << ", inter-cluster bytes: " << clustering.inter_bytes << " ("
+      << static_cast<int>(clustering.intra_fraction() * 100.0 + 0.5)
+      << "% of communication kept inside clusters)\n";
+  return out.str();
+}
+
+}  // namespace tq::cluster

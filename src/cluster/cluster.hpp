@@ -1,0 +1,76 @@
+// Task clustering from profiling data — the paper's stated future work.
+//
+// "Most importantly, some relevant kernels are clustered together in a sense
+// that the intra-cluster communication is maximized whereas the
+// inter-cluster communication is minimized." (Section V-B, last paragraph;
+// also the planned utilisation in Section VI.) This module implements that
+// step for the DWB partitioning flow: given QUAD's producer→consumer byte
+// matrix (and optionally per-kernel resource weights from a flat profile),
+// it greedily merges the kernel pair with the heaviest inter-cluster
+// traffic until a target cluster count or a resource cap stops it —
+// single-linkage agglomerative clustering on the communication graph.
+//
+// The result reports the achieved cut: total intra-cluster vs inter-cluster
+// bytes, the objective the paper states.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quad/quad_tool.hpp"
+
+namespace tq::cluster {
+
+/// An undirected communication edge (direction does not matter for the
+/// cut objective; producer/consumer byte counts are summed).
+struct Edge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Clustering knobs.
+struct ClusterOptions {
+  /// Stop when this many clusters remain (0 = merge while profitable).
+  std::size_t target_clusters = 0;
+  /// Do not merge clusters whose combined weight would exceed this cap
+  /// (0 = unlimited). Weights are the caller's resource proxy — typically
+  /// per-kernel instruction counts standing in for area/latency budget.
+  std::uint64_t max_cluster_weight = 0;
+  /// Ignore edges lighter than this many bytes when merging (noise floor).
+  std::uint64_t min_edge_bytes = 1;
+};
+
+/// The result: clusters of kernel ids plus the achieved communication cut.
+struct Clustering {
+  std::vector<std::vector<std::uint32_t>> clusters;
+  std::uint64_t intra_bytes = 0;  ///< traffic inside clusters (maximised)
+  std::uint64_t inter_bytes = 0;  ///< traffic across clusters (minimised)
+
+  double intra_fraction() const noexcept {
+    const std::uint64_t total = intra_bytes + inter_bytes;
+    return total == 0 ? 1.0
+                      : static_cast<double>(intra_bytes) / static_cast<double>(total);
+  }
+  /// Index of the cluster containing `kernel`, or SIZE_MAX.
+  std::size_t cluster_of(std::uint32_t kernel) const noexcept;
+};
+
+/// Core algorithm on an explicit graph: `kernel_count` nodes, undirected
+/// `edges`, optional per-node `weights` (empty = all 1).
+Clustering cluster_edges(std::size_t kernel_count, std::vector<Edge> edges,
+                         const std::vector<std::uint64_t>& weights,
+                         const ClusterOptions& options);
+
+/// Convenience front end: build the graph from a completed QuadTool run
+/// (bindings collapsed to undirected edges, self-loops dropped, unreported
+/// kernels excluded) with per-kernel dynamic instruction counts as weights.
+Clustering cluster_kernels(const quad::QuadTool& tool,
+                           const ClusterOptions& options = {});
+
+/// One line per cluster with kernel names and the cut summary.
+std::string describe_clustering(const quad::QuadTool& tool,
+                                const Clustering& clustering);
+
+}  // namespace tq::cluster

@@ -1,0 +1,509 @@
+#include "dctc/dctc.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "gasm/builder.hpp"
+#include "support/check.hpp"
+
+namespace tq::dctc {
+
+using gasm::F;
+using gasm::FunctionBuilder;
+using gasm::ProgramBuilder;
+using gasm::R;
+using gasm::SP;
+using isa::Sys;
+using vm::ImageKind;
+
+namespace {
+
+/// DCT-II basis: C[k*8+n] = c(k) * cos((2n+1) k pi / 16); shared verbatim by
+/// the golden model and the guest's initialised data.
+const std::vector<double>& dct_cos_table() {
+  static const std::vector<double> table = [] {
+    std::vector<double> t(64);
+    for (int k = 0; k < 8; ++k) {
+      const double ck = k == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int n = 0; n < 8; ++n) {
+        t[k * 8 + n] = ck * std::cos((2.0 * n + 1.0) * k * M_PI / 16.0);
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// JPEG Annex K luminance quantisation matrix.
+constexpr int kBaseQ[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+std::vector<double> quant_table(std::uint32_t quality) {
+  std::vector<double> q(64);
+  for (int i = 0; i < 64; ++i) {
+    q[i] = static_cast<double>(kBaseQ[i]) * static_cast<double>(quality);
+  }
+  return q;
+}
+
+/// Canonical zigzag scan order: zz[idx] = natural index of the idx-th
+/// coefficient along the zigzag.
+const std::vector<std::int64_t>& zigzag_table() {
+  static const std::vector<std::int64_t> table = [] {
+    std::vector<std::int64_t> zz(64);
+    int idx = 0;
+    for (int s = 0; s < 15; ++s) {
+      if (s % 2 == 0) {  // up-right
+        for (int v = std::min(s, 7); v >= std::max(0, s - 7); --v) {
+          zz[idx++] = v * 8 + (s - v);
+        }
+      } else {  // down-left
+        for (int u = std::min(s, 7); u >= std::max(0, s - 7); --u) {
+          zz[idx++] = (s - u) * 8 + u;
+        }
+      }
+    }
+    TQUAD_CHECK(idx == 64, "zigzag construction broken");
+    return zz;
+  }();
+  return table;
+}
+
+std::vector<std::uint8_t> f64_bytes(const std::vector<double>& values) {
+  std::vector<std::uint8_t> bytes(values.size() * 8);
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<std::uint8_t> i64_bytes(const std::vector<std::int64_t>& values) {
+  std::vector<std::uint8_t> bytes(values.size() * 8);
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+constexpr std::uint8_t kEobMarker = 0xff;
+
+}  // namespace
+
+void DctcConfig::validate() const {
+  TQUAD_CHECK(width % 8 == 0 && height % 8 == 0,
+              "image dimensions must be multiples of 8");
+  TQUAD_CHECK(width >= 8 && height >= 8, "image too small");
+  TQUAD_CHECK(quality >= 1 && quality <= 16, "quality out of range");
+}
+
+std::vector<std::uint8_t> make_test_image(const DctcConfig& cfg) {
+  cfg.validate();
+  std::vector<std::uint8_t> pixels(static_cast<std::size_t>(cfg.width) * cfg.height);
+  const double cx = cfg.width / 2.0;
+  const double cy = cfg.height / 2.0;
+  const double radius = std::min(cfg.width, cfg.height) / 3.0;
+  for (std::uint32_t y = 0; y < cfg.height; ++y) {
+    for (std::uint32_t x = 0; x < cfg.width; ++x) {
+      double value = 40.0 + 120.0 * x / cfg.width;            // gradient
+      if (((x / 8) + (y / 8)) % 2 == 0) value += 40.0;        // checker
+      const double dx = x - cx, dy = y - cy;
+      if (dx * dx + dy * dy < radius * radius) value += 50.0; // disc
+      pixels[static_cast<std::size_t>(y) * cfg.width + x] =
+          static_cast<std::uint8_t>(std::min(255.0, value));
+    }
+  }
+  return pixels;
+}
+
+// ---- golden model --------------------------------------------------------------
+
+GoldenEncode run_golden_encode(const DctcConfig& cfg,
+                               const std::vector<std::uint8_t>& pixels) {
+  cfg.validate();
+  TQUAD_CHECK(pixels.size() == static_cast<std::size_t>(cfg.width) * cfg.height,
+              "pixel buffer size mismatch");
+  const auto& C = dct_cos_table();
+  const auto Q = quant_table(cfg.quality);
+  const auto& zz = zigzag_table();
+  const std::uint32_t W = cfg.width;
+  const std::uint32_t wb = cfg.width / 8;
+  const std::uint32_t blocks = cfg.blocks();
+
+  std::vector<double> plane(pixels.size());
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    plane[i] = static_cast<double>(pixels[i]) - 128.0;
+  }
+
+  GoldenEncode result;
+  result.coefficients.resize(static_cast<std::size_t>(blocks) * 64);
+  double tmp[64], out[64];
+  std::int16_t qblk[64];
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const std::uint32_t bx = (b % wb) * 8;
+    const std::uint32_t by = (b / wb) * 8;
+    // Rows pass.
+    for (int r = 0; r < 8; ++r) {
+      for (int k = 0; k < 8; ++k) {
+        double acc = 0.0;
+        for (int n = 0; n < 8; ++n) {
+          acc += plane[static_cast<std::size_t>(by + r) * W + bx + n] * C[k * 8 + n];
+        }
+        tmp[r * 8 + k] = acc;
+      }
+    }
+    // Columns pass.
+    for (int k2 = 0; k2 < 8; ++k2) {
+      for (int k = 0; k < 8; ++k) {
+        double acc = 0.0;
+        for (int r = 0; r < 8; ++r) {
+          acc += tmp[r * 8 + k] * C[k2 * 8 + r];
+        }
+        out[k2 * 8 + k] = acc;
+      }
+    }
+    // Quantise (round half away from zero, mirroring the guest's predicated
+    // +-0.5 then truncation).
+    for (int i = 0; i < 64; ++i) {
+      const double y = out[i] / Q[i];
+      const double bias = y < 0.0 ? -0.5 : 0.5;
+      qblk[i] = static_cast<std::int16_t>(static_cast<std::int64_t>(y + bias));
+    }
+    // Zigzag.
+    for (int idx = 0; idx < 64; ++idx) {
+      result.coefficients[static_cast<std::size_t>(b) * 64 + idx] = qblk[zz[idx]];
+    }
+  }
+  // RLE: per block, (run, value) triples, EOB marker after each block.
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    std::uint8_t run = 0;
+    for (int idx = 0; idx < 64; ++idx) {
+      const std::int16_t v = result.coefficients[static_cast<std::size_t>(b) * 64 + idx];
+      if (v == 0) {
+        ++run;
+        continue;
+      }
+      result.stream.push_back(run);
+      result.stream.push_back(static_cast<std::uint8_t>(v & 0xff));
+      result.stream.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+      ++result.zero_runs;
+      run = 0;
+    }
+    result.stream.push_back(kEobMarker);
+    result.stream.push_back(0);
+    result.stream.push_back(0);
+  }
+  return result;
+}
+
+// ---- guest program -----------------------------------------------------------------
+
+DctcArtifacts build_dctc_program(const DctcConfig& cfg) {
+  cfg.validate();
+  const std::int64_t W = cfg.width;
+  const std::int64_t H = cfg.height;
+  const std::int64_t WB = W / 8;
+  const std::int64_t BLOCKS = cfg.blocks();
+
+  ProgramBuilder prog;
+  DctcArtifacts art;
+  const std::uint64_t g_plane = prog.alloc_global("plane", W * H * 8, 64);
+  const std::uint64_t g_cos = prog.alloc_global("cos_table", 64 * 8, 64);
+  const std::uint64_t g_quant = prog.alloc_global("quant_table", 64 * 8, 64);
+  const std::uint64_t g_zz = prog.alloc_global("zigzag", 64 * 8, 64);
+  const std::uint64_t g_tmp = prog.alloc_global("tmp_block", 64 * 8, 64);
+  const std::uint64_t g_out = prog.alloc_global("out_block", 64 * 8, 64);
+  const std::uint64_t g_qblk = prog.alloc_global("q_block", 64 * 2, 64);
+  const std::uint64_t g_coeffs = prog.alloc_global("coeffs", BLOCKS * 64 * 2, 64);
+  const std::uint64_t g_stage = prog.alloc_global("stage", 4096, 64);
+  prog.init_data(g_cos, f64_bytes(dct_cos_table()));
+  prog.init_data(g_quant, f64_bytes(quant_table(cfg.quality)));
+  prog.init_data(g_zz, i64_bytes(zigzag_table()));
+  art.plane_addr = g_plane;
+  art.coeff_addr = g_coeffs;
+
+  {
+    FunctionBuilder& f = prog.begin_function("libc_read", ImageKind::kLibrary);
+    f.sys(Sys::kRead);
+    f.ret();
+  }
+  {
+    FunctionBuilder& f = prog.begin_function("libc_write", ImageKind::kLibrary);
+    f.sys(Sys::kWrite);
+    f.ret();
+  }
+
+  // ---- img_load: raw pixels -> centred f64 plane -----------------------------
+  {
+    FunctionBuilder& f = prog.begin_function("img_load");
+    f.movi(R{25}, static_cast<std::int64_t>(g_plane));
+    f.movi(R{26}, 0);  // g (pixel index)
+    const auto head = f.new_label();
+    const auto inner = f.new_label();
+    const auto inner_done = f.new_label();
+    const auto done = f.new_label();
+    f.bind(head);
+    f.movi(R{2}, W * H);
+    f.slts(R{0}, R{26}, R{2});
+    f.brz(R{0}, done);
+    f.sub(R{27}, R{2}, R{26});  // remaining
+    f.movi(R{24}, 1024);
+    f.slts(R{0}, R{24}, R{27});
+    f.mov(R{27}, R{24});
+    f.predicate_last(R{0});
+    f.movi(R{1}, DctcArtifacts::kInputFd);
+    f.movi(R{2}, static_cast<std::int64_t>(g_stage));
+    f.mov(R{3}, R{27});
+    f.call("libc_read");
+    f.movi(R{20}, static_cast<std::int64_t>(g_stage));
+    f.movi(R{21}, 0);  // j
+    f.bind(inner);
+    f.slts(R{0}, R{21}, R{27});
+    f.brz(R{0}, inner_done);
+    f.add(R{22}, R{21}, R{20});
+    f.load(R{2}, R{22}, 0, 1);
+    f.i2f(F{16}, R{2});
+    f.fmovi(F{17}, 128.0);
+    f.fsub(F{16}, F{16}, F{17});
+    f.add(R{3}, R{26}, R{21});
+    f.shli(R{3}, R{3}, 3);
+    f.add(R{3}, R{3}, R{25});
+    f.fstore(R{3}, 0, F{16});
+    f.addi(R{21}, R{21}, 1);
+    f.jmp(inner);
+    f.bind(inner_done);
+    f.add(R{26}, R{26}, R{27});
+    f.jmp(head);
+    f.bind(done);
+    f.ret();
+  }
+
+  // ---- fdct8x8(block=r1): separable DCT-II, rows then columns ----------------
+  {
+    FunctionBuilder& f = prog.begin_function("fdct8x8");
+    f.enter(32);
+    // bx8 = (b % WB) * 8 ; by8 = (b / WB) * 8
+    f.movi(R{2}, WB);
+    f.rems(R{20}, R{1}, R{2});
+    f.shli(R{20}, R{20}, 3);  // bx*8
+    f.divs(R{21}, R{1}, R{2});
+    f.shli(R{21}, R{21}, 3);  // by*8
+    // base pixel address = plane + ((by8)*W + bx8) * 8
+    f.muli(R{22}, R{21}, W);
+    f.add(R{22}, R{22}, R{20});
+    f.shli(R{22}, R{22}, 3);
+    f.movi(R{2}, static_cast<std::int64_t>(g_plane));
+    f.add(R{22}, R{22}, R{2});  // block base
+    f.movi(R{23}, static_cast<std::int64_t>(g_cos));
+    f.movi(R{24}, static_cast<std::int64_t>(g_tmp));
+    // Rows pass: tmp[r*8+k] = sum_n blk[r][n] * C[k*8+n]
+    f.count_loop_imm(R{14}, 0, 8, [&] {      // r
+      f.count_loop_imm(R{15}, 0, 8, [&] {    // k
+        f.fmovi(F{10}, 0.0);
+        f.count_loop_imm(R{16}, 0, 8, [&] {  // n
+          f.muli(R{2}, R{14}, W * 8);
+          f.add(R{2}, R{2}, R{22});
+          f.shli(R{3}, R{16}, 3);
+          f.add(R{2}, R{2}, R{3});
+          f.fload(F{11}, R{2}, 0);  // blk[r][n]
+          f.shli(R{2}, R{15}, 6);
+          f.shli(R{3}, R{16}, 3);
+          f.add(R{2}, R{2}, R{3});
+          f.add(R{2}, R{2}, R{23});
+          f.fload(F{12}, R{2}, 0);  // C[k][n]
+          f.fmul(F{11}, F{11}, F{12});
+          f.fadd(F{10}, F{10}, F{11});
+        });
+        f.shli(R{2}, R{14}, 6);
+        f.shli(R{3}, R{15}, 3);
+        f.add(R{2}, R{2}, R{3});
+        f.add(R{2}, R{2}, R{24});
+        f.fstore(R{2}, 0, F{10});  // tmp[r*8+k]
+      });
+    });
+    // Columns pass: out[k2*8+k] = sum_r tmp[r*8+k] * C[k2*8+r]
+    f.movi(R{25}, static_cast<std::int64_t>(g_out));
+    f.count_loop_imm(R{14}, 0, 8, [&] {      // k2
+      f.count_loop_imm(R{15}, 0, 8, [&] {    // k
+        f.fmovi(F{10}, 0.0);
+        f.count_loop_imm(R{16}, 0, 8, [&] {  // r
+          f.shli(R{2}, R{16}, 6);
+          f.shli(R{3}, R{15}, 3);
+          f.add(R{2}, R{2}, R{3});
+          f.add(R{2}, R{2}, R{24});
+          f.fload(F{11}, R{2}, 0);  // tmp[r*8+k]
+          f.shli(R{2}, R{14}, 6);
+          f.shli(R{3}, R{16}, 3);
+          f.add(R{2}, R{2}, R{3});
+          f.add(R{2}, R{2}, R{23});
+          f.fload(F{12}, R{2}, 0);  // C[k2][r]
+          f.fmul(F{11}, F{11}, F{12});
+          f.fadd(F{10}, F{10}, F{11});
+        });
+        f.shli(R{2}, R{14}, 6);
+        f.shli(R{3}, R{15}, 3);
+        f.add(R{2}, R{2}, R{3});
+        f.add(R{2}, R{2}, R{25});
+        f.fstore(R{2}, 0, F{10});
+      });
+    });
+    f.leave(32);
+    f.ret();
+  }
+
+  // ---- quantize: out_block / quant_table, round half away from zero ----------
+  {
+    FunctionBuilder& f = prog.begin_function("quantize");
+    f.movi(R{20}, static_cast<std::int64_t>(g_out));
+    f.movi(R{21}, static_cast<std::int64_t>(g_quant));
+    f.movi(R{22}, static_cast<std::int64_t>(g_qblk));
+    f.fmovi(F{18}, 0.0);
+    f.count_loop_imm(R{14}, 0, 64, [&] {
+      f.shli(R{2}, R{14}, 3);
+      f.add(R{3}, R{2}, R{20});
+      f.fload(F{10}, R{3}, 0);
+      f.add(R{3}, R{2}, R{21});
+      f.fload(F{11}, R{3}, 0);
+      f.fdiv(F{10}, F{10}, F{11});  // y
+      f.fmovi(F{12}, 0.5);
+      f.fcmplt(R{3}, F{10}, F{18});  // y < 0 ?
+      f.fmovi(F{13}, -0.5);
+      f.fmov(F{12}, F{13});
+      f.predicate_last(R{3});
+      f.fadd(F{10}, F{10}, F{12});
+      f.f2i(R{3}, F{10});  // truncate
+      f.shli(R{2}, R{14}, 1);
+      f.add(R{2}, R{2}, R{22});
+      f.store(R{2}, 0, R{3}, 2);
+    });
+    f.ret();
+  }
+
+  // ---- zigzag(block=r1): reorder q_block into the coefficient stream ---------
+  {
+    FunctionBuilder& f = prog.begin_function("zigzag");
+    f.movi(R{20}, static_cast<std::int64_t>(g_zz));
+    f.movi(R{21}, static_cast<std::int64_t>(g_qblk));
+    f.muli(R{22}, R{1}, 64 * 2);
+    f.movi(R{2}, static_cast<std::int64_t>(g_coeffs));
+    f.add(R{22}, R{22}, R{2});  // coeffs + b*128
+    f.count_loop_imm(R{14}, 0, 64, [&] {
+      f.shli(R{2}, R{14}, 3);
+      f.add(R{2}, R{2}, R{20});
+      f.load(R{3}, R{2}, 0, 8);  // zz[idx] (global table read)
+      f.shli(R{3}, R{3}, 1);
+      f.add(R{3}, R{3}, R{21});
+      f.loads(R{4}, R{3}, 0, 2);
+      f.shli(R{2}, R{14}, 1);
+      f.add(R{2}, R{2}, R{22});
+      f.store(R{2}, 0, R{4}, 2);
+    });
+    f.ret();
+  }
+
+  // ---- rle_encode: stream (run, value) triples + per-block EOB ---------------
+  {
+    FunctionBuilder& f = prog.begin_function("rle_encode");
+    f.enter(16);
+    f.movi(R{20}, static_cast<std::int64_t>(g_coeffs));
+    f.movi(R{24}, static_cast<std::int64_t>(g_stage));
+    f.movi(R{25}, 0);  // staged bytes
+    f.movi(R{26}, 0);  // block
+    const auto blk_head = f.new_label();
+    const auto idx_head = f.new_label();
+    const auto idx_next = f.new_label();
+    const auto blk_next = f.new_label();
+    const auto no_flush = f.new_label();
+    const auto flush_tail = f.new_label();
+    const auto done = f.new_label();
+    f.bind(blk_head);
+    f.movi(R{2}, BLOCKS);
+    f.slts(R{0}, R{26}, R{2});
+    f.brz(R{0}, flush_tail);
+    f.movi(R{27}, 0);  // run
+    f.movi(R{23}, 0);  // idx
+    f.bind(idx_head);
+    f.sltsi(R{0}, R{23}, 64);
+    f.brz(R{0}, blk_next);
+    f.muli(R{2}, R{26}, 64);
+    f.add(R{2}, R{2}, R{23});
+    f.shli(R{2}, R{2}, 1);
+    f.add(R{2}, R{2}, R{20});
+    f.loads(R{3}, R{2}, 0, 2);  // v
+    const auto nonzero = f.new_label();
+    f.brnz(R{3}, nonzero);
+    f.addi(R{27}, R{27}, 1);
+    f.jmp(idx_next);
+    f.bind(nonzero);
+    f.add(R{4}, R{24}, R{25});
+    f.store(R{4}, 0, R{27}, 1);
+    f.store(R{4}, 1, R{3}, 2);
+    f.addi(R{25}, R{25}, 3);
+    f.movi(R{27}, 0);
+    f.movi(R{4}, 3000);
+    f.slts(R{0}, R{25}, R{4});
+    f.brnz(R{0}, idx_next);
+    f.movi(R{1}, DctcArtifacts::kOutputFd);
+    f.mov(R{2}, R{24});
+    f.mov(R{3}, R{25});
+    f.call("libc_write");
+    f.movi(R{25}, 0);
+    f.bind(idx_next);
+    f.addi(R{23}, R{23}, 1);
+    f.jmp(idx_head);
+    f.bind(blk_next);
+    // EOB marker.
+    f.add(R{4}, R{24}, R{25});
+    f.movi(R{2}, kEobMarker);
+    f.store(R{4}, 0, R{2}, 1);
+    f.movi(R{2}, 0);
+    f.store(R{4}, 1, R{2}, 2);
+    f.addi(R{25}, R{25}, 3);
+    f.movi(R{4}, 3000);
+    f.slts(R{0}, R{25}, R{4});
+    f.brnz(R{0}, no_flush);
+    f.movi(R{1}, DctcArtifacts::kOutputFd);
+    f.mov(R{2}, R{24});
+    f.mov(R{3}, R{25});
+    f.call("libc_write");
+    f.movi(R{25}, 0);
+    f.bind(no_flush);
+    f.addi(R{26}, R{26}, 1);
+    f.jmp(blk_head);
+    f.bind(flush_tail);
+    f.brz(R{25}, done);
+    f.movi(R{1}, DctcArtifacts::kOutputFd);
+    f.mov(R{2}, R{24});
+    f.mov(R{3}, R{25});
+    f.call("libc_write");
+    f.bind(done);
+    f.leave(16);
+    f.ret();
+  }
+
+  // ---- main --------------------------------------------------------------------
+  {
+    FunctionBuilder& f = prog.begin_function("main");
+    f.call("img_load");
+    f.movi(R{28}, 0);
+    const auto loop = f.new_label();
+    const auto after = f.new_label();
+    f.bind(loop);
+    f.movi(R{0}, 0);
+    f.sltsi(R{0}, R{28}, BLOCKS);
+    f.brz(R{0}, after);
+    f.mov(R{1}, R{28});
+    f.call("fdct8x8");
+    f.call("quantize");
+    f.mov(R{1}, R{28});
+    f.call("zigzag");
+    f.addi(R{28}, R{28}, 1);
+    f.jmp(loop);
+    f.bind(after);
+    f.call("rle_encode");
+    f.halt();
+  }
+
+  art.program = prog.build("main");
+  return art;
+}
+
+}  // namespace tq::dctc

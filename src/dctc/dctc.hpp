@@ -1,0 +1,64 @@
+// A second multimedia case-study application: a DCT-based image encoder.
+//
+// The paper states "tQUAD was tested on a set of real applications" but has
+// room to present only hArtes wfs. This module provides another member of
+// that set, from the same domain: a JPEG-style grayscale encoder with the
+// classic kernel structure —
+//
+//   img_load   read raw 8-bit pixels, centre to [-128,127] as f64 plane
+//   fdct8x8    per 8x8 block: separable 1-D DCT-II passes (rows then
+//              columns) against a cosine table
+//   quantize   divide by the quantisation matrix, round half away from zero
+//   zigzag     reorder each block along the canonical zigzag
+//   rle_encode zero-run-length entropy stage, streaming (run, value) pairs
+//              through a staging buffer and libc_write
+//
+// A native golden model mirrors the guest arithmetic operation for
+// operation, so the encoded byte stream must match exactly. Phase structure
+// under tQUAD: load -> transform -> encode, a three-phase profile distinct
+// from the wfs five-phase shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace tq::dctc {
+
+/// Encoder configuration. Width/height must be multiples of 8.
+struct DctcConfig {
+  std::uint32_t width = 256;
+  std::uint32_t height = 256;
+  std::uint32_t quality = 2;  ///< quantisation scale (1 = finest)
+
+  void validate() const;
+  std::uint32_t blocks() const noexcept { return (width / 8) * (height / 8); }
+
+  static DctcConfig standard() { return DctcConfig{}; }
+  static DctcConfig tiny() { return DctcConfig{48, 32, 2}; }
+};
+
+/// Deterministic grayscale test image (gradient + checker + disc).
+std::vector<std::uint8_t> make_test_image(const DctcConfig& cfg);
+
+/// The guest program plus descriptor conventions and buffer addresses.
+struct DctcArtifacts {
+  vm::Program program;
+  static constexpr int kInputFd = 0;   ///< raw pixel bytes
+  static constexpr int kOutputFd = 1;  ///< encoded stream
+  std::uint64_t plane_addr = 0;        ///< centred f64 pixel plane
+  std::uint64_t coeff_addr = 0;        ///< quantised i16 coefficients
+};
+DctcArtifacts build_dctc_program(const DctcConfig& cfg);
+
+/// Golden (native) encoder mirroring the guest arithmetic exactly.
+struct GoldenEncode {
+  std::vector<std::uint8_t> stream;       ///< encoded bytes (the guest output)
+  std::vector<std::int16_t> coefficients; ///< quantised, zigzagged, per block
+  std::uint64_t zero_runs = 0;            ///< total RLE runs emitted
+};
+GoldenEncode run_golden_encode(const DctcConfig& cfg,
+                               const std::vector<std::uint8_t>& pixels);
+
+}  // namespace tq::dctc

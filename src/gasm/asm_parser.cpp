@@ -1,0 +1,567 @@
+#include "gasm/asm_parser.hpp"
+
+#include <bit>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "gasm/builder.hpp"
+#include "support/check.hpp"
+
+namespace tq::gasm {
+
+namespace {
+
+using isa::Op;
+
+[[noreturn]] void fail(int line, const std::string& why) {
+  TQUAD_THROW("asm line " + std::to_string(line) + ": " + why);
+}
+
+/// Operand shapes an instruction family expects.
+enum class Pattern {
+  kNone,     // ret, halt, nop
+  kRRR,      // add r1, r2, r3
+  kRRI,      // addi r1, r2, imm
+  kRI,       // movi r1, imm
+  kRR,       // mov r1, r2
+  kFFF,      // fadd f1, f2, f3
+  kFF,       // fmov f1, f2
+  kFI,       // fmovi f1, 3.5
+  kRFF,      // fcmplt r1, f2, f3
+  kFR,       // i2f f1, r2
+  kRF,       // f2i r1, f2
+  kLoad,     // load8 r1, [r2+4]      (size from suffix)
+  kLoadF,    // fload f1, [r2+4]      (fixed size)
+  kStore,    // store8 [r1+4], r2
+  kStoreF,   // fstore [r1+4], f2
+  kPrefetch, // prefetch8 [r1+0]
+  kMovs,     // movs64 [r1], [r2]
+  kJmp,      // jmp label
+  kBr,       // brz r1, label
+  kCall,     // call name
+  kSys,      // sys read | sys 2
+};
+
+struct Mnemonic {
+  Op op;
+  Pattern pattern;
+  std::uint8_t fixed_size;  // 0 = size comes from the suffix
+};
+
+/// Base mnemonic table (suffix-less forms).
+const std::map<std::string, Mnemonic>& mnemonics() {
+  static const std::map<std::string, Mnemonic> table{
+      {"nop", {Op::kNop, Pattern::kNone, 0}},
+      {"halt", {Op::kHalt, Pattern::kNone, 0}},
+      {"ret", {Op::kRet, Pattern::kNone, 0}},
+      {"add", {Op::kAdd, Pattern::kRRR, 0}},
+      {"sub", {Op::kSub, Pattern::kRRR, 0}},
+      {"mul", {Op::kMul, Pattern::kRRR, 0}},
+      {"divs", {Op::kDivS, Pattern::kRRR, 0}},
+      {"rems", {Op::kRemS, Pattern::kRRR, 0}},
+      {"and", {Op::kAnd, Pattern::kRRR, 0}},
+      {"or", {Op::kOr, Pattern::kRRR, 0}},
+      {"xor", {Op::kXor, Pattern::kRRR, 0}},
+      {"shl", {Op::kShl, Pattern::kRRR, 0}},
+      {"shrl", {Op::kShrL, Pattern::kRRR, 0}},
+      {"shra", {Op::kShrA, Pattern::kRRR, 0}},
+      {"slts", {Op::kSltS, Pattern::kRRR, 0}},
+      {"sltu", {Op::kSltU, Pattern::kRRR, 0}},
+      {"seq", {Op::kSeq, Pattern::kRRR, 0}},
+      {"addi", {Op::kAddI, Pattern::kRRI, 0}},
+      {"muli", {Op::kMulI, Pattern::kRRI, 0}},
+      {"andi", {Op::kAndI, Pattern::kRRI, 0}},
+      {"ori", {Op::kOrI, Pattern::kRRI, 0}},
+      {"xori", {Op::kXorI, Pattern::kRRI, 0}},
+      {"shli", {Op::kShlI, Pattern::kRRI, 0}},
+      {"shrli", {Op::kShrLI, Pattern::kRRI, 0}},
+      {"shrai", {Op::kShrAI, Pattern::kRRI, 0}},
+      {"sltsi", {Op::kSltSI, Pattern::kRRI, 0}},
+      {"movi", {Op::kMovI, Pattern::kRI, 0}},
+      {"mov", {Op::kMov, Pattern::kRR, 0}},
+      {"fadd", {Op::kFAdd, Pattern::kFFF, 0}},
+      {"fsub", {Op::kFSub, Pattern::kFFF, 0}},
+      {"fmul", {Op::kFMul, Pattern::kFFF, 0}},
+      {"fdiv", {Op::kFDiv, Pattern::kFFF, 0}},
+      {"fmin", {Op::kFMin, Pattern::kFFF, 0}},
+      {"fmax", {Op::kFMax, Pattern::kFFF, 0}},
+      {"fneg", {Op::kFNeg, Pattern::kFF, 0}},
+      {"fabs", {Op::kFAbs, Pattern::kFF, 0}},
+      {"fsqrt", {Op::kFSqrt, Pattern::kFF, 0}},
+      {"fsin", {Op::kFSin, Pattern::kFF, 0}},
+      {"fcos", {Op::kFCos, Pattern::kFF, 0}},
+      {"fmov", {Op::kFMov, Pattern::kFF, 0}},
+      {"fmovi", {Op::kFMovI, Pattern::kFI, 0}},
+      {"fcmplt", {Op::kFCmpLt, Pattern::kRFF, 0}},
+      {"fcmple", {Op::kFCmpLe, Pattern::kRFF, 0}},
+      {"fcmpeq", {Op::kFCmpEq, Pattern::kRFF, 0}},
+      {"i2f", {Op::kI2F, Pattern::kFR, 0}},
+      {"f2i", {Op::kF2I, Pattern::kRF, 0}},
+      {"load", {Op::kLoad, Pattern::kLoad, 0}},
+      {"loads", {Op::kLoadS, Pattern::kLoad, 0}},
+      {"store", {Op::kStore, Pattern::kStore, 0}},
+      {"fload", {Op::kFLoad, Pattern::kLoadF, 8}},
+      {"fstore", {Op::kFStore, Pattern::kStoreF, 8}},
+      {"fload4", {Op::kFLoad4, Pattern::kLoadF, 4}},
+      {"fstore4", {Op::kFStore4, Pattern::kStoreF, 4}},
+      {"prefetch", {Op::kPrefetch, Pattern::kPrefetch, 0}},
+      {"movs", {Op::kMovs, Pattern::kMovs, 0}},
+      {"jmp", {Op::kJmp, Pattern::kJmp, 0}},
+      {"brz", {Op::kBrZ, Pattern::kBr, 0}},
+      {"brnz", {Op::kBrNZ, Pattern::kBr, 0}},
+      {"call", {Op::kCall, Pattern::kCall, 0}},
+      {"sys", {Op::kSys, Pattern::kSys, 0}},
+  };
+  return table;
+}
+
+const std::map<std::string, isa::Sys>& sys_names() {
+  static const std::map<std::string, isa::Sys> table{
+      {"alloc", isa::Sys::kAlloc},   {"read", isa::Sys::kRead},
+      {"write", isa::Sys::kWrite},   {"seek", isa::Sys::kSeek},
+      {"filesize", isa::Sys::kFileSize}, {"printi", isa::Sys::kPrintI64},
+      {"printf", isa::Sys::kPrintF64},
+  };
+  return table;
+}
+
+/// Split a mnemonic token into (base, size-suffix): "load8" -> ("load", 8).
+std::pair<std::string, unsigned> split_suffix(const std::string& token) {
+  std::size_t digits = 0;
+  while (digits < token.size() && std::isdigit(static_cast<unsigned char>(
+                                      token[token.size() - 1 - digits]))) {
+    ++digits;
+  }
+  if (digits == 0) return {token, 0};
+  const std::string base = token.substr(0, token.size() - digits);
+  // Known numeric-suffixed mnemonics that are full names themselves.
+  if (mnemonics().contains(token)) return {token, 0};  // fload4, fstore4
+  const unsigned size =
+      static_cast<unsigned>(std::strtoul(token.c_str() + base.size(), nullptr, 10));
+  return {base, size};
+}
+
+struct ParsedLine {
+  std::string head;                 // mnemonic / directive / label
+  std::vector<std::string> operands;
+  std::optional<std::string> predicate;  // "rN" from "?rN"
+};
+
+/// Tokenise a source line: strip comments, pull a trailing "?rN" predicate,
+/// split the rest into head + comma-separated operands.
+std::optional<ParsedLine> tokenize(std::string line, int lineno) {
+  if (auto cut = line.find_first_of(";#"); cut != std::string::npos) {
+    line.resize(cut);
+  }
+  // Predicate suffix.
+  ParsedLine parsed;
+  if (auto qmark = line.find('?'); qmark != std::string::npos) {
+    std::string pred = line.substr(qmark + 1);
+    line.resize(qmark);
+    while (!pred.empty() && std::isspace(static_cast<unsigned char>(pred.back()))) {
+      pred.pop_back();
+    }
+    while (!pred.empty() && std::isspace(static_cast<unsigned char>(pred.front()))) {
+      pred.erase(pred.begin());
+    }
+    if (pred.empty()) fail(lineno, "dangling '?' (expected ?rN)");
+    parsed.predicate = pred;
+  }
+  // Head token.
+  std::istringstream in(line);
+  if (!(in >> parsed.head)) return std::nullopt;  // blank line
+  // Rest: comma-separated operands (brackets may contain '+'/'-' but no commas).
+  std::string rest;
+  std::getline(in, rest);
+  std::string current;
+  for (char ch : rest) {
+    if (ch == ',') {
+      parsed.operands.push_back(current);
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) parsed.operands.push_back(current);
+  for (auto& operand : parsed.operands) {
+    while (!operand.empty() &&
+           std::isspace(static_cast<unsigned char>(operand.front()))) {
+      operand.erase(operand.begin());
+    }
+    while (!operand.empty() &&
+           std::isspace(static_cast<unsigned char>(operand.back()))) {
+      operand.pop_back();
+    }
+    if (operand.empty()) fail(lineno, "empty operand");
+  }
+  return parsed;
+}
+
+class Assembler {
+ public:
+  vm::Program run(const std::string& source) {
+    std::istringstream in(source);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      auto parsed = tokenize(line, lineno);
+      if (!parsed) continue;
+      handle(*parsed, lineno);
+    }
+    if (entry_.empty()) fail(lineno, "no .func defined");
+    return prog_.build(entry_);
+  }
+
+ private:
+  void handle(const ParsedLine& parsed, int lineno) {
+    const std::string& head = parsed.head;
+    if (head[0] == '.') {
+      directive(parsed, lineno);
+      return;
+    }
+    if (head.back() == ':') {
+      if (fb_ == nullptr) fail(lineno, "label outside a function");
+      const std::string name = head.substr(0, head.size() - 1);
+      fb_->bind(label(name));
+      return;
+    }
+    instruction(parsed, lineno);
+  }
+
+  void directive(const ParsedLine& parsed, int lineno) {
+    if (parsed.head == ".func") {
+      if (parsed.operands.empty()) fail(lineno, ".func needs a name");
+      std::istringstream in(parsed.operands[0]);
+      std::string name, image;
+      in >> name >> image;
+      vm::ImageKind kind = vm::ImageKind::kMain;
+      if (image == "@library") {
+        kind = vm::ImageKind::kLibrary;
+      } else if (image == "@os") {
+        kind = vm::ImageKind::kOs;
+      } else if (!image.empty()) {
+        fail(lineno, "unknown image annotation '" + image + "'");
+      }
+      fb_ = &prog_.begin_function(name, kind);
+      labels_.clear();
+      if (entry_.empty()) entry_ = name;
+      return;
+    }
+    if (parsed.head == ".entry") {
+      if (parsed.operands.size() != 1) fail(lineno, ".entry needs a name");
+      std::istringstream in(parsed.operands[0]);
+      in >> entry_;
+      return;
+    }
+    if (parsed.head == ".global") {
+      if (parsed.operands.empty()) fail(lineno, ".global needs 'name size [align]'");
+      std::istringstream in(parsed.operands[0]);
+      std::string name;
+      std::uint64_t size = 0, align = 8;
+      if (!(in >> name >> size)) fail(lineno, ".global needs 'name size [align]'");
+      in >> align;
+      globals_[name] = prog_.alloc_global(name, size, align);
+      return;
+    }
+    fail(lineno, "unknown directive '" + parsed.head + "'");
+  }
+
+  // ---- operand parsing ------------------------------------------------------
+
+  R int_reg(const std::string& token, int lineno) const {
+    if (token == "sp") return SP;
+    if (token.size() >= 2 && token[0] == 'r') {
+      const int index = std::atoi(token.c_str() + 1);
+      if (index >= 0 && index < static_cast<int>(isa::kNumIntRegs)) {
+        return R{static_cast<std::uint8_t>(index)};
+      }
+    }
+    fail(lineno, "expected integer register, got '" + token + "'");
+  }
+
+  F fp_reg(const std::string& token, int lineno) const {
+    if (token.size() >= 2 && token[0] == 'f' &&
+        std::isdigit(static_cast<unsigned char>(token[1]))) {
+      const int index = std::atoi(token.c_str() + 1);
+      if (index >= 0 && index < static_cast<int>(isa::kNumFpRegs)) {
+        return F{static_cast<std::uint8_t>(index)};
+      }
+    }
+    fail(lineno, "expected fp register, got '" + token + "'");
+  }
+
+  std::int64_t immediate(const std::string& token, int lineno) const {
+    if (auto it = globals_.find(token); it != globals_.end()) {
+      return static_cast<std::int64_t>(it->second);
+    }
+    std::int64_t value = 0;
+    const char* begin = token.c_str();
+    const char* end = begin + token.size();
+    int base = 10;
+    if (token.starts_with("0x") || token.starts_with("-0x")) {
+      base = 16;
+      // std::from_chars with base 16 does not accept the 0x prefix.
+      const bool negative = token[0] == '-';
+      auto [ptr, ec] =
+          std::from_chars(begin + (negative ? 3 : 2), end, value, base);
+      if (ec != std::errc() || ptr != end) {
+        fail(lineno, "bad immediate '" + token + "'");
+      }
+      return negative ? -value : value;
+    }
+    auto [ptr, ec] = std::from_chars(begin, end, value, base);
+    if (ec != std::errc() || ptr != end) {
+      fail(lineno, "bad immediate '" + token + "'");
+    }
+    return value;
+  }
+
+  /// "[reg+disp]" / "[reg-disp]" / "[reg]" -> (reg, disp).
+  std::pair<R, std::int64_t> mem_operand(const std::string& token, int lineno) const {
+    if (token.size() < 3 || token.front() != '[' || token.back() != ']') {
+      fail(lineno, "expected memory operand [reg+disp], got '" + token + "'");
+    }
+    const std::string inner = token.substr(1, token.size() - 2);
+    const std::size_t sep = inner.find_first_of("+-", 1);
+    if (sep == std::string::npos) {
+      return {int_reg(inner, lineno), 0};
+    }
+    const R base = int_reg(inner.substr(0, sep), lineno);
+    std::int64_t disp = immediate(inner.substr(sep + 1), lineno);
+    if (inner[sep] == '-') disp = -disp;
+    return {base, disp};
+  }
+
+  FunctionBuilder::Label label(const std::string& name) {
+    auto it = labels_.find(name);
+    if (it != labels_.end()) return it->second;
+    const auto created = fb_->new_label();
+    labels_.emplace(name, created);
+    return created;
+  }
+
+  // ---- instruction emission ----------------------------------------------------
+
+  void instruction(const ParsedLine& parsed, int lineno) {
+    if (fb_ == nullptr) fail(lineno, "instruction outside a function");
+    auto [base, size] = split_suffix(parsed.head);
+    auto it = mnemonics().find(base);
+    if (it == mnemonics().end()) fail(lineno, "unknown mnemonic '" + parsed.head + "'");
+    const Mnemonic& mn = it->second;
+    const auto& ops = parsed.operands;
+    auto want = [&](std::size_t n) {
+      if (ops.size() != n) {
+        fail(lineno, parsed.head + " expects " + std::to_string(n) + " operand(s)");
+      }
+    };
+    if (mn.fixed_size != 0) size = mn.fixed_size;
+    auto check_size = [&] {
+      const bool movs = mn.op == Op::kMovs;
+      const bool ok = movs ? (size == 8 || size == 16 || size == 32 || size == 64)
+                           : (size == 1 || size == 2 || size == 4 || size == 8);
+      if (!ok) fail(lineno, "bad size suffix on '" + parsed.head + "'");
+    };
+
+    switch (mn.pattern) {
+      case Pattern::kNone:
+        want(0);
+        fb_->emit_raw(isa::Instr{.op = mn.op});
+        break;
+      case Pattern::kRRR: {
+        want(3);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = int_reg(ops[0], lineno).idx,
+                             .ra = int_reg(ops[1], lineno).idx,
+                             .rb = int_reg(ops[2], lineno).idx});
+        break;
+      }
+      case Pattern::kRRI: {
+        want(3);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = int_reg(ops[0], lineno).idx,
+                             .ra = int_reg(ops[1], lineno).idx,
+                             .imm = immediate(ops[2], lineno)});
+        break;
+      }
+      case Pattern::kRI:
+        want(2);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = int_reg(ops[0], lineno).idx,
+                             .imm = immediate(ops[1], lineno)});
+        break;
+      case Pattern::kRR:
+        want(2);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = int_reg(ops[0], lineno).idx,
+                             .ra = int_reg(ops[1], lineno).idx});
+        break;
+      case Pattern::kFFF:
+        want(3);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = fp_reg(ops[0], lineno).idx,
+                             .ra = fp_reg(ops[1], lineno).idx,
+                             .rb = fp_reg(ops[2], lineno).idx});
+        break;
+      case Pattern::kFF:
+        want(2);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = fp_reg(ops[0], lineno).idx,
+                             .ra = fp_reg(ops[1], lineno).idx});
+        break;
+      case Pattern::kFI: {
+        want(2);
+        const double value = std::strtod(ops[1].c_str(), nullptr);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = fp_reg(ops[0], lineno).idx,
+                             .imm = std::bit_cast<std::int64_t>(value)});
+        break;
+      }
+      case Pattern::kRFF:
+        want(3);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = int_reg(ops[0], lineno).idx,
+                             .ra = fp_reg(ops[1], lineno).idx,
+                             .rb = fp_reg(ops[2], lineno).idx});
+        break;
+      case Pattern::kFR:
+        want(2);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = fp_reg(ops[0], lineno).idx,
+                             .ra = int_reg(ops[1], lineno).idx});
+        break;
+      case Pattern::kRF:
+        want(2);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = int_reg(ops[0], lineno).idx,
+                             .ra = fp_reg(ops[1], lineno).idx});
+        break;
+      case Pattern::kLoad: {
+        want(2);
+        check_size();
+        const auto [mem_base, disp] = mem_operand(ops[1], lineno);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = int_reg(ops[0], lineno).idx,
+                             .ra = mem_base.idx,
+                             .size = static_cast<std::uint8_t>(size),
+                             .imm = disp});
+        break;
+      }
+      case Pattern::kLoadF: {
+        want(2);
+        const auto [mem_base, disp] = mem_operand(ops[1], lineno);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .rd = fp_reg(ops[0], lineno).idx,
+                             .ra = mem_base.idx,
+                             .size = static_cast<std::uint8_t>(size),
+                             .imm = disp});
+        break;
+      }
+      case Pattern::kStore: {
+        want(2);
+        check_size();
+        const auto [mem_base, disp] = mem_operand(ops[0], lineno);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .ra = mem_base.idx,
+                             .rb = int_reg(ops[1], lineno).idx,
+                             .size = static_cast<std::uint8_t>(size),
+                             .imm = disp});
+        break;
+      }
+      case Pattern::kStoreF: {
+        want(2);
+        const auto [mem_base, disp] = mem_operand(ops[0], lineno);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .ra = mem_base.idx,
+                             .rb = fp_reg(ops[1], lineno).idx,
+                             .size = static_cast<std::uint8_t>(size),
+                             .imm = disp});
+        break;
+      }
+      case Pattern::kPrefetch: {
+        want(1);
+        check_size();
+        const auto [mem_base, disp] = mem_operand(ops[0], lineno);
+        fb_->emit_raw(isa::Instr{.op = mn.op,
+                             .ra = mem_base.idx,
+                             .size = static_cast<std::uint8_t>(size),
+                             .imm = disp});
+        break;
+      }
+      case Pattern::kMovs: {
+        want(2);
+        check_size();
+        const auto [dst, dst_disp] = mem_operand(ops[0], lineno);
+        const auto [src, src_disp] = mem_operand(ops[1], lineno);
+        if (dst_disp != 0 || src_disp != 0) {
+          fail(lineno, "movs operands take no displacement");
+        }
+        fb_->movs(dst, src, size);
+        break;
+      }
+      case Pattern::kJmp: {
+        want(1);
+        std::istringstream in(ops[0]);
+        std::string name;
+        in >> name;
+        fb_->jmp(label(name));
+        break;
+      }
+      case Pattern::kBr: {
+        want(2);
+        const R cond = int_reg(ops[0], lineno);
+        std::istringstream in(ops[1]);
+        std::string name;
+        in >> name;
+        if (mn.op == Op::kBrZ) {
+          fb_->brz(cond, label(name));
+        } else {
+          fb_->brnz(cond, label(name));
+        }
+        break;
+      }
+      case Pattern::kCall: {
+        want(1);
+        std::istringstream in(ops[0]);
+        std::string name;
+        in >> name;
+        fb_->call(name);
+        break;
+      }
+      case Pattern::kSys: {
+        want(1);
+        std::istringstream in(ops[0]);
+        std::string name;
+        in >> name;
+        if (auto it2 = sys_names().find(name); it2 != sys_names().end()) {
+          fb_->sys(it2->second);
+        } else {
+          fb_->sys(static_cast<isa::Sys>(immediate(name, lineno)));
+        }
+        break;
+      }
+    }
+    if (parsed.predicate) {
+      fb_->predicate_last(int_reg(*parsed.predicate, lineno));
+    }
+  }
+
+  ProgramBuilder prog_;
+  FunctionBuilder* fb_ = nullptr;
+  std::map<std::string, FunctionBuilder::Label> labels_;
+  std::map<std::string, std::uint64_t> globals_;
+  std::string entry_;
+};
+
+}  // namespace
+
+vm::Program assemble(const std::string& source) {
+  Assembler assembler;
+  return assembler.run(source);
+}
+
+}  // namespace tq::gasm

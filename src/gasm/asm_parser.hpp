@@ -1,0 +1,48 @@
+// Textual guest assembly.
+//
+// The builder DSL is the programmatic front end; this parser is the human
+// one — a line-oriented assembly syntax matching the disassembler's output
+// conventions, so small guest programs (tests, experiments, regression
+// cases) can live as plain text:
+//
+//     ; a tiny two-function program
+//     .global buf 64
+//     .func helper
+//         movi   r2, 7
+//         ret
+//     .func main
+//         movi   r1, buf
+//         call   helper
+//         store8 [r1+0], r2
+//     loop:
+//         addi   r2, r2, -1
+//         brnz   r2, loop
+//         mov    r3, r2      ?r2     ; predicated on r2
+//         halt
+//
+// Syntax summary:
+//   .func NAME [@library|@os]   start a function (first .func = entry unless
+//                               a later `.entry NAME` overrides)
+//   .entry NAME                 select the entry function
+//   .global NAME SIZE [ALIGN]   reserve zeroed global storage; NAME usable
+//                               as an immediate afterwards
+//   LABEL:                      bind a branch target
+//   MNEMONIC operands           one instruction; memory mnemonics carry the
+//                               size suffix (load8, store4, movs64, ...);
+//                               operands are rN / sp / fN, [reg+disp],
+//                               integer or float immediates, label or
+//                               function names. `?rN` predicates the line.
+//   ; or # start a comment.
+#pragma once
+
+#include <string>
+
+#include "vm/program.hpp"
+
+namespace tq::gasm {
+
+/// Assemble a full program from source text. Throws tq::Error with a
+/// line-numbered message on any syntax or semantic problem.
+vm::Program assemble(const std::string& source);
+
+}  // namespace tq::gasm

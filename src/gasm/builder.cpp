@@ -1,0 +1,311 @@
+#include "gasm/builder.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace tq::gasm {
+
+using isa::Instr;
+using isa::Op;
+
+// ---- FunctionBuilder --------------------------------------------------------
+
+FunctionBuilder::Label FunctionBuilder::new_label() {
+  label_targets_.push_back(-1);
+  return static_cast<Label>(label_targets_.size() - 1);
+}
+
+void FunctionBuilder::bind(Label label) {
+  TQUAD_CHECK(label < label_targets_.size(), "unknown label");
+  TQUAD_CHECK(label_targets_[label] == -1, "label bound twice");
+  label_targets_[label] = static_cast<std::int64_t>(code_.size());
+}
+
+void FunctionBuilder::emit_branch(Op op, R cond, Label label) {
+  TQUAD_CHECK(label < label_targets_.size(), "unknown label");
+  Instr ins;
+  ins.op = op;
+  ins.ra = cond.idx;
+  fixups_.emplace_back(code_.size(), label);
+  emit(ins);
+}
+
+void FunctionBuilder::jmp(Label label) { emit_branch(Op::kJmp, R{0}, label); }
+void FunctionBuilder::brz(R cond, Label label) { emit_branch(Op::kBrZ, cond, label); }
+void FunctionBuilder::brnz(R cond, Label label) { emit_branch(Op::kBrNZ, cond, label); }
+
+void FunctionBuilder::count_loop(R counter, std::int64_t start, R limit,
+                                 const std::function<void()>& body) {
+  movi(counter, start);
+  const Label head = new_label();
+  const Label done = new_label();
+  bind(head);
+  // exit when counter >= limit
+  slts(R{0}, counter, limit);  // r0 is a scratch here; restored by next movi
+  brz(R{0}, done);
+  movi(R{0}, 0);
+  body();
+  addi(counter, counter, 1);
+  jmp(head);
+  bind(done);
+  movi(R{0}, 0);
+}
+
+void FunctionBuilder::count_loop_imm(R counter, std::int64_t start, std::int64_t limit,
+                                     const std::function<void()>& body) {
+  movi(counter, start);
+  const Label head = new_label();
+  const Label done = new_label();
+  bind(head);
+  sltsi(R{0}, counter, limit);
+  brz(R{0}, done);
+  movi(R{0}, 0);
+  body();
+  addi(counter, counter, 1);
+  jmp(head);
+  bind(done);
+  movi(R{0}, 0);
+}
+
+void FunctionBuilder::call(const std::string& callee) {
+  call_sites_.emplace_back(code_.size(), callee);
+  Instr ins;
+  ins.op = Op::kCall;
+  emit(ins);
+}
+
+void FunctionBuilder::ret() { emit(Instr{.op = Op::kRet}); }
+void FunctionBuilder::halt() { emit(Instr{.op = Op::kHalt}); }
+
+void FunctionBuilder::sys(isa::Sys sysno) {
+  Instr ins;
+  ins.op = Op::kSys;
+  ins.imm = static_cast<std::int64_t>(sysno);
+  emit(ins);
+}
+
+void FunctionBuilder::enter(std::int64_t bytes) { addi(SP, SP, -bytes); }
+void FunctionBuilder::leave(std::int64_t bytes) { addi(SP, SP, bytes); }
+
+#define TQ_RRR(NAME, OP)                                     \
+  void FunctionBuilder::NAME(R rd, R ra, R rb) {             \
+    emit(Instr{.op = OP, .rd = rd.idx, .ra = ra.idx, .rb = rb.idx}); \
+  }
+TQ_RRR(add, Op::kAdd)
+TQ_RRR(sub, Op::kSub)
+TQ_RRR(mul, Op::kMul)
+TQ_RRR(divs, Op::kDivS)
+TQ_RRR(rems, Op::kRemS)
+TQ_RRR(and_, Op::kAnd)
+TQ_RRR(or_, Op::kOr)
+TQ_RRR(xor_, Op::kXor)
+TQ_RRR(shl, Op::kShl)
+TQ_RRR(shrl, Op::kShrL)
+TQ_RRR(shra, Op::kShrA)
+TQ_RRR(slts, Op::kSltS)
+TQ_RRR(sltu, Op::kSltU)
+TQ_RRR(seq, Op::kSeq)
+#undef TQ_RRR
+
+#define TQ_RRI(NAME, OP)                                              \
+  void FunctionBuilder::NAME(R rd, R ra, std::int64_t imm) {          \
+    emit(Instr{.op = OP, .rd = rd.idx, .ra = ra.idx, .imm = imm});    \
+  }
+TQ_RRI(addi, Op::kAddI)
+TQ_RRI(muli, Op::kMulI)
+TQ_RRI(andi, Op::kAndI)
+TQ_RRI(ori, Op::kOrI)
+TQ_RRI(xori, Op::kXorI)
+TQ_RRI(shli, Op::kShlI)
+TQ_RRI(shrli, Op::kShrLI)
+TQ_RRI(shrai, Op::kShrAI)
+TQ_RRI(sltsi, Op::kSltSI)
+#undef TQ_RRI
+
+void FunctionBuilder::movi(R rd, std::int64_t imm) {
+  emit(Instr{.op = Op::kMovI, .rd = rd.idx, .imm = imm});
+}
+void FunctionBuilder::mov(R rd, R ra) {
+  emit(Instr{.op = Op::kMov, .rd = rd.idx, .ra = ra.idx});
+}
+
+#define TQ_FFF(NAME, OP)                                             \
+  void FunctionBuilder::NAME(F fd, F fa, F fb) {                     \
+    emit(Instr{.op = OP, .rd = fd.idx, .ra = fa.idx, .rb = fb.idx}); \
+  }
+TQ_FFF(fadd, Op::kFAdd)
+TQ_FFF(fsub, Op::kFSub)
+TQ_FFF(fmul, Op::kFMul)
+TQ_FFF(fdiv, Op::kFDiv)
+TQ_FFF(fmin, Op::kFMin)
+TQ_FFF(fmax, Op::kFMax)
+#undef TQ_FFF
+
+#define TQ_FF(NAME, OP)                                  \
+  void FunctionBuilder::NAME(F fd, F fa) {               \
+    emit(Instr{.op = OP, .rd = fd.idx, .ra = fa.idx});   \
+  }
+TQ_FF(fneg, Op::kFNeg)
+TQ_FF(fabs_, Op::kFAbs)
+TQ_FF(fsqrt, Op::kFSqrt)
+TQ_FF(fsin, Op::kFSin)
+TQ_FF(fcos, Op::kFCos)
+TQ_FF(fmov, Op::kFMov)
+#undef TQ_FF
+
+void FunctionBuilder::fmovi(F fd, double value) {
+  emit(Instr{.op = Op::kFMovI, .rd = fd.idx, .imm = std::bit_cast<std::int64_t>(value)});
+}
+
+#define TQ_RFF(NAME, OP)                                             \
+  void FunctionBuilder::NAME(R rd, F fa, F fb) {                     \
+    emit(Instr{.op = OP, .rd = rd.idx, .ra = fa.idx, .rb = fb.idx}); \
+  }
+TQ_RFF(fcmplt, Op::kFCmpLt)
+TQ_RFF(fcmple, Op::kFCmpLe)
+TQ_RFF(fcmpeq, Op::kFCmpEq)
+#undef TQ_RFF
+
+void FunctionBuilder::i2f(F fd, R ra) {
+  emit(Instr{.op = Op::kI2F, .rd = fd.idx, .ra = ra.idx});
+}
+void FunctionBuilder::f2i(R rd, F fa) {
+  emit(Instr{.op = Op::kF2I, .rd = rd.idx, .ra = fa.idx});
+}
+
+void FunctionBuilder::load(R rd, R base, std::int64_t off, unsigned size) {
+  emit(Instr{.op = Op::kLoad,
+             .rd = rd.idx,
+             .ra = base.idx,
+             .size = static_cast<std::uint8_t>(size),
+             .imm = off});
+}
+void FunctionBuilder::loads(R rd, R base, std::int64_t off, unsigned size) {
+  emit(Instr{.op = Op::kLoadS,
+             .rd = rd.idx,
+             .ra = base.idx,
+             .size = static_cast<std::uint8_t>(size),
+             .imm = off});
+}
+void FunctionBuilder::store(R base, std::int64_t off, R src, unsigned size) {
+  emit(Instr{.op = Op::kStore,
+             .ra = base.idx,
+             .rb = src.idx,
+             .size = static_cast<std::uint8_t>(size),
+             .imm = off});
+}
+void FunctionBuilder::fload(F fd, R base, std::int64_t off) {
+  emit(Instr{.op = Op::kFLoad, .rd = fd.idx, .ra = base.idx, .size = 8, .imm = off});
+}
+void FunctionBuilder::fstore(R base, std::int64_t off, F src) {
+  emit(Instr{.op = Op::kFStore, .ra = base.idx, .rb = src.idx, .size = 8, .imm = off});
+}
+void FunctionBuilder::fload4(F fd, R base, std::int64_t off) {
+  emit(Instr{.op = Op::kFLoad4, .rd = fd.idx, .ra = base.idx, .size = 4, .imm = off});
+}
+void FunctionBuilder::fstore4(R base, std::int64_t off, F src) {
+  emit(Instr{.op = Op::kFStore4, .ra = base.idx, .rb = src.idx, .size = 4, .imm = off});
+}
+void FunctionBuilder::prefetch(R base, std::int64_t off, unsigned size) {
+  emit(Instr{.op = Op::kPrefetch,
+             .ra = base.idx,
+             .size = static_cast<std::uint8_t>(size),
+             .imm = off});
+}
+
+void FunctionBuilder::movs(R dst, R src, unsigned size) {
+  emit(Instr{.op = Op::kMovs,
+             .rd = dst.idx,
+             .ra = src.idx,
+             .size = static_cast<std::uint8_t>(size)});
+}
+
+void FunctionBuilder::predicate_last(R pred) {
+  TQUAD_CHECK(!code_.empty(), "no instruction to predicate");
+  code_.back().flags |= isa::kFlagPredicated;
+  code_.back().pr = pred.idx;
+}
+
+std::vector<Instr> FunctionBuilder::finalize() {
+  for (const auto& [index, label] : fixups_) {
+    const std::int64_t target = label_targets_[label];
+    TQUAD_CHECK(target >= 0, "unbound label in function '" + name_ + "'");
+    code_[index].imm = target;
+  }
+  return std::move(code_);
+}
+
+// ---- ProgramBuilder ---------------------------------------------------------
+
+FunctionBuilder& ProgramBuilder::begin_function(const std::string& name,
+                                                vm::ImageKind image) {
+  TQUAD_CHECK(!built_, "builder already consumed");
+  for (const auto& fn : functions_) {
+    TQUAD_CHECK(fn->name_ != name, "duplicate function '" + name + "'");
+  }
+  functions_.push_back(
+      std::unique_ptr<FunctionBuilder>(new FunctionBuilder(*this, name, image)));
+  return *functions_.back();
+}
+
+std::uint64_t ProgramBuilder::alloc_global(const std::string& name, std::uint64_t size,
+                                           std::uint64_t align) {
+  TQUAD_CHECK(!built_, "builder already consumed");
+  TQUAD_CHECK(align != 0 && (align & (align - 1)) == 0, "alignment must be a power of 2");
+  TQUAD_CHECK(!globals_.contains(name), "duplicate global '" + name + "'");
+  global_cursor_ = (global_cursor_ + align - 1) & ~(align - 1);
+  const std::uint64_t addr = global_cursor_;
+  global_cursor_ += size;
+  TQUAD_CHECK(global_cursor_ < vm::kHeapBase, "global segment overflow");
+  globals_.emplace(name, addr);
+  global_extents_.emplace(name, std::make_pair(addr, size));
+  return addr;
+}
+
+void ProgramBuilder::init_data(std::uint64_t addr, std::vector<std::uint8_t> bytes) {
+  data_.push_back(vm::DataInit{addr, std::move(bytes)});
+}
+
+std::uint64_t ProgramBuilder::global(const std::string& name) const {
+  auto it = globals_.find(name);
+  TQUAD_CHECK(it != globals_.end(), "unknown global '" + name + "'");
+  return it->second;
+}
+
+vm::Program ProgramBuilder::build(const std::string& entry_name) {
+  TQUAD_CHECK(!built_, "builder already consumed");
+  built_ = true;
+  // Name -> id map.
+  std::map<std::string, std::uint32_t> ids;
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    ids.emplace(functions_[i]->name_, static_cast<std::uint32_t>(i));
+  }
+  vm::Program prog;
+  for (auto& fb : functions_) {
+    vm::Function fn;
+    fn.name = fb->name_;
+    fn.image = fb->image_;
+    // Resolve call sites before finalize steals the code.
+    for (const auto& [index, callee] : fb->call_sites_) {
+      auto it = ids.find(callee);
+      if (it == ids.end()) {
+        TQUAD_THROW("function '" + fb->name_ + "' calls unknown '" + callee + "'");
+      }
+      fb->code_[index].imm = it->second;
+    }
+    fn.code = fb->finalize();
+    prog.add_function(std::move(fn));
+  }
+  for (auto& init : data_) prog.add_data(std::move(init));
+  for (const auto& [name, extent] : global_extents_) {
+    prog.add_global(vm::GlobalVar{name, extent.first, extent.second});
+  }
+  auto entry = prog.find(entry_name);
+  if (!entry) TQUAD_THROW("entry function '" + entry_name + "' not defined");
+  prog.set_entry(*entry);
+  prog.validate();
+  return prog;
+}
+
+}  // namespace tq::gasm

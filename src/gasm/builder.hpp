@@ -1,0 +1,196 @@
+// Guest program construction DSL.
+//
+// Guest applications (the hArtes-wfs reimplementation, test programs,
+// synthetic workloads) are written in C++ against these builders and lowered
+// to isa::Instr streams. The builder owns label resolution, named global
+// allocation and by-name call linking, so guest code reads like assembly
+// with structured loops:
+//
+//   FunctionBuilder& f = prog.begin_function("zeroRealVec");
+//   f.count_loop(R{2}, 0, R{1}, [&] {            // for r2 in [0, r1)
+//     f.shli(R{3}, R{2}, 3);
+//     f.add(R{3}, R{3}, R{4});
+//     f.fmovi(F{1}, 0.0);
+//     f.fstore(R{3}, 0, F{1});
+//   });
+//   f.ret();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "vm/program.hpp"
+
+namespace tq::gasm {
+
+/// Strong wrapper for integer register indices (avoids int/reg mixups).
+struct R {
+  std::uint8_t idx;
+};
+/// Strong wrapper for floating-point register indices.
+struct F {
+  std::uint8_t idx;
+};
+
+/// The stack pointer register.
+inline constexpr R SP{isa::kSp};
+
+class ProgramBuilder;
+
+/// Builds one guest function. Obtained from ProgramBuilder::begin_function;
+/// remains valid until build().
+class FunctionBuilder {
+ public:
+  using Label = std::uint32_t;
+
+  // ---- labels and control flow -------------------------------------------
+  Label new_label();
+  void bind(Label label);
+  void jmp(Label label);
+  void brz(R cond, Label label);
+  void brnz(R cond, Label label);
+
+  /// Structured counted loop: `counter` runs over [start, limit). The limit
+  /// register must stay live across the body. Empty ranges skip the body.
+  void count_loop(R counter, std::int64_t start, R limit,
+                  const std::function<void()>& body);
+  /// Same with an immediate limit.
+  void count_loop_imm(R counter, std::int64_t start, std::int64_t limit,
+                      const std::function<void()>& body);
+
+  // ---- calls / returns ----------------------------------------------------
+  /// Call a function by name; resolved when the program is built.
+  void call(const std::string& callee);
+  void ret();
+  void halt();
+  void sys(isa::Sys sysno);
+
+  /// Open a stack frame of `bytes` (must be paired with leave()+ret()).
+  void enter(std::int64_t bytes);
+  void leave(std::int64_t bytes);
+
+  // ---- integer ops ----------------------------------------------------------
+  void add(R rd, R ra, R rb);
+  void sub(R rd, R ra, R rb);
+  void mul(R rd, R ra, R rb);
+  void divs(R rd, R ra, R rb);
+  void rems(R rd, R ra, R rb);
+  void and_(R rd, R ra, R rb);
+  void or_(R rd, R ra, R rb);
+  void xor_(R rd, R ra, R rb);
+  void shl(R rd, R ra, R rb);
+  void shrl(R rd, R ra, R rb);
+  void shra(R rd, R ra, R rb);
+  void slts(R rd, R ra, R rb);
+  void sltu(R rd, R ra, R rb);
+  void seq(R rd, R ra, R rb);
+  void addi(R rd, R ra, std::int64_t imm);
+  void muli(R rd, R ra, std::int64_t imm);
+  void andi(R rd, R ra, std::int64_t imm);
+  void ori(R rd, R ra, std::int64_t imm);
+  void xori(R rd, R ra, std::int64_t imm);
+  void shli(R rd, R ra, std::int64_t imm);
+  void shrli(R rd, R ra, std::int64_t imm);
+  void shrai(R rd, R ra, std::int64_t imm);
+  void sltsi(R rd, R ra, std::int64_t imm);
+  void movi(R rd, std::int64_t imm);
+  void mov(R rd, R ra);
+
+  // ---- floating point ---------------------------------------------------------
+  void fadd(F fd, F fa, F fb);
+  void fsub(F fd, F fa, F fb);
+  void fmul(F fd, F fa, F fb);
+  void fdiv(F fd, F fa, F fb);
+  void fneg(F fd, F fa);
+  void fabs_(F fd, F fa);
+  void fsqrt(F fd, F fa);
+  void fsin(F fd, F fa);
+  void fcos(F fd, F fa);
+  void fmov(F fd, F fa);
+  void fmovi(F fd, double value);
+  void fmin(F fd, F fa, F fb);
+  void fmax(F fd, F fa, F fb);
+  void fcmplt(R rd, F fa, F fb);
+  void fcmple(R rd, F fa, F fb);
+  void fcmpeq(R rd, F fa, F fb);
+  void i2f(F fd, R ra);
+  void f2i(R rd, F fa);
+
+  // ---- memory --------------------------------------------------------------------
+  void load(R rd, R base, std::int64_t off, unsigned size);
+  void loads(R rd, R base, std::int64_t off, unsigned size);
+  void store(R base, std::int64_t off, R src, unsigned size);
+  void fload(F fd, R base, std::int64_t off);
+  void fstore(R base, std::int64_t off, F src);
+  void fload4(F fd, R base, std::int64_t off);
+  void fstore4(R base, std::int64_t off, F src);
+  void prefetch(R base, std::int64_t off, unsigned size);
+  /// String move: copy `size` (8/16/32/64) bytes from [src] to [dst], then
+  /// advance both registers by `size` (x86 rep-movs analogue).
+  void movs(R dst, R src, unsigned size);
+
+  /// Mark the most recently emitted instruction as predicated on `pred`.
+  void predicate_last(R pred);
+
+  /// Append a pre-built instruction verbatim (used by the text assembler;
+  /// branch/call targets must be resolved by the caller or via labels).
+  void emit_raw(isa::Instr ins) { emit(ins); }
+
+  /// Number of instructions emitted so far.
+  std::size_t size() const noexcept { return code_.size(); }
+
+ private:
+  friend class ProgramBuilder;
+  FunctionBuilder(ProgramBuilder& owner, std::string name, vm::ImageKind image)
+      : owner_(owner), name_(std::move(name)), image_(image) {}
+
+  void emit(isa::Instr ins) { code_.push_back(ins); }
+  void emit_branch(isa::Op op, R cond, Label label);
+  std::vector<isa::Instr> finalize();
+
+  ProgramBuilder& owner_;
+  std::string name_;
+  vm::ImageKind image_;
+  std::vector<isa::Instr> code_;
+  std::vector<std::int64_t> label_targets_;          // label -> pc or -1
+  std::vector<std::pair<std::size_t, Label>> fixups_;  // instr index -> label
+  std::vector<std::pair<std::size_t, std::string>> call_sites_;
+};
+
+/// Accumulates functions and data, then links into a validated vm::Program.
+class ProgramBuilder {
+ public:
+  /// Start a new function; the reference stays valid until build().
+  FunctionBuilder& begin_function(const std::string& name,
+                                  vm::ImageKind image = vm::ImageKind::kMain);
+
+  /// Reserve `size` bytes of zeroed global storage; returns its address.
+  std::uint64_t alloc_global(const std::string& name, std::uint64_t size,
+                             std::uint64_t align = 8);
+
+  /// Set initial contents for (part of) a previously allocated global.
+  void init_data(std::uint64_t addr, std::vector<std::uint8_t> bytes);
+
+  /// Address of a named global; throws if unknown.
+  std::uint64_t global(const std::string& name) const;
+
+  /// Link: resolve call sites by name, set the entry function, validate.
+  /// The builder is consumed (one-shot).
+  vm::Program build(const std::string& entry_name);
+
+ private:
+  friend class FunctionBuilder;
+  std::vector<std::unique_ptr<FunctionBuilder>> functions_;
+  std::map<std::string, std::uint64_t> globals_;
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> global_extents_;
+  std::vector<vm::DataInit> data_;
+  std::uint64_t global_cursor_ = vm::kGlobalBase;
+  bool built_ = false;
+};
+
+}  // namespace tq::gasm

@@ -1,0 +1,160 @@
+#include "gprofsim/gprof_tool.hpp"
+
+#include <algorithm>
+
+namespace tq::gprof {
+
+GprofTool::GprofTool(pin::Engine& engine, Options options)
+    : engine_(engine),
+      options_(options),
+      stack_(engine.program(), options.library_policy) {
+  TQUAD_CHECK(options_.sample_period > 0, "sample period must be positive");
+  const std::size_t n = engine.program().functions().size();
+  self_instrs_.assign(n, 0);
+  samples_.assign(n, 0);
+  calls_.assign(n, 0);
+  inclusive_.assign(n, 0);
+  activation_depth_.assign(n, 0);
+  activation_start_.assign(n, 0);
+  next_sample_ = options_.sample_period;
+  engine_.add_rtn_instrument_function([this](pin::Rtn& rtn) { instrument_rtn(rtn); });
+  engine_.add_ins_instrument_function([this](pin::Ins& ins) { instrument_ins(ins); });
+  engine_.add_fini_function([this](std::uint64_t retired) { fini(retired); });
+}
+
+void GprofTool::instrument_rtn(pin::Rtn& rtn) {
+  rtn.insert_entry_call(&GprofTool::enter_fc, this);
+}
+
+void GprofTool::instrument_ins(pin::Ins& ins) {
+  ins.insert_call(&GprofTool::on_tick, this);
+  if (ins.is_ret()) {
+    ins.insert_predicated_call(&GprofTool::on_ret, this);
+  }
+}
+
+void GprofTool::enter_fc(void* tool, const pin::RtnArgs& args) {
+  auto& self = *static_cast<GprofTool*>(tool);
+  // Call-graph edge: the attributable routine on top of the stack (before
+  // this entry pushes) is the caller.
+  const std::uint32_t caller = self.stack_.top();
+  self.stack_.on_enter(args.func);
+  if (!self.stack_.tracked(args.func)) return;
+  if (caller != tquad::kNoKernel) {
+    ++self.edges_[{caller, args.func}];
+  }
+  ++self.calls_[args.func];
+  if (self.activation_depth_[args.func]++ == 0) {
+    self.activation_start_[args.func] = args.retired;
+  }
+}
+
+void GprofTool::on_ret(void* tool, const pin::InsArgs& args) {
+  auto& self = *static_cast<GprofTool*>(tool);
+  if (self.stack_.tracked(args.func) && self.activation_depth_[args.func] > 0) {
+    if (--self.activation_depth_[args.func] == 0) {
+      self.inclusive_[args.func] +=
+          args.retired - self.activation_start_[args.func];
+    }
+  }
+  self.stack_.on_ret(args.func);
+}
+
+void GprofTool::on_tick(void* tool, const pin::InsArgs& args) {
+  auto& self = *static_cast<GprofTool*>(tool);
+  // Exact self attribution: the function whose instruction is executing.
+  ++self.self_instrs_[args.func];
+  // PC sampling at the fixed period.
+  if (args.retired + 1 >= self.next_sample_) {
+    self.next_sample_ += self.options_.sample_period;
+    if (self.stack_.tracked(args.func)) {
+      ++self.samples_[args.func];
+    }
+    ++self.total_samples_;
+  }
+}
+
+void GprofTool::fini(std::uint64_t retired) {
+  total_retired_ = retired;
+  // Close any activations still open at program exit (entry function etc.).
+  for (std::size_t k = 0; k < inclusive_.size(); ++k) {
+    if (activation_depth_[k] > 0) {
+      inclusive_[k] += retired - activation_start_[k];
+      activation_depth_[k] = 0;
+    }
+  }
+}
+
+std::vector<GprofTool::CallEdge> GprofTool::call_graph() const {
+  std::vector<CallEdge> edges;
+  edges.reserve(edges_.size());
+  for (const auto& [key, count] : edges_) {
+    edges.push_back(CallEdge{key.first, key.second, count});
+  }
+  std::sort(edges.begin(), edges.end(), [](const CallEdge& a, const CallEdge& b) {
+    return a.calls > b.calls;
+  });
+  return edges;
+}
+
+std::uint64_t GprofTool::exact_self_instructions(std::uint32_t kernel) const {
+  TQUAD_CHECK(kernel < self_instrs_.size(), "kernel id out of range");
+  return self_instrs_[kernel];
+}
+
+std::uint64_t GprofTool::samples(std::uint32_t kernel) const {
+  TQUAD_CHECK(kernel < samples_.size(), "kernel id out of range");
+  return samples_[kernel];
+}
+
+std::uint64_t GprofTool::inclusive_instructions(std::uint32_t kernel) const {
+  TQUAD_CHECK(kernel < inclusive_.size(), "kernel id out of range");
+  return inclusive_[kernel];
+}
+
+std::uint64_t GprofTool::calls(std::uint32_t kernel) const {
+  TQUAD_CHECK(kernel < calls_.size(), "kernel id out of range");
+  return calls_[kernel];
+}
+
+std::vector<FlatRow> GprofTool::flat_profile() const {
+  std::vector<FlatRow> rows;
+  for (std::uint32_t k = 0; k < kernel_count(); ++k) {
+    if (!stack_.tracked(k) || calls_[k] == 0) continue;
+    FlatRow row;
+    row.kernel = k;
+    row.name = kernel_name(k);
+    row.time_fraction =
+        total_samples_ == 0
+            ? 0.0
+            : static_cast<double>(samples_[k]) / static_cast<double>(total_samples_);
+    row.self_seconds =
+        instructions_to_seconds(samples_[k] * options_.sample_period);
+    row.calls = calls_[k];
+    if (calls_[k] > 0) {
+      row.self_ms_per_call = row.self_seconds * 1000.0 / static_cast<double>(calls_[k]);
+      row.total_ms_per_call = instructions_to_seconds(inclusive_[k]) * 1000.0 /
+                              static_cast<double>(calls_[k]);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const FlatRow& a, const FlatRow& b) {
+    if (a.time_fraction != b.time_fraction) return a.time_fraction > b.time_fraction;
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+TextTable GprofTool::flat_profile_table() const {
+  TextTable table({"kernel", "%time", "self seconds", "calls", "self ms/call",
+                   "total ms/call"});
+  for (const FlatRow& row : flat_profile()) {
+    table.add_row({row.name, format_percent(row.time_fraction),
+                   format_fixed(row.self_seconds, 4), format_count(row.calls),
+                   format_fixed(row.self_ms_per_call, 3),
+                   format_fixed(row.total_ms_per_call, 3)});
+  }
+  return table;
+}
+
+}  // namespace tq::gprof

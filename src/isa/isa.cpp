@@ -1,0 +1,378 @@
+#include "isa/isa.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace tq::isa {
+
+bool is_memory_read(Op op) noexcept {
+  switch (op) {
+    case Op::kLoad:
+    case Op::kLoadS:
+    case Op::kFLoad:
+    case Op::kFLoad4:
+    case Op::kMovs:
+    case Op::kRet:  // pops the return address
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_memory_write(Op op) noexcept {
+  switch (op) {
+    case Op::kStore:
+    case Op::kFStore:
+    case Op::kFStore4:
+    case Op::kMovs:
+    case Op::kCall:  // pushes the return address
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_prefetch(Op op) noexcept { return op == Op::kPrefetch; }
+
+bool is_branch(Op op) noexcept {
+  switch (op) {
+    case Op::kJmp:
+    case Op::kBrZ:
+    case Op::kBrNZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_call(Op op) noexcept { return op == Op::kCall; }
+bool is_ret(Op op) noexcept { return op == Op::kRet; }
+
+bool is_fp(Op op) noexcept {
+  switch (op) {
+    case Op::kFAdd:
+    case Op::kFSub:
+    case Op::kFMul:
+    case Op::kFDiv:
+    case Op::kFNeg:
+    case Op::kFAbs:
+    case Op::kFSqrt:
+    case Op::kFSin:
+    case Op::kFCos:
+    case Op::kFMov:
+    case Op::kFMovI:
+    case Op::kFMin:
+    case Op::kFMax:
+    case Op::kFCmpLt:
+    case Op::kFCmpLe:
+    case Op::kFCmpEq:
+    case Op::kI2F:
+    case Op::kF2I:
+    case Op::kFLoad:
+    case Op::kFStore:
+    case Op::kFLoad4:
+    case Op::kFStore4:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool references_memory(Op op) noexcept {
+  return is_memory_read(op) || is_memory_write(op) || is_prefetch(op);
+}
+
+const char* mnemonic(Op op) noexcept {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kHalt: return "halt";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDivS: return "divs";
+    case Op::kRemS: return "rems";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShrL: return "shrl";
+    case Op::kShrA: return "shra";
+    case Op::kSltS: return "slts";
+    case Op::kSltU: return "sltu";
+    case Op::kSeq: return "seq";
+    case Op::kAddI: return "addi";
+    case Op::kMulI: return "muli";
+    case Op::kAndI: return "andi";
+    case Op::kOrI: return "ori";
+    case Op::kXorI: return "xori";
+    case Op::kShlI: return "shli";
+    case Op::kShrLI: return "shrli";
+    case Op::kShrAI: return "shrai";
+    case Op::kSltSI: return "sltsi";
+    case Op::kMovI: return "movi";
+    case Op::kMov: return "mov";
+    case Op::kFAdd: return "fadd";
+    case Op::kFSub: return "fsub";
+    case Op::kFMul: return "fmul";
+    case Op::kFDiv: return "fdiv";
+    case Op::kFNeg: return "fneg";
+    case Op::kFAbs: return "fabs";
+    case Op::kFSqrt: return "fsqrt";
+    case Op::kFSin: return "fsin";
+    case Op::kFCos: return "fcos";
+    case Op::kFMov: return "fmov";
+    case Op::kFMovI: return "fmovi";
+    case Op::kFMin: return "fmin";
+    case Op::kFMax: return "fmax";
+    case Op::kFCmpLt: return "fcmplt";
+    case Op::kFCmpLe: return "fcmple";
+    case Op::kFCmpEq: return "fcmpeq";
+    case Op::kI2F: return "i2f";
+    case Op::kF2I: return "f2i";
+    case Op::kLoad: return "load";
+    case Op::kLoadS: return "loads";
+    case Op::kStore: return "store";
+    case Op::kFLoad: return "fload";
+    case Op::kFStore: return "fstore";
+    case Op::kFLoad4: return "fload4";
+    case Op::kFStore4: return "fstore4";
+    case Op::kPrefetch: return "prefetch";
+    case Op::kMovs: return "movs";
+    case Op::kJmp: return "jmp";
+    case Op::kBrZ: return "brz";
+    case Op::kBrNZ: return "brnz";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kSys: return "sys";
+    case Op::kOpCount_: break;
+  }
+  return "<bad>";
+}
+
+std::vector<std::uint8_t> encode(std::span<const Instr> code) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(code.size() * kEncodedSize);
+  for (const Instr& ins : code) {
+    std::uint8_t rec[kEncodedSize] = {};
+    rec[0] = static_cast<std::uint8_t>(ins.op);
+    rec[1] = ins.rd;
+    rec[2] = ins.ra;
+    rec[3] = ins.rb;
+    rec[4] = ins.size;
+    rec[5] = ins.flags;
+    rec[6] = ins.pr;
+    rec[7] = 0;  // reserved
+    std::memcpy(rec + 8, &ins.imm, 8);
+    bytes.insert(bytes.end(), rec, rec + kEncodedSize);
+  }
+  return bytes;
+}
+
+std::vector<Instr> decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() % kEncodedSize != 0) {
+    TQUAD_THROW("truncated instruction stream: " + std::to_string(bytes.size()) +
+                " bytes is not a multiple of " + std::to_string(kEncodedSize));
+  }
+  std::vector<Instr> code;
+  code.reserve(bytes.size() / kEncodedSize);
+  for (std::size_t off = 0; off < bytes.size(); off += kEncodedSize) {
+    const std::uint8_t* rec = bytes.data() + off;
+    if (rec[0] >= static_cast<std::uint8_t>(Op::kOpCount_)) {
+      TQUAD_THROW("invalid opcode " + std::to_string(rec[0]) + " at record " +
+                  std::to_string(off / kEncodedSize));
+    }
+    Instr ins;
+    ins.op = static_cast<Op>(rec[0]);
+    ins.rd = rec[1];
+    ins.ra = rec[2];
+    ins.rb = rec[3];
+    ins.size = rec[4];
+    ins.flags = rec[5];
+    ins.pr = rec[6];
+    std::memcpy(&ins.imm, rec + 8, 8);
+    code.push_back(ins);
+  }
+  return code;
+}
+
+std::string disassemble(const Instr& ins) {
+  std::ostringstream out;
+  out << mnemonic(ins.op);
+  auto r = [](std::uint8_t idx) {
+    return idx == kSp ? std::string("sp") : "r" + std::to_string(idx);
+  };
+  auto f = [](std::uint8_t idx) { return "f" + std::to_string(idx); };
+  switch (ins.op) {
+    case Op::kNop:
+    case Op::kHalt:
+    case Op::kRet:
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDivS:
+    case Op::kRemS:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShrL:
+    case Op::kShrA:
+    case Op::kSltS:
+    case Op::kSltU:
+    case Op::kSeq:
+      out << ' ' << r(ins.rd) << ", " << r(ins.ra) << ", " << r(ins.rb);
+      break;
+    case Op::kAddI:
+    case Op::kMulI:
+    case Op::kAndI:
+    case Op::kOrI:
+    case Op::kXorI:
+    case Op::kShlI:
+    case Op::kShrLI:
+    case Op::kShrAI:
+    case Op::kSltSI:
+      out << ' ' << r(ins.rd) << ", " << r(ins.ra) << ", " << ins.imm;
+      break;
+    case Op::kMovI:
+      out << ' ' << r(ins.rd) << ", " << ins.imm;
+      break;
+    case Op::kMov:
+      out << ' ' << r(ins.rd) << ", " << r(ins.ra);
+      break;
+    case Op::kFAdd:
+    case Op::kFSub:
+    case Op::kFMul:
+    case Op::kFDiv:
+    case Op::kFMin:
+    case Op::kFMax:
+      out << ' ' << f(ins.rd) << ", " << f(ins.ra) << ", " << f(ins.rb);
+      break;
+    case Op::kFNeg:
+    case Op::kFAbs:
+    case Op::kFSqrt:
+    case Op::kFSin:
+    case Op::kFCos:
+    case Op::kFMov:
+      out << ' ' << f(ins.rd) << ", " << f(ins.ra);
+      break;
+    case Op::kFMovI: {
+      double value;
+      std::memcpy(&value, &ins.imm, 8);
+      out << ' ' << f(ins.rd) << ", " << value;
+      break;
+    }
+    case Op::kFCmpLt:
+    case Op::kFCmpLe:
+    case Op::kFCmpEq:
+      out << ' ' << r(ins.rd) << ", " << f(ins.ra) << ", " << f(ins.rb);
+      break;
+    case Op::kI2F:
+      out << ' ' << f(ins.rd) << ", " << r(ins.ra);
+      break;
+    case Op::kF2I:
+      out << ' ' << r(ins.rd) << ", " << f(ins.ra);
+      break;
+    case Op::kLoad:
+    case Op::kLoadS:
+      out << (ins.op == Op::kLoad ? "" : "") << static_cast<int>(ins.size) << ' '
+          << r(ins.rd) << ", [" << r(ins.ra) << (ins.imm >= 0 ? "+" : "") << ins.imm
+          << ']';
+      break;
+    case Op::kStore:
+      out << static_cast<int>(ins.size) << " [" << r(ins.ra)
+          << (ins.imm >= 0 ? "+" : "") << ins.imm << "], " << r(ins.rb);
+      break;
+    case Op::kFLoad:
+    case Op::kFLoad4:
+      out << ' ' << f(ins.rd) << ", [" << r(ins.ra) << (ins.imm >= 0 ? "+" : "")
+          << ins.imm << ']';
+      break;
+    case Op::kFStore:
+    case Op::kFStore4:
+      out << " [" << r(ins.ra) << (ins.imm >= 0 ? "+" : "") << ins.imm << "], "
+          << f(ins.rb);
+      break;
+    case Op::kPrefetch:
+      out << static_cast<int>(ins.size) << " [" << r(ins.ra)
+          << (ins.imm >= 0 ? "+" : "") << ins.imm << ']';
+      break;
+    case Op::kMovs:
+      out << static_cast<int>(ins.size) << " [" << r(ins.rd) << "], [" << r(ins.ra)
+          << ']';
+      break;
+    case Op::kJmp:
+      out << " @" << ins.imm;
+      break;
+    case Op::kBrZ:
+    case Op::kBrNZ:
+      out << ' ' << r(ins.ra) << ", @" << ins.imm;
+      break;
+    case Op::kCall:
+      out << " fn#" << ins.imm;
+      break;
+    case Op::kSys:
+      out << ' ' << ins.imm;
+      break;
+    case Op::kOpCount_:
+      break;
+  }
+  if (ins.predicated()) out << "  ?" << r(ins.pr);
+  return out.str();
+}
+
+std::string disassemble(std::span<const Instr> code) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    out << i << ":\t" << disassemble(code[i]) << '\n';
+  }
+  return out.str();
+}
+
+std::string validate(std::span<const Instr> code, std::size_t function_count) {
+  auto fail = [](std::size_t pc, const std::string& why) {
+    return "instruction " + std::to_string(pc) + ": " + why;
+  };
+  if (code.empty()) return "empty function body";
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instr& ins = code[pc];
+    if (ins.op >= Op::kOpCount_) return fail(pc, "invalid opcode");
+    if (ins.rd >= kNumIntRegs || ins.ra >= kNumIntRegs || ins.rb >= kNumIntRegs ||
+        ins.pr >= kNumIntRegs) {
+      return fail(pc, "register index out of range");
+    }
+    if (references_memory(ins.op) && !is_call(ins.op) && !is_ret(ins.op)) {
+      const unsigned size = ins.size;
+      const bool fixed8 = ins.op == Op::kFLoad || ins.op == Op::kFStore;
+      const bool fixed4 = ins.op == Op::kFLoad4 || ins.op == Op::kFStore4;
+      if (fixed8 && size != 8) return fail(pc, "f64 access must have size 8");
+      if (fixed4 && size != 4) return fail(pc, "f32 access must have size 4");
+      if (ins.op == Op::kMovs) {
+        if (size != 8 && size != 16 && size != 32 && size != 64) {
+          return fail(pc, "movs size must be 8/16/32/64");
+        }
+      } else if (!fixed8 && !fixed4 && size != 1 && size != 2 && size != 4 && size != 8) {
+        return fail(pc, "memory access size must be 1/2/4/8");
+      }
+    }
+    if (is_branch(ins.op)) {
+      if (ins.imm < 0 || static_cast<std::size_t>(ins.imm) >= code.size()) {
+        return fail(pc, "branch target out of range");
+      }
+    }
+    if (is_call(ins.op)) {
+      if (ins.imm < 0 || static_cast<std::size_t>(ins.imm) >= function_count) {
+        return fail(pc, "call target function out of range");
+      }
+    }
+  }
+  const Op last = code.back().op;
+  if (!is_ret(last) && last != Op::kHalt && last != Op::kJmp) {
+    return "function does not end in ret/halt/jmp";
+  }
+  return {};
+}
+
+}  // namespace tq::isa

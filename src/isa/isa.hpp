@@ -1,0 +1,199 @@
+// The guest instruction set.
+//
+// tQUAD (the paper) instruments x86 binaries through Pin. Pin is closed
+// source and x86 decoding is out of scope, so this reproduction defines a
+// compact RISC-style ISA with exactly the properties the profiler cares
+// about:
+//   * typed memory accesses of 1/2/4/8 bytes with a base+displacement mode,
+//   * calls that push the return address on the guest stack and returns that
+//     pop it (so stack traffic exists exactly where x86 has it),
+//   * an optional predicate register per instruction (Pin's
+//     INS_InsertPredicatedCall exists because of predicated/REP-prefixed
+//     instructions; we model the same),
+//   * prefetch loads that move no architectural data (tQUAD's analysis
+//     routines return immediately on prefetches),
+//   * a syscall boundary that is *invisible* to instrumentation, mirroring
+//     Pin's user-level-only view of the kernel.
+//
+// Code and data live in separate spaces (Harvard): an instruction address is
+// (function id, instruction index). Data addresses are 64-bit flat.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tq::isa {
+
+/// Number of general-purpose integer registers (r0..r30 general, r31 = SP).
+inline constexpr unsigned kNumIntRegs = 32;
+/// Register index alias for the stack pointer (Pin's REG_STACK_PTR).
+inline constexpr std::uint8_t kSp = 31;
+/// Number of floating-point (f64) registers.
+inline constexpr unsigned kNumFpRegs = 32;
+
+/// Operation codes. Field usage per group is documented inline.
+enum class Op : std::uint8_t {
+  kNop = 0,
+  kHalt,  ///< stop the machine (only legal in the entry function)
+
+  // ---- integer ALU: rd <- ra OP rb -------------------------------------
+  kAdd,
+  kSub,
+  kMul,
+  kDivS,  ///< signed divide; divide-by-zero traps the VM
+  kRemS,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShrL,  ///< logical right shift
+  kShrA,  ///< arithmetic right shift
+  kSltS,  ///< rd <- (signed) ra < rb
+  kSltU,  ///< rd <- (unsigned) ra < rb
+  kSeq,   ///< rd <- ra == rb
+
+  // ---- integer ALU with immediate: rd <- ra OP imm ----------------------
+  kAddI,
+  kMulI,
+  kAndI,
+  kOrI,
+  kXorI,
+  kShlI,
+  kShrLI,
+  kShrAI,
+  kSltSI,
+
+  // ---- moves -------------------------------------------------------------
+  kMovI,  ///< rd <- imm (full 64-bit immediate)
+  kMov,   ///< rd <- ra
+
+  // ---- floating point (f64): fd <- fa OP fb ------------------------------
+  kFAdd,
+  kFSub,
+  kFMul,
+  kFDiv,
+  kFNeg,   ///< fd <- -fa
+  kFAbs,   ///< fd <- |fa|
+  kFSqrt,  ///< fd <- sqrt(fa)
+  kFSin,   ///< fd <- sin(fa)   (x87-style transcendental)
+  kFCos,   ///< fd <- cos(fa)
+  kFMov,   ///< fd <- fa
+  kFMovI,  ///< fd <- bit_cast<double>(imm)
+  kFMin,
+  kFMax,
+
+  // ---- FP compares producing an integer register -------------------------
+  kFCmpLt,  ///< rd <- fa < fb
+  kFCmpLe,  ///< rd <- fa <= fb
+  kFCmpEq,  ///< rd <- fa == fb
+
+  // ---- conversions --------------------------------------------------------
+  kI2F,  ///< fd <- (double) signed ra
+  kF2I,  ///< rd <- (int64) truncate fa
+
+  // ---- memory --------------------------------------------------------------
+  // Effective address is always regs[ra] + imm.
+  kLoad,      ///< rd <- zero-extended mem[ea], size in `size` (1/2/4/8)
+  kLoadS,     ///< rd <- sign-extended mem[ea]
+  kStore,     ///< mem[ea] <- low `size` bytes of rb
+  kFLoad,     ///< fd <- f64 at mem[ea]            (size forced to 8)
+  kFStore,    ///< mem[ea] <- f64 fb               (size forced to 8)
+  kFLoad4,    ///< fd <- (double) f32 at mem[ea]   (size forced to 4)
+  kFStore4,   ///< mem[ea] <- (float) fb           (size forced to 4)
+  kPrefetch,  ///< touch mem[ea] for `size` bytes; no architectural effect
+  // String move (x86 `rep movs` analogue): copies `size` bytes (8/16/32/64)
+  // from [ra] to [rd], then advances both base registers by `size`. One
+  // retired instruction thus moves up to 128 bytes — the mechanism behind
+  // memcpy-style kernels reaching tens of bytes-per-instruction (the paper's
+  // AudioIo_setFrames peaks above 50 B/instr while everything else stays
+  // under 3). Typically wrapped in a predicated loop on a count register.
+  kMovs,
+
+  // ---- control flow ----------------------------------------------------------
+  // Branch targets (imm) are absolute instruction indices within the
+  // current function, resolved from labels by the assembler.
+  kJmp,
+  kBrZ,   ///< branch to imm if ra == 0
+  kBrNZ,  ///< branch to imm if ra != 0
+  kCall,  ///< push return address (8-byte stack write), jump to function imm
+  kRet,   ///< pop return address (8-byte stack read), jump back
+
+  // ---- host boundary -----------------------------------------------------------
+  kSys,  ///< invoke host call `imm`; arguments/results in r1..r4
+
+  kOpCount_,  // sentinel
+};
+
+/// Host calls reachable through Op::kSys. The VM performs these without
+/// reporting any memory events — Pin tools equally never see kernel-side
+/// copies (Section IV-B: "Pin can only capture user-level code").
+enum class Sys : std::uint16_t {
+  kAlloc = 1,     ///< r1 = size  -> r1 = address of zeroed 16-aligned block
+  kRead = 2,      ///< r1 = fd, r2 = buf, r3 = len -> r1 = bytes copied in
+  kWrite = 3,     ///< r1 = fd, r2 = buf, r3 = len -> r1 = bytes copied out
+  kSeek = 4,      ///< r1 = fd, r2 = absolute position (input files only)
+  kFileSize = 5,  ///< r1 = fd -> r1 = size of attached input file
+  kPrintI64 = 6,  ///< r1 = value (debug aid; writes to the host log)
+  kPrintF64 = 7,  ///< f1 = value
+};
+
+/// Instruction flag bits.
+enum : std::uint8_t {
+  kFlagPredicated = 1u << 0,  ///< execute only if regs[pr] != 0
+};
+
+/// One decoded instruction. Stored predecoded in the VM's code cache;
+/// serialised to a fixed 16-byte little-endian record in images.
+struct Instr {
+  Op op = Op::kNop;
+  std::uint8_t rd = 0;     ///< destination register (int or fp by opcode)
+  std::uint8_t ra = 0;     ///< first source / base register
+  std::uint8_t rb = 0;     ///< second source register
+  std::uint8_t size = 0;   ///< memory access size in bytes
+  std::uint8_t flags = 0;  ///< kFlag* bits
+  std::uint8_t pr = 0;     ///< predicate register (when kFlagPredicated)
+  std::int64_t imm = 0;    ///< immediate / displacement / branch target
+
+  bool predicated() const noexcept { return flags & kFlagPredicated; }
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+/// Static classification used by both the VM and the instrumentation API.
+bool is_memory_read(Op op) noexcept;
+bool is_memory_write(Op op) noexcept;
+bool is_prefetch(Op op) noexcept;
+bool is_branch(Op op) noexcept;
+bool is_call(Op op) noexcept;
+bool is_ret(Op op) noexcept;
+bool is_fp(Op op) noexcept;
+/// True when the opcode encodes a memory access at all (read/write/prefetch).
+bool references_memory(Op op) noexcept;
+
+/// Mnemonic for disassembly ("add", "fload", ...).
+const char* mnemonic(Op op) noexcept;
+
+/// Size in bytes of one encoded instruction record.
+inline constexpr std::size_t kEncodedSize = 16;
+
+/// Serialise instructions to the on-image byte format (little-endian).
+std::vector<std::uint8_t> encode(std::span<const Instr> code);
+
+/// Decode an encoded image back into instructions.
+/// Throws tq::Error on truncated input or invalid opcodes.
+std::vector<Instr> decode(std::span<const std::uint8_t> bytes);
+
+/// Human-readable one-line disassembly of one instruction.
+std::string disassemble(const Instr& ins);
+
+/// Disassemble a whole function with instruction indices.
+std::string disassemble(std::span<const Instr> code);
+
+/// Validate structural well-formedness of a function body: branch targets in
+/// range, register indices valid, memory sizes legal, function ends in a
+/// control transfer. Returns an empty string if OK, else a diagnostic.
+std::string validate(std::span<const Instr> code, std::size_t function_count);
+
+}  // namespace tq::isa

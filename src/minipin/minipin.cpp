@@ -1,0 +1,135 @@
+#include "minipin/minipin.hpp"
+
+#include "support/check.hpp"
+
+namespace tq::pin {
+
+std::uint32_t Ins::memory_size() const noexcept {
+  if (is_call() || is_ret()) return 8;  // implicit return-address push/pop
+  return instr_->size;
+}
+
+void Ins::insert_call(InsAnalysisFn fn, void* tool) {
+  TQUAD_CHECK(fn != nullptr, "null analysis function");
+  engine_.routines_[func_].per_ins[pc_].push_back(
+      Engine::AnalysisCall{fn, tool, /*predicated_only=*/false});
+}
+
+void Ins::insert_predicated_call(InsAnalysisFn fn, void* tool) {
+  TQUAD_CHECK(fn != nullptr, "null analysis function");
+  engine_.routines_[func_].per_ins[pc_].push_back(
+      Engine::AnalysisCall{fn, tool, /*predicated_only=*/true});
+}
+
+const std::string& Rtn::name() const noexcept {
+  return engine_.program_.functions()[func_].name;
+}
+
+vm::ImageKind Rtn::image() const noexcept {
+  return engine_.program_.functions()[func_].image;
+}
+
+std::size_t Rtn::instruction_count() const noexcept {
+  return engine_.program_.functions()[func_].code.size();
+}
+
+void Rtn::insert_entry_call(RtnAnalysisFn fn, void* tool) {
+  TQUAD_CHECK(fn != nullptr, "null entry analysis function");
+  engine_.routines_[func_].entry_calls.push_back(Engine::EntryCall{fn, tool});
+}
+
+Engine::Engine(const vm::Program& program, vm::HostEnv& host)
+    : program_(program), host_(host), machine_(program, host) {
+  routines_.resize(program_.functions().size());
+}
+
+void Engine::add_ins_instrument_function(std::function<void(Ins&)> callback) {
+  TQUAD_CHECK(static_cast<bool>(callback), "empty instrument callback");
+  ins_callbacks_.push_back(std::move(callback));
+}
+
+void Engine::add_rtn_instrument_function(std::function<void(Rtn&)> callback) {
+  TQUAD_CHECK(static_cast<bool>(callback), "empty instrument callback");
+  rtn_callbacks_.push_back(std::move(callback));
+}
+
+void Engine::add_fini_function(std::function<void(std::uint64_t)> callback) {
+  TQUAD_CHECK(static_cast<bool>(callback), "empty fini callback");
+  fini_callbacks_.push_back(std::move(callback));
+}
+
+vm::RunResult Engine::run() {
+  TQUAD_CHECK(!ran_, "Engine::run is single-shot; construct a fresh Engine");
+  ran_ = true;
+  return machine_.run(this);
+}
+
+void Engine::instrument_routine(std::uint32_t func) {
+  RoutineState& state = routines_[func];
+  state.instrumented = true;
+  ++instrumented_count_;
+  const vm::Function& fn = program_.functions()[func];
+  state.per_ins.resize(fn.code.size());
+  // Routine-level instrumentation first (tQUAD registers UpdateCallStack
+  // here), then instruction-level (tQUAD's Instruction()); this matches the
+  // registration order in the paper's Figure 3 pseudocode.
+  for (const auto& callback : rtn_callbacks_) {
+    Rtn rtn(*this, func);
+    callback(rtn);
+  }
+  for (std::uint32_t pc = 0; pc < fn.code.size(); ++pc) {
+    for (const auto& callback : ins_callbacks_) {
+      Ins ins(*this, func, pc, fn.code[pc]);
+      callback(ins);
+    }
+  }
+}
+
+void Engine::on_program_start(const vm::Program&) {}
+
+void Engine::on_rtn_enter(std::uint32_t func) {
+  RoutineState& state = routines_[func];
+  if (!state.instrumented) [[unlikely]] {
+    instrument_routine(func);
+  }
+  if (!state.entry_calls.empty()) {
+    RtnArgs args;
+    args.func = func;
+    args.name = &program_.functions()[func].name;
+    args.image = program_.functions()[func].image;
+    args.retired = retired_now_;
+    for (const EntryCall& call : state.entry_calls) {
+      call.fn(call.tool, args);
+    }
+  }
+}
+
+void Engine::on_instr(const vm::InstrEvent& event) {
+  retired_now_ = event.retired;
+  const RoutineState& state = routines_[event.func];
+  TQUAD_DCHECK(state.instrumented, "instruction executed before instrumentation");
+  const auto& calls = state.per_ins[event.pc];
+  if (calls.empty()) return;
+  InsArgs args;
+  args.ip = (static_cast<std::uint64_t>(event.func) << 32) | event.pc;
+  args.func = event.func;
+  args.pc = event.pc;
+  args.read_ea = event.read.ea;
+  args.read_size = event.read.size;
+  args.write_ea = event.write.ea;
+  args.write_size = event.write.size;
+  args.is_prefetch = event.prefetch;
+  args.executed = event.executed;
+  args.sp = event.sp;
+  args.retired = event.retired;
+  for (const AnalysisCall& call : calls) {
+    if (call.predicated_only && !event.executed) continue;
+    call.fn(call.tool, args);
+  }
+}
+
+void Engine::on_program_end(std::uint64_t retired) {
+  for (const auto& callback : fini_callbacks_) callback(retired);
+}
+
+}  // namespace tq::pin

@@ -1,0 +1,188 @@
+// minipin: a Pin-style dynamic binary instrumentation API over the tq VM.
+//
+// The tQUAD paper implements its tools as pintools: the tool registers
+// *instrumentation* routines that Pin invokes when code is first translated
+// into the code cache, and those routines attach *analysis* calls that fire
+// on every subsequent execution of the instrumented instruction
+// (Section IV; Figures 3-5). minipin reproduces that model:
+//
+//   * `Engine::add_ins_instrument_function`  ~ INS_AddInstrumentFunction
+//   * `Engine::add_rtn_instrument_function`  ~ RTN_AddInstrumentFunction
+//   * `Ins::insert_predicated_call`          ~ INS_InsertPredicatedCall
+//   * `Ins::insert_call`                     ~ INS_InsertCall
+//   * `Rtn::insert_entry_call`               ~ RTN_InsertCall(IPOINT_BEFORE)
+//   * `Engine::add_fini_function`            ~ PIN_AddFiniFunction
+//
+// A routine is instrumented lazily on its first dynamic entry — the analogue
+// of Pin's JIT populating the code cache — so tools observe the same
+// instrument-once / analyse-many lifecycle as on real Pin.
+//
+// Analysis callbacks receive an InsArgs bundle covering the IARG_* values
+// tQUAD uses: instruction pointer, effective address, access size, prefetch
+// flag, the stack-pointer value, and the retired-instruction count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vm/host_env.hpp"
+#include "vm/machine.hpp"
+#include "vm/program.hpp"
+
+namespace tq::pin {
+
+/// Argument bundle delivered to instruction-level analysis routines.
+/// Read and write operands are separate because string moves (kMovs), like
+/// x86 `movs`, read one location and write another in a single instruction;
+/// loads/stores populate only one side.
+struct InsArgs {
+  std::uint64_t ip = 0;          ///< (function id << 32) | instruction index
+  std::uint32_t func = 0;        ///< function id
+  std::uint32_t pc = 0;          ///< instruction index within the function
+  std::uint64_t read_ea = 0;     ///< read operand address (read_size != 0)
+  std::uint32_t read_size = 0;   ///< read width in bytes (0 = no read)
+  std::uint64_t write_ea = 0;    ///< write operand address (write_size != 0)
+  std::uint32_t write_size = 0;  ///< write width in bytes (0 = no write)
+  bool is_prefetch = false;      ///< tQUAD's analysis routines bail on this
+  bool executed = true;          ///< false when the predicate was off
+  std::uint64_t sp = 0;          ///< REG_STACK_PTR before the instruction
+  std::uint64_t retired = 0;     ///< instructions retired before this one
+};
+
+/// Argument bundle delivered to routine-entry analysis calls.
+struct RtnArgs {
+  std::uint32_t func = 0;
+  const std::string* name = nullptr;   ///< routine name (PIN_InitSymbols view)
+  vm::ImageKind image = vm::ImageKind::kMain;
+  std::uint64_t retired = 0;
+};
+
+/// Analysis routines are plain functions with a tool pointer, mirroring the
+/// AFUNPTR + IARG_PTR idiom of pintools (no std::function in the hot path).
+using InsAnalysisFn = void (*)(void* tool, const InsArgs& args);
+using RtnAnalysisFn = void (*)(void* tool, const RtnArgs& args);
+
+class Engine;
+
+/// Instrumentation-time view of one instruction, passed to INS instrument
+/// callbacks exactly once per static instruction.
+class Ins {
+ public:
+  isa::Op opcode() const noexcept { return instr_->op; }
+  bool is_memory_read() const noexcept { return isa::is_memory_read(instr_->op); }
+  bool is_memory_write() const noexcept { return isa::is_memory_write(instr_->op); }
+  bool is_prefetch() const noexcept { return isa::is_prefetch(instr_->op); }
+  bool references_memory() const noexcept { return isa::references_memory(instr_->op); }
+  bool is_call() const noexcept { return isa::is_call(instr_->op); }
+  bool is_ret() const noexcept { return isa::is_ret(instr_->op); }
+  bool is_predicated() const noexcept { return instr_->predicated(); }
+  std::uint32_t memory_size() const noexcept;
+  std::uint32_t func() const noexcept { return func_; }
+  std::uint32_t pc() const noexcept { return pc_; }
+  const isa::Instr& raw() const noexcept { return *instr_; }
+
+  /// Attach an analysis call that fires on every execution, including
+  /// predicated-off ones (Pin's INS_InsertCall).
+  void insert_call(InsAnalysisFn fn, void* tool);
+
+  /// Attach an analysis call that fires only when the instruction actually
+  /// executes (Pin's INS_InsertPredicatedCall).
+  void insert_predicated_call(InsAnalysisFn fn, void* tool);
+
+ private:
+  friend class Engine;
+  Ins(Engine& engine, std::uint32_t func, std::uint32_t pc, const isa::Instr& instr)
+      : engine_(engine), func_(func), pc_(pc), instr_(&instr) {}
+  Engine& engine_;
+  std::uint32_t func_;
+  std::uint32_t pc_;
+  const isa::Instr* instr_;
+};
+
+/// Instrumentation-time view of one routine.
+class Rtn {
+ public:
+  const std::string& name() const noexcept;
+  std::uint32_t id() const noexcept { return func_; }
+  vm::ImageKind image() const noexcept;
+  bool in_main_image() const noexcept { return image() == vm::ImageKind::kMain; }
+  std::size_t instruction_count() const noexcept;
+
+  /// Attach an analysis call fired on every dynamic entry of this routine.
+  void insert_entry_call(RtnAnalysisFn fn, void* tool);
+
+ private:
+  friend class Engine;
+  Rtn(Engine& engine, std::uint32_t func) : engine_(engine), func_(func) {}
+  Engine& engine_;
+  std::uint32_t func_;
+};
+
+/// The instrumentation engine: owns the Machine, drives lazy instrumentation
+/// and dispatches analysis calls. One Engine instruments one run.
+class Engine final : public vm::ExecListener {
+ public:
+  Engine(const vm::Program& program, vm::HostEnv& host);
+
+  /// Register tool callbacks (before run()).
+  void add_ins_instrument_function(std::function<void(Ins&)> callback);
+  void add_rtn_instrument_function(std::function<void(Rtn&)> callback);
+  void add_fini_function(std::function<void(std::uint64_t retired)> callback);
+
+  /// Execute the program under instrumentation.
+  vm::RunResult run();
+
+  /// Abort the run once this many instructions retire (0 = unlimited).
+  void set_instruction_budget(std::uint64_t budget) noexcept {
+    machine_.set_instruction_budget(budget);
+  }
+
+  const vm::Program& program() const noexcept { return program_; }
+  vm::Machine& machine() noexcept { return machine_; }
+  vm::HostEnv& host() noexcept { return host_; }
+
+  /// Count of routines that have been instrumented so far (diagnostics).
+  std::size_t instrumented_routines() const noexcept { return instrumented_count_; }
+
+  // vm::ExecListener implementation (invoked by the Machine).
+  void on_program_start(const vm::Program& program) override;
+  void on_rtn_enter(std::uint32_t func) override;
+  void on_instr(const vm::InstrEvent& event) override;
+  void on_program_end(std::uint64_t retired) override;
+
+ private:
+  friend class Ins;
+  friend class Rtn;
+
+  struct AnalysisCall {
+    InsAnalysisFn fn;
+    void* tool;
+    bool predicated_only;
+  };
+  struct EntryCall {
+    RtnAnalysisFn fn;
+    void* tool;
+  };
+  struct RoutineState {
+    bool instrumented = false;
+    std::vector<std::vector<AnalysisCall>> per_ins;  // indexed by pc
+    std::vector<EntryCall> entry_calls;
+  };
+
+  void instrument_routine(std::uint32_t func);
+
+  const vm::Program& program_;
+  vm::HostEnv& host_;
+  vm::Machine machine_;
+  std::vector<RoutineState> routines_;
+  std::vector<std::function<void(Ins&)>> ins_callbacks_;
+  std::vector<std::function<void(Rtn&)>> rtn_callbacks_;
+  std::vector<std::function<void(std::uint64_t)>> fini_callbacks_;
+  std::size_t instrumented_count_ = 0;
+  std::uint64_t retired_now_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace tq::pin

@@ -1,0 +1,47 @@
+#include "quad/buffer_report.hpp"
+
+namespace tq::quad {
+
+std::vector<BufferRow> buffer_report(const QuadTool& tool,
+                                     const vm::Program& program) {
+  std::vector<BufferRow> rows;
+  for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
+    if (!tool.reported(k)) continue;
+    const KernelCounters& counters = tool.excluding_stack(k);
+    for (const vm::GlobalVar& var : program.globals()) {
+      if (var.size == 0) continue;
+      const std::uint64_t reads = counters.in_unma.count_range(var.addr, var.size);
+      const std::uint64_t writes = counters.out_unma.count_range(var.addr, var.size);
+      if (reads == 0 && writes == 0) continue;
+      BufferRow row;
+      row.kernel = k;
+      row.kernel_name = tool.kernel_name(k);
+      row.buffer = var.name;
+      row.buffer_size = var.size;
+      row.read_unma = reads;
+      row.write_unma = writes;
+      row.read_coverage =
+          static_cast<double>(reads) / static_cast<double>(var.size);
+      row.write_coverage =
+          static_cast<double>(writes) / static_cast<double>(var.size);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+TextTable buffer_table(const QuadTool& tool, const vm::Program& program,
+                       const std::string& kernel_filter) {
+  TextTable table({"kernel", "buffer", "size", "read bytes", "read %",
+                   "write bytes", "write %"});
+  for (const BufferRow& row : buffer_report(tool, program)) {
+    if (!kernel_filter.empty() && row.kernel_name != kernel_filter) continue;
+    table.add_row({row.kernel_name, row.buffer, format_bytes(row.buffer_size),
+                   format_count(row.read_unma), format_percent(row.read_coverage),
+                   format_count(row.write_unma),
+                   format_percent(row.write_coverage)});
+  }
+  return table;
+}
+
+}  // namespace tq::quad

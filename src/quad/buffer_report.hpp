@@ -1,0 +1,47 @@
+// Buffer-level data maps: QUAD's per-address UnMA sets projected onto the
+// image's named global buffers.
+//
+// Table II's counts are per kernel over the whole address space; for the
+// partitioning decisions the paper walks through ("provided that the
+// corresponding input buffer is also placed on the chip") the mapper needs
+// to know *which* buffers a kernel touches and how completely — e.g. that
+// fft1d's working set is exactly the X/Y spectra plus the filter tables,
+// and that AudioIo_setFrames writes every byte of the frame store once.
+// This report answers that, using the TQIM globals table as the data-symbol
+// information.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quad/quad_tool.hpp"
+#include "support/table.hpp"
+#include "vm/program.hpp"
+
+namespace tq::quad {
+
+/// One (kernel, buffer) interaction. Coverage is the fraction of the
+/// buffer's bytes the kernel touched at least once (stack excluded — these
+/// are global buffers by construction).
+struct BufferRow {
+  std::uint32_t kernel = 0;
+  std::string kernel_name;
+  std::string buffer;
+  std::uint64_t buffer_size = 0;
+  std::uint64_t read_unma = 0;   ///< distinct buffer bytes read
+  std::uint64_t write_unma = 0;  ///< distinct buffer bytes written
+  double read_coverage = 0.0;    ///< read_unma / buffer_size
+  double write_coverage = 0.0;
+};
+
+/// All nonzero (kernel, buffer) interactions, kernels in id order, buffers
+/// in image order. Kernels hidden by the library policy are skipped.
+std::vector<BufferRow> buffer_report(const QuadTool& tool,
+                                     const vm::Program& program);
+
+/// Render as a table, optionally restricted to one kernel ("" = all).
+TextTable buffer_table(const QuadTool& tool, const vm::Program& program,
+                       const std::string& kernel_filter = "");
+
+}  // namespace tq::quad

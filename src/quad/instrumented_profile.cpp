@@ -1,0 +1,67 @@
+#include "quad/instrumented_profile.hpp"
+
+#include <algorithm>
+
+namespace tq::quad {
+
+const char* trend_arrow(Trend trend) noexcept {
+  switch (trend) {
+    case Trend::kStrongUp: return "↑↑";
+    case Trend::kUp: return "↑";
+    case Trend::kFlat: return "↔";
+    case Trend::kDown: return "↓";
+    case Trend::kStrongDown: return "↓↓";
+  }
+  return "?";
+}
+
+namespace {
+
+Trend classify(double base, double instrumented) {
+  if (base <= 0.0) return instrumented > 0.0 ? Trend::kStrongUp : Trend::kFlat;
+  const double ratio = instrumented / base;
+  if (ratio >= 2.0) return Trend::kStrongUp;
+  if (ratio >= 1.25) return Trend::kUp;
+  if (ratio <= 0.25) return Trend::kStrongDown;
+  if (ratio <= 0.8) return Trend::kDown;
+  return Trend::kFlat;
+}
+
+}  // namespace
+
+std::vector<InstrumentedRow> instrumented_profile(const QuadTool& tool,
+                                                  const std::vector<BaseShare>& base,
+                                                  const CostModel& model) {
+  // Total cost over *all* kernels, so fractions are shares of the whole run.
+  std::uint64_t total_cost = 0;
+  for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
+    total_cost += tool.instrumented_cost(k, model);
+  }
+  std::vector<InstrumentedRow> rows;
+  rows.reserve(base.size());
+  for (const BaseShare& share : base) {
+    InstrumentedRow row;
+    row.kernel = share.kernel;
+    row.name = tool.kernel_name(share.kernel);
+    row.base_fraction = share.fraction;
+    row.cost = tool.instrumented_cost(share.kernel, model);
+    row.instrumented_fraction =
+        total_cost == 0 ? 0.0
+                        : static_cast<double>(row.cost) / static_cast<double>(total_cost);
+    row.trend = classify(row.base_fraction, row.instrumented_fraction);
+    rows.push_back(std::move(row));
+  }
+  // Rank by instrumented share (1 = largest) without reordering the rows,
+  // which follow the baseline table's order like Table III does.
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rows[a].instrumented_fraction > rows[b].instrumented_fraction;
+  });
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    rows[order[pos]].rank = static_cast<unsigned>(pos + 1);
+  }
+  return rows;
+}
+
+}  // namespace tq::quad

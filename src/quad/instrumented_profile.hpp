@@ -1,0 +1,54 @@
+// The "flat profile of the QUAD-instrumented application" (Table III).
+//
+// The paper runs gprof on the Pin+QUAD+application process: instrumentation
+// overhead inflates each kernel's share in proportion to how much analysis
+// work its accesses trigger, which re-ranks kernels in a way that better
+// matches systems with expensive external memory (Section V-B). Here the
+// same measurement is modelled from a QuadTool run via its CostModel, and
+// each kernel's new share is compared against a baseline profile to produce
+// the paper's trend arrows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quad/quad_tool.hpp"
+
+namespace tq::quad {
+
+/// Trend of a kernel's contribution relative to the baseline profile.
+enum class Trend : std::uint8_t {
+  kStrongUp,    ///< paper's "up-up" arrow
+  kUp,
+  kFlat,
+  kDown,
+  kStrongDown,  ///< paper's "down-down" arrow
+};
+
+const char* trend_arrow(Trend trend) noexcept;  // UTF-8 arrows
+
+/// One Table III row.
+struct InstrumentedRow {
+  std::uint32_t kernel = 0;
+  std::string name;
+  double base_fraction = 0.0;          ///< %time in the uninstrumented profile
+  double instrumented_fraction = 0.0;  ///< %time under the cost model
+  std::uint64_t cost = 0;              ///< modelled cost units
+  unsigned rank = 0;                   ///< 1-based rank by instrumented share
+  Trend trend = Trend::kFlat;
+};
+
+/// A baseline entry: kernel id and its share of the uninstrumented profile.
+struct BaseShare {
+  std::uint32_t kernel = 0;
+  double fraction = 0.0;
+};
+
+/// Build the instrumented profile for the kernels in `base` (typically the
+/// top kernels of Table I), ranked by modelled instrumented share.
+std::vector<InstrumentedRow> instrumented_profile(const QuadTool& tool,
+                                                  const std::vector<BaseShare>& base,
+                                                  const CostModel& model = {});
+
+}  // namespace tq::quad

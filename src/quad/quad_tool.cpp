@@ -1,0 +1,169 @@
+#include "quad/quad_tool.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tq::quad {
+
+QuadTool::QuadTool(pin::Engine& engine, Options options)
+    : engine_(engine), stack_(engine.program(), options.library_policy) {
+  const std::size_t n = engine.program().functions().size();
+  TQUAD_CHECK(n < kNoProducer, "too many functions for 16-bit producer ids");
+  incl_.resize(n);
+  excl_.resize(n);
+  instrs_.assign(n, 0);
+  calls_.assign(n, 0);
+  mem_refs_.assign(n, 0);
+  global_accesses_.assign(n, 0);
+  global_bytes_.assign(n, 0);
+  engine_.add_rtn_instrument_function([this](pin::Rtn& rtn) { instrument_rtn(rtn); });
+  engine_.add_ins_instrument_function([this](pin::Ins& ins) { instrument_ins(ins); });
+}
+
+void QuadTool::instrument_rtn(pin::Rtn& rtn) {
+  rtn.insert_entry_call(&QuadTool::enter_fc, this);
+}
+
+void QuadTool::instrument_ins(pin::Ins& ins) {
+  ins.insert_call(&QuadTool::on_tick, this);
+  if (ins.is_memory_read()) {
+    ins.insert_predicated_call(&QuadTool::on_read, this);
+  }
+  if (ins.is_memory_write()) {
+    ins.insert_predicated_call(&QuadTool::on_write, this);
+  }
+  if (ins.is_ret()) {
+    ins.insert_predicated_call(&QuadTool::on_ret, this);
+  }
+}
+
+void QuadTool::enter_fc(void* tool, const pin::RtnArgs& args) {
+  auto& self = *static_cast<QuadTool*>(tool);
+  self.stack_.on_enter(args.func);
+  if (self.stack_.tracked(args.func)) ++self.calls_[args.func];
+}
+
+void QuadTool::on_tick(void* tool, const pin::InsArgs& args) {
+  auto& self = *static_cast<QuadTool*>(tool);
+  const std::uint32_t kernel = self.stack_.top();
+  if (kernel == tquad::kNoKernel) return;
+  ++self.instrs_[kernel];
+  if (args.read_size != 0 || args.write_size != 0) ++self.mem_refs_[kernel];
+}
+
+void QuadTool::on_read(void* tool, const pin::InsArgs& args) {
+  if (args.is_prefetch) return;
+  auto& self = *static_cast<QuadTool*>(tool);
+  const std::uint32_t reader = self.stack_.top();
+  if (reader == tquad::kNoKernel) return;
+  const bool stack_area = is_stack_addr(args.read_ea, args.sp);
+
+  // Stack-included counters always accrue.
+  KernelCounters& incl = self.incl_[reader];
+  incl.in_bytes += args.read_size;
+  incl.in_unma.insert_range(args.read_ea, args.read_size);
+  if (!stack_area) {
+    KernelCounters& excl = self.excl_[reader];
+    excl.in_bytes += args.read_size;
+    excl.in_unma.insert_range(args.read_ea, args.read_size);
+    ++self.global_accesses_[reader];
+    self.global_bytes_[reader] += args.read_size;
+  }
+
+  // Attribute OUT bytes to producers and record the binding (bytes plus the
+  // distinct transfer addresses, the QDU edge annotations).
+  std::uint64_t cursor = args.read_ea;
+  self.shadow_.for_each_producer(
+      args.read_ea, args.read_size, [&](ProducerId producer, std::uint32_t run) {
+        if (producer != kNoProducer) {
+          self.incl_[producer].out_bytes += run;
+          if (!stack_area) self.excl_[producer].out_bytes += run;
+          auto& edge = self.bindings_[{producer, reader}];
+          edge.bytes += run;
+          edge.unma.insert_range(cursor, run);
+        }
+        cursor += run;
+      });
+}
+
+void QuadTool::on_write(void* tool, const pin::InsArgs& args) {
+  if (args.is_prefetch) return;
+  auto& self = *static_cast<QuadTool*>(tool);
+  const std::uint32_t writer = self.stack_.top();
+  if (writer == tquad::kNoKernel) return;
+  const bool stack_area = is_stack_addr(args.write_ea, args.sp);
+
+  KernelCounters& incl = self.incl_[writer];
+  incl.out_unma.insert_range(args.write_ea, args.write_size);
+  if (!stack_area) {
+    KernelCounters& excl = self.excl_[writer];
+    excl.out_unma.insert_range(args.write_ea, args.write_size);
+    ++self.global_accesses_[writer];
+    self.global_bytes_[writer] += args.write_size;
+  }
+  self.shadow_.mark_write(args.write_ea, args.write_size,
+                          static_cast<ProducerId>(writer));
+}
+
+void QuadTool::on_ret(void* tool, const pin::InsArgs& args) {
+  auto& self = *static_cast<QuadTool*>(tool);
+  self.stack_.on_ret(args.func);
+}
+
+std::vector<Binding> QuadTool::bindings() const {
+  std::vector<Binding> edges;
+  edges.reserve(bindings_.size());
+  for (const auto& [key, accum] : bindings_) {
+    edges.push_back(Binding{key.first, key.second, accum.bytes, accum.unma.count()});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Binding& a, const Binding& b) {
+    return a.bytes > b.bytes;
+  });
+  return edges;
+}
+
+std::uint64_t QuadTool::binding_bytes(std::uint32_t producer,
+                                      std::uint32_t consumer) const {
+  auto it = bindings_.find({producer, consumer});
+  return it == bindings_.end() ? 0 : it->second.bytes;
+}
+
+std::uint64_t QuadTool::instrumented_cost(std::uint32_t kernel,
+                                          const CostModel& model) const {
+  TQUAD_CHECK(kernel < instrs_.size(), "kernel id out of range");
+  const std::uint64_t working_set =
+      excl_[kernel].in_unma.count() + excl_[kernel].out_unma.count();
+  const double trace_scale =
+      working_set <= model.hot_set_bytes ? model.hot_discount : 1.0;
+  const double trace_cost =
+      trace_scale *
+      (static_cast<double>(global_accesses_[kernel] * model.per_global_trace) +
+       static_cast<double>(global_bytes_[kernel] * model.per_global_byte));
+  return instrs_[kernel] * model.per_instruction +
+         mem_refs_[kernel] * model.per_memory_stub +
+         static_cast<std::uint64_t>(trace_cost);
+}
+
+std::string QuadTool::qdu_graph_dot() const {
+  std::ostringstream out;
+  out << "digraph QDU {\n  rankdir=LR;\n  node [shape=box];\n";
+  std::vector<bool> mentioned(kernel_count(), false);
+  const auto edges = bindings();
+  for (const Binding& edge : edges) {
+    mentioned[edge.producer] = true;
+    mentioned[edge.consumer] = true;
+  }
+  for (std::uint32_t k = 0; k < kernel_count(); ++k) {
+    if (mentioned[k]) {
+      out << "  f" << k << " [label=\"" << kernel_name(k) << "\"];\n";
+    }
+  }
+  for (const Binding& edge : edges) {
+    out << "  f" << edge.producer << " -> f" << edge.consumer << " [label=\""
+        << edge.bytes << " B / " << edge.unma << " addr\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tq::quad

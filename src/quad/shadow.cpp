@@ -1,0 +1,36 @@
+#include "quad/shadow.hpp"
+
+#include <algorithm>
+
+namespace tq::quad {
+
+ShadowMemory::Page& ShadowMemory::touch_page(std::uint64_t page_no) {
+  auto& slot = pages_[page_no];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    std::fill(std::begin(slot->producers), std::end(slot->producers), kNoProducer);
+  }
+  return *slot;
+}
+
+void ShadowMemory::mark_write(std::uint64_t addr, std::uint32_t size,
+                              ProducerId producer) {
+  std::uint64_t cursor = addr;
+  std::uint64_t remaining = size;
+  while (remaining > 0) {
+    Page& page = touch_page(cursor >> kPageBits);
+    const std::uint64_t offset = cursor & (kPageSize - 1);
+    const std::uint64_t in_page = std::min<std::uint64_t>(remaining, kPageSize - offset);
+    std::fill(page.producers + offset, page.producers + offset + in_page, producer);
+    cursor += in_page;
+    remaining -= in_page;
+  }
+}
+
+ProducerId ShadowMemory::producer_of(std::uint64_t addr) const noexcept {
+  const Page* page = find_page(addr >> kPageBits);
+  if (page == nullptr) return kNoProducer;
+  return page->producers[addr & (kPageSize - 1)];
+}
+
+}  // namespace tq::quad

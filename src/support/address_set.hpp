@@ -1,0 +1,62 @@
+// Unique-memory-address (UnMA) tracking.
+//
+// QUAD and tQUAD report the number of *distinct* byte addresses a kernel has
+// read or written. Addresses cluster heavily (buffers, stack frames), so the
+// set is stored as one bitmap per touched 4 KiB page: ~0.5 KiB of bitmap per
+// resident page, with popcounts cached so `count()` stays O(1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "support/paged_memory.hpp"
+
+namespace tq {
+
+/// A set of 64-bit byte addresses, optimised for dense clusters.
+class AddressSet {
+ public:
+  static constexpr std::uint64_t kPageBits = PagedMemory::kPageBits;
+  static constexpr std::uint64_t kPageSize = PagedMemory::kPageSize;
+  static constexpr std::size_t kWordsPerPage = kPageSize / 64;
+
+  AddressSet() = default;
+  AddressSet(const AddressSet&) = delete;
+  AddressSet& operator=(const AddressSet&) = delete;
+  AddressSet(AddressSet&&) noexcept = default;
+  AddressSet& operator=(AddressSet&&) noexcept = default;
+
+  /// Mark the byte range [addr, addr+size) as present.
+  void insert_range(std::uint64_t addr, std::uint32_t size);
+
+  /// True if the single byte address is present.
+  bool contains(std::uint64_t addr) const noexcept;
+
+  /// Number of distinct byte addresses inserted so far.
+  std::uint64_t count() const noexcept { return population_; }
+
+  /// Number of distinct addresses inside [addr, addr+size) — the ranged
+  /// popcount behind buffer-coverage reports.
+  std::uint64_t count_range(std::uint64_t addr, std::uint64_t size) const noexcept;
+
+  /// Number of resident bitmap pages (memory-footprint diagnostics).
+  std::size_t resident_pages() const noexcept { return pages_.size(); }
+
+  void clear() noexcept {
+    pages_.clear();
+    population_ = 0;
+  }
+
+ private:
+  struct Bitmap {
+    std::uint64_t words[kWordsPerPage] = {};
+  };
+
+  Bitmap& touch(std::uint64_t page_no);
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Bitmap>> pages_;
+  std::uint64_t population_ = 0;
+};
+
+}  // namespace tq

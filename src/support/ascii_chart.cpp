@@ -1,0 +1,90 @@
+#include "support/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace tq {
+namespace {
+
+constexpr const char kRamp[] = " .:-=+*#%@";
+constexpr unsigned kRampLevels = sizeof(kRamp) - 2;  // index of densest glyph
+
+/// Downsample `values` to `cells` bucket means.
+std::vector<double> downsample(const std::vector<double>& values, unsigned cells) {
+  std::vector<double> out(cells, 0.0);
+  if (values.empty()) return out;
+  const double per_cell = static_cast<double>(values.size()) / cells;
+  for (unsigned c = 0; c < cells; ++c) {
+    const std::size_t lo = static_cast<std::size_t>(c * per_cell);
+    std::size_t hi = static_cast<std::size_t>((c + 1) * per_cell);
+    hi = std::max(hi, lo + 1);
+    hi = std::min(hi, values.size());
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += values[i];
+    out[c] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+double intensity(double value, double max_value, bool log_scale) {
+  if (max_value <= 0.0 || value <= 0.0) return 0.0;
+  if (!log_scale) return value / max_value;
+  return std::log1p(value) / std::log1p(max_value);
+}
+
+}  // namespace
+
+std::string render_heat_strips(const std::vector<ChartSeries>& series,
+                               const ChartOptions& options) {
+  std::ostringstream out;
+  std::size_t name_width = 0;
+  double max_value = 0.0;
+  std::size_t max_len = 0;
+  for (const auto& s : series) {
+    name_width = std::max(name_width, s.name.size());
+    max_len = std::max(max_len, s.values.size());
+    for (double v : s.values) max_value = std::max(max_value, v);
+  }
+  for (const auto& s : series) {
+    const auto cells = downsample(s.values, options.width);
+    out << s.name << std::string(name_width - s.name.size(), ' ') << " |";
+    for (double v : cells) {
+      const double t = intensity(v, max_value, options.log_intensity);
+      const unsigned level =
+          static_cast<unsigned>(std::lround(t * static_cast<double>(kRampLevels)));
+      out << kRamp[std::min(level, kRampLevels)];
+    }
+    out << "|\n";
+  }
+  if (options.show_scale) {
+    out << std::string(name_width, ' ') << "  time -> (" << max_len
+        << " slices across " << options.width << " cells; intensity ramp '" << kRamp
+        << "', max = " << format_fixed(max_value, 3) << " per slice"
+        << (options.log_intensity ? ", log scale" : "") << ")\n";
+  }
+  return out.str();
+}
+
+std::string render_block_chart(const ChartSeries& series, unsigned height,
+                               const ChartOptions& options) {
+  std::ostringstream out;
+  const auto cells = downsample(series.values, options.width);
+  double max_value = 0.0;
+  for (double v : cells) max_value = std::max(max_value, v);
+  out << series.name << "  (max " << format_fixed(max_value, 3) << ")\n";
+  for (unsigned row = height; row-- > 0;) {
+    const double threshold = (static_cast<double>(row) + 0.5) / height;
+    out << "  |";
+    for (double v : cells) {
+      out << (intensity(v, max_value, options.log_intensity) >= threshold ? '#' : ' ');
+    }
+    out << "|\n";
+  }
+  out << "  +" << std::string(options.width, '-') << "+\n";
+  return out.str();
+}
+
+}  // namespace tq

@@ -1,0 +1,40 @@
+// Terminal rendering of the per-kernel bandwidth time series (Figures 6/7).
+//
+// The paper draws 3D ribbon charts: x = time slice, z = kernel, y = bytes
+// moved in the slice. In a terminal we render the same data as one intensity
+// row per kernel (a heat strip) plus an optional per-kernel sparkline, which
+// preserves exactly what the figures communicate — who is active when, and
+// how intensely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tq {
+
+/// One named series of per-slice values.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Options controlling the rendering.
+struct ChartOptions {
+  unsigned width = 96;        ///< number of character cells along the time axis
+  bool show_scale = true;     ///< print the intensity legend and max value
+  bool log_intensity = true;  ///< map intensity through log1p (bandwidth is bursty)
+};
+
+/// Render a set of series as aligned heat strips sharing one time axis.
+/// Values are downsampled (bucket means) to `options.width` cells and mapped
+/// onto the ramp " .:-=+*#%@" with a shared maximum across all series.
+std::string render_heat_strips(const std::vector<ChartSeries>& series,
+                               const ChartOptions& options = {});
+
+/// Render one series as a multi-row block chart (taller, for single-kernel
+/// inspection). `height` is the number of text rows used for the y axis.
+std::string render_block_chart(const ChartSeries& series, unsigned height = 8,
+                               const ChartOptions& options = {});
+
+}  // namespace tq

@@ -1,0 +1,57 @@
+// Error handling primitives shared by every tquad library.
+//
+// Two tiers, following the C++ Core Guidelines (E.*):
+//   * `Error` / `TQUAD_THROW` — recoverable, user-facing failures
+//     (bad CLI arguments, malformed guest images, I/O errors).
+//   * `TQUAD_CHECK` — internal invariants; always on (release included)
+//     because a profiler that silently miscounts is worse than one that
+//     aborts. The VM hot loop uses `TQUAD_DCHECK` which compiles out in
+//     release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tq {
+
+/// Recoverable error raised by tquad libraries. Carries a formatted,
+/// user-readable message; never used for internal invariant violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  std::fprintf(stderr, "TQUAD_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace tq
+
+/// Raise a tq::Error with the given message (a std::string expression).
+#define TQUAD_THROW(msg) throw ::tq::Error(msg)
+
+/// Always-on invariant check. `msg` must be convertible to std::string.
+#define TQUAD_CHECK(expr, msg)                                       \
+  do {                                                               \
+    if (!(expr)) [[unlikely]] {                                      \
+      ::tq::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                \
+  } while (0)
+
+/// Debug-only invariant check for hot paths (VM dispatch, shadow memory).
+#ifdef NDEBUG
+#define TQUAD_DCHECK(expr, msg) \
+  do {                          \
+  } while (0)
+#else
+#define TQUAD_DCHECK(expr, msg) TQUAD_CHECK(expr, msg)
+#endif

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random generation for workloads and tests.
+//
+// Everything in this repository must be bit-reproducible across runs, so we
+// use an explicit SplitMix64 generator seeded by the caller instead of
+// std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace tq {
+
+/// SplitMix64: tiny, fast, well-distributed 64-bit generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_unit() noexcept {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_unit();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tq

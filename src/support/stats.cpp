@@ -1,0 +1,18 @@
+#include "support/stats.hpp"
+
+#include "support/check.hpp"
+
+namespace tq {
+
+double quantile(std::vector<double> samples, double q) {
+  TQUAD_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace tq

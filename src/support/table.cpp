@@ -1,0 +1,126 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace tq {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TQUAD_CHECK(!headers_.empty(), "table needs at least one column");
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  TQUAD_CHECK(column < aligns_.size(), "column out of range");
+  aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TQUAD_CHECK(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_ascii(unsigned indent) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const std::string pad(indent, ' ');
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << pad;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t fill = widths[c] - row[c].size();
+      if (c > 0) out << "  ";
+      if (aligns_[c] == Align::kRight) out << std::string(fill, ' ');
+      out << row[c];
+      if (aligns_[c] == Align::kLeft && c + 1 < row.size()) out << std::string(fill, ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule = indent;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c > 0 ? 2 : 0);
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out << ',';
+    out << quote(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << quote(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  unsigned unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string grouped;
+  grouped.reserve(digits.size() + digits.size() / 3);
+  int since_sep = static_cast<int>(digits.size() % 3);
+  if (since_sep == 0) since_sep = 3;
+  for (char ch : digits) {
+    if (since_sep == 0) {
+      grouped += ',';
+      since_sep = 3;
+    }
+    grouped += ch;
+    --since_sep;
+  }
+  return grouped;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals);
+}
+
+}  // namespace tq

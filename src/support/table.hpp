@@ -1,0 +1,51 @@
+// Plain-text table rendering for the paper-table reproductions.
+//
+// Every bench binary prints its table both as aligned ASCII (for humans) and
+// as CSV (for scripting); TextTable produces both from one cell buffer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tq {
+
+/// Column alignment within an ASCII rendering.
+enum class Align { kLeft, kRight };
+
+/// A rectangular table of string cells with a header row.
+class TextTable {
+ public:
+  /// Construct with column headers; alignment defaults to left for the first
+  /// column and right for the rest (the usual name-then-numbers layout).
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Override alignment per column.
+  void set_align(std::size_t column, Align align);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Render with padded columns, a header underline, and `indent` leading
+  /// spaces on every line.
+  std::string to_ascii(unsigned indent = 0) const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by reports.
+std::string format_fixed(double value, int decimals);
+std::string format_bytes(std::uint64_t bytes);
+std::string format_count(std::uint64_t value);  // thousands separators
+std::string format_percent(double fraction, int decimals = 2);
+
+}  // namespace tq

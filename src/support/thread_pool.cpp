@@ -1,0 +1,83 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace tq {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  TQUAD_CHECK(static_cast<bool>(task), "empty task submitted");
+  {
+    std::lock_guard lock(mutex_);
+    TQUAD_CHECK(!stopping_, "submit after shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_blocks(
+    ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+    const std::function<void(std::uint64_t, std::uint64_t, unsigned)>& body) {
+  if (begin >= end) return;
+  const std::uint64_t total = end - begin;
+  const unsigned blocks =
+      static_cast<unsigned>(std::min<std::uint64_t>(pool.size(), total));
+  const std::uint64_t per_block = total / blocks;
+  const std::uint64_t remainder = total % blocks;
+  std::uint64_t cursor = begin;
+  for (unsigned b = 0; b < blocks; ++b) {
+    const std::uint64_t block_size = per_block + (b < remainder ? 1 : 0);
+    const std::uint64_t block_begin = cursor;
+    const std::uint64_t block_end = cursor + block_size;
+    cursor = block_end;
+    pool.submit([&body, block_begin, block_end, b] { body(block_begin, block_end, b); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace tq

@@ -1,0 +1,58 @@
+// Fixed-size worker pool for the offline (trace-replay) analyses.
+//
+// The online profiling path is inherently sequential — the guest retires one
+// instruction at a time — but offline aggregation over a recorded trace
+// shards cleanly. Work is submitted as tasks; parallel_for_blocks() splits an
+// index range into contiguous blocks (one per worker) so per-thread
+// accumulators never contend (CP.31: pass data by value / avoid sharing).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tq {
+
+/// A minimal fixed-size thread pool. Destruction joins all workers after
+/// draining the queue. Tasks must not throw (they run under noexcept
+/// workers); wrap fallible work and capture errors by hand.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task. Tasks may run on any worker in any order.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::uint64_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Split [begin, end) into at most `pool.size()` contiguous blocks and run
+/// `body(block_begin, block_end, block_index)` on the pool, blocking until
+/// all blocks complete. With an empty range this is a no-op.
+void parallel_for_blocks(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                         const std::function<void(std::uint64_t, std::uint64_t, unsigned)>& body);
+
+}  // namespace tq

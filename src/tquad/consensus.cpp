@@ -1,0 +1,77 @@
+#include "tquad/consensus.hpp"
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace tq::tquad {
+
+void BandwidthConsensus::add_pass(const TQuadTool& tool) {
+  if (kernels_.empty()) {
+    kernels_.resize(tool.kernel_count());
+    for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
+      kernels_[k].name = tool.kernel_name(k);
+      kernels_[k].tracked = tool.reported(k);
+    }
+  }
+  TQUAD_CHECK(kernels_.size() == tool.kernel_count(),
+              "consensus passes must profile the same program");
+  ++passes_;
+  const std::uint64_t interval = tool.bandwidth().slice_interval();
+  for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
+    const BandwidthStats stats =
+        bandwidth_stats(tool.bandwidth().kernel(k), interval);
+    Accum& accum = kernels_[k];
+    accum.avg_read_incl.add(stats.avg_read_incl);
+    accum.avg_read_excl.add(stats.avg_read_excl);
+    accum.avg_write_incl.add(stats.avg_write_incl);
+    accum.avg_write_excl.add(stats.avg_write_excl);
+    accum.max_rw_incl.add(stats.max_rw_incl);
+    accum.max_rw_excl.add(stats.max_rw_excl);
+    if (interval < accum.finest_interval) {
+      accum.finest_interval = interval;
+      accum.finest_span = stats.activity_span;
+    }
+  }
+}
+
+BandwidthConsensus::Column BandwidthConsensus::summarize(
+    const RunningStat& stat) const {
+  Column column;
+  column.mean = stat.mean();
+  column.spread = stat.count() == 0 ? 0.0 : stat.max() - stat.min();
+  column.inconsistent =
+      column.mean > 0.0 && column.spread / column.mean > tolerance_;
+  return column;
+}
+
+std::vector<BandwidthConsensus::Row> BandwidthConsensus::rows() const {
+  std::vector<Row> out;
+  for (std::uint32_t k = 0; k < kernels_.size(); ++k) {
+    const Accum& accum = kernels_[k];
+    if (!accum.tracked || accum.finest_span == 0) continue;
+    Row row;
+    row.kernel = k;
+    row.name = accum.name;
+    row.passes = passes_;
+    row.avg_read_incl = summarize(accum.avg_read_incl);
+    row.avg_read_excl = summarize(accum.avg_read_excl);
+    row.avg_write_incl = summarize(accum.avg_write_incl);
+    row.avg_write_excl = summarize(accum.avg_write_excl);
+    row.max_rw_incl = summarize(accum.max_rw_incl);
+    row.max_rw_excl = summarize(accum.max_rw_excl);
+    row.activity_span = accum.finest_span;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string BandwidthConsensus::format_column(const Column& column, int decimals) {
+  // The paper prints inconsistent measurements as upper bounds ("<53.2686"):
+  // report mean + spread as the bound.
+  if (column.inconsistent) {
+    return "<" + format_fixed(column.mean + column.spread / 2.0, decimals);
+  }
+  return format_fixed(column.mean, decimals);
+}
+
+}  // namespace tq::tquad

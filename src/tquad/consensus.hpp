@@ -1,0 +1,78 @@
+// Multi-pass bandwidth consensus (the paper's Table IV methodology).
+//
+// "The average memory bandwidth usage is calculated over several passes with
+// different time slices. ... For some of the kernels in Table IV, the upper
+// bounds are specified. This is due to the fact that slight inconsistencies
+// in the measurements of the overall time slices were detected in the
+// experiments." (Section V-B)
+//
+// BandwidthConsensus accumulates per-kernel bandwidth statistics from
+// multiple tQUAD passes (typically at different slice intervals) and reports
+// the cross-pass mean of each bytes-per-instruction column, flagging kernels
+// whose measurements disagree beyond a tolerance — exactly the "<" upper
+// bounds of the paper's table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "tquad/report.hpp"
+
+namespace tq::tquad {
+
+/// Accumulates bandwidth statistics across passes. All passes must profile
+/// the same program (kernel ids must line up).
+class BandwidthConsensus {
+ public:
+  /// Cross-pass summary for one kernel and one metric.
+  struct Column {
+    double mean = 0.0;
+    double spread = 0.0;     ///< max-min across passes
+    bool inconsistent = false;  ///< spread exceeded the tolerance
+  };
+  struct Row {
+    std::uint32_t kernel = 0;
+    std::string name;
+    std::uint64_t passes = 0;
+    Column avg_read_incl, avg_read_excl, avg_write_incl, avg_write_excl;
+    Column max_rw_incl, max_rw_excl;
+    /// Activity span from the *finest* pass (most detailed view).
+    std::uint64_t activity_span = 0;
+  };
+
+  /// `relative_tolerance`: measurements whose (max-min)/mean exceeds this
+  /// are flagged inconsistent and should be reported as upper bounds.
+  explicit BandwidthConsensus(double relative_tolerance = 0.10)
+      : tolerance_(relative_tolerance) {}
+
+  /// Record one completed pass.
+  void add_pass(const TQuadTool& tool);
+
+  /// Summaries for every kernel active in at least one pass, ordered by id.
+  std::vector<Row> rows() const;
+
+  std::uint64_t passes() const noexcept { return passes_; }
+
+  /// Format a column the way Table IV prints it: "1.2345" or "<1.2345".
+  static std::string format_column(const Column& column, int decimals = 4);
+
+ private:
+  struct Accum {
+    std::string name;
+    bool tracked = false;
+    RunningStat avg_read_incl, avg_read_excl, avg_write_incl, avg_write_excl;
+    RunningStat max_rw_incl, max_rw_excl;
+    std::uint64_t finest_interval = ~0ull;
+    std::uint64_t finest_span = 0;
+  };
+
+  Column summarize(const RunningStat& stat) const;
+
+  double tolerance_;
+  std::uint64_t passes_ = 0;
+  std::vector<Accum> kernels_;
+};
+
+}  // namespace tq::tquad

@@ -1,0 +1,213 @@
+#include "tquad/phase.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tq::tquad {
+
+namespace {
+
+/// Disjoint-set forest for single-linkage clustering of kernels.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void merge(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Size of the intersection of two sorted index vectors.
+std::size_t intersection_size(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) {
+  std::size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+CoreSpan core_span(const KernelBandwidth& kernel, double trim) {
+  CoreSpan span;
+  const auto& series = kernel.series;
+  span.active_slices = series.size();
+  if (series.empty()) return span;
+  const std::size_t n = series.size();
+  std::size_t lo = static_cast<std::size_t>(std::floor(trim * static_cast<double>(n)));
+  std::size_t hi = n - 1 - lo;
+  if (lo > hi) {
+    lo = 0;
+    hi = n - 1;
+  }
+  span.begin = series[lo].slice;
+  span.end = series[hi].slice;
+  return span;
+}
+
+std::vector<Phase> detect_phases(const TQuadTool& tool, const PhaseOptions& options) {
+  const BandwidthRecorder& recorder = tool.bandwidth();
+  const std::uint64_t slices = recorder.max_slice() + 1;
+
+  // Collect the kernels that are reported and active at all.
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
+    if (tool.reported(k) && recorder.kernel(k).active_slices() > 0) {
+      active.push_back(k);
+    }
+  }
+  if (active.empty()) return {};
+
+  // 1. Per-kernel sorted sets of active windows at two granularities: fine
+  // (placing briefly-active kernels) and coarse (comparing kernels that
+  // interleave within one application iteration).
+  auto build_sets = [&](std::uint64_t window_count) {
+    const std::uint64_t windows =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(window_count, slices));
+    const double per_window =
+        static_cast<double>(slices) / static_cast<double>(windows);
+    std::vector<std::vector<std::uint32_t>> sets(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      auto& set = sets[i];
+      for (const SliceSample& sample : recorder.kernel(active[i]).series) {
+        const auto w = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(static_cast<double>(sample.slice) / per_window),
+            windows - 1));
+        if (set.empty() || set.back() != w) set.push_back(w);
+      }
+    }
+    return sets;
+  };
+  const auto fine_sets = build_sets(options.windows);
+  const auto coarse_sets =
+      build_sets(std::max<std::uint64_t>(1, options.windows / options.coarse_factor));
+
+  // 2+3. Pairwise similarity and single-linkage merging.
+  const std::size_t tiny_limit = std::max<std::size_t>(
+      3, static_cast<std::size_t>(options.tiny_fraction *
+                                  static_cast<double>(options.windows)));
+  UnionFind clusters(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    for (std::size_t j = i + 1; j < active.size(); ++j) {
+      const std::size_t fine_min =
+          std::min(fine_sets[i].size(), fine_sets[j].size());
+      double sim;
+      if (fine_min <= tiny_limit) {
+        // A briefly-active kernel merges with a partner only when its
+        // activity falls inside the partner's *interquartile* activity
+        // region. This keeps initialisation helpers apart from steady-state
+        // kernels that merely warmed up during initialisation (our ffw calls
+        // fft1d, but fft1d's activity mass lies in the processing loop).
+        const auto& tiny =
+            fine_sets[i].size() <= fine_sets[j].size() ? fine_sets[i] : fine_sets[j];
+        const auto& other =
+            fine_sets[i].size() <= fine_sets[j].size() ? fine_sets[j] : fine_sets[i];
+        if (tiny.empty() || other.empty()) {
+          sim = 0.0;
+        } else {
+          const std::size_t n = other.size();
+          const std::uint32_t lo = other[(n - 1) / 4];
+          const std::uint32_t hi = other[(3 * (n - 1)) / 4];
+          std::size_t inside = 0;
+          for (std::uint32_t w : tiny) {
+            if (w >= lo && w <= hi) ++inside;
+          }
+          sim = static_cast<double>(inside) / static_cast<double>(tiny.size());
+        }
+      } else {
+        // Jaccard on coarse windows for substantially-active kernels.
+        const auto& a = coarse_sets[i];
+        const auto& b = coarse_sets[j];
+        const std::size_t inter = intersection_size(a, b);
+        const std::size_t uni = a.size() + b.size() - inter;
+        sim = uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+      }
+      if (sim >= options.merge_threshold) clusters.merge(i, j);
+    }
+  }
+
+  // 4. Build phases from clusters.
+  std::vector<Phase> phases;
+  std::vector<std::size_t> cluster_of(active.size());
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const std::size_t root = clusters.find(i);
+    auto it = std::find(roots.begin(), roots.end(), root);
+    if (it == roots.end()) {
+      roots.push_back(root);
+      phases.emplace_back();
+      cluster_of[i] = phases.size() - 1;
+    } else {
+      cluster_of[i] = static_cast<std::size_t>(it - roots.begin());
+    }
+    phases[cluster_of[i]].kernels.push_back(active[i]);
+  }
+
+  const auto total = static_cast<double>(slices);
+  for (Phase& phase : phases) {
+    std::uint64_t begin = ~0ull;
+    std::uint64_t end = 0;
+    std::uint64_t seg_begin = ~0ull;
+    std::uint64_t seg_end = 0;
+    for (std::uint32_t k : phase.kernels) {
+      const CoreSpan span = core_span(recorder.kernel(k), options.core_trim);
+      begin = std::min(begin, span.begin);
+      end = std::max(end, span.end);
+      seg_begin = std::min(seg_begin, recorder.kernel(k).first_active_slice());
+      seg_end = std::max(seg_end, recorder.kernel(k).last_active_slice());
+    }
+    phase.span_begin = begin;
+    phase.span_end = end;
+    phase.segment_begin = seg_begin;
+    phase.segment_end = seg_end;
+    phase.span_fraction = static_cast<double>(end - begin + 1) / total;
+    std::sort(phase.kernels.begin(), phase.kernels.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return recorder.kernel(a).first_active_slice() <
+                       recorder.kernel(b).first_active_slice();
+              });
+  }
+  // Order phases by (span begin, span end): an enclosing driver phase sorts
+  // after the short early phases it contains.
+  std::sort(phases.begin(), phases.end(), [](const Phase& a, const Phase& b) {
+    if (a.span_begin != b.span_begin) return a.span_begin < b.span_begin;
+    return a.span_end < b.span_end;
+  });
+  return phases;
+}
+
+std::string describe_phases(const TQuadTool& tool, const std::vector<Phase>& phases) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const Phase& phase = phases[i];
+    out << "phase " << (i + 1) << ": slices " << phase.span_begin << "-"
+        << phase.span_end << " (" << static_cast<int>(phase.span_fraction * 100.0 + 0.5)
+        << "% of run), kernels:";
+    for (std::uint32_t k : phase.kernels) {
+      out << ' ' << tool.kernel_name(k);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace tq::tquad

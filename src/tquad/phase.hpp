@@ -1,0 +1,82 @@
+// Execution-phase identification (Section V-B, "Phase identification").
+//
+// The paper partitions the hArtes-wfs run into five phases from the overlap
+// structure of kernel activity spans ("the kernels that are active at the
+// same time interval are possibly relevant"). This module automates that
+// analysis:
+//
+//   1. The timeline is divided into fixed windows; each kernel gets the set
+//      of windows in which it touches memory.
+//   2. Kernels are compared pairwise on those sets — Jaccard similarity for
+//      kernels with substantial activity, overlap coefficient for kernels
+//      active only briefly (a two-window initialisation kernel should attach
+//      to whatever phase contains it, not be penalised for its size).
+//   3. Kernels whose similarity exceeds a threshold are merged (union-find,
+//      single linkage); each cluster is one phase.
+//   4. A phase's *span* is computed from its member kernels' core activity
+//      spans — core meaning the 2nd..98th percentile of active slices, which
+//      discards brief out-of-phase blips exactly as the paper does (r2c
+//      waking once in slice 145 is ignored). Because spans come from
+//      members, adjacent phase spans may overlap, as they do in Table IV.
+//
+// Phases are ordered by (span begin, span end), so enclosing phases (e.g. a
+// driver active throughout) sort after the early phases they contain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tquad/tquad_tool.hpp"
+
+namespace tq::tquad {
+
+/// Tuning knobs for the detector.
+struct PhaseOptions {
+  /// Similarity at or above which two kernels land in the same phase.
+  double merge_threshold = 0.6;
+  /// Fine analysis windows (clamped to the slice count): used to place
+  /// briefly-active kernels precisely.
+  std::uint64_t windows = 1024;
+  /// Substantially-active kernels are compared at windows/coarse_factor
+  /// granularity, so kernels that interleave within one application
+  /// iteration (e.g. the per-chunk kernels of hArtes wfs) share windows.
+  /// Rule of thumb: a coarse window (timeline / (windows/coarse_factor))
+  /// must span at least one iteration of the application's main loop; raise
+  /// this when brief per-iteration kernels split away from their phase.
+  std::uint64_t coarse_factor = 16;
+  /// Kernels active in at most max(3, tiny_fraction * windows) fine windows
+  /// are compared with the overlap coefficient instead of Jaccard.
+  double tiny_fraction = 0.01;
+  /// Percentile trimmed from each side of a kernel's active-slice list when
+  /// computing its core span.
+  double core_trim = 0.02;
+};
+
+/// A detected phase.
+struct Phase {
+  std::uint64_t segment_begin = 0;  ///< first active window, in slice units
+  std::uint64_t segment_end = 0;    ///< last active window, in slice units
+  std::uint64_t span_begin = 0;     ///< member-derived span (may overlap others)
+  std::uint64_t span_end = 0;
+  std::vector<std::uint32_t> kernels;  ///< member kernel ids, by first activity
+  double span_fraction = 0.0;          ///< span length / total slices
+};
+
+/// A kernel's trimmed activity interval.
+struct CoreSpan {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t active_slices = 0;
+};
+
+/// Core (percentile-trimmed) span of one kernel's activity.
+CoreSpan core_span(const KernelBandwidth& kernel, double trim);
+
+/// Run phase detection over a completed tQUAD run.
+std::vector<Phase> detect_phases(const TQuadTool& tool, const PhaseOptions& options = {});
+
+/// Human-readable summary (one line per phase with member kernel names).
+std::string describe_phases(const TQuadTool& tool, const std::vector<Phase>& phases);
+
+}  // namespace tq::tquad

@@ -1,0 +1,116 @@
+#include "tquad/report.hpp"
+
+#include <algorithm>
+
+namespace tq::tquad {
+
+std::vector<FlatRow> flat_profile(const TQuadTool& tool) {
+  std::vector<FlatRow> rows;
+  std::uint64_t total = 0;
+  for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
+    total += tool.activity(k).instructions;
+  }
+  for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
+    const KernelActivity& activity = tool.activity(k);
+    if (!tool.reported(k) || activity.calls == 0) continue;
+    FlatRow row;
+    row.kernel = k;
+    row.name = tool.kernel_name(k);
+    row.instructions = activity.instructions;
+    row.calls = activity.calls;
+    row.time_fraction =
+        total == 0 ? 0.0
+                   : static_cast<double>(activity.instructions) / static_cast<double>(total);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const FlatRow& a, const FlatRow& b) {
+    if (a.instructions != b.instructions) return a.instructions > b.instructions;
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+BandwidthStats bandwidth_stats(const KernelBandwidth& kernel,
+                               std::uint64_t slice_interval) {
+  BandwidthStats stats;
+  stats.activity_span = kernel.active_slices();
+  if (kernel.series.empty()) return stats;
+  stats.first_slice = kernel.first_active_slice();
+  stats.last_slice = kernel.last_active_slice();
+  const double denom =
+      static_cast<double>(stats.activity_span) * static_cast<double>(slice_interval);
+  stats.avg_read_incl = static_cast<double>(kernel.totals.read_incl) / denom;
+  stats.avg_read_excl = static_cast<double>(kernel.totals.read_excl) / denom;
+  stats.avg_write_incl = static_cast<double>(kernel.totals.write_incl) / denom;
+  stats.avg_write_excl = static_cast<double>(kernel.totals.write_excl) / denom;
+  for (const SliceSample& sample : kernel.series) {
+    const double interval = static_cast<double>(slice_interval);
+    stats.max_rw_incl =
+        std::max(stats.max_rw_incl,
+                 static_cast<double>(sample.counters.read_incl +
+                                     sample.counters.write_incl) /
+                     interval);
+    stats.max_rw_excl =
+        std::max(stats.max_rw_excl,
+                 static_cast<double>(sample.counters.read_excl +
+                                     sample.counters.write_excl) /
+                     interval);
+  }
+  return stats;
+}
+
+std::vector<double> dense_series(const TQuadTool& tool, std::uint32_t kernel,
+                                 Metric metric) {
+  const std::uint64_t slices = tool.bandwidth().max_slice() + 1;
+  std::vector<double> out(slices, 0.0);
+  for (const SliceSample& sample : tool.bandwidth().kernel(kernel).series) {
+    const SliceCounters& c = sample.counters;
+    double value = 0.0;
+    switch (metric) {
+      case Metric::kReadIncl: value = static_cast<double>(c.read_incl); break;
+      case Metric::kReadExcl: value = static_cast<double>(c.read_excl); break;
+      case Metric::kWriteIncl: value = static_cast<double>(c.write_incl); break;
+      case Metric::kWriteExcl: value = static_cast<double>(c.write_excl); break;
+      case Metric::kReadWriteIncl:
+        value = static_cast<double>(c.read_incl + c.write_incl);
+        break;
+      case Metric::kReadWriteExcl:
+        value = static_cast<double>(c.read_excl + c.write_excl);
+        break;
+    }
+    out[sample.slice] = value;
+  }
+  return out;
+}
+
+TextTable flat_profile_table(const TQuadTool& tool) {
+  TextTable table({"kernel", "%time", "instructions", "calls"});
+  for (const FlatRow& row : flat_profile(tool)) {
+    table.add_row({row.name, format_percent(row.time_fraction),
+                   format_count(row.instructions), format_count(row.calls)});
+  }
+  return table;
+}
+
+TextTable bandwidth_table(const TQuadTool& tool, const CpuModel& model) {
+  TextTable table({"kernel", "active slices", "avg read MB/s", "avg write MB/s",
+                   "peak R+W MB/s", "est. active time (ms)"});
+  for (const FlatRow& row : flat_profile(tool)) {
+    const BandwidthStats stats = bandwidth_stats(tool.bandwidth().kernel(row.kernel),
+                                                 tool.bandwidth().slice_interval());
+    if (stats.activity_span == 0) continue;
+    const double to_mb = 1e-6;
+    table.add_row(
+        {row.name, format_count(stats.activity_span),
+         format_fixed(model.to_bytes_per_second(stats.avg_read_incl) * to_mb, 1),
+         format_fixed(model.to_bytes_per_second(stats.avg_write_incl) * to_mb, 1),
+         format_fixed(model.to_bytes_per_second(stats.max_rw_incl) * to_mb, 1),
+         format_fixed(model.to_seconds(stats.activity_span *
+                                       tool.bandwidth().slice_interval()) *
+                          1e3,
+                      3)});
+  }
+  return table;
+}
+
+}  // namespace tq::tquad

@@ -1,0 +1,91 @@
+// Report construction over a completed TQuadTool run: flat profiles,
+// per-kernel bandwidth statistics (the Table IV columns) and dense series
+// extraction for the running-time graphs (Figures 6 and 7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+#include "tquad/tquad_tool.hpp"
+
+namespace tq::tquad {
+
+/// One row of tQUAD's instruction-count flat profile.
+struct FlatRow {
+  std::uint32_t kernel = 0;
+  std::string name;
+  std::uint64_t instructions = 0;  ///< retired while on top of the call stack
+  std::uint64_t calls = 0;
+  double time_fraction = 0.0;      ///< share of all retired instructions
+};
+
+/// Flat profile sorted by descending instruction share. Only reported
+/// kernels with at least one call appear.
+std::vector<FlatRow> flat_profile(const TQuadTool& tool);
+
+/// Per-kernel bandwidth statistics in bytes-per-instruction, the
+/// platform-independent unit of Section V-B / Table IV.
+struct BandwidthStats {
+  std::uint64_t activity_span = 0;  ///< number of active slices
+  std::uint64_t first_slice = 0;
+  std::uint64_t last_slice = 0;
+  double avg_read_incl = 0.0;   ///< mean bytes/instr over active slices
+  double avg_read_excl = 0.0;
+  double avg_write_incl = 0.0;
+  double avg_write_excl = 0.0;
+  double max_rw_incl = 0.0;  ///< peak (read+write)/interval over slices
+  double max_rw_excl = 0.0;
+};
+
+BandwidthStats bandwidth_stats(const KernelBandwidth& kernel,
+                               std::uint64_t slice_interval);
+
+/// Which per-slice metric to extract as a dense series.
+enum class Metric : std::uint8_t {
+  kReadIncl,
+  kReadExcl,
+  kWriteIncl,
+  kWriteExcl,
+  kReadWriteIncl,
+  kReadWriteExcl,
+};
+
+/// Dense per-slice values (bytes moved in the slice) over
+/// [0, tool.bandwidth().max_slice()] for one kernel.
+std::vector<double> dense_series(const TQuadTool& tool, std::uint32_t kernel,
+                                 Metric metric);
+
+/// Render the flat profile as a table ("%time", "instructions", "calls").
+TextTable flat_profile_table(const TQuadTool& tool);
+
+/// Target-architecture parameters for unit conversion. The paper: "If a
+/// more specific unit of measurement is needed, additional parameters for
+/// the target architecture should be provided for tQUAD, such as the number
+/// of PE cycles required to execute each instruction. It is also possible
+/// to derive different measurement units, such as bytes-per-cycle or
+/// bytes-per-second."
+struct CpuModel {
+  double clock_ghz = 2.83;  ///< the paper's Core 2 Quad Q9550
+  double cpi = 1.0;         ///< cycles per instruction of the target PE
+
+  /// bytes/instruction -> bytes/cycle on the modelled target.
+  double to_bytes_per_cycle(double bytes_per_instruction) const noexcept {
+    return bytes_per_instruction / cpi;
+  }
+  /// bytes/instruction -> bytes/second on the modelled target.
+  double to_bytes_per_second(double bytes_per_instruction) const noexcept {
+    return bytes_per_instruction * (clock_ghz * 1e9) / cpi;
+  }
+  /// instruction count -> seconds on the modelled target.
+  double to_seconds(std::uint64_t instructions) const noexcept {
+    return static_cast<double>(instructions) * cpi / (clock_ghz * 1e9);
+  }
+};
+
+/// Table IV-style per-kernel bandwidth rows converted through a CpuModel
+/// (columns in MB/s instead of bytes/instruction).
+TextTable bandwidth_table(const TQuadTool& tool, const CpuModel& model);
+
+}  // namespace tq::tquad

@@ -1,0 +1,102 @@
+// The tQUAD profiler as a minipin tool — the paper's primary contribution.
+//
+// Wiring (mirrors Figures 3-5 of the paper):
+//   * an RTN instrumentation callback registers EnterFC on every routine
+//     entry to maintain the internal call stack;
+//   * an INS instrumentation callback attaches
+//       - IncreaseRead / IncreaseWrite predicated analysis calls to every
+//         memory-referencing instruction (they return immediately on
+//         prefetches),
+//       - a return handler to every ret (call-stack integrity),
+//       - a per-instruction tick that attributes retired instructions to the
+//         kernel on top of the stack and drives slice rollover.
+//
+// Unlike the original tool, stack-area inclusion/exclusion is not a run-time
+// either/or: both classifications are recorded simultaneously (see
+// BandwidthRecorder), so one run yields the paper's two runs' worth of data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minipin/minipin.hpp"
+#include "tquad/bandwidth.hpp"
+#include "tquad/callstack.hpp"
+
+namespace tq::tquad {
+
+/// Command-line-equivalent options (Section IV-C lists the original three:
+/// stack inclusion, slice interval, library exclusion).
+struct Options {
+  std::uint64_t slice_interval = 100'000;  ///< instructions per time slice
+  LibraryPolicy library_policy = LibraryPolicy::kExclude;
+  bool count_prefetch = false;  ///< paper: analysis routines skip prefetches
+};
+
+/// Lifetime per-kernel tallies beyond bandwidth.
+struct KernelActivity {
+  std::uint64_t calls = 0;         ///< dynamic routine entries
+  std::uint64_t instructions = 0;  ///< retired while this kernel was on top
+};
+
+/// The tool. Construct with an Engine *before* running it; results are valid
+/// after Engine::run() returns.
+class TQuadTool {
+ public:
+  TQuadTool(pin::Engine& engine, Options options);
+
+  TQuadTool(const TQuadTool&) = delete;
+  TQuadTool& operator=(const TQuadTool&) = delete;
+
+  const Options& options() const noexcept { return options_; }
+  const BandwidthRecorder& bandwidth() const noexcept { return recorder_; }
+  const CallStack& callstack() const noexcept { return stack_; }
+  const KernelActivity& activity(std::uint32_t kernel) const {
+    TQUAD_CHECK(kernel < activity_.size(), "kernel id out of range");
+    return activity_[kernel];
+  }
+  std::size_t kernel_count() const noexcept { return activity_.size(); }
+  const std::string& kernel_name(std::uint32_t kernel) const {
+    return engine_.program().functions()[kernel].name;
+  }
+  /// Whether the kernel is reported under the library policy.
+  bool reported(std::uint32_t kernel) const noexcept { return stack_.tracked(kernel); }
+
+  std::uint64_t total_retired() const noexcept { return total_retired_; }
+  /// Instructions retired with no attributable kernel (excluded libraries).
+  std::uint64_t unattributed_instructions() const noexcept { return unattributed_; }
+
+ private:
+  // Stack classification: an address at or above SP (minus a small red zone
+  // covering the return-address push) and below the stack base is "local
+  // stack area". Same SP-relative heuristic as the pintool.
+  static constexpr std::uint64_t kRedZone = 64;
+
+  static bool is_stack_addr(std::uint64_t ea, std::uint64_t sp) noexcept {
+    return ea + kRedZone >= sp && ea < vm::kStackBase;
+  }
+
+  // Analysis routines (static trampolines, pintool style).
+  static void enter_fc(void* tool, const pin::RtnArgs& args);
+  static void increase_read(void* tool, const pin::InsArgs& args);
+  static void increase_write(void* tool, const pin::InsArgs& args);
+  static void prefetch_read(void* tool, const pin::InsArgs& args);
+  static void on_ret(void* tool, const pin::InsArgs& args);
+  static void on_tick(void* tool, const pin::InsArgs& args);
+
+  void instrument_rtn(pin::Rtn& rtn);
+  void instrument_ins(pin::Ins& ins);
+  void fini(std::uint64_t retired);
+
+  pin::Engine& engine_;
+  Options options_;
+  CallStack stack_;
+  BandwidthRecorder recorder_;
+  std::vector<KernelActivity> activity_;
+  std::uint64_t total_retired_ = 0;
+  std::uint64_t unattributed_ = 0;
+};
+
+}  // namespace tq::tquad

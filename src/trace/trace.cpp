@@ -1,0 +1,246 @@
+#include "trace/trace.hpp"
+
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace tq::trace {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52545154;  // "TQTR"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+// ---- Trace serialisation ------------------------------------------------------
+
+std::vector<std::uint8_t> Trace::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + records.size() * sizeof(Record));
+  auto put_u32 = [&](std::uint32_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    out.insert(out.end(), p, p + 4);
+  };
+  auto put_u64 = [&](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    out.insert(out.end(), p, p + 8);
+  };
+  put_u32(kMagic);
+  put_u32(kVersion);
+  put_u32(kernel_count);
+  put_u32(static_cast<std::uint32_t>(sizeof(Record)));
+  put_u64(total_retired);
+  put_u64(records.size());
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(records.data());
+  out.insert(out.end(), raw, raw + records.size() * sizeof(Record));
+  return out;
+}
+
+Trace Trace::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 32) TQUAD_THROW("TQTR trace too short for a header");
+  auto get_u32 = [&](std::size_t off) {
+    std::uint32_t v;
+    std::memcpy(&v, bytes.data() + off, 4);
+    return v;
+  };
+  auto get_u64 = [&](std::size_t off) {
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data() + off, 8);
+    return v;
+  };
+  if (get_u32(0) != kMagic) TQUAD_THROW("not a TQTR trace (bad magic)");
+  if (get_u32(4) != kVersion) TQUAD_THROW("unsupported TQTR version");
+  if (get_u32(12) != sizeof(Record)) {
+    TQUAD_THROW("TQTR record size mismatch (incompatible producer)");
+  }
+  Trace trace;
+  trace.kernel_count = get_u32(8);
+  trace.total_retired = get_u64(16);
+  const std::uint64_t count = get_u64(24);
+  if (bytes.size() != 32 + count * sizeof(Record)) {
+    TQUAD_THROW("TQTR trace truncated");
+  }
+  trace.records.resize(count);
+  std::memcpy(trace.records.data(), bytes.data() + 32, count * sizeof(Record));
+  for (const Record& record : trace.records) {
+    if (record.kind > EventKind::kWrite) TQUAD_THROW("TQTR record with bad kind");
+  }
+  return trace;
+}
+
+// ---- TraceRecorder --------------------------------------------------------------
+
+TraceRecorder::TraceRecorder(const vm::Program& program, tquad::LibraryPolicy policy)
+    : stack_(program, policy) {
+  trace_.kernel_count = static_cast<std::uint32_t>(program.functions().size());
+  trace_.records.reserve(1 << 16);
+}
+
+void TraceRecorder::on_rtn_enter(std::uint32_t func) {
+  stack_.on_enter(func);
+  Record record{};
+  record.retired = trace_.records.empty() ? 0 : trace_.records.back().retired;
+  record.ea = func;
+  record.kernel = static_cast<std::uint16_t>(
+      stack_.top() == tquad::kNoKernel ? kNoKernel16 : stack_.top());
+  record.func = static_cast<std::uint16_t>(func);
+  record.kind = EventKind::kEnter;
+  trace_.records.push_back(record);
+}
+
+void TraceRecorder::on_instr(const vm::InstrEvent& event) {
+  if (!event.executed) return;
+  const std::uint32_t top = stack_.top();
+  const std::uint16_t kernel =
+      top == tquad::kNoKernel ? kNoKernel16 : static_cast<std::uint16_t>(top);
+
+  auto emit = [&](EventKind kind, std::uint64_t ea, std::uint32_t size,
+                  std::uint8_t flags) {
+    Record record{};
+    record.retired = event.retired;
+    record.ea = ea;
+    record.pc = event.pc;
+    record.kernel = kernel;
+    record.func = static_cast<std::uint16_t>(event.func);
+    record.kind = kind;
+    record.size = static_cast<std::uint8_t>(size);
+    record.flags = flags;
+    trace_.records.push_back(record);
+  };
+
+  if (event.read.size != 0) {
+    std::uint8_t flags = 0;
+    if (is_stack_addr(event.read.ea, event.sp)) flags |= kFlagStackArea;
+    if (event.prefetch) flags |= kFlagPrefetch;
+    emit(EventKind::kRead, event.read.ea, event.read.size, flags);
+  }
+  if (event.write.size != 0) {
+    std::uint8_t flags = 0;
+    if (is_stack_addr(event.write.ea, event.sp)) flags |= kFlagStackArea;
+    emit(EventKind::kWrite, event.write.ea, event.write.size, flags);
+  }
+  if (isa::is_ret(event.ins->op)) {
+    emit(EventKind::kRet, 0, 0, 0);
+    stack_.on_ret(event.func);
+  }
+}
+
+void TraceRecorder::on_program_end(std::uint64_t retired) {
+  trace_.total_retired = retired;
+}
+
+Trace TraceRecorder::take() { return std::move(trace_); }
+
+// ---- replay ----------------------------------------------------------------------
+
+void replay(const Trace& trace, TraceSink& sink) {
+  for (const Record& record : trace.records) {
+    sink.on_record(record);
+  }
+  sink.on_end(trace);
+}
+
+// ---- OfflineBandwidth --------------------------------------------------------------
+
+OfflineBandwidth::OfflineBandwidth(std::uint32_t kernel_count,
+                                   std::uint64_t slice_interval)
+    : kernels_(kernel_count), slice_interval_(slice_interval) {
+  TQUAD_CHECK(slice_interval_ > 0, "slice interval must be positive");
+}
+
+namespace {
+
+/// Accumulate the records in [begin, end) into per-kernel sample vectors
+/// using the same open-slice logic as the online recorder.
+std::vector<std::vector<tquad::SliceSample>> accumulate_range(
+    std::span<const Record> records, std::size_t kernel_count,
+    std::uint64_t slice_interval) {
+  std::vector<std::vector<tquad::SliceSample>> out(kernel_count);
+  struct Open {
+    std::uint64_t slice = ~0ull;
+    tquad::SliceCounters counters;
+  };
+  std::vector<Open> open(kernel_count);
+  for (const Record& record : records) {
+    if (record.kernel == kNoKernel16) continue;
+    if (record.kind != EventKind::kRead && record.kind != EventKind::kWrite) continue;
+    if (record.flags & kFlagPrefetch) continue;  // paper: skip prefetches
+    TQUAD_DCHECK(record.kernel < kernel_count, "kernel id out of range in trace");
+    const std::uint64_t slice = record.retired / slice_interval;
+    Open& slot = open[record.kernel];
+    if (slot.slice != slice) {
+      if (slot.slice != ~0ull && !slot.counters.empty()) {
+        out[record.kernel].push_back(tquad::SliceSample{slot.slice, slot.counters});
+      }
+      slot.slice = slice;
+      slot.counters.clear();
+    }
+    const bool stack_area = record.flags & kFlagStackArea;
+    if (record.kind == EventKind::kRead) {
+      slot.counters.read_incl += record.size;
+      if (!stack_area) slot.counters.read_excl += record.size;
+    } else {
+      slot.counters.write_incl += record.size;
+      if (!stack_area) slot.counters.write_excl += record.size;
+    }
+  }
+  for (std::size_t k = 0; k < kernel_count; ++k) {
+    if (open[k].slice != ~0ull && !open[k].counters.empty()) {
+      out[k].push_back(tquad::SliceSample{open[k].slice, open[k].counters});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void OfflineBandwidth::merge_partial(std::uint32_t kernel,
+                                     std::vector<tquad::SliceSample>&& samples) {
+  auto& dest = kernels_[kernel];
+  for (auto& sample : samples) {
+    max_slice_ = std::max(max_slice_, sample.slice);
+    dest.totals.merge(sample.counters);
+    if (!dest.series.empty() && dest.series.back().slice == sample.slice) {
+      dest.series.back().counters.merge(sample.counters);  // shard seam
+    } else {
+      TQUAD_DCHECK(dest.series.empty() || dest.series.back().slice < sample.slice,
+                   "trace records out of order");
+      dest.series.push_back(sample);
+    }
+  }
+}
+
+void OfflineBandwidth::aggregate(const Trace& trace) {
+  auto samples = accumulate_range(trace.records, kernels_.size(), slice_interval_);
+  for (std::uint32_t k = 0; k < kernels_.size(); ++k) {
+    merge_partial(k, std::move(samples[k]));
+  }
+}
+
+void OfflineBandwidth::aggregate_parallel(const Trace& trace, ThreadPool& pool) {
+  const std::uint64_t total = trace.records.size();
+  if (total == 0) return;
+  const unsigned blocks =
+      static_cast<unsigned>(std::min<std::uint64_t>(pool.size(), total));
+  std::vector<std::vector<std::vector<tquad::SliceSample>>> partials(blocks);
+  parallel_for_blocks(
+      pool, 0, total,
+      [&](std::uint64_t begin, std::uint64_t end, unsigned block) {
+        partials[block] = accumulate_range(
+            std::span<const Record>(trace.records.data() + begin, end - begin),
+            kernels_.size(), slice_interval_);
+      });
+  for (unsigned block = 0; block < blocks; ++block) {
+    for (std::uint32_t k = 0; k < kernels_.size(); ++k) {
+      merge_partial(k, std::move(partials[block][k]));
+    }
+  }
+}
+
+const tquad::KernelBandwidth& OfflineBandwidth::kernel(std::uint32_t id) const {
+  TQUAD_CHECK(id < kernels_.size(), "kernel id out of range");
+  return kernels_[id];
+}
+
+}  // namespace tq::trace

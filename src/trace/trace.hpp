@@ -1,0 +1,143 @@
+// Trace record / replay.
+//
+// Online profiling couples analysis cost to execution: every run of the
+// (slow) instrumented guest pays for every analysis. This module decouples
+// them, the way production DBI setups do (Pin's logger/replayer tools):
+//
+//   * TraceRecorder is an ExecListener that captures the profiler-relevant
+//     event stream — routine entries/returns and memory accesses, each
+//     pre-attributed to the kernel on top of the call stack and pre-classified
+//     stack/global — into a compact in-memory buffer (28 bytes/event),
+//     serialisable to a flat file ("TQTR" format).
+//   * replay() feeds a recorded trace back into any TraceSink, so many
+//     analyses run from one guest execution.
+//   * OfflineBandwidth aggregates a trace into the same per-kernel
+//     per-slice counters tquad::BandwidthRecorder produces online — either
+//     sequentially or sharded across a ThreadPool (records are
+//     pre-attributed, so aggregation is embarrassingly parallel; partial
+//     slices at shard boundaries merge by addition).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+#include "tquad/bandwidth.hpp"
+#include "tquad/callstack.hpp"
+#include "vm/machine.hpp"
+
+namespace tq::trace {
+
+/// Event kinds stored in a trace.
+enum class EventKind : std::uint8_t {
+  kEnter = 0,  ///< routine entry; `ea` holds the entered function id
+  kRet = 1,    ///< return executed inside `func`
+  kRead = 2,   ///< memory read of `size` bytes at `ea`
+  kWrite = 3,  ///< memory write of `size` bytes at `ea`
+};
+
+/// Flag bits.
+enum : std::uint8_t {
+  kFlagStackArea = 1u << 0,  ///< the access hits the local stack area
+  kFlagPrefetch = 1u << 1,   ///< the access is a prefetch touch
+};
+
+/// One trace record. 28 bytes, trivially copyable; written to disk verbatim
+/// (little-endian hosts only, like the rest of the image formats here).
+struct Record {
+  std::uint64_t retired;  ///< instruction count before the event
+  std::uint64_t ea;       ///< effective address (or entered function id)
+  std::uint32_t pc;       ///< instruction index within `func`
+  std::uint16_t kernel;   ///< attributed kernel (0xffff = unattributed)
+  std::uint16_t func;     ///< function executing the instruction
+  EventKind kind;
+  std::uint8_t size;      ///< access width in bytes
+  std::uint8_t flags;     ///< kFlag* bits
+  std::uint8_t reserved;
+};
+static_assert(sizeof(Record) == 32 || sizeof(Record) == 28,
+              "Record layout drifted");
+
+inline constexpr std::uint16_t kNoKernel16 = 0xffff;
+
+/// A recorded trace plus the metadata needed to interpret it.
+struct Trace {
+  std::vector<Record> records;
+  std::uint64_t total_retired = 0;
+  std::uint32_t kernel_count = 0;
+
+  /// Serialise to the flat "TQTR" byte format and back (throws tq::Error on
+  /// malformed input).
+  std::vector<std::uint8_t> serialize() const;
+  static Trace deserialize(std::span<const std::uint8_t> bytes);
+};
+
+/// Records the profiler-relevant event stream of one guest run.
+///
+/// Attribution follows the same call-stack rules as the online tools
+/// (tquad::CallStack with the given library policy); accesses with no
+/// attributable kernel are recorded with kernel = kNoKernel16 so offline
+/// consumers can choose to keep or drop them.
+class TraceRecorder final : public vm::ExecListener {
+ public:
+  TraceRecorder(const vm::Program& program,
+                tquad::LibraryPolicy policy = tquad::LibraryPolicy::kExclude);
+
+  void on_rtn_enter(std::uint32_t func) override;
+  void on_instr(const vm::InstrEvent& event) override;
+  void on_program_end(std::uint64_t retired) override;
+
+  /// Take the finished trace (call after the run; the recorder is spent).
+  Trace take();
+
+ private:
+  static constexpr std::uint64_t kRedZone = 64;
+  static bool is_stack_addr(std::uint64_t ea, std::uint64_t sp) noexcept {
+    return ea + kRedZone >= sp && ea < vm::kStackBase;
+  }
+
+  tquad::CallStack stack_;
+  Trace trace_;
+};
+
+/// Consumer interface for replay().
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_record(const Record& record) = 0;
+  virtual void on_end(const Trace& trace) { (void)trace; }
+};
+
+/// Feed every record of `trace` to `sink` in order.
+void replay(const Trace& trace, TraceSink& sink);
+
+/// Offline per-kernel per-slice aggregation, equivalent to the online
+/// tquad::BandwidthRecorder for the same run and slice interval.
+class OfflineBandwidth {
+ public:
+  OfflineBandwidth(std::uint32_t kernel_count, std::uint64_t slice_interval);
+
+  /// Sequential aggregation.
+  void aggregate(const Trace& trace);
+
+  /// Sharded aggregation on `pool`: each worker accumulates a disjoint
+  /// record range, partial slices merge by addition. Results are identical
+  /// to the sequential path.
+  void aggregate_parallel(const Trace& trace, ThreadPool& pool);
+
+  std::uint64_t slice_interval() const noexcept { return slice_interval_; }
+  const tquad::KernelBandwidth& kernel(std::uint32_t id) const;
+  std::size_t kernel_count() const noexcept { return kernels_.size(); }
+  std::uint64_t max_slice() const noexcept { return max_slice_; }
+
+ private:
+  void merge_partial(std::uint32_t kernel,
+                     std::vector<tquad::SliceSample>&& samples);
+
+  std::vector<tquad::KernelBandwidth> kernels_;
+  std::uint64_t slice_interval_;
+  std::uint64_t max_slice_ = 0;
+};
+
+}  // namespace tq::trace

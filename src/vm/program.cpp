@@ -1,0 +1,189 @@
+#include "vm/program.hpp"
+
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace tq::vm {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d495154;  // "TQIM"
+constexpr std::uint32_t kVersion = 2;  // v2 added the globals table
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + 4);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + 8);
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, std::span<const std::uint8_t> bytes) {
+  put_u64(out, bytes.size());
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    std::uint32_t v;
+    take(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    take(&v, 8);
+    return v;
+  }
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t n = u64();
+    if (n > remaining()) TQUAD_THROW("TQIM image truncated inside a blob");
+    std::vector<std::uint8_t> out(bytes_.begin() + pos_, bytes_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+ private:
+  void take(void* dst, std::size_t n) {
+    if (n > remaining()) TQUAD_THROW("TQIM image truncated");
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* image_kind_name(ImageKind kind) noexcept {
+  switch (kind) {
+    case ImageKind::kMain: return "main";
+    case ImageKind::kLibrary: return "library";
+    case ImageKind::kOs: return "os";
+  }
+  return "<bad>";
+}
+
+std::uint32_t Program::add_function(Function function) {
+  TQUAD_CHECK(!function.name.empty(), "function needs a name");
+  functions_.push_back(std::move(function));
+  return static_cast<std::uint32_t>(functions_.size() - 1);
+}
+
+void Program::set_entry(std::uint32_t function_id) {
+  TQUAD_CHECK(function_id < functions_.size(), "entry function out of range");
+  entry_ = function_id;
+}
+
+const Function& Program::function(std::uint32_t id) const {
+  TQUAD_CHECK(id < functions_.size(), "function id out of range");
+  return functions_[id];
+}
+
+std::optional<std::uint32_t> Program::find(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].name == name) return static_cast<std::uint32_t>(i);
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Program::static_instructions() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& fn : functions_) total += fn.code.size();
+  return total;
+}
+
+void Program::validate() const {
+  if (functions_.empty()) TQUAD_THROW("program has no functions");
+  for (const auto& fn : functions_) {
+    const std::string diag = isa::validate(fn.code, functions_.size());
+    if (!diag.empty()) {
+      TQUAD_THROW("function '" + fn.name + "': " + diag);
+    }
+  }
+  TQUAD_CHECK(entry_ < functions_.size(), "entry out of range");
+}
+
+std::vector<std::uint8_t> Program::serialize() const {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, entry_);
+  put_u32(out, static_cast<std::uint32_t>(functions_.size()));
+  put_u64(out, data_.size());
+  put_u64(out, globals_.size());
+  for (const auto& fn : functions_) {
+    put_bytes(out, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(fn.name.data()),
+                       fn.name.size()));
+    put_u32(out, static_cast<std::uint32_t>(fn.image));
+    put_bytes(out, isa::encode(fn.code));
+  }
+  for (const auto& init : data_) {
+    put_u64(out, init.addr);
+    put_bytes(out, init.bytes);
+  }
+  for (const auto& var : globals_) {
+    put_bytes(out, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(var.name.data()),
+                       var.name.size()));
+    put_u64(out, var.addr);
+    put_u64(out, var.size);
+  }
+  return out;
+}
+
+Program Program::deserialize(std::span<const std::uint8_t> bytes) {
+  Reader in(bytes);
+  if (in.u32() != kMagic) TQUAD_THROW("not a TQIM image (bad magic)");
+  const std::uint32_t version = in.u32();
+  if (version != kVersion) {
+    TQUAD_THROW("unsupported TQIM version " + std::to_string(version));
+  }
+  const std::uint32_t entry = in.u32();
+  const std::uint32_t function_count = in.u32();
+  const std::uint64_t data_count = in.u64();
+  const std::uint64_t global_count = in.u64();
+  Program prog;
+  for (std::uint32_t i = 0; i < function_count; ++i) {
+    const auto name_bytes = in.blob();
+    Function fn;
+    fn.name.assign(name_bytes.begin(), name_bytes.end());
+    const std::uint32_t image = in.u32();
+    if (image > static_cast<std::uint32_t>(ImageKind::kOs)) {
+      TQUAD_THROW("bad image kind in TQIM image");
+    }
+    fn.image = static_cast<ImageKind>(image);
+    fn.code = isa::decode(in.blob());
+    prog.add_function(std::move(fn));
+  }
+  for (std::uint64_t i = 0; i < data_count; ++i) {
+    DataInit init;
+    init.addr = in.u64();
+    init.bytes = in.blob();
+    prog.add_data(std::move(init));
+  }
+  for (std::uint64_t i = 0; i < global_count; ++i) {
+    GlobalVar var;
+    const auto name_bytes = in.blob();
+    var.name.assign(name_bytes.begin(), name_bytes.end());
+    var.addr = in.u64();
+    var.size = in.u64();
+    prog.add_global(std::move(var));
+  }
+  // Untrusted input: reject rather than assert on a bad entry id.
+  if (entry >= prog.functions().size()) {
+    TQUAD_THROW("TQIM entry function id out of range");
+  }
+  prog.set_entry(entry);
+  prog.validate();
+  return prog;
+}
+
+}  // namespace tq::vm

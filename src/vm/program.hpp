@@ -1,0 +1,98 @@
+// Guest program representation: a set of named functions plus initialised
+// data, the moral equivalent of a loaded executable image.
+//
+// Functions carry an ImageKind so tools can distinguish the main image from
+// library/OS-like code — tQUAD's `-ignore_libs` option filters call-stack
+// updates on exactly this attribute (Section IV-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace tq::vm {
+
+/// Where a routine lives, mirroring Pin's image model.
+enum class ImageKind : std::uint8_t {
+  kMain = 0,     ///< the application's own image
+  kLibrary = 1,  ///< shared-library-like helper code
+  kOs = 2,       ///< OS/runtime stubs
+};
+
+const char* image_kind_name(ImageKind kind) noexcept;
+
+/// One guest routine.
+struct Function {
+  std::string name;
+  ImageKind image = ImageKind::kMain;
+  std::vector<isa::Instr> code;
+};
+
+/// Initialised data copied into guest memory before execution.
+struct DataInit {
+  std::uint64_t addr = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// A named global variable (the image's "symbol table" for data): lets
+/// analysis tools report per-buffer instead of per-address.
+struct GlobalVar {
+  std::string name;
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+};
+
+/// Guest address-space layout constants. The stack grows down from
+/// kStackBase; tools classify `addr >= SP && addr < kStackBase` as the
+/// local stack area (the same SP-relative heuristic the tQUAD pintool uses).
+inline constexpr std::uint64_t kGlobalBase = 0x1000'0000ull;
+inline constexpr std::uint64_t kHeapBase = 0x4000'0000ull;
+inline constexpr std::uint64_t kStackLimit = 0x7000'0000ull;
+inline constexpr std::uint64_t kStackBase = 0x7fff'fff0ull;
+
+/// A complete loadable guest program.
+class Program {
+ public:
+  /// Append a function; returns its id (the call-target index).
+  std::uint32_t add_function(Function function);
+
+  /// Append an initialised data block.
+  void add_data(DataInit init) { data_.push_back(std::move(init)); }
+
+  /// Register a named global (data-symbol information for tools).
+  void add_global(GlobalVar var) { globals_.push_back(std::move(var)); }
+  const std::vector<GlobalVar>& globals() const noexcept { return globals_; }
+
+  void set_entry(std::uint32_t function_id);
+
+  const std::vector<Function>& functions() const noexcept { return functions_; }
+  const Function& function(std::uint32_t id) const;
+  const std::vector<DataInit>& data() const noexcept { return data_; }
+  std::uint32_t entry() const noexcept { return entry_; }
+
+  /// Find a function id by name; nullopt when absent.
+  std::optional<std::uint32_t> find(const std::string& name) const noexcept;
+
+  /// Total static instruction count across all functions.
+  std::uint64_t static_instructions() const noexcept;
+
+  /// Structural validation of every function (see isa::validate). Throws
+  /// tq::Error naming the offending function on failure.
+  void validate() const;
+
+  /// Serialise to a flat image ("TQIM" format) and back. The round trip is
+  /// exact; deserialisation throws tq::Error on malformed input.
+  std::vector<std::uint8_t> serialize() const;
+  static Program deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<Function> functions_;
+  std::vector<DataInit> data_;
+  std::vector<GlobalVar> globals_;
+  std::uint32_t entry_ = 0;
+};
+
+}  // namespace tq::vm

@@ -1,0 +1,250 @@
+#include "wfs/golden.hpp"
+
+#include <cmath>
+
+namespace tq::wfs {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+WfsDerived::WfsDerived(const WfsConfig& cfg) {
+  dt = static_cast<double>(cfg.chunk_size) / cfg.sample_rate;
+  delay_factor = cfg.sample_rate / cfg.sound_speed;
+  source_x0 = -1.0;
+  source_y0 = cfg.source_distance;
+  vel_x = cfg.source_speed;
+  vel_y = 0.0;
+  speaker_x.resize(cfg.speakers);
+  for (std::uint32_t s = 0; s < cfg.speakers; ++s) {
+    speaker_x[s] = (static_cast<double>(s) -
+                    static_cast<double>(cfg.speakers - 1) / 2.0) *
+                   cfg.speaker_spacing;
+  }
+}
+
+std::uint32_t golden_bitrev(std::uint32_t i, std::uint32_t bits) {
+  std::uint32_t result = 0;
+  for (std::uint32_t b = 0; b < bits; ++b) {
+    result = (result << 1) | (i & 1);
+    i >>= 1;
+  }
+  return result;
+}
+
+void golden_fft(std::vector<double>& a, std::uint32_t n, int dir) {
+  std::uint32_t bits = 0;
+  while ((1u << bits) < n) ++bits;
+  // perm: bit-reversal permutation (guest: perm calls bitrev per element).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t j = golden_bitrev(i, bits);
+    if (j > i) {
+      std::swap(a[2 * i], a[2 * j]);
+      std::swap(a[2 * i + 1], a[2 * j + 1]);
+    }
+  }
+  // Danielson–Lanczos butterflies. Operation order mirrors the guest fft1d.
+  for (std::uint32_t len = 2; len <= n; len <<= 1) {
+    const double ang = (static_cast<double>(dir) * kTwoPi) / static_cast<double>(len);
+    const double wr = std::cos(ang);
+    const double wi = std::sin(ang);
+    for (std::uint32_t i = 0; i < n; i += len) {
+      double cr = 1.0;
+      double ci = 0.0;
+      for (std::uint32_t j = 0; j < len / 2; ++j) {
+        const std::uint32_t p = 2 * (i + j);
+        const std::uint32_t q = 2 * (i + j + len / 2);
+        const double ure = a[p];
+        const double uim = a[p + 1];
+        const double tre = a[q];
+        const double tim = a[q + 1];
+        const double vre = tre * cr - tim * ci;
+        const double vim = tre * ci + tim * cr;
+        a[p] = ure + vre;
+        a[p + 1] = uim + vim;
+        a[q] = ure - vre;
+        a[q + 1] = uim - vim;
+        const double ncr = cr * wr - ci * wi;
+        const double nci = cr * wi + ci * wr;
+        cr = ncr;
+        ci = nci;
+      }
+    }
+  }
+  if (dir < 0) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::uint32_t i = 0; i < 2 * n; ++i) a[i] *= inv;
+  }
+}
+
+void golden_ffw(const WfsConfig& cfg, int which, std::vector<double>& spec) {
+  const std::uint32_t n = cfg.fft_size;
+  const std::uint32_t c = cfg.chunk_size;
+  std::vector<double> ir(n, 0.0);
+  if (which == 0) {
+    // Exponentially decaying lowpass FIR over the first C+1 taps,
+    // normalised so the DC gain is ~1 regardless of C.
+    double coef = 0.9 * (1.0 - 0.97) / (1.0 - std::pow(0.97, c + 1));
+    for (std::uint32_t j = 0; j <= c; ++j) {
+      ir[j] = coef;
+      coef *= 0.97;
+    }
+  } else {
+    // Tiny bias/echo spectrum (what cadd folds into every chunk).
+    ir[0] = 0.05;
+    ir[c / 2] = 0.025;
+  }
+  spec.assign(2 * n, 0.0);  // zeroCplxVec
+  for (std::uint32_t j = 0; j < n; ++j) {  // r2c
+    spec[2 * j] = ir[j];
+    spec[2 * j + 1] = 0.0;
+  }
+  golden_fft(spec, n, +1);
+}
+
+GoldenResult run_golden(const WfsConfig& cfg, const WavData& input) {
+  cfg.validate();
+  const WfsDerived derived(cfg);
+  const std::uint32_t C = cfg.chunk_size;
+  const std::uint32_t N = cfg.fft_size;
+  const std::uint32_t NS = cfg.speakers;
+  const std::uint32_t K = cfg.chunks;
+  const std::uint32_t R = cfg.ring_size;
+  const std::uint64_t total = static_cast<std::uint64_t>(K) * C;
+
+  // wav_load: PCM16 -> f32 input buffer.
+  std::vector<float> in_f32(total, 0.0f);
+  const std::size_t avail = std::min<std::size_t>(input.samples.size(), total);
+  for (std::size_t g = 0; g < avail; ++g) {
+    in_f32[g] = static_cast<float>(static_cast<double>(input.samples[g]) / 32768.0);
+  }
+
+  // ffw x2.
+  std::vector<double> H, B;
+  golden_ffw(cfg, 0, H);
+  golden_ffw(cfg, 1, B);
+
+  GoldenResult result;
+  result.frames.assign(static_cast<std::size_t>(NS) * total, 0.0f);
+  result.gains.assign(NS, 0.0);
+  result.delays.assign(NS, 0);
+
+  std::vector<double> in_block(N, 0.0);
+  std::vector<double> cur(C, 0.0);
+  std::vector<double> X(2 * N, 0.0), T(2 * N, 0.0), Y(2 * N, 0.0);
+  std::vector<double> y_chunk(C, 0.0);
+  std::vector<double> ring(R, 0.0);
+  std::vector<float> spk(static_cast<std::size_t>(NS) * C, 0.0f);
+  double px = derived.source_x0;
+  double py = derived.source_y0;
+
+  for (std::uint32_t chunk = 0; chunk < K; ++chunk) {
+    // Wave propagation: move the source and refresh gains/delays.
+    if (chunk < cfg.move_chunks) {
+      // PrimarySource_deriveTP (uses vsmult2d for the step vector).
+      const double step_x = derived.vel_x * derived.dt;
+      const double step_y = derived.vel_y * derived.dt;
+      px += step_x;
+      py += step_y;
+      for (std::uint32_t s = 0; s < NS; ++s) {  // calculateGainPQ
+        const double dx = px - derived.speaker_x[s];
+        const double dy = py;
+        const double d = std::sqrt(dx * dx + dy * dy);
+        // vsmult2d computes the unit direction vector (written, unused).
+        const double inv = 1.0 / d;
+        [[maybe_unused]] const double ux = dx * inv;
+        [[maybe_unused]] const double uy = dy * inv;
+        result.gains[s] = 0.25 / std::fmax(d, 0.5);
+        std::int64_t delay =
+            static_cast<std::int64_t>(d * derived.delay_factor);  // truncates
+        const std::int64_t limit = static_cast<std::int64_t>(R) - C - 1;
+        if (delay > limit) delay = limit;
+        if (delay < 0) delay = 0;
+        result.delays[s] = delay;
+      }
+    }
+
+    // AudioIo_getFrames.
+    for (std::uint32_t i = 0; i < C; ++i) {
+      cur[i] = static_cast<double>(in_f32[static_cast<std::size_t>(chunk) * C + i]);
+    }
+    // Filter_process_pre_: slide the overlap-save window.
+    for (std::uint32_t i = 0; i < N - C; ++i) in_block[i] = in_block[i + C];
+    for (std::uint32_t i = 0; i < C; ++i) in_block[N - C + i] = cur[i];
+
+    // Filter_process.
+    X.assign(2 * N, 0.0);  // zeroCplxVec
+    for (std::uint32_t i = 0; i < N; ++i) {  // r2c
+      X[2 * i] = in_block[i];
+      X[2 * i + 1] = 0.0;
+    }
+    golden_fft(X, N, +1);
+    for (std::uint32_t k = 0; k < N; ++k) {
+      // cmult then cadd, per bin.
+      const double are = X[2 * k], aim = X[2 * k + 1];
+      const double bre = H[2 * k], bim = H[2 * k + 1];
+      T[2 * k] = are * bre - aim * bim;
+      T[2 * k + 1] = are * bim + aim * bre;
+      Y[2 * k] = T[2 * k] + B[2 * k];
+      Y[2 * k + 1] = T[2 * k + 1] + B[2 * k + 1];
+    }
+    golden_fft(Y, N, -1);
+    for (std::uint32_t i = 0; i < C; ++i) {  // c2r (overlap-save tail)
+      y_chunk[i] = Y[2 * (N - C + i)];
+    }
+
+    // DelayLine_processChunk.
+    for (std::uint32_t i = 0; i < C; ++i) {
+      ring[(static_cast<std::uint64_t>(chunk) * C + i) & (R - 1)] = y_chunk[i];
+    }
+    for (std::uint32_t s = 0; s < NS; ++s) {
+      for (std::uint32_t i = 0; i < C; ++i) spk[s * C + i] = 0.0f;  // zeroRealVec
+      for (std::uint32_t i = 0; i < C; ++i) {
+        const std::int64_t g = static_cast<std::int64_t>(chunk) * C + i -
+                               result.delays[s];
+        const double sample = g >= 0 ? ring[static_cast<std::uint64_t>(g) & (R - 1)]
+                                     : 0.0;
+        const double prev = static_cast<double>(spk[s * C + i]);
+        spk[s * C + i] = static_cast<float>(prev + result.gains[s] * sample);
+      }
+    }
+
+    // AudioIo_setFrames: planar block copy (bitwise).
+    for (std::uint32_t s = 0; s < NS; ++s) {
+      for (std::uint32_t i = 0; i < C; ++i) {
+        result.frames[static_cast<std::size_t>(s) * total + chunk * C + i] =
+            spk[s * C + i];
+      }
+    }
+  }
+
+  // wav_store: peak scan passes, then interleave + quantise.
+  double peak = 0.0;
+  for (std::uint32_t pass = 0; pass + 1 < cfg.store_passes; ++pass) {
+    double local = 0.0;
+    for (std::uint32_t s = 0; s < NS; ++s) {
+      for (std::uint64_t g = 0; g < total; ++g) {
+        const double v = static_cast<double>(result.frames[s * total + g]);
+        local = std::fmax(local, std::fabs(v));
+      }
+    }
+    peak = local;
+  }
+  result.peak = peak;
+  const double scale = 0.9 / std::fmax(peak, 1e-9);
+  result.output.resize(static_cast<std::size_t>(total) * NS);
+  for (std::uint64_t g = 0; g < total; ++g) {
+    for (std::uint32_t s = 0; s < NS; ++s) {
+      const double v = static_cast<double>(result.frames[s * total + g]);
+      double x = v * scale;
+      x = x * 32767.0;
+      x = std::fmax(x, -32768.0);
+      x = std::fmin(x, 32767.0);
+      result.output[g * NS + s] =
+          static_cast<std::int16_t>(static_cast<std::int64_t>(x));
+    }
+  }
+  return result;
+}
+
+}  // namespace tq::wfs

@@ -1,0 +1,58 @@
+// Native reference implementation of the hArtes-wfs signal chain.
+//
+// The guest program (wfs_program.cpp) and this model are written from the
+// same operation-level specification — identical arithmetic, identical
+// operation order, the same libm sin/cos the VM uses — so the guest's output
+// WAV must match this model essentially bit-for-bit. Tests use it to prove
+// that the profiled application actually computes a wave-field synthesis, as
+// opposed to being a synthetic memory-traffic generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wfs/config.hpp"
+#include "wfs/wav.hpp"
+
+namespace tq::wfs {
+
+/// Everything the reference pipeline produces.
+struct GoldenResult {
+  std::vector<float> frames;         ///< planar speaker frames [s * K*C + g]
+  std::vector<std::int16_t> output;  ///< interleaved PCM16 (frame-major)
+  std::vector<double> gains;         ///< final per-speaker gains
+  std::vector<std::int64_t> delays;  ///< final per-speaker delays (samples)
+  double peak = 0.0;                 ///< normalisation peak found by wav_store
+};
+
+/// Derived constants shared verbatim between golden model and guest builder
+/// (both sides must use the same doubles for bit-equality).
+struct WfsDerived {
+  double dt;            ///< chunk duration in seconds (C / fs)
+  double delay_factor;  ///< fs / sound_speed (samples per metre)
+  double source_x0;     ///< initial source position
+  double source_y0;
+  double vel_x;          ///< source velocity while moving
+  double vel_y;
+  std::vector<double> speaker_x;  ///< speaker x positions (y = 0)
+
+  explicit WfsDerived(const WfsConfig& cfg);
+};
+
+/// In-place interleaved complex FFT mirroring the guest fft1d/perm/bitrev
+/// kernels (Danielson–Lanczos with an explicit bit-reversal permutation).
+/// `a` holds n interleaved (re, im) pairs; dir is +1 or -1; dir < 0 scales
+/// by 1/n.
+void golden_fft(std::vector<double>& a, std::uint32_t n, int dir);
+
+/// Bit reversal of the low `bits` bits of `i` (mirrors the bitrev kernel).
+std::uint32_t golden_bitrev(std::uint32_t i, std::uint32_t bits);
+
+/// The ffw kernel: build filter `which` (0 = main lowpass, 1 = bias) as an
+/// N-point spectrum into `spec` (2N interleaved doubles).
+void golden_ffw(const WfsConfig& cfg, int which, std::vector<double>& spec);
+
+/// Run the full pipeline on `input` (mono PCM16).
+GoldenResult run_golden(const WfsConfig& cfg, const WavData& input);
+
+}  // namespace tq::wfs

@@ -1,0 +1,24 @@
+#include "wfs/runner.hpp"
+
+namespace tq::wfs {
+
+WfsRun prepare_wfs_run(const WfsConfig& cfg) {
+  WfsRun run;
+  run.config = cfg;
+  run.artifacts = build_wfs_program(cfg);
+  run.input = make_test_signal(cfg.input_samples(),
+                               static_cast<std::uint32_t>(cfg.sample_rate));
+  const int in_fd = run.host.attach_input(wav_encode(run.input));
+  const int out_fd = run.host.create_output();
+  TQUAD_CHECK(in_fd == WfsArtifacts::kInputFd, "unexpected input descriptor");
+  TQUAD_CHECK(out_fd == WfsArtifacts::kOutputFd, "unexpected output descriptor");
+  return run;
+}
+
+GoldenResult run_reference(const WfsConfig& cfg) {
+  const WavData input = make_test_signal(
+      cfg.input_samples(), static_cast<std::uint32_t>(cfg.sample_rate));
+  return run_golden(cfg, input);
+}
+
+}  // namespace tq::wfs

@@ -1,0 +1,36 @@
+// Convenience harness around the wfs guest program: builds the program,
+// synthesises the input WAV, wires the HostEnv descriptors, and decodes the
+// guest's output. Shared by tests, examples, and every bench binary.
+#pragma once
+
+#include "vm/host_env.hpp"
+#include "vm/machine.hpp"
+#include "wfs/config.hpp"
+#include "wfs/golden.hpp"
+#include "wfs/wav.hpp"
+#include "wfs/wfs_program.hpp"
+
+namespace tq::wfs {
+
+/// A ready-to-run wfs setup. Keep it alive for the duration of the run; the
+/// Machine/Engine reference both the program and the host environment.
+struct WfsRun {
+  WfsConfig config;
+  WfsArtifacts artifacts;
+  WavData input;
+  vm::HostEnv host;  ///< fd 0 = input WAV, fd 1 = output WAV
+
+  /// Decode the WAV the guest wrote (call after the run).
+  WavData decode_output() const {
+    return wav_decode(host.output(WfsArtifacts::kOutputFd));
+  }
+};
+
+/// Build everything needed to execute the wfs application for `cfg` with the
+/// deterministic test signal as input.
+WfsRun prepare_wfs_run(const WfsConfig& cfg);
+
+/// Run the golden model on the same input prepare_wfs_run() generates.
+GoldenResult run_reference(const WfsConfig& cfg);
+
+}  // namespace tq::wfs

@@ -1,0 +1,103 @@
+#include "wfs/wav.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace tq::wfs {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + 4);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + 2);
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& bytes, std::size_t off) {
+  std::uint32_t v;
+  std::memcpy(&v, bytes.data() + off, 4);
+  return v;
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& bytes, std::size_t off) {
+  std::uint16_t v;
+  std::memcpy(&v, bytes.data() + off, 2);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> wav_encode(const WavData& data) {
+  const std::uint32_t data_bytes =
+      static_cast<std::uint32_t>(data.samples.size() * 2);
+  const std::uint32_t byte_rate = data.sample_rate * data.channels * 2;
+  std::vector<std::uint8_t> out;
+  out.reserve(kWavHeaderSize + data_bytes);
+  out.insert(out.end(), {'R', 'I', 'F', 'F'});
+  put_u32(out, 36 + data_bytes);
+  out.insert(out.end(), {'W', 'A', 'V', 'E', 'f', 'm', 't', ' '});
+  put_u32(out, 16);                      // fmt chunk size
+  put_u16(out, 1);                       // PCM
+  put_u16(out, data.channels);
+  put_u32(out, data.sample_rate);
+  put_u32(out, byte_rate);
+  put_u16(out, static_cast<std::uint16_t>(data.channels * 2));  // block align
+  put_u16(out, 16);                      // bits per sample
+  out.insert(out.end(), {'d', 'a', 't', 'a'});
+  put_u32(out, data_bytes);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.samples.data());
+  out.insert(out.end(), p, p + data_bytes);
+  TQUAD_CHECK(out.size() == kWavHeaderSize + data_bytes, "encoder size mismatch");
+  return out;
+}
+
+WavData wav_decode(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kWavHeaderSize) TQUAD_THROW("WAV too short for a header");
+  if (std::memcmp(bytes.data(), "RIFF", 4) != 0 ||
+      std::memcmp(bytes.data() + 8, "WAVE", 4) != 0 ||
+      std::memcmp(bytes.data() + 12, "fmt ", 4) != 0 ||
+      std::memcmp(bytes.data() + 36, "data", 4) != 0) {
+    TQUAD_THROW("not a canonical RIFF/WAVE stream");
+  }
+  if (get_u16(bytes, 20) != 1 || get_u16(bytes, 34) != 16) {
+    TQUAD_THROW("only 16-bit PCM WAV is supported");
+  }
+  WavData data;
+  data.channels = get_u16(bytes, 22);
+  data.sample_rate = get_u32(bytes, 24);
+  const std::uint32_t data_bytes = get_u32(bytes, 40);
+  if (kWavHeaderSize + data_bytes > bytes.size()) {
+    TQUAD_THROW("WAV data chunk truncated");
+  }
+  data.samples.resize(data_bytes / 2);
+  std::memcpy(data.samples.data(), bytes.data() + kWavHeaderSize, data_bytes);
+  return data;
+}
+
+WavData make_test_signal(std::uint32_t samples, std::uint32_t sample_rate) {
+  WavData data;
+  data.sample_rate = sample_rate;
+  data.channels = 1;
+  data.samples.resize(samples);
+  const double fs = static_cast<double>(sample_rate);
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double envelope =
+        0.5 * (1.0 - std::cos(2.0 * M_PI * static_cast<double>(i) /
+                              static_cast<double>(samples)));
+    const double value = 0.4 * std::sin(2.0 * M_PI * 440.0 * t) +
+                         0.2 * std::sin(2.0 * M_PI * 1320.0 * t + 0.3) +
+                         0.1 * std::sin(2.0 * M_PI * 3300.0 * t + 1.1);
+    data.samples[i] =
+        static_cast<std::int16_t>(std::lround(32767.0 * 0.7 * envelope * value));
+  }
+  return data;
+}
+
+}  // namespace tq::wfs

@@ -1,0 +1,34 @@
+// Host-side RIFF/WAVE codec: synthesises the input file the guest loads and
+// decodes the multichannel file the guest stores, so tests can validate the
+// audio pipeline end to end. The guest parses/produces the same 44-byte
+// canonical PCM16 header with its own code (wav_load / wav_store kernels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tq::wfs {
+
+/// Canonical 44-byte PCM WAV header size used by both host and guest.
+inline constexpr std::uint32_t kWavHeaderSize = 44;
+
+/// Decoded WAV contents (16-bit PCM only).
+struct WavData {
+  std::uint32_t sample_rate = 48000;
+  std::uint16_t channels = 1;
+  /// Interleaved samples, frame-major.
+  std::vector<std::int16_t> samples;
+};
+
+/// Encode 16-bit PCM into a canonical RIFF/WAVE byte stream.
+std::vector<std::uint8_t> wav_encode(const WavData& data);
+
+/// Decode a canonical RIFF/WAVE byte stream. Throws tq::Error on anything
+/// that is not 16-bit PCM with a 44-byte header.
+WavData wav_decode(const std::vector<std::uint8_t>& bytes);
+
+/// Deterministic test signal: a sum of three sinusoids with a soft envelope,
+/// scaled to ~70% full scale. `samples` mono samples at `sample_rate`.
+WavData make_test_signal(std::uint32_t samples, std::uint32_t sample_rate = 48000);
+
+}  // namespace tq::wfs

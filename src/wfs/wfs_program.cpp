@@ -1,0 +1,1061 @@
+#include "wfs/wfs_program.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "gasm/builder.hpp"
+#include "wfs/golden.hpp"
+
+namespace tq::wfs {
+
+using gasm::F;
+using gasm::FunctionBuilder;
+using gasm::ProgramBuilder;
+using gasm::R;
+using gasm::SP;
+using isa::Sys;
+using vm::ImageKind;
+
+namespace {
+
+std::vector<std::uint8_t> doubles_bytes(const std::vector<double>& values) {
+  std::vector<std::uint8_t> bytes(values.size() * 8);
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+}  // namespace
+
+WfsArtifacts build_wfs_program(const WfsConfig& cfg) {
+  cfg.validate();
+  TQUAD_CHECK(cfg.chunk_size % 16 == 0, "chunk_size must be a multiple of 16");
+  const WfsDerived derived(cfg);
+
+  const std::int64_t C = cfg.chunk_size;
+  const std::int64_t N = cfg.fft_size;
+  const std::int64_t NS = cfg.speakers;
+  const std::int64_t K = cfg.chunks;
+  const std::int64_t M = cfg.move_chunks;
+  const std::int64_t RING = cfg.ring_size;
+  const std::int64_t TOTAL = K * C;
+  std::int64_t bits = 0;
+  while ((std::int64_t{1} << bits) < N) ++bits;
+
+  ProgramBuilder prog;
+
+  // ---- globals -------------------------------------------------------------
+  const std::uint64_t g_ldint = prog.alloc_global("ldint_table", 64 * 8);
+  const std::uint64_t g_ir = prog.alloc_global("ir", N * 8);
+  const std::uint64_t g_H = prog.alloc_global("H", 2 * N * 8);
+  const std::uint64_t g_B = prog.alloc_global("B", 2 * N * 8);
+  const std::uint64_t g_X = prog.alloc_global("X", 2 * N * 8);
+  const std::uint64_t g_T = prog.alloc_global("T", 2 * N * 8);
+  const std::uint64_t g_Y = prog.alloc_global("Y", 2 * N * 8);
+  const std::uint64_t g_in_block = prog.alloc_global("in_block", N * 8);
+  const std::uint64_t g_cur = prog.alloc_global("cur", C * 8);
+  const std::uint64_t g_y_chunk = prog.alloc_global("y_chunk", C * 8);
+  const std::uint64_t g_ring = prog.alloc_global("ring", RING * 8);
+  const std::uint64_t g_spk = prog.alloc_global("spk", NS * C * 4);
+  const std::uint64_t g_frames = prog.alloc_global("frames", NS * TOTAL * 4, 64);
+  const std::uint64_t g_in_f32 = prog.alloc_global("in_f32", TOTAL * 4);
+  const std::uint64_t g_gains = prog.alloc_global("gains", NS * 8);
+  const std::uint64_t g_delays = prog.alloc_global("delays", NS * 8);
+  const std::uint64_t g_spos = prog.alloc_global("spos", 2 * 8);
+  const std::uint64_t g_svel = prog.alloc_global("svel", 2 * 8);
+  const std::uint64_t g_sstep = prog.alloc_global("sstep", 2 * 8);
+  const std::uint64_t g_sdir = prog.alloc_global("sdir", 2 * 8);
+  const std::uint64_t g_sunit = prog.alloc_global("sunit", 2 * 8);
+  const std::uint64_t g_spk_x = prog.alloc_global("speaker_x", NS * 8);
+  const std::uint64_t g_stage = prog.alloc_global("stage", 4096, 64);
+
+  prog.init_data(g_spk_x, doubles_bytes(derived.speaker_x));
+  prog.init_data(g_spos, doubles_bytes({derived.source_x0, derived.source_y0}));
+  prog.init_data(g_svel, doubles_bytes({derived.vel_x, derived.vel_y}));
+
+  // ---- library image: the libc-like syscall wrappers ------------------------
+  {
+    FunctionBuilder& f = prog.begin_function("libc_read", ImageKind::kLibrary);
+    f.sys(Sys::kRead);
+    f.ret();
+  }
+  {
+    FunctionBuilder& f = prog.begin_function("libc_write", ImageKind::kLibrary);
+    f.sys(Sys::kWrite);
+    f.ret();
+  }
+  {
+    FunctionBuilder& f = prog.begin_function("libc_seek", ImageKind::kLibrary);
+    f.sys(Sys::kSeek);
+    f.ret();
+  }
+
+  // ---- ldint: integer constant table (bit masks used by bitrev) -------------
+  {
+    FunctionBuilder& f = prog.begin_function("ldint");
+    f.movi(R{8}, static_cast<std::int64_t>(g_ldint));
+    f.count_loop_imm(R{9}, 0, 64, [&] {
+      f.movi(R{10}, 1);
+      f.shl(R{10}, R{10}, R{9});
+      f.shli(R{11}, R{9}, 3);
+      f.add(R{11}, R{11}, R{8});
+      f.store(R{11}, 0, R{10}, 8);
+    });
+    f.ret();
+  }
+
+  // ---- bitrev(i=r1, bits=r2) -> r1 ------------------------------------------
+  // Fully unrolled for the program's FFT size (the compiler knew `bits` too).
+  // Each bit reads the mask table (the kernel's small global working set —
+  // Table II reports ~145 distinct global addresses for bitrev) and spills
+  // the running result to the stack, compiled-code style.
+  {
+    FunctionBuilder& f = prog.begin_function("bitrev");
+    f.enter(16);
+    f.mov(R{5}, R{1});  // i
+    f.movi(R{3}, 0);    // result
+    f.movi(R{6}, static_cast<std::int64_t>(g_ldint));
+    for (std::int64_t b = 0; b < bits; ++b) {
+      f.load(R{7}, R{6}, 0, 8);  // mask = table[0] == 1 (global table read)
+      f.and_(R{7}, R{5}, R{7});
+      f.shli(R{3}, R{3}, 1);
+      f.or_(R{3}, R{3}, R{7});
+      f.shrli(R{5}, R{5}, 1);
+      f.store(SP, 8, R{3}, 8);  // spill the running result
+    }
+    f.load(R{1}, SP, 8, 8);
+    f.leave(16);
+    f.ret();
+  }
+
+  // ---- perm(buf=r1, n=r2, bits=r3): bit-reversal permutation ------------------
+  {
+    FunctionBuilder& f = prog.begin_function("perm");
+    f.enter(32);
+    f.store(SP, 0, R{1}, 8);
+    f.store(SP, 8, R{2}, 8);
+    f.store(SP, 16, R{3}, 8);
+    f.movi(R{8}, 0);  // i
+    const auto head = f.new_label();
+    const auto done = f.new_label();
+    const auto next = f.new_label();
+    f.bind(head);
+    f.load(R{9}, SP, 8, 8);  // n (stack reload per iteration)
+    f.slts(R{0}, R{8}, R{9});
+    f.brz(R{0}, done);
+    f.mov(R{1}, R{8});
+    f.load(R{2}, SP, 16, 8);
+    f.call("bitrev");  // r1 = j
+    f.slts(R{0}, R{8}, R{1});
+    f.brz(R{0}, next);
+    f.load(R{10}, SP, 0, 8);  // buf
+    f.shli(R{11}, R{8}, 4);
+    f.add(R{11}, R{11}, R{10});
+    f.shli(R{12}, R{1}, 4);
+    f.add(R{12}, R{12}, R{10});
+    f.fload(F{8}, R{11}, 0);
+    f.fload(F{9}, R{12}, 0);
+    f.fstore(R{11}, 0, F{9});
+    f.fstore(R{12}, 0, F{8});
+    f.fload(F{8}, R{11}, 8);
+    f.fload(F{9}, R{12}, 8);
+    f.fstore(R{11}, 8, F{9});
+    f.fstore(R{12}, 8, F{8});
+    f.bind(next);
+    f.addi(R{8}, R{8}, 1);
+    f.jmp(head);
+    f.bind(done);
+    f.leave(32);
+    f.ret();
+  }
+
+  // ---- fft1d(buf=r1, dir=r2, n=r3, bits=r4): in-place Danielson-Lanczos ------
+  {
+    FunctionBuilder& f = prog.begin_function("fft1d");
+    f.enter(64);
+    f.store(SP, 0, R{1}, 8);   // buf
+    f.store(SP, 8, R{2}, 8);   // dir
+    f.store(SP, 16, R{3}, 8);  // n
+    f.store(SP, 24, R{4}, 8);  // bits
+    f.mov(R{2}, R{3});
+    f.mov(R{3}, R{4});
+    f.call("perm");
+    f.movi(R{14}, 2);  // len
+    const auto outer = f.new_label();
+    const auto block = f.new_label();
+    const auto inner = f.new_label();
+    const auto block_next = f.new_label();
+    const auto next_len = f.new_label();
+    const auto scale_check = f.new_label();
+    const auto scale_loop = f.new_label();
+    const auto end = f.new_label();
+    f.bind(outer);
+    f.load(R{15}, SP, 16, 8);  // n
+    f.slts(R{0}, R{15}, R{14});
+    f.brnz(R{0}, scale_check);  // len > n -> done with butterflies
+    // ang = (dir * 2*pi) / len ; wr/wi spilled to the stack
+    f.load(R{16}, SP, 8, 8);
+    f.i2f(F{10}, R{16});
+    f.fmovi(F{11}, 6.283185307179586);
+    f.fmul(F{10}, F{10}, F{11});
+    f.i2f(F{11}, R{14});
+    f.fdiv(F{10}, F{10}, F{11});
+    f.fcos(F{12}, F{10});
+    f.fsin(F{13}, F{10});
+    f.fstore(SP, 32, F{12});  // wr
+    f.fstore(SP, 40, F{13});  // wi
+    f.movi(R{16}, 0);         // i
+    f.bind(block);
+    f.slts(R{0}, R{16}, R{15});
+    f.brz(R{0}, next_len);
+    f.fmovi(F{14}, 1.0);  // cr
+    f.fmovi(F{15}, 0.0);  // ci
+    f.movi(R{17}, 0);     // j
+    f.shrli(R{18}, R{14}, 1);  // half
+    f.bind(inner);
+    f.slts(R{0}, R{17}, R{18});
+    f.brz(R{0}, block_next);
+    f.add(R{19}, R{16}, R{17});
+    f.shli(R{19}, R{19}, 4);
+    f.load(R{2}, SP, 0, 8);  // buf (stack reload per butterfly)
+    f.add(R{19}, R{19}, R{2});  // &a[p]
+    f.add(R{3}, R{16}, R{17});
+    f.add(R{3}, R{3}, R{18});
+    f.shli(R{3}, R{3}, 4);
+    f.add(R{3}, R{3}, R{2});  // &a[q]
+    f.fload(F{1}, R{19}, 0);  // ure
+    f.fload(F{2}, R{19}, 8);  // uim
+    f.fload(F{3}, R{3}, 0);   // tre
+    f.fload(F{4}, R{3}, 8);   // tim
+    f.fmul(F{5}, F{3}, F{14});
+    f.fmul(F{6}, F{4}, F{15});
+    f.fsub(F{5}, F{5}, F{6});  // vre
+    f.fmul(F{6}, F{3}, F{15});
+    f.fmul(F{7}, F{4}, F{14});
+    f.fadd(F{6}, F{6}, F{7});  // vim
+    f.fadd(F{7}, F{1}, F{5});
+    f.fstore(R{19}, 0, F{7});
+    f.fadd(F{7}, F{2}, F{6});
+    f.fstore(R{19}, 8, F{7});
+    f.fsub(F{7}, F{1}, F{5});
+    f.fstore(R{3}, 0, F{7});
+    f.fsub(F{7}, F{2}, F{6});
+    f.fstore(R{3}, 8, F{7});
+    // twiddle update; wr/wi reloaded from the stack (spill traffic)
+    f.fload(F{12}, SP, 32);
+    f.fload(F{13}, SP, 40);
+    f.fmul(F{5}, F{14}, F{12});
+    f.fmul(F{6}, F{15}, F{13});
+    f.fsub(F{5}, F{5}, F{6});  // ncr
+    f.fmul(F{6}, F{14}, F{13});
+    f.fmul(F{7}, F{15}, F{12});
+    f.fadd(F{6}, F{6}, F{7});  // nci
+    f.fmov(F{14}, F{5});
+    f.fmov(F{15}, F{6});
+    f.addi(R{17}, R{17}, 1);
+    f.jmp(inner);
+    f.bind(block_next);
+    f.add(R{16}, R{16}, R{14});
+    f.jmp(block);
+    f.bind(next_len);
+    f.shli(R{14}, R{14}, 1);
+    f.jmp(outer);
+    f.bind(scale_check);
+    f.load(R{16}, SP, 8, 8);  // dir
+    f.sltsi(R{0}, R{16}, 0);
+    f.brz(R{0}, end);
+    f.load(R{15}, SP, 16, 8);  // n
+    f.i2f(F{10}, R{15});
+    f.fmovi(F{11}, 1.0);
+    f.fdiv(F{10}, F{11}, F{10});  // inv = 1/n
+    f.load(R{2}, SP, 0, 8);       // buf
+    f.shli(R{17}, R{15}, 1);      // 2n
+    f.movi(R{16}, 0);
+    f.bind(scale_loop);
+    f.slts(R{0}, R{16}, R{17});
+    f.brz(R{0}, end);
+    f.shli(R{3}, R{16}, 3);
+    f.add(R{3}, R{3}, R{2});
+    f.fload(F{11}, R{3}, 0);
+    f.fmul(F{11}, F{11}, F{10});
+    f.fstore(R{3}, 0, F{11});
+    f.addi(R{16}, R{16}, 1);
+    f.jmp(scale_loop);
+    f.bind(end);
+    f.leave(64);
+    f.ret();
+  }
+
+  // ---- cmult(a=r1, b=r2, dst=r3): complex multiply ---------------------------
+  {
+    FunctionBuilder& f = prog.begin_function("cmult");
+    f.enter(16);
+    f.store(SP, 0, R{1}, 8);  // spill (models compiled arg handling)
+    f.fload(F{1}, R{1}, 0);
+    f.fload(F{2}, R{1}, 8);
+    f.fload(F{3}, R{2}, 0);
+    f.fload(F{4}, R{2}, 8);
+    f.fmul(F{5}, F{1}, F{3});
+    f.fmul(F{6}, F{2}, F{4});
+    f.fsub(F{5}, F{5}, F{6});
+    f.fmul(F{6}, F{1}, F{4});
+    f.fmul(F{7}, F{2}, F{3});
+    f.fadd(F{6}, F{6}, F{7});
+    f.load(R{4}, SP, 0, 8);  // reload
+    f.fstore(R{3}, 0, F{5});
+    f.fstore(R{3}, 8, F{6});
+    f.leave(16);
+    f.ret();
+  }
+
+  // ---- cadd(a=r1, b=r2, dst=r3): complex add ---------------------------------
+  {
+    FunctionBuilder& f = prog.begin_function("cadd");
+    f.enter(16);
+    f.store(SP, 0, R{1}, 8);
+    f.fload(F{1}, R{1}, 0);
+    f.fload(F{2}, R{1}, 8);
+    f.fload(F{3}, R{2}, 0);
+    f.fload(F{4}, R{2}, 8);
+    f.fadd(F{5}, F{1}, F{3});
+    f.fadd(F{6}, F{2}, F{4});
+    f.load(R{4}, SP, 0, 8);
+    f.fstore(R{3}, 0, F{5});
+    f.fstore(R{3}, 8, F{6});
+    f.leave(16);
+    f.ret();
+  }
+
+  // ---- zeroRealVec(addr=r1, count=r2): zero an f32 vector --------------------
+  // -O0 style: the induction variable lives on the stack, so the kernel reads
+  // almost exclusively from the stack (Table II: incl/excl ratio > 300).
+  {
+    FunctionBuilder& f = prog.begin_function("zeroRealVec");
+    f.enter(16);
+    f.movi(R{3}, 0);
+    f.store(SP, 0, R{3}, 8);
+    f.fmovi(F{1}, 0.0);
+    const auto head = f.new_label();
+    const auto done = f.new_label();
+    f.bind(head);
+    f.load(R{3}, SP, 0, 8);
+    f.slts(R{0}, R{3}, R{2});
+    f.brz(R{0}, done);
+    f.shli(R{4}, R{3}, 2);
+    f.add(R{4}, R{4}, R{1});
+    f.fstore4(R{4}, 0, F{1});
+    f.addi(R{3}, R{3}, 1);
+    f.store(SP, 0, R{3}, 8);
+    f.jmp(head);
+    f.bind(done);
+    f.leave(16);
+    f.ret();
+  }
+
+  // ---- zeroCplxVec(addr=r1, n=r2): zero n complex f64 pairs ------------------
+  {
+    FunctionBuilder& f = prog.begin_function("zeroCplxVec");
+    f.enter(16);
+    f.movi(R{3}, 0);
+    f.store(SP, 0, R{3}, 8);
+    const auto head = f.new_label();
+    const auto done = f.new_label();
+    f.bind(head);
+    f.load(R{3}, SP, 0, 8);
+    f.slts(R{0}, R{3}, R{2});
+    f.brz(R{0}, done);
+    f.shli(R{4}, R{3}, 4);
+    f.add(R{4}, R{4}, R{1});
+    f.fmovi(F{1}, 0.0);
+    f.fstore(R{4}, 0, F{1});
+    f.fstore(R{4}, 8, F{1});
+    f.addi(R{3}, R{3}, 1);
+    f.store(SP, 0, R{3}, 8);
+    f.jmp(head);
+    f.bind(done);
+    f.leave(16);
+    f.ret();
+  }
+
+  // ---- r2c(src=r1, dst=r2, n=r3): real vector -> complex ---------------------
+  {
+    FunctionBuilder& f = prog.begin_function("r2c");
+    f.count_loop(R{8}, 0, R{3}, [&] {
+      f.shli(R{9}, R{8}, 3);
+      f.add(R{9}, R{9}, R{1});
+      f.fload(F{8}, R{9}, 0);
+      f.shli(R{10}, R{8}, 4);
+      f.add(R{10}, R{10}, R{2});
+      f.fstore(R{10}, 0, F{8});
+      f.fmovi(F{9}, 0.0);
+      f.fstore(R{10}, 8, F{9});
+    });
+    f.ret();
+  }
+
+  // ---- c2r(src=r1, dst=r2, c=r3, n=r4): overlap-save tail extraction ---------
+  {
+    FunctionBuilder& f = prog.begin_function("c2r");
+    f.sub(R{8}, R{4}, R{3});  // n - c
+    f.count_loop(R{9}, 0, R{3}, [&] {
+      f.add(R{10}, R{8}, R{9});
+      f.shli(R{10}, R{10}, 4);
+      f.add(R{10}, R{10}, R{1});
+      f.fload(F{8}, R{10}, 0);
+      f.shli(R{11}, R{9}, 3);
+      f.add(R{11}, R{11}, R{2});
+      f.fstore(R{11}, 0, F{8});
+    });
+    f.ret();
+  }
+
+  // ---- vsmult2d(dst=r1, src=r2, scalar=f1): 2-vector scale -------------------
+  {
+    FunctionBuilder& f = prog.begin_function("vsmult2d");
+    f.fload(F{2}, R{2}, 0);
+    f.fmul(F{2}, F{2}, F{1});
+    f.fstore(R{1}, 0, F{2});
+    f.fload(F{2}, R{2}, 8);
+    f.fmul(F{2}, F{2}, F{1});
+    f.fstore(R{1}, 8, F{2});
+    f.ret();
+  }
+
+  // ---- calculateGainPQ(s=r1): distance -> gain + delay for one speaker -------
+  {
+    FunctionBuilder& f = prog.begin_function("calculateGainPQ");
+    f.enter(16);
+    f.store(SP, 0, R{1}, 8);  // s
+    f.movi(R{14}, static_cast<std::int64_t>(g_spos));
+    f.fload(F{10}, R{14}, 0);  // px
+    f.fload(F{11}, R{14}, 8);  // py (= dy)
+    f.movi(R{15}, static_cast<std::int64_t>(g_spk_x));
+    f.shli(R{16}, R{1}, 3);
+    f.add(R{16}, R{16}, R{15});
+    f.fload(F{12}, R{16}, 0);   // xs
+    f.fsub(F{10}, F{10}, F{12});  // dx
+    f.fmul(F{12}, F{10}, F{10});
+    f.fmul(F{13}, F{11}, F{11});
+    f.fadd(F{12}, F{12}, F{13});
+    f.fsqrt(F{12}, F{12});  // d
+    f.movi(R{14}, static_cast<std::int64_t>(g_sdir));
+    f.fstore(R{14}, 0, F{10});
+    f.fstore(R{14}, 8, F{11});
+    f.fmovi(F{13}, 1.0);
+    f.fdiv(F{1}, F{13}, F{12});  // inv = 1/d (argument for vsmult2d)
+    f.fstore(SP, 8, F{12});      // spill d across the call
+    f.movi(R{1}, static_cast<std::int64_t>(g_sunit));
+    f.movi(R{2}, static_cast<std::int64_t>(g_sdir));
+    f.call("vsmult2d");
+    f.fload(F{12}, SP, 8);  // d
+    f.fmovi(F{13}, 0.5);
+    f.fmax(F{13}, F{12}, F{13});
+    f.fmovi(F{14}, 0.25);
+    f.fdiv(F{14}, F{14}, F{13});  // gain
+    f.load(R{14}, SP, 0, 8);      // s
+    f.movi(R{15}, static_cast<std::int64_t>(g_gains));
+    f.shli(R{16}, R{14}, 3);
+    f.add(R{16}, R{16}, R{15});
+    f.fstore(R{16}, 0, F{14});
+    f.fmovi(F{13}, derived.delay_factor);
+    f.fmul(F{13}, F{12}, F{13});
+    f.f2i(R{17}, F{13});  // truncating delay
+    f.movi(R{18}, RING - C - 1);
+    f.slts(R{0}, R{18}, R{17});  // limit < delay ?
+    f.mov(R{17}, R{18});
+    f.predicate_last(R{0});
+    f.movi(R{18}, 0);
+    f.slts(R{0}, R{17}, R{18});  // delay < 0 ?
+    f.mov(R{17}, R{18});
+    f.predicate_last(R{0});
+    f.movi(R{15}, static_cast<std::int64_t>(g_delays));
+    f.shli(R{16}, R{14}, 3);
+    f.add(R{16}, R{16}, R{15});
+    f.store(R{16}, 0, R{17}, 8);
+    f.leave(16);
+    f.ret();
+  }
+
+  // ---- PrimarySource_deriveTP: advance the moving source ---------------------
+  {
+    FunctionBuilder& f = prog.begin_function("PrimarySource_deriveTP");
+    f.fmovi(F{1}, derived.dt);
+    f.movi(R{1}, static_cast<std::int64_t>(g_sstep));
+    f.movi(R{2}, static_cast<std::int64_t>(g_svel));
+    f.call("vsmult2d");  // step = vel * dt
+    f.movi(R{14}, static_cast<std::int64_t>(g_spos));
+    f.movi(R{15}, static_cast<std::int64_t>(g_sstep));
+    f.fload(F{10}, R{14}, 0);
+    f.fload(F{11}, R{15}, 0);
+    f.fadd(F{10}, F{10}, F{11});
+    f.fstore(R{14}, 0, F{10});
+    f.fload(F{10}, R{14}, 8);
+    f.fload(F{11}, R{15}, 8);
+    f.fadd(F{10}, F{10}, F{11});
+    f.fstore(R{14}, 8, F{10});
+    f.ret();
+  }
+
+  // ---- AudioIo_getFrames(chunk=r1): f32 input -> f64 working frame -----------
+  {
+    FunctionBuilder& f = prog.begin_function("AudioIo_getFrames");
+    f.muli(R{20}, R{1}, C * 4);
+    f.movi(R{21}, static_cast<std::int64_t>(g_in_f32));
+    f.add(R{20}, R{20}, R{21});
+    f.movi(R{21}, static_cast<std::int64_t>(g_cur));
+    f.count_loop_imm(R{22}, 0, C, [&] {
+      f.shli(R{23}, R{22}, 2);
+      f.add(R{23}, R{23}, R{20});
+      f.fload4(F{16}, R{23}, 0);
+      f.shli(R{24}, R{22}, 3);
+      f.add(R{24}, R{24}, R{21});
+      f.fstore(R{24}, 0, F{16});
+    });
+    f.ret();
+  }
+
+  // ---- Filter_process_pre_: slide the overlap-save input window --------------
+  {
+    FunctionBuilder& f = prog.begin_function("Filter_process_pre_");
+    f.movi(R{20}, static_cast<std::int64_t>(g_in_block));
+    f.count_loop_imm(R{21}, 0, N - C, [&] {
+      f.shli(R{22}, R{21}, 3);
+      f.add(R{22}, R{22}, R{20});
+      f.fload(F{16}, R{22}, C * 8);
+      f.fstore(R{22}, 0, F{16});
+    });
+    f.movi(R{23}, static_cast<std::int64_t>(g_cur));
+    f.count_loop_imm(R{21}, 0, C, [&] {
+      f.shli(R{22}, R{21}, 3);
+      f.add(R{24}, R{22}, R{23});
+      f.fload(F{16}, R{24}, 0);
+      f.add(R{24}, R{22}, R{20});
+      f.fstore(R{24}, (N - C) * 8, F{16});
+    });
+    f.ret();
+  }
+
+  // ---- Filter_process: FFT -> per-bin cmult/cadd -> inverse FFT ---------------
+  {
+    FunctionBuilder& f = prog.begin_function("Filter_process");
+    f.enter(32);
+    f.movi(R{1}, static_cast<std::int64_t>(g_X));
+    f.movi(R{2}, N);
+    f.call("zeroCplxVec");
+    f.movi(R{1}, static_cast<std::int64_t>(g_in_block));
+    f.movi(R{2}, static_cast<std::int64_t>(g_X));
+    f.movi(R{3}, N);
+    f.call("r2c");
+    f.movi(R{1}, static_cast<std::int64_t>(g_X));
+    f.movi(R{2}, 1);
+    f.movi(R{3}, N);
+    f.movi(R{4}, bits);
+    f.call("fft1d");
+    // Per-bin convolution: T[k] = X[k]*H[k]; Y[k] = T[k] + B[k].
+    f.movi(R{20}, 0);
+    f.store(SP, 0, R{20}, 8);  // k spilled across the calls
+    const auto bin_head = f.new_label();
+    const auto bins_done = f.new_label();
+    f.bind(bin_head);
+    f.load(R{20}, SP, 0, 8);
+    f.sltsi(R{0}, R{20}, N);
+    f.brz(R{0}, bins_done);
+    f.shli(R{21}, R{20}, 4);
+    f.movi(R{1}, static_cast<std::int64_t>(g_X));
+    f.add(R{1}, R{1}, R{21});
+    f.movi(R{2}, static_cast<std::int64_t>(g_H));
+    f.add(R{2}, R{2}, R{21});
+    f.movi(R{3}, static_cast<std::int64_t>(g_T));
+    f.add(R{3}, R{3}, R{21});
+    f.call("cmult");
+    f.load(R{20}, SP, 0, 8);
+    f.shli(R{21}, R{20}, 4);
+    f.movi(R{1}, static_cast<std::int64_t>(g_T));
+    f.add(R{1}, R{1}, R{21});
+    f.movi(R{2}, static_cast<std::int64_t>(g_B));
+    f.add(R{2}, R{2}, R{21});
+    f.movi(R{3}, static_cast<std::int64_t>(g_Y));
+    f.add(R{3}, R{3}, R{21});
+    f.call("cadd");
+    f.load(R{20}, SP, 0, 8);
+    f.addi(R{20}, R{20}, 1);
+    f.store(SP, 0, R{20}, 8);
+    f.jmp(bin_head);
+    f.bind(bins_done);
+    f.movi(R{1}, static_cast<std::int64_t>(g_Y));
+    f.movi(R{2}, -1);
+    f.movi(R{3}, N);
+    f.movi(R{4}, bits);
+    f.call("fft1d");
+    f.movi(R{1}, static_cast<std::int64_t>(g_Y));
+    f.movi(R{2}, static_cast<std::int64_t>(g_y_chunk));
+    f.movi(R{3}, C);
+    f.movi(R{4}, N);
+    f.call("c2r");
+    f.leave(32);
+    f.ret();
+  }
+
+  // ---- DelayLine_processChunk(chunk=r1): MIMO delay line ----------------------
+  {
+    FunctionBuilder& f = prog.begin_function("DelayLine_processChunk");
+    f.enter(32);
+    f.muli(R{20}, R{1}, C);  // wbase
+    f.store(SP, 0, R{20}, 8);
+    // Write the filtered chunk into the ring.
+    f.movi(R{21}, static_cast<std::int64_t>(g_ring));
+    f.movi(R{22}, static_cast<std::int64_t>(g_y_chunk));
+    f.count_loop_imm(R{23}, 0, C, [&] {
+      f.add(R{24}, R{20}, R{23});
+      f.andi(R{24}, R{24}, RING - 1);
+      f.shli(R{24}, R{24}, 3);
+      f.add(R{24}, R{24}, R{21});
+      f.shli(R{25}, R{23}, 3);
+      f.add(R{25}, R{25}, R{22});
+      f.fload(F{16}, R{25}, 0);
+      f.fstore(R{24}, 0, F{16});
+    });
+    // Per speaker: zero the output chunk, then accumulate delayed samples.
+    f.movi(R{26}, 0);  // s
+    const auto spk_head = f.new_label();
+    const auto samp_head = f.new_label();
+    const auto spk_next = f.new_label();
+    const auto done = f.new_label();
+    f.bind(spk_head);
+    f.sltsi(R{0}, R{26}, NS);
+    f.brz(R{0}, done);
+    f.movi(R{27}, static_cast<std::int64_t>(g_spk));
+    f.muli(R{1}, R{26}, C * 4);
+    f.add(R{1}, R{1}, R{27});
+    f.movi(R{2}, C);
+    f.call("zeroRealVec");
+    f.movi(R{2}, static_cast<std::int64_t>(g_gains));
+    f.shli(R{3}, R{26}, 3);
+    f.add(R{2}, R{2}, R{3});
+    f.fload(F{17}, R{2}, 0);  // gain
+    f.movi(R{2}, static_cast<std::int64_t>(g_delays));
+    f.shli(R{3}, R{26}, 3);
+    f.add(R{2}, R{2}, R{3});
+    f.load(R{24}, R{2}, 0, 8);  // delay
+    f.load(R{20}, SP, 0, 8);    // wbase
+    f.muli(R{25}, R{26}, C * 4);
+    f.add(R{25}, R{25}, R{27});  // dst = spk + s*C*4
+    f.movi(R{23}, 0);            // i
+    f.bind(samp_head);
+    f.sltsi(R{0}, R{23}, C);
+    f.brz(R{0}, spk_next);
+    f.add(R{2}, R{20}, R{23});
+    f.sub(R{2}, R{2}, R{24});  // g = wbase + i - delay
+    f.fmovi(F{16}, 0.0);
+    f.sltsi(R{3}, R{2}, 0);
+    f.xori(R{5}, R{3}, 1);  // predicate: g >= 0
+    f.andi(R{2}, R{2}, RING - 1);
+    f.shli(R{2}, R{2}, 3);
+    f.add(R{2}, R{2}, R{21});
+    f.fload(F{16}, R{2}, 0);  // sample (predicated on g >= 0)
+    f.predicate_last(R{5});
+    f.shli(R{4}, R{23}, 2);
+    f.add(R{4}, R{4}, R{25});
+    f.fload4(F{18}, R{4}, 0);   // prev
+    f.fmul(F{19}, F{17}, F{16});
+    f.fadd(F{18}, F{18}, F{19});
+    f.fstore4(R{4}, 0, F{18});
+    f.addi(R{23}, R{23}, 1);
+    f.jmp(samp_head);
+    f.bind(spk_next);
+    f.addi(R{26}, R{26}, 1);
+    f.jmp(spk_head);
+    f.bind(done);
+    f.leave(32);
+    f.ret();
+  }
+
+  // ---- AudioIo_setFrames(chunk=r1): planar block copy into the frame store ---
+  // A memcpy-style kernel: 64-byte string moves, almost no stack traffic, and
+  // every destination byte written exactly once across the run (the paper's
+  // "data transfer via separate memory addresses").
+  {
+    FunctionBuilder& f = prog.begin_function("AudioIo_setFrames");
+    f.muli(R{20}, R{1}, C * 4);
+    f.movi(R{21}, static_cast<std::int64_t>(g_frames));
+    f.add(R{20}, R{20}, R{21});  // dst for s = 0
+    f.movi(R{22}, static_cast<std::int64_t>(g_spk));
+    f.movi(R{23}, 0);  // s
+    const auto head = f.new_label();
+    const auto copy = f.new_label();
+    const auto copied = f.new_label();
+    const auto done = f.new_label();
+    f.bind(head);
+    f.sltsi(R{0}, R{23}, NS);
+    f.brz(R{0}, done);
+    f.mov(R{24}, R{20});
+    f.mov(R{25}, R{22});
+    f.movi(R{26}, C * 4 / 64);
+    f.bind(copy);
+    f.brz(R{26}, copied);
+    f.movs(R{24}, R{25}, 64);
+    f.addi(R{26}, R{26}, -1);
+    f.jmp(copy);
+    f.bind(copied);
+    f.addi(R{20}, R{20}, TOTAL * 4);  // next speaker plane
+    f.addi(R{22}, R{22}, C * 4);
+    f.addi(R{23}, R{23}, 1);
+    f.jmp(head);
+    f.bind(done);
+    f.ret();
+  }
+
+  // ---- ffw(which=r1): build filter spectrum ----------------------------------
+  {
+    FunctionBuilder& f = prog.begin_function("ffw");
+    f.enter(32);
+    f.store(SP, 0, R{1}, 8);
+    f.movi(R{20}, static_cast<std::int64_t>(g_ir));
+    // Zero the impulse-response staging buffer.
+    f.count_loop_imm(R{21}, 0, N, [&] {
+      f.fmovi(F{16}, 0.0);
+      f.shli(R{22}, R{21}, 3);
+      f.add(R{22}, R{22}, R{20});
+      f.fstore(R{22}, 0, F{16});
+    });
+    const auto bias_filter = f.new_label();
+    const auto build_done = f.new_label();
+    f.load(R{1}, SP, 0, 8);
+    f.brnz(R{1}, bias_filter);
+    // Main filter: exponentially decaying FIR, DC gain ~1.
+    const double coef0 =
+        0.9 * (1.0 - 0.97) /
+        (1.0 - std::pow(0.97, static_cast<double>(C) + 1.0));
+    f.fmovi(F{16}, coef0);
+    f.fmovi(F{17}, 0.97);
+    f.count_loop_imm(R{21}, 0, C + 1, [&] {
+      f.shli(R{22}, R{21}, 3);
+      f.add(R{22}, R{22}, R{20});
+      f.fstore(R{22}, 0, F{16});
+      f.fmul(F{16}, F{16}, F{17});
+    });
+    f.jmp(build_done);
+    f.bind(bias_filter);
+    f.fmovi(F{16}, 0.05);
+    f.fstore(R{20}, 0, F{16});
+    f.fmovi(F{16}, 0.025);
+    f.fstore(R{20}, (C / 2) * 8, F{16});
+    f.bind(build_done);
+    // Transform in the scratch buffer, then copy the finished spectrum into
+    // its table with ffw's own stores — so QUAD attributes the H/B tables to
+    // ffw, the kernel whose OUT bytes every chunk's cmult/cadd then consume
+    // (the paper's ffw shows the same producer signature).
+    f.movi(R{1}, static_cast<std::int64_t>(g_T));
+    f.movi(R{2}, N);
+    f.call("zeroCplxVec");
+    f.movi(R{1}, static_cast<std::int64_t>(g_ir));
+    f.movi(R{2}, static_cast<std::int64_t>(g_T));
+    f.movi(R{3}, N);
+    f.call("r2c");
+    f.movi(R{1}, static_cast<std::int64_t>(g_T));
+    f.movi(R{2}, 1);
+    f.movi(R{3}, N);
+    f.movi(R{4}, bits);
+    f.call("fft1d");
+    // dst = which ? B : H
+    f.load(R{1}, SP, 0, 8);
+    f.movi(R{23}, static_cast<std::int64_t>(g_H));
+    f.movi(R{24}, static_cast<std::int64_t>(g_B));
+    f.mov(R{23}, R{24});
+    f.predicate_last(R{1});
+    f.movi(R{24}, static_cast<std::int64_t>(g_T));
+    f.count_loop_imm(R{21}, 0, 2 * N, [&] {
+      f.shli(R{22}, R{21}, 3);
+      f.add(R{25}, R{22}, R{24});
+      f.fload(F{16}, R{25}, 0);
+      f.add(R{25}, R{22}, R{23});
+      f.fstore(R{25}, 0, F{16});
+    });
+    f.leave(32);
+    f.ret();
+  }
+
+  // ---- wav_load: parse the input WAV, convert PCM16 -> f32 -------------------
+  {
+    FunctionBuilder& f = prog.begin_function("wav_load");
+    f.enter(64);
+    f.movi(R{1}, WfsArtifacts::kInputFd);
+    f.movi(R{2}, static_cast<std::int64_t>(g_stage));
+    f.movi(R{3}, 44);
+    f.call("libc_read");
+    f.movi(R{20}, static_cast<std::int64_t>(g_stage));
+    const auto bad = f.new_label();
+    const auto hdr_ok = f.new_label();
+    f.load(R{21}, R{20}, 0, 4);
+    f.movi(R{22}, 0x46464952);  // 'RIFF'
+    f.seq(R{21}, R{21}, R{22});
+    f.brz(R{21}, bad);
+    f.load(R{21}, R{20}, 8, 4);
+    f.movi(R{22}, 0x45564157);  // 'WAVE'
+    f.seq(R{21}, R{21}, R{22});
+    f.brz(R{21}, bad);
+    f.load(R{21}, R{20}, 36, 4);
+    f.movi(R{22}, 0x61746164);  // 'data'
+    f.seq(R{21}, R{21}, R{22});
+    f.brnz(R{21}, hdr_ok);
+    f.bind(bad);
+    f.movi(R{1}, -1);
+    f.sys(Sys::kPrintI64);
+    f.halt();  // malformed input: abort the guest
+    f.bind(hdr_ok);
+    f.load(R{23}, R{20}, 40, 4);  // data bytes
+    f.shrli(R{23}, R{23}, 1);     // sample count
+    f.movi(R{24}, TOTAL);
+    f.slts(R{0}, R{24}, R{23});
+    f.mov(R{23}, R{24});
+    f.predicate_last(R{0});        // clamp to the frame budget
+    f.store(SP, 0, R{23}, 8);
+    f.movi(R{25}, static_cast<std::int64_t>(g_in_f32));
+    f.movi(R{26}, 0);  // g
+    const auto conv_head = f.new_label();
+    const auto conv_inner = f.new_label();
+    const auto inner_done = f.new_label();
+    const auto conv_done = f.new_label();
+    f.bind(conv_head);
+    f.load(R{23}, SP, 0, 8);
+    f.slts(R{0}, R{26}, R{23});
+    f.brz(R{0}, conv_done);
+    f.sub(R{27}, R{23}, R{26});  // remaining
+    f.movi(R{24}, 1024);
+    f.slts(R{0}, R{24}, R{27});
+    f.mov(R{27}, R{24});
+    f.predicate_last(R{0});  // block = min(1024, remaining)
+    f.movi(R{1}, WfsArtifacts::kInputFd);
+    f.movi(R{2}, static_cast<std::int64_t>(g_stage));
+    f.shli(R{3}, R{27}, 1);
+    f.call("libc_read");
+    f.movi(R{20}, static_cast<std::int64_t>(g_stage));
+    f.movi(R{21}, 0);  // j
+    f.bind(conv_inner);
+    f.slts(R{0}, R{21}, R{27});
+    f.brz(R{0}, inner_done);
+    f.shli(R{22}, R{21}, 1);
+    f.add(R{22}, R{22}, R{20});
+    f.loads(R{2}, R{22}, 0, 2);  // sign-extended PCM16
+    f.i2f(F{16}, R{2});
+    f.fmovi(F{17}, 1.0 / 32768.0);
+    f.fmul(F{16}, F{16}, F{17});
+    f.add(R{3}, R{26}, R{21});
+    f.shli(R{3}, R{3}, 2);
+    f.add(R{3}, R{3}, R{25});
+    f.fstore4(R{3}, 0, F{16});
+    f.addi(R{21}, R{21}, 1);
+    f.jmp(conv_inner);
+    f.bind(inner_done);
+    f.add(R{26}, R{26}, R{27});
+    f.jmp(conv_head);
+    f.bind(conv_done);
+    // Zero-fill any remainder of the input buffer.
+    const auto fill_head = f.new_label();
+    const auto fill_done = f.new_label();
+    f.bind(fill_head);
+    f.movi(R{24}, TOTAL);
+    f.slts(R{0}, R{26}, R{24});
+    f.brz(R{0}, fill_done);
+    f.shli(R{3}, R{26}, 2);
+    f.add(R{3}, R{3}, R{25});
+    f.fmovi(F{16}, 0.0);
+    f.fstore4(R{3}, 0, F{16});
+    f.addi(R{26}, R{26}, 1);
+    f.jmp(fill_head);
+    f.bind(fill_done);
+    f.leave(64);
+    f.ret();
+  }
+
+  // ---- wav_store: normalise, interleave, quantise, write the output WAV ------
+  {
+    FunctionBuilder& f = prog.begin_function("wav_store");
+    f.enter(64);
+    // Build the 44-byte canonical header in the staging buffer.
+    const std::int64_t data_bytes = TOTAL * NS * 2;
+    const std::int64_t byte_rate =
+        static_cast<std::int64_t>(cfg.sample_rate) * NS * 2;
+    f.movi(R{20}, static_cast<std::int64_t>(g_stage));
+    auto put32 = [&](std::int64_t off, std::int64_t value) {
+      f.movi(R{21}, value);
+      f.store(R{20}, off, R{21}, 4);
+    };
+    auto put16 = [&](std::int64_t off, std::int64_t value) {
+      f.movi(R{21}, value);
+      f.store(R{20}, off, R{21}, 2);
+    };
+    put32(0, 0x46464952);           // 'RIFF'
+    put32(4, 36 + data_bytes);
+    put32(8, 0x45564157);           // 'WAVE'
+    put32(12, 0x20746d66);          // 'fmt '
+    put32(16, 16);
+    put16(20, 1);                   // PCM
+    put16(22, NS);
+    put32(24, static_cast<std::int64_t>(cfg.sample_rate));
+    put32(28, byte_rate);
+    put16(32, NS * 2);
+    put16(34, 16);
+    put32(36, 0x61746164);          // 'data'
+    put32(40, data_bytes);
+    f.movi(R{1}, WfsArtifacts::kOutputFd);
+    f.movi(R{2}, static_cast<std::int64_t>(g_stage));
+    f.movi(R{3}, 44);
+    f.call("libc_write");
+    // Peak scan passes over the whole frame store.
+    f.fmovi(F{16}, 0.0);  // peak
+    f.movi(R{20}, 0);     // pass
+    const auto pass_head = f.new_label();
+    const auto pass_inner = f.new_label();
+    const auto pass_end = f.new_label();
+    const auto pass_done = f.new_label();
+    f.bind(pass_head);
+    f.sltsi(R{0}, R{20}, static_cast<std::int64_t>(cfg.store_passes) - 1);
+    f.brz(R{0}, pass_done);
+    f.fmovi(F{17}, 0.0);
+    f.movi(R{21}, static_cast<std::int64_t>(g_frames));
+    f.movi(R{22}, 0);
+    f.bind(pass_inner);
+    f.movi(R{23}, NS * TOTAL);
+    f.slts(R{0}, R{22}, R{23});
+    f.brz(R{0}, pass_end);
+    f.shli(R{23}, R{22}, 2);
+    f.add(R{23}, R{23}, R{21});
+    f.fload4(F{18}, R{23}, 0);
+    f.fabs_(F{18}, F{18});
+    f.fmax(F{17}, F{17}, F{18});
+    f.addi(R{22}, R{22}, 1);
+    f.jmp(pass_inner);
+    f.bind(pass_end);
+    f.fmov(F{16}, F{17});
+    f.addi(R{20}, R{20}, 1);
+    f.jmp(pass_head);
+    f.bind(pass_done);
+    // scale = 0.9 / fmax(peak, 1e-9)
+    f.fmovi(F{17}, 1e-9);
+    f.fmax(F{17}, F{16}, F{17});
+    f.fmovi(F{18}, 0.9);
+    f.fdiv(F{17}, F{18}, F{17});
+    // Interleave + quantise, flushing the staging buffer in 2 KiB blocks.
+    f.movi(R{20}, 0);  // g
+    f.movi(R{24}, static_cast<std::int64_t>(g_stage));
+    f.movi(R{25}, 0);  // bytes staged
+    const auto g_head = f.new_label();
+    const auto s_head = f.new_label();
+    const auto no_flush = f.new_label();
+    const auto g_next = f.new_label();
+    const auto flush_tail = f.new_label();
+    const auto done = f.new_label();
+    f.bind(g_head);
+    f.movi(R{2}, TOTAL);
+    f.slts(R{0}, R{20}, R{2});
+    f.brz(R{0}, flush_tail);
+    f.movi(R{21}, 0);  // s
+    f.bind(s_head);
+    f.sltsi(R{0}, R{21}, NS);
+    f.brz(R{0}, g_next);
+    f.movi(R{2}, TOTAL);
+    f.mul(R{3}, R{21}, R{2});
+    f.add(R{3}, R{3}, R{20});
+    f.shli(R{3}, R{3}, 2);
+    f.movi(R{2}, static_cast<std::int64_t>(g_frames));
+    f.add(R{3}, R{3}, R{2});
+    f.fload4(F{19}, R{3}, 0);
+    // Stack round-trip (wav_store reads ~half its bytes from the stack).
+    f.fstore(SP, 0, F{19});
+    f.fload(F{19}, SP, 0);
+    f.fmul(F{19}, F{19}, F{17});
+    f.fmovi(F{20}, 32767.0);
+    f.fmul(F{19}, F{19}, F{20});
+    f.fmovi(F{20}, -32768.0);
+    f.fmax(F{19}, F{19}, F{20});
+    f.fmovi(F{20}, 32767.0);
+    f.fmin(F{19}, F{19}, F{20});
+    f.f2i(R{2}, F{19});
+    f.store(SP, 8, R{2}, 8);
+    f.load(R{2}, SP, 8, 8);
+    f.add(R{3}, R{24}, R{25});
+    f.store(R{3}, 0, R{2}, 2);
+    f.addi(R{25}, R{25}, 2);
+    f.movi(R{2}, 2048);
+    f.slts(R{0}, R{25}, R{2});
+    f.brnz(R{0}, no_flush);
+    f.movi(R{1}, WfsArtifacts::kOutputFd);
+    f.mov(R{2}, R{24});
+    f.mov(R{3}, R{25});
+    f.call("libc_write");
+    f.movi(R{25}, 0);
+    f.bind(no_flush);
+    f.addi(R{21}, R{21}, 1);
+    f.jmp(s_head);
+    f.bind(g_next);
+    f.addi(R{20}, R{20}, 1);
+    f.jmp(g_head);
+    f.bind(flush_tail);
+    f.brz(R{25}, done);
+    f.movi(R{1}, WfsArtifacts::kOutputFd);
+    f.mov(R{2}, R{24});
+    f.mov(R{3}, R{25});
+    f.call("libc_write");
+    f.bind(done);
+    f.leave(64);
+    f.ret();
+  }
+
+  // ---- main driver ------------------------------------------------------------
+  {
+    FunctionBuilder& f = prog.begin_function("main");
+    f.call("ldint");
+    f.movi(R{1}, 0);
+    f.call("ffw");
+    f.movi(R{1}, 1);
+    f.call("ffw");
+    f.call("wav_load");
+    f.movi(R{28}, 0);  // chunk
+    const auto loop = f.new_label();
+    const auto skip_gains = f.new_label();
+    const auto gain_s = f.new_label();
+    const auto after = f.new_label();
+    f.bind(loop);
+    f.sltsi(R{0}, R{28}, K);
+    f.brz(R{0}, after);
+    f.sltsi(R{29}, R{28}, M);
+    f.brz(R{29}, skip_gains);
+    f.call("PrimarySource_deriveTP");
+    f.movi(R{29}, 0);
+    f.bind(gain_s);
+    f.sltsi(R{0}, R{29}, NS);
+    f.brz(R{0}, skip_gains);
+    f.mov(R{1}, R{29});
+    f.call("calculateGainPQ");
+    f.addi(R{29}, R{29}, 1);
+    f.jmp(gain_s);
+    f.bind(skip_gains);
+    f.mov(R{1}, R{28});
+    f.call("AudioIo_getFrames");
+    f.call("Filter_process_pre_");
+    f.call("Filter_process");
+    f.mov(R{1}, R{28});
+    f.call("DelayLine_processChunk");
+    f.mov(R{1}, R{28});
+    f.call("AudioIo_setFrames");
+    f.addi(R{28}, R{28}, 1);
+    f.jmp(loop);
+    f.bind(after);
+    f.call("wav_store");
+    f.halt();
+  }
+
+  WfsArtifacts artifacts;
+  artifacts.program = prog.build("main");
+  artifacts.frames_addr = g_frames;
+  artifacts.in_f32_addr = g_in_f32;
+  artifacts.gains_addr = g_gains;
+  artifacts.delays_addr = g_delays;
+  artifacts.h_addr = g_H;
+  artifacts.b_addr = g_B;
+  (void)g_ir;
+  (void)g_sunit;
+  return artifacts;
+}
+
+}  // namespace tq::wfs

@@ -1,0 +1,58 @@
+// Guest-code reimplementation of the hArtes wfs application.
+//
+// Every kernel named in the paper's Table I exists as a guest function with
+// the same role and the same call topology:
+//
+//   main ─ ldint, ffw(x2), wav_load, per chunk { PrimarySource_deriveTP,
+//          calculateGainPQ (x speakers, calls vsmult2d), AudioIo_getFrames,
+//          Filter_process_pre_, Filter_process, DelayLine_processChunk,
+//          AudioIo_setFrames }, wav_store
+//   Filter_process ─ zeroCplxVec, r2c, fft1d (x2), cmult+cadd per bin, c2r
+//   fft1d ─ perm ─ bitrev (per element)
+//   DelayLine_processChunk ─ zeroRealVec (per speaker)
+//   wav_load / wav_store / ldint ─ libc_read / libc_write (library image)
+//
+// Register-band convention (hand-managed calling convention):
+//   r0          structured-loop scratch (count_loop), never live across ops
+//   r1..r7      arguments / leaf scratch — clobbered by any call
+//   r8..r13     level-3 helpers (perm, r2c, c2r, zero*, vsmult2d)
+//   r14..r19    level-2 kernels (fft1d, calculateGainPQ, PrimarySource_*)
+//   r20..r27    level-1 kernels (Filter_*, DelayLine, AudioIo_*, wav_*, ffw)
+//   r28..r30    main driver; r31 = SP
+//   f registers banded the same way (f1-f9 leaves, f10-f15 level 2, f16+
+//   level 1).
+//
+// Several kernels keep loop state on the stack on purpose ("-O0 style"):
+// the paper's Table II shows e.g. zeroRealVec reading >300x more bytes with
+// the stack included than excluded, and fft1d ~6x — behaviour of compiled
+// x86 code that spills temporaries. The spill patterns here reproduce those
+// stack/global traffic shapes; EXPERIMENTS.md documents the mapping.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/program.hpp"
+#include "wfs/config.hpp"
+
+namespace tq::wfs {
+
+/// The built program plus the addresses tests need for introspection.
+struct WfsArtifacts {
+  vm::Program program;
+  /// Host file descriptors the guest expects: attach the input WAV as fd 0
+  /// (HostEnv::attach_input first) and create output fd 1 next.
+  static constexpr int kInputFd = 0;
+  static constexpr int kOutputFd = 1;
+  // Global addresses (guest address space).
+  std::uint64_t frames_addr = 0;   ///< planar f32 speaker frames
+  std::uint64_t in_f32_addr = 0;   ///< converted f32 input
+  std::uint64_t gains_addr = 0;    ///< per-speaker f64 gains
+  std::uint64_t delays_addr = 0;   ///< per-speaker i64 delays
+  std::uint64_t h_addr = 0;        ///< main filter spectrum (2N f64)
+  std::uint64_t b_addr = 0;        ///< bias filter spectrum (2N f64)
+};
+
+/// Build the complete guest program for `cfg`.
+WfsArtifacts build_wfs_program(const WfsConfig& cfg);
+
+}  // namespace tq::wfs

@@ -1,0 +1,387 @@
+#include "workloads/workloads.hpp"
+
+#include <cstring>
+#include <numeric>
+
+#include "gasm/builder.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace tq::workloads {
+
+using gasm::F;
+using gasm::FunctionBuilder;
+using gasm::ProgramBuilder;
+using gasm::R;
+
+namespace {
+
+std::vector<std::uint8_t> u64_bytes(const std::vector<std::uint64_t>& values) {
+  std::vector<std::uint8_t> bytes(values.size() * 8);
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<std::uint8_t> f64_bytes(const std::vector<double>& values) {
+  std::vector<std::uint8_t> bytes(values.size() * 8);
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+}  // namespace
+
+// ---- STREAM ----------------------------------------------------------------
+
+StreamArtifacts build_stream(std::uint32_t elements, std::uint32_t iterations) {
+  TQUAD_CHECK(elements % 8 == 0, "stream length must be a multiple of 8");
+  TQUAD_CHECK(iterations >= 1, "need at least one iteration");
+  StreamArtifacts art;
+  art.elements = elements;
+  art.iterations = iterations;
+  ProgramBuilder prog;
+  const std::int64_t n = elements;
+  art.a_addr = prog.alloc_global("a", n * 8, 64);
+  art.b_addr = prog.alloc_global("b", n * 8, 64);
+  art.c_addr = prog.alloc_global("c", n * 8, 64);
+  prog.init_data(art.a_addr, f64_bytes(std::vector<double>(elements, 2.0)));
+  prog.init_data(art.b_addr, f64_bytes(std::vector<double>(elements, 0.5)));
+
+  // copy: c = a (block moves, the pure-bandwidth kernel)
+  {
+    auto& f = prog.begin_function("stream_copy");
+    f.movi(R{8}, static_cast<std::int64_t>(art.c_addr));
+    f.movi(R{9}, static_cast<std::int64_t>(art.a_addr));
+    f.movi(R{10}, n * 8 / 64);
+    const auto head = f.new_label();
+    const auto done = f.new_label();
+    f.bind(head);
+    f.brz(R{10}, done);
+    f.movs(R{8}, R{9}, 64);
+    f.addi(R{10}, R{10}, -1);
+    f.jmp(head);
+    f.bind(done);
+    f.ret();
+  }
+  // scale: b = scalar * c
+  {
+    auto& f = prog.begin_function("stream_scale");
+    f.movi(R{8}, static_cast<std::int64_t>(art.c_addr));
+    f.movi(R{9}, static_cast<std::int64_t>(art.b_addr));
+    f.fmovi(F{8}, art.scalar);
+    f.count_loop_imm(R{10}, 0, n, [&] {
+      f.shli(R{11}, R{10}, 3);
+      f.add(R{12}, R{11}, R{8});
+      f.fload(F{9}, R{12}, 0);
+      f.fmul(F{9}, F{9}, F{8});
+      f.add(R{12}, R{11}, R{9});
+      f.fstore(R{12}, 0, F{9});
+    });
+    f.ret();
+  }
+  // add: c = a + b
+  {
+    auto& f = prog.begin_function("stream_add");
+    f.movi(R{8}, static_cast<std::int64_t>(art.a_addr));
+    f.movi(R{9}, static_cast<std::int64_t>(art.b_addr));
+    f.movi(R{13}, static_cast<std::int64_t>(art.c_addr));
+    f.count_loop_imm(R{10}, 0, n, [&] {
+      f.shli(R{11}, R{10}, 3);
+      f.add(R{12}, R{11}, R{8});
+      f.fload(F{9}, R{12}, 0);
+      f.add(R{12}, R{11}, R{9});
+      f.fload(F{10}, R{12}, 0);
+      f.fadd(F{9}, F{9}, F{10});
+      f.add(R{12}, R{11}, R{13});
+      f.fstore(R{12}, 0, F{9});
+    });
+    f.ret();
+  }
+  // triad: a = b + scalar * c
+  {
+    auto& f = prog.begin_function("stream_triad");
+    f.movi(R{8}, static_cast<std::int64_t>(art.b_addr));
+    f.movi(R{9}, static_cast<std::int64_t>(art.c_addr));
+    f.movi(R{13}, static_cast<std::int64_t>(art.a_addr));
+    f.fmovi(F{8}, art.scalar);
+    f.count_loop_imm(R{10}, 0, n, [&] {
+      f.shli(R{11}, R{10}, 3);
+      f.add(R{12}, R{11}, R{9});
+      f.fload(F{9}, R{12}, 0);
+      f.fmul(F{9}, F{9}, F{8});
+      f.add(R{12}, R{11}, R{8});
+      f.fload(F{10}, R{12}, 0);
+      f.fadd(F{9}, F{9}, F{10});
+      f.add(R{12}, R{11}, R{13});
+      f.fstore(R{12}, 0, F{9});
+    });
+    f.ret();
+  }
+  {
+    auto& main_fn = prog.begin_function("main");
+    main_fn.count_loop_imm(R{28}, 0, iterations, [&] {
+      main_fn.call("stream_copy");
+      main_fn.call("stream_scale");
+      main_fn.call("stream_add");
+      main_fn.call("stream_triad");
+    });
+    main_fn.halt();
+  }
+  art.program = prog.build("main");
+  return art;
+}
+
+// ---- matmul -----------------------------------------------------------------
+
+namespace {
+
+double matmul_a(std::uint32_t n, std::uint32_t i, std::uint32_t j) {
+  (void)n;
+  return static_cast<double>(static_cast<std::int64_t>((i * 3 + j * 5) % 11) - 5);
+}
+double matmul_b(std::uint32_t n, std::uint32_t i, std::uint32_t j) {
+  (void)n;
+  return static_cast<double>(static_cast<std::int64_t>((i * 7 + j * 2) % 13) - 6);
+}
+
+}  // namespace
+
+std::vector<double> matmul_reference(std::uint32_t n) {
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::uint32_t k = 0; k < n; ++k) {
+        acc += matmul_a(n, i, k) * matmul_b(n, k, j);
+      }
+      c[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+MatmulArtifacts build_matmul(std::uint32_t n, bool tiled, std::uint32_t tile) {
+  TQUAD_CHECK(n >= 2, "matrix too small");
+  if (tiled) {
+    TQUAD_CHECK(tile >= 2 && n % tile == 0, "n must be a multiple of the tile");
+  }
+  MatmulArtifacts art;
+  art.n = n;
+  art.tiled = tiled;
+  ProgramBuilder prog;
+  const std::int64_t bytes = static_cast<std::int64_t>(n) * n * 8;
+  art.a_addr = prog.alloc_global("A", bytes, 64);
+  art.b_addr = prog.alloc_global("B", bytes, 64);
+  art.c_addr = prog.alloc_global("C", bytes, 64);
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  std::vector<double> b(a.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i) * n + j] = matmul_a(n, i, j);
+      b[static_cast<std::size_t>(i) * n + j] = matmul_b(n, i, j);
+    }
+  }
+  prog.init_data(art.a_addr, f64_bytes(a));
+  prog.init_data(art.b_addr, f64_bytes(b));
+
+  const std::int64_t N = n;
+  const std::int64_t T = tile;
+  auto elem_addr = [&](FunctionBuilder& f, R dst, std::int64_t base, R row, R col) {
+    // dst = base + 8 * (row * N + col)
+    f.muli(dst, row, N);
+    f.add(dst, dst, col);
+    f.shli(dst, dst, 3);
+    f.addi(dst, dst, base);
+  };
+
+  if (!tiled) {
+    auto& f = prog.begin_function("matmul_naive");
+    f.count_loop_imm(R{8}, 0, N, [&] {      // i
+      f.count_loop_imm(R{9}, 0, N, [&] {    // j
+        f.fmovi(F{1}, 0.0);
+        f.count_loop_imm(R{10}, 0, N, [&] {  // k
+          elem_addr(f, R{2}, static_cast<std::int64_t>(art.a_addr), R{8}, R{10});
+          f.fload(F{2}, R{2}, 0);
+          elem_addr(f, R{3}, static_cast<std::int64_t>(art.b_addr), R{10}, R{9});
+          f.fload(F{3}, R{3}, 0);
+          f.fmul(F{2}, F{2}, F{3});
+          f.fadd(F{1}, F{1}, F{2});
+        });
+        elem_addr(f, R{2}, static_cast<std::int64_t>(art.c_addr), R{8}, R{9});
+        f.fstore(R{2}, 0, F{1});
+      });
+    });
+    f.ret();
+  } else {
+    auto& f = prog.begin_function("matmul_tiled");
+    // Tile loops step by T; written with manual labels since count_loop
+    // increments by one.
+    auto step_loop = [&](R counter, const std::function<void()>& body) {
+      f.movi(counter, 0);
+      const auto head = f.new_label();
+      const auto done = f.new_label();
+      f.bind(head);
+      f.sltsi(R{0}, counter, N);
+      f.brz(R{0}, done);
+      body();
+      f.addi(counter, counter, T);
+      f.jmp(head);
+      f.bind(done);
+    };
+    step_loop(R{16}, [&] {          // ii
+      step_loop(R{17}, [&] {        // jj
+        step_loop(R{18}, [&] {      // kk
+          // for i in ii..ii+T, j in jj..jj+T:
+          //   acc = C[i][j]; for k in kk..kk+T: acc += A[i][k]*B[k][j]
+          f.mov(R{8}, R{16});
+          f.count_loop_imm(R{11}, 0, T, [&] {  // i offset
+            f.mov(R{9}, R{17});
+            f.count_loop_imm(R{12}, 0, T, [&] {  // j offset
+              elem_addr(f, R{4}, static_cast<std::int64_t>(art.c_addr), R{8}, R{9});
+              f.fload(F{1}, R{4}, 0);
+              f.mov(R{10}, R{18});
+              f.count_loop_imm(R{13}, 0, T, [&] {  // k offset
+                elem_addr(f, R{2}, static_cast<std::int64_t>(art.a_addr), R{8},
+                          R{10});
+                f.fload(F{2}, R{2}, 0);
+                elem_addr(f, R{3}, static_cast<std::int64_t>(art.b_addr), R{10},
+                          R{9});
+                f.fload(F{3}, R{3}, 0);
+                f.fmul(F{2}, F{2}, F{3});
+                f.fadd(F{1}, F{1}, F{2});
+                f.addi(R{10}, R{10}, 1);
+              });
+              elem_addr(f, R{4}, static_cast<std::int64_t>(art.c_addr), R{8}, R{9});
+              f.fstore(R{4}, 0, F{1});
+              f.addi(R{9}, R{9}, 1);
+            });
+            f.addi(R{8}, R{8}, 1);
+          });
+        });
+      });
+    });
+    f.ret();
+  }
+  {
+    auto& main_fn = prog.begin_function("main");
+    main_fn.call(tiled ? "matmul_tiled" : "matmul_naive");
+    main_fn.halt();
+  }
+  art.program = prog.build("main");
+  return art;
+}
+
+// ---- pointer chase -------------------------------------------------------------
+
+ChaseArtifacts build_chase(std::uint32_t nodes, std::uint64_t hops,
+                           std::uint64_t seed) {
+  TQUAD_CHECK(nodes >= 2, "need at least two nodes");
+  ChaseArtifacts art;
+  art.nodes = nodes;
+  art.hops = hops;
+  ProgramBuilder prog;
+  art.nodes_addr = prog.alloc_global("nodes", static_cast<std::int64_t>(nodes) * 8, 64);
+
+  // Build a single-cycle permutation with a Sattolo shuffle.
+  std::vector<std::uint32_t> order(nodes);
+  std::iota(order.begin(), order.end(), 0);
+  SplitMix64 rng(seed);
+  for (std::uint32_t i = nodes - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.next_below(i));
+    std::swap(order[i], order[j]);
+  }
+  std::vector<std::uint64_t> next(nodes);
+  for (std::uint32_t i = 0; i + 1 < nodes; ++i) {
+    next[order[i]] = art.nodes_addr + 8ull * order[i + 1];
+  }
+  next[order[nodes - 1]] = art.nodes_addr + 8ull * order[0];
+  prog.init_data(art.nodes_addr, u64_bytes(next));
+
+  // Host-side walk for the expected final node.
+  std::uint64_t cursor = art.nodes_addr;
+  for (std::uint64_t h = 0; h < hops; ++h) {
+    cursor = next[(cursor - art.nodes_addr) / 8];
+  }
+  art.expected_final = (cursor - art.nodes_addr) / 8;
+
+  {
+    auto& f = prog.begin_function("chase");
+    f.movi(R{1}, static_cast<std::int64_t>(art.nodes_addr));
+    f.movi(R{8}, static_cast<std::int64_t>(hops));
+    const auto head = f.new_label();
+    const auto done = f.new_label();
+    f.bind(head);
+    f.brz(R{8}, done);
+    f.load(R{1}, R{1}, 0, 8);
+    f.addi(R{8}, R{8}, -1);
+    f.jmp(head);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    auto& main_fn = prog.begin_function("main");
+    main_fn.call("chase");
+    main_fn.halt();
+  }
+  art.program = prog.build("main");
+  return art;
+}
+
+// ---- histogram --------------------------------------------------------------------
+
+HistogramArtifacts build_histogram(std::uint32_t buckets, std::uint64_t samples,
+                                   std::uint64_t seed) {
+  TQUAD_CHECK((buckets & (buckets - 1)) == 0, "buckets must be a power of two");
+  TQUAD_CHECK(seed != 0, "xorshift seed must be nonzero");
+  HistogramArtifacts art;
+  art.buckets = buckets;
+  art.samples = samples;
+  ProgramBuilder prog;
+  art.buckets_addr =
+      prog.alloc_global("buckets", static_cast<std::int64_t>(buckets) * 8, 64);
+
+  // Host-side reference with the same xorshift64.
+  art.expected.assign(buckets, 0);
+  std::uint64_t x = seed;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    ++art.expected[x & (buckets - 1)];
+  }
+
+  {
+    auto& f = prog.begin_function("histogram");
+    f.movi(R{8}, static_cast<std::int64_t>(art.buckets_addr));
+    f.movi(R{9}, static_cast<std::int64_t>(seed));  // x
+    f.movi(R{10}, static_cast<std::int64_t>(samples));
+    const auto head = f.new_label();
+    const auto done = f.new_label();
+    f.bind(head);
+    f.brz(R{10}, done);
+    f.shli(R{11}, R{9}, 13);
+    f.xor_(R{9}, R{9}, R{11});
+    f.shrli(R{11}, R{9}, 7);
+    f.xor_(R{9}, R{9}, R{11});
+    f.shli(R{11}, R{9}, 17);
+    f.xor_(R{9}, R{9}, R{11});
+    f.andi(R{11}, R{9}, static_cast<std::int64_t>(buckets) - 1);
+    f.shli(R{11}, R{11}, 3);
+    f.add(R{11}, R{11}, R{8});
+    f.load(R{12}, R{11}, 0, 8);
+    f.addi(R{12}, R{12}, 1);
+    f.store(R{11}, 0, R{12}, 8);
+    f.addi(R{10}, R{10}, -1);
+    f.jmp(head);
+    f.bind(done);
+    f.ret();
+  }
+  {
+    auto& main_fn = prog.begin_function("main");
+    main_fn.call("histogram");
+    main_fn.halt();
+  }
+  art.program = prog.build("main");
+  return art;
+}
+
+}  // namespace tq::workloads

@@ -1,0 +1,83 @@
+// Synthetic guest workloads with well-known memory behaviour.
+//
+// The wfs case study is one point in workload space; these generators cover
+// the canonical HPC access patterns, each with a host-side expected result
+// so tests can prove the guest computes what it claims:
+//
+//   * stream   — the STREAM benchmark's four kernels (copy/scale/add/triad)
+//                over f64 vectors: pure streaming, bandwidth-bound;
+//   * matmul   — dense f64 matrix multiply, naive (row x column, poor
+//                locality) or tiled (blocked working set): the classic
+//                locality ablation;
+//   * chase    — pointer chasing over a shuffled permutation cycle:
+//                latency-bound, one 8-byte read per hop, near-zero B/instr;
+//   * histogram— random scatter increments into a bucket array: read-modify-
+//                write traffic with data-dependent addresses.
+//
+// Each builder returns the Program plus the guest addresses of its buffers
+// for post-run verification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace tq::workloads {
+
+/// STREAM: copy, scale, add, triad over vectors of `elements` f64 values,
+/// repeated `iterations` times. Kernels are named "stream_copy",
+/// "stream_scale", "stream_add", "stream_triad".
+struct StreamArtifacts {
+  vm::Program program;
+  std::uint64_t a_addr = 0;  ///< f64[elements]
+  std::uint64_t b_addr = 0;
+  std::uint64_t c_addr = 0;
+  std::uint32_t elements = 0;
+  std::uint32_t iterations = 0;
+  double scalar = 3.0;
+};
+StreamArtifacts build_stream(std::uint32_t elements, std::uint32_t iterations = 1);
+
+/// Dense matmul C = A * B over n x n f64 matrices. A and B are initialised
+/// with deterministic values; `tiled` selects the blocked variant with the
+/// given tile size. Kernel name: "matmul_naive" or "matmul_tiled".
+struct MatmulArtifacts {
+  vm::Program program;
+  std::uint64_t a_addr = 0;
+  std::uint64_t b_addr = 0;
+  std::uint64_t c_addr = 0;
+  std::uint32_t n = 0;
+  bool tiled = false;
+};
+MatmulArtifacts build_matmul(std::uint32_t n, bool tiled, std::uint32_t tile = 8);
+
+/// Host-side reference for the matmul initialisation + multiply.
+std::vector<double> matmul_reference(std::uint32_t n);
+
+/// Pointer chase: a shuffled single-cycle permutation of `nodes` 8-byte
+/// slots, walked `hops` times. Kernel name: "chase". The final node index
+/// is left in guest register r1 at halt.
+struct ChaseArtifacts {
+  vm::Program program;
+  std::uint64_t nodes_addr = 0;
+  std::uint32_t nodes = 0;
+  std::uint64_t hops = 0;
+  std::uint64_t expected_final = 0;  ///< node index after `hops` steps
+};
+ChaseArtifacts build_chase(std::uint32_t nodes, std::uint64_t hops,
+                           std::uint64_t seed = 42);
+
+/// Histogram: `samples` pseudo-random (xorshift in guest code) increments
+/// into `buckets` 8-byte counters. Kernel name: "histogram".
+struct HistogramArtifacts {
+  vm::Program program;
+  std::uint64_t buckets_addr = 0;
+  std::uint32_t buckets = 0;
+  std::uint64_t samples = 0;
+  std::vector<std::uint64_t> expected;  ///< host-computed bucket counts
+};
+HistogramArtifacts build_histogram(std::uint32_t buckets, std::uint64_t samples,
+                                   std::uint64_t seed = 99);
+
+}  // namespace tq::workloads

@@ -1,0 +1,32 @@
+#!/bin/sh
+# End-to-end smoke test of the command-line tools:
+#   wfs_gen -> tquad_cli (reports + trace + output) -> quad_cli (dot + csv).
+# Usage: cli_smoke.sh <build-tools-dir> <workdir>
+set -e
+TOOLS="$1"
+WORK="$2"
+SRCDIR="$(dirname "$0")"
+mkdir -p "$WORK"
+cd "$WORK"
+"$TOOLS/wfs_gen" -tiny -image wfs.tqim -wav in.wav -asm wfs.s
+test -s wfs.tqim && test -s in.wav && test -s wfs.s
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -report all -slice 2000 \
+    -csv flat.csv -trace run.tqtr -out out.wav > tquad.txt
+grep -q "flat profile" tquad.txt
+grep -q "phases" tquad.txt
+grep -q "wav_store" tquad.txt
+test -s flat.csv && test -s run.tqtr && test -s out.wav
+"$TOOLS/quad_cli" -image wfs.tqim -in in.wav -clusters 4 -dot qdu.dot -csv quad.csv > quad.txt
+grep -q "task clustering" quad.txt
+grep -q "digraph QDU" qdu.dot
+test -s quad.csv
+# Error paths: missing image must fail with a message, not crash.
+if "$TOOLS/tquad_cli" -image does_not_exist.tqim 2> err.txt; then
+  echo "expected failure on missing image" >&2
+  exit 1
+fi
+grep -q "cannot open" err.txt
+"$TOOLS/asm_run" "$SRCDIR/../examples/saxpy.s" -profile > saxpy.txt
+grep -q "saxpy" saxpy.txt
+grep -q "guest: 1024" saxpy.txt
+echo "cli smoke: OK"

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Run every example binary on its fast configuration and check for the
+# load-bearing lines of each one's output.
+set -e
+EXAMPLES="$1"
+"$EXAMPLES/quickstart" > q.txt
+grep -q "retired" q.txt && grep -q "fill" q.txt && grep -q "sum" q.txt
+"$EXAMPLES/wfs_case_study" -tiny > w.txt
+grep -q "flat profile" w.txt
+grep -q "detected phases" w.txt
+grep -q "bit-exact" w.txt
+"$EXAMPLES/custom_tool" > c.txt
+grep -q "working-set classification" c.txt
+grep -q "streaming" c.txt
+"$EXAMPLES/phase_explorer" > p.txt
+grep -q "slice interval" p.txt
+grep -q "phases" p.txt
+"$EXAMPLES/task_partitioner" > t.txt
+grep -q "task clusters" t.txt
+grep -q "suggestion" t.txt
+"$EXAMPLES/codec_case_study" > d.txt
+grep -q "encoded" d.txt
+grep -q "matches the golden encoder" d.txt
+echo "examples smoke: OK"

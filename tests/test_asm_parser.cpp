@@ -1,0 +1,227 @@
+// The text assembler: syntax coverage, semantics via execution, and errors.
+#include <gtest/gtest.h>
+
+#include "gasm/asm_parser.hpp"
+#include "support/check.hpp"
+#include "vm/machine.hpp"
+
+namespace tq::gasm {
+namespace {
+
+vm::Cpu run_source(const std::string& source, vm::HostEnv* env = nullptr) {
+  vm::Program program = assemble(source);
+  vm::HostEnv local;
+  vm::HostEnv& host = env ? *env : local;
+  vm::Machine machine(program, host);
+  machine.run();
+  return machine.cpu();
+}
+
+TEST(AsmParser, ArithmeticAndMoves) {
+  const auto cpu = run_source(R"(
+    .func main
+      movi r1, 6
+      movi r2, 7
+      mul  r3, r1, r2       ; 42
+      addi r4, r3, 0x10     ; 58
+      sub  r5, r4, r1       ; 52
+      halt
+  )");
+  EXPECT_EQ(cpu.regs[3], 42u);
+  EXPECT_EQ(cpu.regs[4], 58u);
+  EXPECT_EQ(cpu.regs[5], 52u);
+}
+
+TEST(AsmParser, FloatingPoint) {
+  const auto cpu = run_source(R"(
+    .func main
+      fmovi f1, 2.5
+      fmovi f2, 1.5
+      fadd  f3, f1, f2
+      fmul  f4, f3, f1
+      fcmplt r1, f2, f1
+      halt
+  )");
+  EXPECT_DOUBLE_EQ(cpu.fregs[3], 4.0);
+  EXPECT_DOUBLE_EQ(cpu.fregs[4], 10.0);
+  EXPECT_EQ(cpu.regs[1], 1u);
+}
+
+TEST(AsmParser, GlobalsAndMemory) {
+  const auto cpu = run_source(R"(
+    .global buf 64
+    .func main
+      movi   r1, buf
+      movi   r2, -2
+      store2 [r1+4], r2
+      loads2 r3, [r1+4]
+      load2  r4, [r1+4]
+      fmovi  f1, 1.5
+      fstore [r1+8], f1
+      fload  f2, [r1+8]
+      halt
+  )");
+  EXPECT_EQ(static_cast<std::int64_t>(cpu.regs[3]), -2);
+  EXPECT_EQ(cpu.regs[4], 0xfffeu);
+  EXPECT_DOUBLE_EQ(cpu.fregs[2], 1.5);
+}
+
+TEST(AsmParser, LabelsAndBranches) {
+  const auto cpu = run_source(R"(
+    .func main
+      movi r1, 0
+      movi r2, 10
+    loop:
+      addi r1, r1, 3
+      addi r2, r2, -1
+      brnz r2, loop
+      halt
+  )");
+  EXPECT_EQ(cpu.regs[1], 30u);
+}
+
+TEST(AsmParser, ForwardLabelReference) {
+  const auto cpu = run_source(R"(
+    .func main
+      movi r1, 1
+      jmp  skip
+      movi r1, 2
+    skip:
+      halt
+  )");
+  EXPECT_EQ(cpu.regs[1], 1u);
+}
+
+TEST(AsmParser, CallsAcrossFunctionsAndEntry) {
+  const auto cpu = run_source(R"(
+    .func helper
+      movi r9, 123
+      ret
+    .func start
+      call helper
+      halt
+    .entry start
+  )");
+  EXPECT_EQ(cpu.regs[9], 123u);
+}
+
+TEST(AsmParser, LibraryImageAnnotation) {
+  vm::Program program = assemble(R"(
+    .func libc_read @library
+      sys read
+      ret
+    .func main
+      halt
+  )");
+  EXPECT_EQ(program.function(*program.find("libc_read")).image,
+            vm::ImageKind::kLibrary);
+  EXPECT_EQ(program.entry(), *program.find("libc_read"));  // first .func
+}
+
+TEST(AsmParser, Predication) {
+  const auto cpu = run_source(R"(
+    .func main
+      movi r1, 0
+      movi r2, 1
+      movi r3, 7
+      mov  r4, r3   ?r1     ; predicated off
+      mov  r5, r3   ?r2     ; predicated on
+      halt
+  )");
+  EXPECT_EQ(cpu.regs[4], 0u);
+  EXPECT_EQ(cpu.regs[5], 7u);
+}
+
+TEST(AsmParser, MovsAndSyscalls) {
+  vm::HostEnv host;
+  host.attach_input({'a', 'b', 'c', 'd'});
+  const auto cpu = run_source(R"(
+    .global src 64
+    .global dst 64
+    .func main
+      movi r1, 0
+      movi r2, src
+      movi r3, 4
+      sys  read             ; read "abcd" into src
+      movi r1, dst
+      movi r2, src
+      movs8 [r1], [r2]
+      halt
+  )",
+                              &host);
+  // After movs the cursors advanced by 8.
+  EXPECT_EQ(cpu.regs[1] - cpu.regs[2], 64u);  // dst - src preserved
+}
+
+TEST(AsmParser, SysNumericFallback) {
+  vm::HostEnv host;
+  host.attach_input({1, 2, 3});
+  const auto cpu = run_source(R"(
+    .global buf 16
+    .func main
+      movi r1, 0
+      sys  5                ; kFileSize
+      halt
+  )",
+                              &host);
+  EXPECT_EQ(cpu.regs[1], 3u);
+}
+
+TEST(AsmParser, NegativeDisplacement) {
+  const auto cpu = run_source(R"(
+    .global buf 64
+    .func main
+      movi   r1, buf
+      addi   r1, r1, 32
+      movi   r2, 9
+      store8 [r1-8], r2
+      load8  r3, [r1-8]
+      halt
+  )");
+  EXPECT_EQ(cpu.regs[3], 9u);
+}
+
+// ---- error reporting ---------------------------------------------------------
+
+TEST(AsmParserErrors, UnknownMnemonicNamesLine) {
+  try {
+    assemble(".func main\n  frobnicate r1\n  halt\n");
+    FAIL() << "expected Error";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(err.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(AsmParserErrors, RejectsInstructionOutsideFunction) {
+  EXPECT_THROW(assemble("movi r1, 1\n"), Error);
+}
+
+TEST(AsmParserErrors, RejectsBadRegister) {
+  EXPECT_THROW(assemble(".func main\n  movi r99, 1\n  halt\n"), Error);
+}
+
+TEST(AsmParserErrors, RejectsBadOperandCount) {
+  EXPECT_THROW(assemble(".func main\n  add r1, r2\n  halt\n"), Error);
+}
+
+TEST(AsmParserErrors, RejectsBadSizeSuffix) {
+  EXPECT_THROW(assemble(".func main\n  movi r1, 0\n  load3 r2, [r1+0]\n  halt\n"),
+               Error);
+}
+
+TEST(AsmParserErrors, RejectsUnknownCallee) {
+  EXPECT_THROW(assemble(".func main\n  call nope\n  halt\n"), Error);
+}
+
+TEST(AsmParserErrors, RejectsEmptyProgram) {
+  EXPECT_THROW(assemble("; nothing here\n"), Error);
+}
+
+TEST(AsmParserErrors, UnboundLabelDies) {
+  EXPECT_DEATH((void)assemble(".func main\n  jmp nowhere\n  halt\n"),
+               "unbound label");
+}
+
+}  // namespace
+}  // namespace tq::gasm

@@ -1,0 +1,158 @@
+// Property: the text assembler parses the disassembler's output back to the
+// identical instruction, for the mnemonic families whose textual form is
+// lossless (everything except call targets, which disassemble as raw ids,
+// and f64 immediates, which print at reduced precision).
+#include <gtest/gtest.h>
+
+#include "gasm/asm_parser.hpp"
+#include "gasm/builder.hpp"
+#include "isa/isa.hpp"
+#include "support/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace tq::gasm {
+namespace {
+
+isa::Instr random_roundtrippable(SplitMix64& rng) {
+  using isa::Op;
+  static const Op kOps[] = {
+      Op::kNop,   Op::kAdd,   Op::kSub,  Op::kMul,   Op::kDivS,  Op::kRemS,
+      Op::kAnd,   Op::kOr,    Op::kXor,  Op::kShl,   Op::kShrL,  Op::kShrA,
+      Op::kSltS,  Op::kSltU,  Op::kSeq,  Op::kAddI,  Op::kMulI,  Op::kAndI,
+      Op::kOrI,   Op::kXorI,  Op::kShlI, Op::kShrLI, Op::kShrAI, Op::kSltSI,
+      Op::kMovI,  Op::kMov,   Op::kFAdd, Op::kFSub,  Op::kFMul,  Op::kFDiv,
+      Op::kFNeg,  Op::kFAbs,  Op::kFSqrt, Op::kFSin, Op::kFCos,  Op::kFMov,
+      Op::kFMin,  Op::kFMax,  Op::kFCmpLt, Op::kFCmpLe, Op::kFCmpEq,
+      Op::kI2F,   Op::kF2I,   Op::kLoad, Op::kLoadS, Op::kStore, Op::kFLoad,
+      Op::kFStore, Op::kFLoad4, Op::kFStore4, Op::kPrefetch, Op::kMovs,
+      Op::kRet,
+  };
+  isa::Instr ins;
+  ins.op = kOps[rng.next_below(sizeof kOps / sizeof kOps[0])];
+  ins.rd = static_cast<std::uint8_t>(rng.next_below(32));
+  ins.ra = static_cast<std::uint8_t>(rng.next_below(32));
+  ins.rb = static_cast<std::uint8_t>(rng.next_below(32));
+  ins.imm = static_cast<std::int64_t>(rng.next() >> 20) - (1ll << 42);
+  if (isa::references_memory(ins.op) && !isa::is_ret(ins.op)) {
+    if (ins.op == isa::Op::kMovs) {
+      ins.size = static_cast<std::uint8_t>(8u << rng.next_below(4));
+      ins.imm = 0;  // movs takes no displacement
+    } else if (ins.op == isa::Op::kFLoad || ins.op == isa::Op::kFStore) {
+      ins.size = 8;
+    } else if (ins.op == isa::Op::kFLoad4 || ins.op == isa::Op::kFStore4) {
+      ins.size = 4;
+    } else {
+      ins.size = static_cast<std::uint8_t>(1u << rng.next_below(4));
+    }
+  }
+  if (rng.next_below(6) == 0 && ins.op != isa::Op::kNop &&
+      ins.op != isa::Op::kRet) {
+    ins.flags |= isa::kFlagPredicated;
+    ins.pr = static_cast<std::uint8_t>(rng.next_below(32));
+  }
+  return ins;
+}
+
+/// Normalise fields the textual form legitimately does not carry.
+isa::Instr normalized(isa::Instr ins) {
+  using isa::Op;
+  switch (ins.op) {
+    case Op::kNop:
+    case Op::kRet:
+      ins.rd = ins.ra = ins.rb = 0;
+      ins.size = 0;
+      ins.imm = 0;
+      break;
+    case Op::kMov:
+    case Op::kI2F:
+    case Op::kF2I:
+    case Op::kFNeg:
+    case Op::kFAbs:
+    case Op::kFSqrt:
+    case Op::kFSin:
+    case Op::kFCos:
+    case Op::kFMov:
+      ins.rb = 0;
+      ins.imm = 0;
+      ins.size = 0;
+      break;
+    case Op::kMovI:
+      ins.ra = ins.rb = 0;
+      ins.size = 0;
+      break;
+    case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDivS:
+    case Op::kRemS: case Op::kAnd: case Op::kOr: case Op::kXor:
+    case Op::kShl: case Op::kShrL: case Op::kShrA: case Op::kSltS:
+    case Op::kSltU: case Op::kSeq:
+    case Op::kFAdd: case Op::kFSub: case Op::kFMul: case Op::kFDiv:
+    case Op::kFMin: case Op::kFMax:
+    case Op::kFCmpLt: case Op::kFCmpLe: case Op::kFCmpEq:
+      ins.imm = 0;
+      ins.size = 0;
+      break;
+    case Op::kAddI: case Op::kMulI: case Op::kAndI: case Op::kOrI:
+    case Op::kXorI: case Op::kShlI: case Op::kShrLI: case Op::kShrAI:
+    case Op::kSltSI:
+      ins.rb = 0;
+      ins.size = 0;
+      break;
+    case Op::kLoad: case Op::kLoadS: case Op::kFLoad: case Op::kFLoad4:
+      ins.rb = 0;
+      break;
+    case Op::kStore: case Op::kFStore: case Op::kFStore4:
+      ins.rd = 0;
+      break;
+    case Op::kPrefetch:
+      ins.rd = ins.rb = 0;
+      break;
+    case Op::kMovs:
+      ins.rb = 0;
+      ins.imm = 0;
+      break;
+    default:
+      break;
+  }
+  if (!ins.predicated()) ins.pr = 0;
+  return ins;
+}
+
+class AsmRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsmRoundTrip, DisassembleThenAssembleIsIdentity) {
+  SplitMix64 rng(GetParam());
+  for (int round = 0; round < 300; ++round) {
+    const isa::Instr original = random_roundtrippable(rng);
+    const std::string text = isa::disassemble(original);
+    const std::string source = ".func main\n  " + text + "\n  halt\n";
+    vm::Program program;
+    ASSERT_NO_THROW(program = assemble(source))
+        << "text: '" << text << "' seed " << GetParam() << " round " << round;
+    const isa::Instr& parsed = program.function(0).code[0];
+    EXPECT_EQ(parsed, normalized(original))
+        << "text: '" << text << "'\nparsed: " << isa::disassemble(parsed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsmRoundTrip, ::testing::Values(9, 19, 29));
+
+TEST(MachineTrapExtra, StackOverflowOnRunawayRecursion) {
+  ProgramBuilder prog;
+  auto& rec = prog.begin_function("rec");
+  rec.call("rec");  // no base case
+  rec.ret();
+  auto& main_fn = prog.begin_function("main");
+  main_fn.call("rec");
+  main_fn.halt();
+  const vm::Program program = prog.build("main");
+  vm::HostEnv host;
+  vm::Machine machine(program, host);
+  try {
+    machine.run();
+    FAIL() << "expected a stack-overflow trap";
+  } catch (const vm::TrapError& trap) {
+    EXPECT_NE(std::string(trap.what()).find("stack overflow"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tq::gasm

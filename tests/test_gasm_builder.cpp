@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "gasm/builder.hpp"
+#include "vm/machine.hpp"
+
+namespace tq::gasm {
+namespace {
+
+TEST(GasmBuilder, LabelsResolveForwardAndBackward) {
+  ProgramBuilder prog;
+  auto& f = prog.begin_function("main");
+  const auto fwd = f.new_label();
+  f.movi(R{1}, 1);
+  f.jmp(fwd);
+  f.movi(R{1}, 2);  // skipped
+  f.bind(fwd);
+  f.halt();
+  vm::Program program = prog.build("main");
+  vm::HostEnv host;
+  vm::Machine machine(program, host);
+  machine.run();
+  EXPECT_EQ(machine.cpu().regs[1], 1u);
+}
+
+TEST(GasmBuilder, CountLoopImmEmptyRange) {
+  ProgramBuilder prog;
+  auto& f = prog.begin_function("main");
+  f.movi(R{5}, 0);
+  f.count_loop_imm(R{6}, 3, 3, [&] { f.addi(R{5}, R{5}, 1); });
+  f.count_loop_imm(R{7}, 5, 2, [&] { f.addi(R{5}, R{5}, 1); });
+  f.halt();
+  vm::Program program = prog.build("main");
+  vm::HostEnv host;
+  vm::Machine machine(program, host);
+  machine.run();
+  EXPECT_EQ(machine.cpu().regs[5], 0u);
+}
+
+TEST(GasmBuilder, NestedCountLoops) {
+  ProgramBuilder prog;
+  auto& f = prog.begin_function("main");
+  f.movi(R{5}, 0);
+  f.count_loop_imm(R{6}, 0, 7, [&] {
+    f.count_loop_imm(R{7}, 0, 11, [&] { f.addi(R{5}, R{5}, 1); });
+  });
+  f.halt();
+  vm::Program program = prog.build("main");
+  vm::HostEnv host;
+  vm::Machine machine(program, host);
+  machine.run();
+  EXPECT_EQ(machine.cpu().regs[5], 77u);
+}
+
+TEST(GasmBuilder, UnboundLabelAborts) {
+  ProgramBuilder prog;
+  auto& f = prog.begin_function("main");
+  const auto label = f.new_label();
+  f.jmp(label);
+  f.halt();
+  EXPECT_DEATH((void)prog.build("main"), "unbound label");
+}
+
+TEST(GasmBuilder, DoubleBindAborts) {
+  ProgramBuilder prog;
+  auto& f = prog.begin_function("main");
+  const auto label = f.new_label();
+  f.bind(label);
+  EXPECT_DEATH(f.bind(label), "label bound twice");
+}
+
+TEST(GasmBuilder, UnknownCalleeThrows) {
+  ProgramBuilder prog;
+  auto& f = prog.begin_function("main");
+  f.call("missing");
+  f.halt();
+  EXPECT_THROW((void)prog.build("main"), Error);
+}
+
+TEST(GasmBuilder, MissingEntryThrows) {
+  ProgramBuilder prog;
+  auto& f = prog.begin_function("other");
+  f.halt();
+  EXPECT_THROW((void)prog.build("main"), Error);
+}
+
+TEST(GasmBuilder, DuplicateFunctionAborts) {
+  ProgramBuilder prog;
+  prog.begin_function("dup");
+  EXPECT_DEATH(prog.begin_function("dup"), "duplicate function");
+}
+
+TEST(GasmBuilder, GlobalsAlignedAndDistinct) {
+  ProgramBuilder prog;
+  const auto a = prog.alloc_global("a", 3);
+  const auto b = prog.alloc_global("b", 8, 64);
+  const auto c = prog.alloc_global("c", 1);
+  EXPECT_GE(a, vm::kGlobalBase);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 3);
+  EXPECT_GE(c, b + 8);
+  EXPECT_EQ(prog.global("a"), a);
+  EXPECT_EQ(prog.global("b"), b);
+}
+
+TEST(GasmBuilder, DuplicateGlobalAborts) {
+  ProgramBuilder prog;
+  prog.alloc_global("g", 8);
+  EXPECT_DEATH(prog.alloc_global("g", 8), "duplicate global");
+}
+
+TEST(GasmBuilder, UnknownGlobalAborts) {
+  ProgramBuilder prog;
+  EXPECT_DEATH((void)prog.global("nope"), "unknown global");
+}
+
+TEST(GasmBuilder, InitDataAppearsInMemory) {
+  ProgramBuilder prog;
+  const auto addr = prog.alloc_global("blob", 8);
+  prog.init_data(addr, {0xde, 0xad, 0xbe, 0xef});
+  auto& f = prog.begin_function("main");
+  f.halt();
+  vm::Program program = prog.build("main");
+  vm::HostEnv host;
+  vm::Machine machine(program, host);
+  machine.run();
+  EXPECT_EQ(machine.memory().load(addr, 1), 0xdeu);
+  EXPECT_EQ(machine.memory().load(addr + 3, 1), 0xefu);
+}
+
+TEST(GasmBuilder, PredicateLastSetsFlagAndRegister) {
+  ProgramBuilder prog;
+  auto& f = prog.begin_function("main");
+  f.mov(R{1}, R{2});
+  f.predicate_last(R{9});
+  f.halt();
+  vm::Program program = prog.build("main");
+  const auto& ins = program.function(*program.find("main")).code[0];
+  EXPECT_TRUE(ins.predicated());
+  EXPECT_EQ(ins.pr, 9);
+}
+
+TEST(GasmBuilder, BuilderIsSingleShot) {
+  ProgramBuilder prog;
+  auto& f = prog.begin_function("main");
+  f.halt();
+  (void)prog.build("main");
+  EXPECT_DEATH((void)prog.build("main"), "consumed");
+}
+
+TEST(GasmBuilder, CallSitesResolveAcrossDefinitionOrder) {
+  // Caller defined before callee: resolution happens at build time.
+  ProgramBuilder prog;
+  auto& main_fn = prog.begin_function("main");
+  main_fn.call("late");
+  main_fn.halt();
+  auto& late = prog.begin_function("late");
+  late.movi(R{4}, 5);
+  late.ret();
+  vm::Program program = prog.build("main");
+  vm::HostEnv host;
+  vm::Machine machine(program, host);
+  machine.run();
+  EXPECT_EQ(machine.cpu().regs[4], 5u);
+}
+
+}  // namespace
+}  // namespace tq::gasm

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace tq::isa {
+namespace {
+
+TEST(IsaClassify, MemoryReads) {
+  EXPECT_TRUE(is_memory_read(Op::kLoad));
+  EXPECT_TRUE(is_memory_read(Op::kLoadS));
+  EXPECT_TRUE(is_memory_read(Op::kFLoad));
+  EXPECT_TRUE(is_memory_read(Op::kFLoad4));
+  EXPECT_TRUE(is_memory_read(Op::kRet));   // pops the return address
+  EXPECT_TRUE(is_memory_read(Op::kMovs));  // string move reads the source
+  EXPECT_FALSE(is_memory_read(Op::kStore));
+  EXPECT_FALSE(is_memory_read(Op::kAdd));
+  EXPECT_FALSE(is_memory_read(Op::kPrefetch));  // prefetch is its own class
+}
+
+TEST(IsaClassify, MemoryWrites) {
+  EXPECT_TRUE(is_memory_write(Op::kStore));
+  EXPECT_TRUE(is_memory_write(Op::kFStore));
+  EXPECT_TRUE(is_memory_write(Op::kFStore4));
+  EXPECT_TRUE(is_memory_write(Op::kCall));  // pushes the return address
+  EXPECT_TRUE(is_memory_write(Op::kMovs));
+  EXPECT_FALSE(is_memory_write(Op::kLoad));
+  EXPECT_FALSE(is_memory_write(Op::kRet));
+}
+
+TEST(IsaClassify, ControlFlow) {
+  EXPECT_TRUE(is_branch(Op::kJmp));
+  EXPECT_TRUE(is_branch(Op::kBrZ));
+  EXPECT_TRUE(is_branch(Op::kBrNZ));
+  EXPECT_FALSE(is_branch(Op::kCall));
+  EXPECT_TRUE(is_call(Op::kCall));
+  EXPECT_TRUE(is_ret(Op::kRet));
+  EXPECT_TRUE(is_prefetch(Op::kPrefetch));
+  EXPECT_TRUE(references_memory(Op::kPrefetch));
+  EXPECT_FALSE(references_memory(Op::kFAdd));
+}
+
+TEST(IsaClassify, EveryOpcodeHasMnemonic) {
+  for (unsigned op = 0; op < static_cast<unsigned>(Op::kOpCount_); ++op) {
+    const char* name = mnemonic(static_cast<Op>(op));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "<bad>") << "opcode " << op;
+  }
+}
+
+TEST(IsaEncode, SingleInstructionRoundTrip) {
+  Instr ins;
+  ins.op = Op::kLoad;
+  ins.rd = 5;
+  ins.ra = 31;
+  ins.size = 4;
+  ins.imm = -12345;
+  const auto bytes = encode(std::span<const Instr>(&ins, 1));
+  EXPECT_EQ(bytes.size(), kEncodedSize);
+  const auto decoded = decode(bytes);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], ins);
+}
+
+TEST(IsaEncode, TruncatedStreamThrows) {
+  Instr ins;
+  auto bytes = encode(std::span<const Instr>(&ins, 1));
+  bytes.pop_back();
+  EXPECT_THROW(decode(bytes), Error);
+}
+
+TEST(IsaEncode, InvalidOpcodeThrows) {
+  Instr ins;
+  auto bytes = encode(std::span<const Instr>(&ins, 1));
+  bytes[0] = 0xff;
+  EXPECT_THROW(decode(bytes), Error);
+}
+
+/// Property: encode/decode is an exact round trip over random instructions.
+class IsaEncodeRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsaEncodeRandomized, RoundTrip) {
+  SplitMix64 rng(GetParam());
+  std::vector<Instr> code;
+  for (int i = 0; i < 500; ++i) {
+    Instr ins;
+    ins.op = static_cast<Op>(rng.next_below(static_cast<unsigned>(Op::kOpCount_)));
+    ins.rd = static_cast<std::uint8_t>(rng.next_below(32));
+    ins.ra = static_cast<std::uint8_t>(rng.next_below(32));
+    ins.rb = static_cast<std::uint8_t>(rng.next_below(32));
+    ins.size = static_cast<std::uint8_t>(1u << rng.next_below(4));
+    ins.flags = static_cast<std::uint8_t>(rng.next_below(2));
+    ins.pr = static_cast<std::uint8_t>(rng.next_below(32));
+    ins.imm = static_cast<std::int64_t>(rng.next());
+    code.push_back(ins);
+  }
+  const auto decoded = decode(encode(code));
+  EXPECT_EQ(decoded, code);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsaEncodeRandomized, ::testing::Values(3, 5, 8));
+
+TEST(IsaValidate, AcceptsWellFormedFunction) {
+  std::vector<Instr> code{
+      Instr{.op = Op::kMovI, .rd = 1, .imm = 7},
+      Instr{.op = Op::kRet},
+  };
+  EXPECT_EQ(validate(code, 1), "");
+}
+
+TEST(IsaValidate, RejectsEmptyFunction) {
+  EXPECT_NE(validate({}, 1), "");
+}
+
+TEST(IsaValidate, RejectsBranchOutOfRange) {
+  std::vector<Instr> code{
+      Instr{.op = Op::kJmp, .imm = 5},
+      Instr{.op = Op::kRet},
+  };
+  EXPECT_NE(validate(code, 1), "");
+}
+
+TEST(IsaValidate, RejectsCallToUnknownFunction) {
+  std::vector<Instr> code{
+      Instr{.op = Op::kCall, .imm = 3},
+      Instr{.op = Op::kRet},
+  };
+  EXPECT_NE(validate(code, 2), "");
+  EXPECT_EQ(validate(code, 4), "");
+}
+
+TEST(IsaValidate, RejectsBadMemorySize) {
+  std::vector<Instr> code{
+      Instr{.op = Op::kLoad, .rd = 1, .ra = 2, .size = 3, .imm = 0},
+      Instr{.op = Op::kRet},
+  };
+  EXPECT_NE(validate(code, 1), "");
+}
+
+TEST(IsaValidate, EnforcesFixedFpSizes) {
+  std::vector<Instr> code{
+      Instr{.op = Op::kFLoad, .rd = 1, .ra = 2, .size = 4, .imm = 0},
+      Instr{.op = Op::kRet},
+  };
+  EXPECT_NE(validate(code, 1), "");
+  code[0].size = 8;
+  EXPECT_EQ(validate(code, 1), "");
+}
+
+TEST(IsaValidate, MovsSizes) {
+  std::vector<Instr> code{
+      Instr{.op = Op::kMovs, .rd = 1, .ra = 2, .size = 64},
+      Instr{.op = Op::kRet},
+  };
+  EXPECT_EQ(validate(code, 1), "");
+  code[0].size = 4;
+  EXPECT_NE(validate(code, 1), "");
+  code[0].size = 128;  // overflows uint8 to 128; not an allowed size
+  EXPECT_NE(validate(code, 1), "");
+}
+
+TEST(IsaValidate, RequiresTerminator) {
+  std::vector<Instr> code{Instr{.op = Op::kAdd, .rd = 1, .ra = 1, .rb = 1}};
+  EXPECT_NE(validate(code, 1), "");
+}
+
+TEST(IsaDisassemble, ReadableOutput) {
+  Instr load{.op = Op::kLoad, .rd = 3, .ra = 31, .size = 8, .imm = 16};
+  EXPECT_EQ(disassemble(load), "load8 r3, [sp+16]");
+  Instr add{.op = Op::kAdd, .rd = 1, .ra = 2, .rb = 3};
+  EXPECT_EQ(disassemble(add), "add r1, r2, r3");
+  Instr movs{.op = Op::kMovs, .rd = 4, .ra = 5, .size = 64};
+  EXPECT_EQ(disassemble(movs), "movs64 [r4], [r5]");
+  Instr pred{.op = Op::kMov, .rd = 1, .ra = 2,
+             .flags = kFlagPredicated, .pr = 9};
+  EXPECT_EQ(disassemble(pred), "mov r1, r2  ?r9");
+}
+
+TEST(IsaDisassemble, WholeFunctionNumbersLines) {
+  std::vector<Instr> code{
+      Instr{.op = Op::kNop},
+      Instr{.op = Op::kRet},
+  };
+  const std::string listing = disassemble(code);
+  EXPECT_NE(listing.find("0:\tnop"), std::string::npos);
+  EXPECT_NE(listing.find("1:\tret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tq::isa

@@ -1,0 +1,252 @@
+// The Pin-substitute DBI engine: lazy instrument-once semantics, analysis
+// call dispatch, predication, argument marshalling.
+#include <gtest/gtest.h>
+
+#include "gasm/builder.hpp"
+#include "minipin/minipin.hpp"
+
+namespace tq::pin {
+namespace {
+
+using gasm::F;
+using gasm::ProgramBuilder;
+using gasm::R;
+
+/// Counts analysis events, pintool style.
+struct CountingTool {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t all_calls = 0;
+  std::uint64_t predicated_calls = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t fini_retired = 0;
+  std::vector<std::string> entry_names;
+
+  static void on_read(void* tool, const InsArgs& args) {
+    auto& self = *static_cast<CountingTool*>(tool);
+    ++self.reads;
+    self.read_bytes += args.read_size;
+  }
+  static void on_write(void* tool, const InsArgs& args) {
+    auto& self = *static_cast<CountingTool*>(tool);
+    ++self.writes;
+    self.write_bytes += args.write_size;
+  }
+  static void on_any(void* tool, const InsArgs&) {
+    ++static_cast<CountingTool*>(tool)->all_calls;
+  }
+  static void on_pred(void* tool, const InsArgs&) {
+    ++static_cast<CountingTool*>(tool)->predicated_calls;
+  }
+  static void on_entry(void* tool, const RtnArgs& args) {
+    auto& self = *static_cast<CountingTool*>(tool);
+    ++self.entries;
+    self.entry_names.push_back(*args.name);
+  }
+};
+
+vm::Program two_function_program() {
+  ProgramBuilder prog;
+  auto& helper = prog.begin_function("helper");
+  helper.movi(R{4}, 9);
+  helper.ret();
+  const auto buf = prog.alloc_global("buf", 64);
+  auto& main_fn = prog.begin_function("main");
+  main_fn.movi(R{1}, static_cast<std::int64_t>(buf));
+  main_fn.movi(R{2}, 5);
+  main_fn.store(R{1}, 0, R{2}, 4);
+  main_fn.load(R{3}, R{1}, 0, 8);
+  main_fn.call("helper");
+  main_fn.call("helper");
+  main_fn.halt();
+  return prog.build("main");
+}
+
+TEST(Minipin, InstrumentsRoutinesLazilyExactlyOnce) {
+  const vm::Program program = two_function_program();
+  vm::HostEnv host;
+  Engine engine(program, host);
+  int rtn_callbacks = 0;
+  int ins_callbacks = 0;
+  engine.add_rtn_instrument_function([&](Rtn&) { ++rtn_callbacks; });
+  engine.add_ins_instrument_function([&](Ins&) { ++ins_callbacks; });
+  engine.run();
+  // Two routines; helper entered twice but instrumented once.
+  EXPECT_EQ(engine.instrumented_routines(), 2u);
+  EXPECT_EQ(rtn_callbacks, 2);
+  EXPECT_EQ(ins_callbacks, static_cast<int>(program.static_instructions()));
+}
+
+TEST(Minipin, NeverEnteredRoutineIsNeverInstrumented) {
+  ProgramBuilder prog;
+  auto& unused = prog.begin_function("unused");
+  unused.ret();
+  auto& main_fn = prog.begin_function("main");
+  main_fn.halt();
+  const vm::Program program = prog.build("main");
+  vm::HostEnv host;
+  Engine engine(program, host);
+  std::vector<std::string> instrumented;
+  engine.add_rtn_instrument_function(
+      [&](Rtn& rtn) { instrumented.push_back(rtn.name()); });
+  engine.run();
+  EXPECT_EQ(engine.instrumented_routines(), 1u);
+  ASSERT_EQ(instrumented.size(), 1u);
+  EXPECT_EQ(instrumented[0], "main");
+}
+
+TEST(Minipin, MemoryAnalysisCallsSeeSizesAndAddresses) {
+  const vm::Program program = two_function_program();
+  vm::HostEnv host;
+  Engine engine(program, host);
+  CountingTool tool;
+  engine.add_ins_instrument_function([&](Ins& ins) {
+    if (ins.is_memory_read()) ins.insert_predicated_call(&CountingTool::on_read, &tool);
+    if (ins.is_memory_write()) ins.insert_predicated_call(&CountingTool::on_write, &tool);
+  });
+  engine.run();
+  // Reads: 1 load (8B) + 2 rets (8B each). Writes: 1 store (4B) + 2 calls.
+  EXPECT_EQ(tool.reads, 3u);
+  EXPECT_EQ(tool.read_bytes, 24u);
+  EXPECT_EQ(tool.writes, 3u);
+  EXPECT_EQ(tool.write_bytes, 20u);
+}
+
+TEST(Minipin, RoutineEntryCallsFirePerDynamicEntry) {
+  const vm::Program program = two_function_program();
+  vm::HostEnv host;
+  Engine engine(program, host);
+  CountingTool tool;
+  engine.add_rtn_instrument_function(
+      [&](Rtn& rtn) { rtn.insert_entry_call(&CountingTool::on_entry, &tool); });
+  engine.run();
+  // main once, helper twice.
+  EXPECT_EQ(tool.entries, 3u);
+  ASSERT_EQ(tool.entry_names.size(), 3u);
+  EXPECT_EQ(tool.entry_names[0], "main");
+  EXPECT_EQ(tool.entry_names[1], "helper");
+  EXPECT_EQ(tool.entry_names[2], "helper");
+}
+
+TEST(Minipin, PredicatedCallSkippedWhenPredicateFalse) {
+  ProgramBuilder prog;
+  auto& main_fn = prog.begin_function("main");
+  main_fn.movi(R{2}, 0);  // predicate off
+  main_fn.movi(R{3}, 1);
+  main_fn.mov(R{4}, R{3});
+  main_fn.predicate_last(R{2});
+  main_fn.halt();
+  const vm::Program program = prog.build("main");
+  vm::HostEnv host;
+  Engine engine(program, host);
+  CountingTool tool;
+  engine.add_ins_instrument_function([&](Ins& ins) {
+    if (ins.is_predicated()) {
+      ins.insert_call(&CountingTool::on_any, &tool);
+      ins.insert_predicated_call(&CountingTool::on_pred, &tool);
+    }
+  });
+  engine.run();
+  EXPECT_EQ(tool.all_calls, 1u);        // InsertCall fires regardless
+  EXPECT_EQ(tool.predicated_calls, 0u);  // InsertPredicatedCall does not
+}
+
+TEST(Minipin, FiniFunctionsReceiveFinalCount) {
+  const vm::Program program = two_function_program();
+  vm::HostEnv host;
+  Engine engine(program, host);
+  std::uint64_t fini_value = 0;
+  engine.add_fini_function([&](std::uint64_t retired) { fini_value = retired; });
+  const vm::RunResult result = engine.run();
+  EXPECT_EQ(fini_value, result.retired);
+  EXPECT_GT(fini_value, 0u);
+}
+
+TEST(Minipin, InsViewExposesStaticProperties) {
+  const vm::Program program = two_function_program();
+  vm::HostEnv host;
+  Engine engine(program, host);
+  bool saw_call = false;
+  bool saw_ret = false;
+  engine.add_ins_instrument_function([&](Ins& ins) {
+    if (ins.is_call()) {
+      saw_call = true;
+      EXPECT_EQ(ins.memory_size(), 8u);  // return-address push
+    }
+    if (ins.is_ret()) {
+      saw_ret = true;
+      EXPECT_EQ(ins.memory_size(), 8u);
+    }
+  });
+  engine.run();
+  EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_ret);
+}
+
+TEST(Minipin, RtnViewExposesImageAndSize) {
+  ProgramBuilder prog;
+  auto& lib = prog.begin_function("libc_x", vm::ImageKind::kLibrary);
+  lib.ret();
+  auto& main_fn = prog.begin_function("main");
+  main_fn.call("libc_x");
+  main_fn.halt();
+  const vm::Program program = prog.build("main");
+  vm::HostEnv host;
+  Engine engine(program, host);
+  bool checked = false;
+  engine.add_rtn_instrument_function([&](Rtn& rtn) {
+    if (rtn.name() == "libc_x") {
+      checked = true;
+      EXPECT_FALSE(rtn.in_main_image());
+      EXPECT_EQ(rtn.instruction_count(), 1u);
+    }
+  });
+  engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Minipin, ArgsCarryStackPointerAndIp) {
+  ProgramBuilder prog;
+  auto& main_fn = prog.begin_function("main");
+  main_fn.enter(32);
+  main_fn.movi(R{2}, 7);
+  main_fn.store(gasm::SP, 8, R{2}, 8);
+  main_fn.leave(32);
+  main_fn.halt();
+  const vm::Program program = prog.build("main");
+  vm::HostEnv host;
+  Engine engine(program, host);
+  struct Capture {
+    std::uint64_t sp = 0;
+    std::uint64_t ea = 0;
+    std::uint64_t ip = 0;
+    static void fn(void* tool, const InsArgs& args) {
+      auto& self = *static_cast<Capture*>(tool);
+      self.sp = args.sp;
+      self.ea = args.write_ea;
+      self.ip = args.ip;
+    }
+  } capture;
+  engine.add_ins_instrument_function([&](Ins& ins) {
+    if (ins.opcode() == isa::Op::kStore) {
+      ins.insert_predicated_call(&Capture::fn, &capture);
+    }
+  });
+  engine.run();
+  EXPECT_EQ(capture.sp, vm::kStackBase - 32);
+  EXPECT_EQ(capture.ea, capture.sp + 8);
+  EXPECT_EQ(capture.ip & 0xffffffffu, 2u);  // pc of the store
+}
+
+TEST(Minipin, EngineRunIsSingleShot) {
+  const vm::Program program = two_function_program();
+  vm::HostEnv host;
+  Engine engine(program, host);
+  engine.run();
+  EXPECT_DEATH(engine.run(), "single-shot");
+}
+
+}  // namespace
+}  // namespace tq::pin

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/address_set.hpp"
+#include "support/rng.hpp"
+
+namespace tq {
+namespace {
+
+TEST(AddressSet, EmptySet) {
+  AddressSet set;
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_EQ(set.resident_pages(), 0u);
+}
+
+TEST(AddressSet, SingleBytes) {
+  AddressSet set;
+  set.insert_range(100, 1);
+  set.insert_range(102, 1);
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_TRUE(set.contains(100));
+  EXPECT_FALSE(set.contains(101));
+  EXPECT_TRUE(set.contains(102));
+}
+
+TEST(AddressSet, RangeInsertCountsDistinctBytes) {
+  AddressSet set;
+  set.insert_range(1000, 8);
+  EXPECT_EQ(set.count(), 8u);
+  // Overlapping insert adds only the new bytes.
+  set.insert_range(1004, 8);
+  EXPECT_EQ(set.count(), 12u);
+  // Fully covered insert adds nothing.
+  set.insert_range(1000, 12);
+  EXPECT_EQ(set.count(), 12u);
+}
+
+TEST(AddressSet, IdempotentInserts) {
+  AddressSet set;
+  for (int i = 0; i < 10; ++i) set.insert_range(0x4000, 4);
+  EXPECT_EQ(set.count(), 4u);
+}
+
+TEST(AddressSet, CrossesPageBoundary) {
+  AddressSet set;
+  const std::uint64_t addr = AddressSet::kPageSize - 2;
+  set.insert_range(addr, 5);
+  EXPECT_EQ(set.count(), 5u);
+  EXPECT_TRUE(set.contains(addr));
+  EXPECT_TRUE(set.contains(addr + 4));
+  EXPECT_FALSE(set.contains(addr + 5));
+  EXPECT_EQ(set.resident_pages(), 2u);
+}
+
+TEST(AddressSet, CrossesWordBoundaryWithinPage) {
+  AddressSet set;
+  set.insert_range(60, 10);  // bits 60..69 straddle the first 64-bit word
+  EXPECT_EQ(set.count(), 10u);
+  for (std::uint64_t a = 60; a < 70; ++a) EXPECT_TRUE(set.contains(a));
+  EXPECT_FALSE(set.contains(59));
+  EXPECT_FALSE(set.contains(70));
+}
+
+TEST(AddressSet, LargeRange) {
+  AddressSet set;
+  set.insert_range(0, 3 * AddressSet::kPageSize);
+  EXPECT_EQ(set.count(), 3 * AddressSet::kPageSize);
+}
+
+TEST(AddressSet, ClearResets) {
+  AddressSet set;
+  set.insert_range(10, 100);
+  set.clear();
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_FALSE(set.contains(10));
+}
+
+/// Property: matches a std::set<uint64> reference under random ranges.
+class AddressSetRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AddressSetRandomized, MatchesReferenceSet) {
+  SplitMix64 rng(GetParam());
+  AddressSet set;
+  std::set<std::uint64_t> model;
+  for (int op = 0; op < 600; ++op) {
+    const std::uint64_t addr = rng.next_below(1 << 14);
+    const std::uint32_t size = 1 + static_cast<std::uint32_t>(rng.next_below(100));
+    set.insert_range(addr, size);
+    for (std::uint64_t a = addr; a < addr + size; ++a) model.insert(a);
+    ASSERT_EQ(set.count(), model.size());
+  }
+  // Spot-check membership.
+  for (int probe = 0; probe < 500; ++probe) {
+    const std::uint64_t addr = rng.next_below(1 << 14);
+    EXPECT_EQ(set.contains(addr), model.contains(addr)) << addr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressSetRandomized,
+                         ::testing::Values(7, 21, 42, 1001));
+
+}  // namespace
+}  // namespace tq

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace tq {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelForBlocks, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_blocks(pool, 0, 1000,
+                      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                        for (std::uint64_t i = begin; i < end; ++i) {
+                          hits[i].fetch_add(1, std::memory_order_relaxed);
+                        }
+                      });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForBlocks, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for_blocks(pool, 10, 10,
+                      [&](std::uint64_t, std::uint64_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForBlocks, SmallRangeFewerBlocksThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> blocks{0};
+  std::atomic<std::uint64_t> total{0};
+  parallel_for_blocks(pool, 0, 3,
+                      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                        blocks.fetch_add(1);
+                        total.fetch_add(end - begin);
+                      });
+  EXPECT_EQ(blocks.load(), 3);
+  EXPECT_EQ(total.load(), 3u);
+}
+
+TEST(ParallelForBlocks, NonZeroOffsetRange) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for_blocks(pool, 100, 200,
+                      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                        std::uint64_t local = 0;
+                        for (std::uint64_t i = begin; i < end; ++i) local += i;
+                        sum.fetch_add(local);
+                      });
+  std::uint64_t want = 0;
+  for (std::uint64_t i = 100; i < 200; ++i) want += i;
+  EXPECT_EQ(sum.load(), want);
+}
+
+}  // namespace
+}  // namespace tq

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "tquad/bandwidth.hpp"
+#include "tquad/report.hpp"
+
+namespace tq::tquad {
+namespace {
+
+TEST(BandwidthRecorder, AccountsBytesToCorrectSlices) {
+  BandwidthRecorder rec(2, 100);  // 2 kernels, 100-instruction slices
+  rec.on_access(0, 10, 8, /*is_read=*/true, /*is_stack=*/false);
+  rec.on_access(0, 50, 4, true, true);
+  rec.on_access(0, 150, 16, false, false);  // next slice
+  rec.on_access(1, 150, 2, true, false);
+  rec.finish();
+
+  const KernelBandwidth& k0 = rec.kernel(0);
+  ASSERT_EQ(k0.series.size(), 2u);
+  EXPECT_EQ(k0.series[0].slice, 0u);
+  EXPECT_EQ(k0.series[0].counters.read_incl, 12u);
+  EXPECT_EQ(k0.series[0].counters.read_excl, 8u);  // the stack access excluded
+  EXPECT_EQ(k0.series[0].counters.write_incl, 0u);
+  EXPECT_EQ(k0.series[1].slice, 1u);
+  EXPECT_EQ(k0.series[1].counters.write_incl, 16u);
+  EXPECT_EQ(k0.series[1].counters.write_excl, 16u);
+  EXPECT_EQ(k0.totals.read_incl, 12u);
+  EXPECT_EQ(k0.totals.write_incl, 16u);
+
+  const KernelBandwidth& k1 = rec.kernel(1);
+  ASSERT_EQ(k1.series.size(), 1u);
+  EXPECT_EQ(k1.series[0].slice, 1u);
+  EXPECT_EQ(rec.max_slice(), 1u);
+}
+
+TEST(BandwidthRecorder, SkippedSlicesProduceNoSamples) {
+  BandwidthRecorder rec(1, 10);
+  rec.on_access(0, 5, 1, true, false);
+  rec.on_access(0, 95, 1, true, false);   // slice 9; slices 1..8 silent
+  rec.on_access(0, 9999, 1, true, false); // slice 999
+  rec.finish();
+  const KernelBandwidth& k = rec.kernel(0);
+  ASSERT_EQ(k.series.size(), 3u);
+  EXPECT_EQ(k.series[0].slice, 0u);
+  EXPECT_EQ(k.series[1].slice, 9u);
+  EXPECT_EQ(k.series[2].slice, 999u);
+  EXPECT_EQ(k.active_slices(), 3u);
+  EXPECT_EQ(k.first_active_slice(), 0u);
+  EXPECT_EQ(k.last_active_slice(), 999u);
+}
+
+TEST(BandwidthRecorder, FinishIsIdempotentAndFlushes) {
+  BandwidthRecorder rec(1, 100);
+  rec.on_access(0, 42, 8, false, false);
+  EXPECT_EQ(rec.kernel(0).series.size(), 0u);  // still buffered
+  rec.finish();
+  EXPECT_EQ(rec.kernel(0).series.size(), 1u);
+  rec.finish();
+  EXPECT_EQ(rec.kernel(0).series.size(), 1u);
+}
+
+TEST(BandwidthRecorder, SeriesAscendingBySlicePerKernel) {
+  BandwidthRecorder rec(3, 7);
+  // Interleave kernels at increasing times.
+  for (std::uint64_t t = 0; t < 700; t += 13) {
+    rec.on_access(t % 3, t, 4, t % 2 == 0, false);
+  }
+  rec.finish();
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    const auto& series = rec.kernel(k).series;
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      EXPECT_LT(series[i - 1].slice, series[i].slice);
+    }
+  }
+}
+
+TEST(BandwidthStats, AveragesOverActiveSlicesOnly) {
+  BandwidthRecorder rec(1, 1000);
+  rec.on_access(0, 0, 500, true, false);       // slice 0: 500 B read
+  rec.on_access(0, 5000, 1500, true, false);   // slice 5: 1500 B read
+  rec.on_access(0, 5100, 1000, false, true);   // slice 5: 1000 B stack write
+  rec.finish();
+  const BandwidthStats stats = bandwidth_stats(rec.kernel(0), 1000);
+  EXPECT_EQ(stats.activity_span, 2u);
+  EXPECT_EQ(stats.first_slice, 0u);
+  EXPECT_EQ(stats.last_slice, 5u);
+  // avg read incl = (500 + 1500) / (2 active slices * 1000 instr) = 1.0 B/i.
+  EXPECT_DOUBLE_EQ(stats.avg_read_incl, 1.0);
+  EXPECT_DOUBLE_EQ(stats.avg_read_excl, 1.0);
+  EXPECT_DOUBLE_EQ(stats.avg_write_incl, 0.5);
+  EXPECT_DOUBLE_EQ(stats.avg_write_excl, 0.0);
+  // Peak slice is slice 5: (1500 + 1000) / 1000 = 2.5 B/i including stack.
+  EXPECT_DOUBLE_EQ(stats.max_rw_incl, 2.5);
+  EXPECT_DOUBLE_EQ(stats.max_rw_excl, 1.5);
+}
+
+TEST(BandwidthStats, EmptyKernel) {
+  BandwidthRecorder rec(1, 10);
+  rec.finish();
+  const BandwidthStats stats = bandwidth_stats(rec.kernel(0), 10);
+  EXPECT_EQ(stats.activity_span, 0u);
+  EXPECT_EQ(stats.avg_read_incl, 0.0);
+  EXPECT_EQ(stats.max_rw_incl, 0.0);
+}
+
+TEST(BandwidthRecorder, ZeroSliceIntervalAborts) {
+  EXPECT_DEATH(BandwidthRecorder(1, 0), "slice interval");
+}
+
+/// Property: totals equal the sum over the series, per counter.
+class BandwidthTotalsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BandwidthTotalsProperty, TotalsMatchSeriesSum) {
+  const std::uint64_t interval = GetParam();
+  BandwidthRecorder rec(4, interval);
+  std::uint64_t t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += 1 + (i % 37);
+    rec.on_access(i % 4, t, 1 + (i % 9), i % 3 != 0, i % 5 == 0);
+  }
+  rec.finish();
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    SliceCounters sum;
+    for (const auto& sample : rec.kernel(k).series) sum.merge(sample.counters);
+    const auto& totals = rec.kernel(k).totals;
+    EXPECT_EQ(sum.read_incl, totals.read_incl);
+    EXPECT_EQ(sum.read_excl, totals.read_excl);
+    EXPECT_EQ(sum.write_incl, totals.write_incl);
+    EXPECT_EQ(sum.write_excl, totals.write_excl);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, BandwidthTotalsProperty,
+                         ::testing::Values(1, 7, 100, 5000, 100000));
+
+}  // namespace
+}  // namespace tq::tquad

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "gasm/builder.hpp"
+#include "tquad/callstack.hpp"
+
+namespace tq::tquad {
+namespace {
+
+/// Program fixture: main (id varies), lib (library image), os (OS image).
+vm::Program make_program() {
+  gasm::ProgramBuilder prog;
+  auto& a = prog.begin_function("alpha");
+  a.ret();
+  auto& b = prog.begin_function("beta");
+  b.ret();
+  auto& lib = prog.begin_function("lib", vm::ImageKind::kLibrary);
+  lib.ret();
+  auto& osf = prog.begin_function("osf", vm::ImageKind::kOs);
+  osf.ret();
+  auto& main_fn = prog.begin_function("main");
+  main_fn.halt();
+  return prog.build("main");
+}
+
+TEST(CallStack, PushPopBalancedAttribution) {
+  const vm::Program prog = make_program();
+  CallStack stack(prog, LibraryPolicy::kExclude);
+  const auto alpha = *prog.find("alpha");
+  const auto beta = *prog.find("beta");
+  EXPECT_EQ(stack.top(), kNoKernel);
+  stack.on_enter(alpha);
+  EXPECT_EQ(stack.top(), alpha);
+  stack.on_enter(beta);
+  EXPECT_EQ(stack.top(), beta);
+  stack.on_ret(beta);
+  EXPECT_EQ(stack.top(), alpha);
+  stack.on_ret(alpha);
+  EXPECT_EQ(stack.top(), kNoKernel);
+  EXPECT_EQ(stack.mismatched_pops(), 0u);
+  EXPECT_EQ(stack.max_depth(), 2u);
+}
+
+TEST(CallStack, ExcludePolicySuspendsAttribution) {
+  const vm::Program prog = make_program();
+  CallStack stack(prog, LibraryPolicy::kExclude);
+  const auto alpha = *prog.find("alpha");
+  const auto lib = *prog.find("lib");
+  stack.on_enter(alpha);
+  stack.on_enter(lib);  // pushed as a suspension marker
+  EXPECT_EQ(stack.top(), kNoKernel) << "library code must not be attributed";
+  stack.on_ret(lib);
+  EXPECT_EQ(stack.top(), alpha);
+  EXPECT_FALSE(stack.tracked(lib));
+  EXPECT_TRUE(stack.tracked(alpha));
+}
+
+TEST(CallStack, AttributeToCallerPolicy) {
+  const vm::Program prog = make_program();
+  CallStack stack(prog, LibraryPolicy::kAttributeToCaller);
+  const auto alpha = *prog.find("alpha");
+  const auto lib = *prog.find("lib");
+  stack.on_enter(alpha);
+  stack.on_enter(lib);  // invisible
+  EXPECT_EQ(stack.top(), alpha) << "library work accrues to the caller";
+  stack.on_ret(lib);  // ignored, not a mismatch
+  EXPECT_EQ(stack.top(), alpha);
+  EXPECT_EQ(stack.mismatched_pops(), 0u);
+}
+
+TEST(CallStack, TrackPolicyReportsLibraries) {
+  const vm::Program prog = make_program();
+  CallStack stack(prog, LibraryPolicy::kTrack);
+  const auto lib = *prog.find("lib");
+  const auto osf = *prog.find("osf");
+  stack.on_enter(lib);
+  EXPECT_EQ(stack.top(), lib);
+  EXPECT_TRUE(stack.tracked(lib));
+  EXPECT_TRUE(stack.tracked(osf));
+  stack.on_ret(lib);
+}
+
+TEST(CallStack, OsImageFollowsLibraryPolicy) {
+  const vm::Program prog = make_program();
+  CallStack stack(prog, LibraryPolicy::kExclude);
+  const auto osf = *prog.find("osf");
+  stack.on_enter(osf);
+  EXPECT_EQ(stack.top(), kNoKernel);
+  stack.on_ret(osf);
+}
+
+TEST(CallStack, RecursionDepthTracking) {
+  const vm::Program prog = make_program();
+  CallStack stack(prog, LibraryPolicy::kExclude);
+  const auto alpha = *prog.find("alpha");
+  for (int i = 0; i < 10; ++i) stack.on_enter(alpha);
+  EXPECT_EQ(stack.depth(), 10u);
+  EXPECT_EQ(stack.max_depth(), 10u);
+  for (int i = 0; i < 10; ++i) stack.on_ret(alpha);
+  EXPECT_EQ(stack.depth(), 0u);
+  EXPECT_EQ(stack.mismatched_pops(), 0u);
+}
+
+TEST(CallStack, MismatchedPopCounted) {
+  const vm::Program prog = make_program();
+  CallStack stack(prog, LibraryPolicy::kExclude);
+  const auto alpha = *prog.find("alpha");
+  const auto beta = *prog.find("beta");
+  stack.on_enter(alpha);
+  stack.on_ret(beta);  // beta was never pushed
+  EXPECT_EQ(stack.mismatched_pops(), 1u);
+  EXPECT_EQ(stack.top(), alpha) << "stack must be preserved on mismatch";
+}
+
+}  // namespace
+}  // namespace tq::tquad

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "gasm/builder.hpp"
+#include "support/check.hpp"
+#include "vm/program.hpp"
+
+namespace tq::vm {
+namespace {
+
+Program sample_program() {
+  gasm::ProgramBuilder prog;
+  auto& lib = prog.begin_function("libc_read", ImageKind::kLibrary);
+  lib.sys(isa::Sys::kRead);
+  lib.ret();
+  auto& osfn = prog.begin_function("os_stub", ImageKind::kOs);
+  osfn.ret();
+  const auto addr = prog.alloc_global("table", 32);
+  prog.init_data(addr, {1, 2, 3, 4});
+  auto& main_fn = prog.begin_function("main");
+  main_fn.movi(gasm::R{1}, 42);
+  main_fn.halt();
+  return prog.build("main");
+}
+
+TEST(Program, FindByName) {
+  const Program prog = sample_program();
+  EXPECT_TRUE(prog.find("main").has_value());
+  EXPECT_TRUE(prog.find("libc_read").has_value());
+  EXPECT_FALSE(prog.find("nope").has_value());
+}
+
+TEST(Program, ImageKindsPreserved) {
+  const Program prog = sample_program();
+  EXPECT_EQ(prog.function(*prog.find("libc_read")).image, ImageKind::kLibrary);
+  EXPECT_EQ(prog.function(*prog.find("os_stub")).image, ImageKind::kOs);
+  EXPECT_EQ(prog.function(*prog.find("main")).image, ImageKind::kMain);
+}
+
+TEST(Program, ImageKindNames) {
+  EXPECT_STREQ(image_kind_name(ImageKind::kMain), "main");
+  EXPECT_STREQ(image_kind_name(ImageKind::kLibrary), "library");
+  EXPECT_STREQ(image_kind_name(ImageKind::kOs), "os");
+}
+
+TEST(Program, StaticInstructionCount) {
+  const Program prog = sample_program();
+  EXPECT_EQ(prog.static_instructions(), 2u + 1u + 2u);
+}
+
+TEST(Program, SerializeRoundTrip) {
+  const Program prog = sample_program();
+  const auto bytes = prog.serialize();
+  const Program back = Program::deserialize(bytes);
+  ASSERT_EQ(back.functions().size(), prog.functions().size());
+  for (std::size_t i = 0; i < prog.functions().size(); ++i) {
+    EXPECT_EQ(back.functions()[i].name, prog.functions()[i].name);
+    EXPECT_EQ(back.functions()[i].image, prog.functions()[i].image);
+    EXPECT_EQ(back.functions()[i].code, prog.functions()[i].code);
+  }
+  EXPECT_EQ(back.entry(), prog.entry());
+  ASSERT_EQ(back.data().size(), prog.data().size());
+  EXPECT_EQ(back.data()[0].addr, prog.data()[0].addr);
+  EXPECT_EQ(back.data()[0].bytes, prog.data()[0].bytes);
+}
+
+TEST(Program, DeserializeRejectsGarbage) {
+  std::vector<std::uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(Program::deserialize(garbage), Error);
+}
+
+TEST(Program, DeserializeRejectsTruncation) {
+  const Program prog = sample_program();
+  auto bytes = prog.serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(Program::deserialize(bytes), Error);
+}
+
+TEST(Program, DeserializeRejectsBadMagic) {
+  const Program prog = sample_program();
+  auto bytes = prog.serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(Program::deserialize(bytes), Error);
+}
+
+TEST(Program, ValidateRejectsNoFunctions) {
+  Program prog;
+  EXPECT_THROW(prog.validate(), Error);
+}
+
+TEST(Program, ValidateNamesOffendingFunction) {
+  Program prog;
+  Function fn;
+  fn.name = "broken";
+  fn.code = {isa::Instr{.op = isa::Op::kJmp, .imm = 99}};
+  prog.add_function(std::move(fn));
+  try {
+    prog.validate();
+    FAIL() << "expected Error";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("broken"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tq::vm

@@ -1,0 +1,244 @@
+// The WAV codec and the native golden model: DSP-level properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "wfs/golden.hpp"
+#include "wfs/wav.hpp"
+
+namespace tq::wfs {
+namespace {
+
+// ---- wav codec ---------------------------------------------------------------
+
+TEST(Wav, EncodeDecodeRoundTrip) {
+  WavData data;
+  data.sample_rate = 44100;
+  data.channels = 2;
+  data.samples = {0, 100, -100, 32767, -32768, 7};
+  const auto bytes = wav_encode(data);
+  EXPECT_EQ(bytes.size(), kWavHeaderSize + data.samples.size() * 2);
+  const WavData back = wav_decode(bytes);
+  EXPECT_EQ(back.sample_rate, data.sample_rate);
+  EXPECT_EQ(back.channels, data.channels);
+  EXPECT_EQ(back.samples, data.samples);
+}
+
+TEST(Wav, DecodeRejectsShortInput) {
+  EXPECT_THROW(wav_decode({1, 2, 3}), Error);
+}
+
+TEST(Wav, DecodeRejectsBadMagic) {
+  WavData data;
+  data.samples = {1, 2, 3};
+  auto bytes = wav_encode(data);
+  bytes[0] = 'X';
+  EXPECT_THROW(wav_decode(bytes), Error);
+}
+
+TEST(Wav, DecodeRejectsTruncatedData) {
+  WavData data;
+  data.samples.assign(100, 5);
+  auto bytes = wav_encode(data);
+  bytes.resize(bytes.size() - 10);
+  EXPECT_THROW(wav_decode(bytes), Error);
+}
+
+TEST(Wav, TestSignalDeterministicAndBounded) {
+  const WavData a = make_test_signal(1000);
+  const WavData b = make_test_signal(1000);
+  EXPECT_EQ(a.samples, b.samples);
+  std::int16_t peak = 0;
+  for (std::int16_t s : a.samples) {
+    peak = std::max<std::int16_t>(peak, static_cast<std::int16_t>(std::abs(int(s))));
+  }
+  EXPECT_GT(peak, 8000);   // audible
+  EXPECT_LT(peak, 32767);  // headroom (no clipping)
+}
+
+// ---- golden bitrev/fft ----------------------------------------------------------
+
+TEST(GoldenBitrev, KnownValues) {
+  EXPECT_EQ(golden_bitrev(0b000, 3), 0b000u);
+  EXPECT_EQ(golden_bitrev(0b001, 3), 0b100u);
+  EXPECT_EQ(golden_bitrev(0b011, 3), 0b110u);
+  EXPECT_EQ(golden_bitrev(0b101, 3), 0b101u);
+  EXPECT_EQ(golden_bitrev(1, 10), 512u);
+}
+
+TEST(GoldenBitrev, IsAnInvolution) {
+  for (std::uint32_t bits : {3u, 5u, 8u, 11u}) {
+    for (std::uint32_t i = 0; i < (1u << bits); i += 7) {
+      EXPECT_EQ(golden_bitrev(golden_bitrev(i, bits), bits), i);
+    }
+  }
+}
+
+TEST(GoldenFft, DeltaTransformsToFlatSpectrum) {
+  const std::uint32_t n = 64;
+  std::vector<double> a(2 * n, 0.0);
+  a[0] = 1.0;  // delta
+  golden_fft(a, n, +1);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(a[2 * k], 1.0, 1e-12);
+    EXPECT_NEAR(a[2 * k + 1], 0.0, 1e-12);
+  }
+}
+
+TEST(GoldenFft, ForwardInverseIsIdentity) {
+  const std::uint32_t n = 256;
+  std::vector<double> a(2 * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    a[2 * i] = std::sin(0.1 * i) + 0.3 * std::cos(0.05 * i);
+    a[2 * i + 1] = 0.0;
+  }
+  const std::vector<double> original = a;
+  golden_fft(a, n, +1);
+  golden_fft(a, n, -1);
+  for (std::uint32_t i = 0; i < 2 * n; ++i) {
+    EXPECT_NEAR(a[i], original[i], 1e-10) << "index " << i;
+  }
+}
+
+TEST(GoldenFft, ParsevalEnergyConservation) {
+  const std::uint32_t n = 128;
+  std::vector<double> a(2 * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    a[2 * i] = std::sin(0.7 * i);
+    a[2 * i + 1] = 0.0;
+  }
+  double time_energy = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    time_energy += a[2 * i] * a[2 * i] + a[2 * i + 1] * a[2 * i + 1];
+  }
+  golden_fft(a, n, +1);
+  double freq_energy = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    freq_energy += a[2 * i] * a[2 * i] + a[2 * i + 1] * a[2 * i + 1];
+  }
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-9 * n);
+}
+
+TEST(GoldenFft, PureToneConcentratesInOneBin) {
+  const std::uint32_t n = 128;
+  std::vector<double> a(2 * n);
+  const std::uint32_t bin = 5;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    a[2 * i] = std::cos(2.0 * M_PI * bin * i / n);
+    a[2 * i + 1] = 0.0;
+  }
+  golden_fft(a, n, +1);
+  // Energy at bins 5 and n-5 only.
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const double mag = std::hypot(a[2 * k], a[2 * k + 1]);
+    if (k == bin || k == n - bin) {
+      EXPECT_NEAR(mag, n / 2.0, 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+// ---- golden ffw ---------------------------------------------------------------------
+
+TEST(GoldenFfw, MainFilterDcGainNearUnity) {
+  const WfsConfig cfg = WfsConfig::tiny();
+  std::vector<double> H;
+  golden_ffw(cfg, 0, H);
+  ASSERT_EQ(H.size(), 2u * cfg.fft_size);
+  // DC bin = sum of taps = 0.9 by construction.
+  EXPECT_NEAR(H[0], 0.9, 1e-12);
+  EXPECT_NEAR(H[1], 0.0, 1e-12);
+  // It is a lowpass: DC magnitude exceeds Nyquist magnitude.
+  const std::uint32_t nyq = cfg.fft_size / 2;
+  EXPECT_GT(std::fabs(H[0]), std::hypot(H[2 * nyq], H[2 * nyq + 1]));
+}
+
+TEST(GoldenFfw, BiasFilterSmall) {
+  const WfsConfig cfg = WfsConfig::tiny();
+  std::vector<double> B;
+  golden_ffw(cfg, 1, B);
+  for (std::uint32_t k = 0; k < cfg.fft_size; ++k) {
+    EXPECT_LE(std::hypot(B[2 * k], B[2 * k + 1]), 0.08);
+  }
+}
+
+// ---- golden pipeline -----------------------------------------------------------------
+
+TEST(GoldenPipeline, DelaysIncreaseWithDistance) {
+  const WfsConfig cfg = WfsConfig::tiny();
+  const GoldenResult result = run_golden(cfg, make_test_signal(cfg.input_samples()));
+  // The source ends left of centre: the farthest speaker (largest |x - px|)
+  // must have the largest delay and the smallest gain.
+  const WfsDerived derived(cfg);
+  std::int64_t max_delay = 0;
+  double max_gain = 0.0;
+  for (std::uint32_t s = 0; s < cfg.speakers; ++s) {
+    max_delay = std::max(max_delay, result.delays[s]);
+    max_gain = std::max(max_gain, result.gains[s]);
+    EXPECT_GE(result.delays[s], 0);
+    EXPECT_GT(result.gains[s], 0.0);
+  }
+  // Delays vary across speakers (the wavefront is curved).
+  std::int64_t min_delay = max_delay;
+  for (std::int64_t d : result.delays) min_delay = std::min(min_delay, d);
+  EXPECT_GT(max_delay, min_delay);
+}
+
+TEST(GoldenPipeline, OutputPeakNormalisedTo90Percent) {
+  const WfsConfig cfg = WfsConfig::tiny();
+  const GoldenResult result = run_golden(cfg, make_test_signal(cfg.input_samples()));
+  std::int16_t peak = 0;
+  for (std::int16_t s : result.output) {
+    peak = std::max<std::int16_t>(peak, static_cast<std::int16_t>(std::abs(int(s))));
+  }
+  // 0.9 * 32767 = 29490, reached within quantisation of the peak sample.
+  EXPECT_NEAR(peak, 29490, 2);
+}
+
+TEST(GoldenPipeline, SilentInputProducesSilentOutput) {
+  const WfsConfig cfg = WfsConfig::tiny();
+  WavData silence;
+  silence.samples.assign(cfg.input_samples(), 0);
+  const GoldenResult result = run_golden(cfg, silence);
+  for (std::int16_t s : result.output) EXPECT_EQ(s, 0);
+  // The bias spectrum leaves only numerical dust (its impulse response lies
+  // outside the overlap-save tail), so the peak is ~1e-19, not exactly 0.
+  EXPECT_LT(result.peak, 1e-12);
+}
+
+TEST(GoldenPipeline, DeterministicAcrossRuns) {
+  const WfsConfig cfg = WfsConfig::tiny();
+  const WavData input = make_test_signal(cfg.input_samples());
+  const GoldenResult a = run_golden(cfg, input);
+  const GoldenResult b = run_golden(cfg, input);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.delays, b.delays);
+}
+
+TEST(GoldenPipeline, SpeakerFramesScaleWithGain) {
+  const WfsConfig cfg = WfsConfig::tiny();
+  const GoldenResult result = run_golden(cfg, make_test_signal(cfg.input_samples()));
+  const std::uint64_t total = cfg.input_samples();
+  // RMS per speaker roughly tracks the per-speaker gain ordering.
+  std::vector<double> rms(cfg.speakers, 0.0);
+  for (std::uint32_t s = 0; s < cfg.speakers; ++s) {
+    double acc = 0.0;
+    for (std::uint64_t g = 0; g < total; ++g) {
+      const double v = result.frames[s * total + g];
+      acc += v * v;
+    }
+    rms[s] = std::sqrt(acc / static_cast<double>(total));
+  }
+  // Strongest speaker by gain also strongest by energy.
+  const auto max_gain_s = static_cast<std::uint32_t>(
+      std::max_element(result.gains.begin(), result.gains.end()) -
+      result.gains.begin());
+  const auto max_rms_s = static_cast<std::uint32_t>(
+      std::max_element(rms.begin(), rms.end()) - rms.begin());
+  EXPECT_EQ(max_gain_s, max_rms_s);
+}
+
+}  // namespace
+}  // namespace tq::wfs

@@ -1,0 +1,115 @@
+// quad: the companion data-communication analyser as a command-line tool.
+//
+//   quad -image app.tqim [-in file] [-libs exclude|caller|track]
+//        [-dot qdu.dot] [-csv table2.csv] [-clusters N]
+//
+// Prints the Table II columns for every reported kernel, optionally the QDU
+// graph in Graphviz DOT and a communication-driven task clustering.
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "cluster/cluster.hpp"
+#include "minipin/minipin.hpp"
+#include "quad/buffer_report.hpp"
+#include "quad/quad_tool.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "tquad/callstack.hpp"
+
+namespace {
+
+using namespace tq;
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) TQUAD_THROW("cannot open '" + path + "'");
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) TQUAD_THROW("cannot write '" + path + "'");
+  out << text;
+}
+
+tquad::LibraryPolicy parse_policy(const std::string& name) {
+  if (name == "exclude") return tquad::LibraryPolicy::kExclude;
+  if (name == "caller") return tquad::LibraryPolicy::kAttributeToCaller;
+  if (name == "track") return tquad::LibraryPolicy::kTrack;
+  TQUAD_THROW("unknown -libs policy '" + name + "' (exclude|caller|track)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("quad: producer/consumer memory analysis for TQIM guest images");
+  cli.add_string("image", "", "guest image (TQIM) to analyse [required]");
+  cli.add_string("in", "", "input file to attach as a guest descriptor");
+  cli.add_string("libs", "exclude", "library/OS policy: exclude | caller | track");
+  cli.add_string("dot", "", "write the QDU graph (Graphviz) to this path");
+  cli.add_string("csv", "", "write the kernel table as CSV to this path");
+  cli.add_int("clusters", 0, "if > 0, also print a task clustering");
+  cli.add_string("buffers", "", "print per-buffer data maps (kernel name or 'all')");
+  cli.add_int("budget", 2'000'000'000, "abort after this many instructions");
+  try {
+    cli.parse(argc, argv);
+    if (cli.str("image").empty()) {
+      std::fprintf(stderr, "%s", cli.help().c_str());
+      return 2;
+    }
+    const vm::Program program = vm::Program::deserialize(read_file(cli.str("image")));
+    vm::HostEnv host;
+    if (!cli.str("in").empty()) host.attach_input(read_file(cli.str("in")));
+    host.create_output();
+
+    pin::Engine engine(program, host);
+    quad::QuadOptions options;
+    options.library_policy = parse_policy(cli.str("libs"));
+    quad::QuadTool tool(engine, options);
+    engine.set_instruction_budget(static_cast<std::uint64_t>(cli.integer("budget")));
+    engine.run();
+
+    TextTable table({"kernel", "IN ex", "INunma ex", "OUT ex", "OUTunma ex",
+                     "IN in", "INunma in", "OUT in", "OUTunma in"});
+    for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
+      if (!tool.reported(k)) continue;
+      const auto& ex = tool.excluding_stack(k);
+      const auto& in = tool.including_stack(k);
+      if (in.in_bytes == 0 && in.out_unma.count() == 0) continue;  // silent
+      table.add_row({tool.kernel_name(k), format_count(ex.in_bytes),
+                     format_count(ex.in_unma.count()), format_count(ex.out_bytes),
+                     format_count(ex.out_unma.count()), format_count(in.in_bytes),
+                     format_count(in.in_unma.count()), format_count(in.out_bytes),
+                     format_count(in.out_unma.count())});
+    }
+    std::fputs(table.to_ascii().c_str(), stdout);
+    std::printf("\n%zu producer->consumer bindings\n", tool.bindings().size());
+
+    if (!cli.str("buffers").empty()) {
+      const std::string filter =
+          cli.str("buffers") == "all" ? "" : cli.str("buffers");
+      std::printf("\n== buffer data maps (stack excluded) ==\n%s",
+                  quad::buffer_table(tool, program, filter).to_ascii().c_str());
+    }
+    if (cli.integer("clusters") > 0) {
+      cluster::ClusterOptions cluster_options;
+      cluster_options.target_clusters =
+          static_cast<std::size_t>(cli.integer("clusters"));
+      const auto clustering = cluster::cluster_kernels(tool, cluster_options);
+      std::printf("\n== task clustering ==\n%s",
+                  cluster::describe_clustering(tool, clustering).c_str());
+    }
+    if (!cli.str("dot").empty()) {
+      write_text(cli.str("dot"), tool.qdu_graph_dot());
+      std::printf("QDU graph written to %s\n", cli.str("dot").c_str());
+    }
+    if (!cli.str("csv").empty()) {
+      write_text(cli.str("csv"), table.to_csv());
+    }
+    return 0;
+  } catch (const Error& err) {
+    std::fprintf(stderr, "quad: %s\n", err.what());
+    return 1;
+  }
+}

@@ -1,0 +1,147 @@
+// tquad: the command-line profiler, the shape in which the paper's tool
+// actually shipped (a pintool with knobs for the time-slice interval, the
+// stack-area option, and library exclusion — Section IV-C).
+//
+//   tquad -image app.tqim [-in file]... [-slice N] [-libs track|exclude|caller]
+//         [-report flat|bandwidth|phases|series|all] [-csv out.csv]
+//         [-trace out.tqtr] [-cpu-ghz G -cpi C]
+//
+// The image is a TQIM file (produce one with wfs_gen or Program::serialize);
+// -in attaches input files as guest descriptors in order; one output
+// descriptor is always appended after the inputs.
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "minipin/minipin.hpp"
+#include "support/ascii_chart.hpp"
+#include "support/cli.hpp"
+#include "trace/trace.hpp"
+#include "tquad/phase.hpp"
+#include "tquad/report.hpp"
+#include "tquad/tquad_tool.hpp"
+
+namespace {
+
+using namespace tq;
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) TQUAD_THROW("cannot open '" + path + "'");
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) TQUAD_THROW("cannot write '" + path + "'");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) TQUAD_THROW("cannot write '" + path + "'");
+  out << text;
+}
+
+tquad::LibraryPolicy parse_policy(const std::string& name) {
+  if (name == "exclude") return tquad::LibraryPolicy::kExclude;
+  if (name == "caller") return tquad::LibraryPolicy::kAttributeToCaller;
+  if (name == "track") return tquad::LibraryPolicy::kTrack;
+  TQUAD_THROW("unknown -libs policy '" + name + "' (exclude|caller|track)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("tquad: temporal memory-bandwidth profiler for TQIM guest images");
+  cli.add_string("image", "", "guest image (TQIM) to profile [required]");
+  cli.add_string("in", "", "input file to attach as a guest descriptor");
+  cli.add_int("slice", 5000, "time slice interval in instructions");
+  cli.add_string("libs", "exclude",
+                 "library/OS routine policy: exclude | caller | track");
+  cli.add_string("report", "all", "flat | bandwidth | phases | series | all");
+  cli.add_string("csv", "", "write the flat profile as CSV to this path");
+  cli.add_string("trace", "", "record the event trace (TQTR) to this path");
+  cli.add_string("out", "", "write guest output descriptor 's contents here");
+  cli.add_double("cpu-ghz", 2.83, "target clock for unit conversion");
+  cli.add_double("cpi", 1.0, "target cycles-per-instruction");
+  cli.add_int("budget", 2'000'000'000, "abort after this many instructions");
+  try {
+    cli.parse(argc, argv);
+    if (cli.str("image").empty()) {
+      std::fprintf(stderr, "%s", cli.help().c_str());
+      return 2;
+    }
+    const vm::Program program = vm::Program::deserialize(read_file(cli.str("image")));
+    vm::HostEnv host;
+    if (!cli.str("in").empty()) host.attach_input(read_file(cli.str("in")));
+    const int out_fd = host.create_output();
+
+    pin::Engine engine(program, host);
+    tquad::Options options;
+    options.slice_interval = static_cast<std::uint64_t>(cli.integer("slice"));
+    options.library_policy = parse_policy(cli.str("libs"));
+    tquad::TQuadTool tool(engine, options);
+
+    // Optional simultaneous trace recording (listener chaining would need a
+    // second run; the recorder is cheap enough to justify one).
+    engine.set_instruction_budget(static_cast<std::uint64_t>(cli.integer("budget")));
+    const vm::RunResult result = engine.run();
+
+    const std::string report = cli.str("report");
+    std::printf("retired %s instructions; %llu time slices at interval %llu\n\n",
+                format_count(result.retired).c_str(),
+                static_cast<unsigned long long>(tool.bandwidth().max_slice() + 1),
+                static_cast<unsigned long long>(options.slice_interval));
+    if (report == "flat" || report == "all") {
+      std::printf("== flat profile ==\n%s\n",
+                  tquad::flat_profile_table(tool).to_ascii().c_str());
+    }
+    if (report == "bandwidth" || report == "all") {
+      tquad::CpuModel model;
+      model.clock_ghz = cli.real("cpu-ghz");
+      model.cpi = cli.real("cpi");
+      std::printf("== bandwidth (at %.2f GHz, CPI %.2f) ==\n%s\n", model.clock_ghz,
+                  model.cpi, tquad::bandwidth_table(tool, model).to_ascii().c_str());
+    }
+    if (report == "phases" || report == "all") {
+      const auto phases = tquad::detect_phases(tool);
+      std::printf("== phases ==\n%s\n",
+                  tquad::describe_phases(tool, phases).c_str());
+    }
+    if (report == "series" || report == "all") {
+      std::vector<ChartSeries> series;
+      for (const auto& row : tquad::flat_profile(tool)) {
+        if (series.size() == 12) break;
+        series.push_back(ChartSeries{
+            row.name, tquad::dense_series(tool, row.kernel,
+                                          tquad::Metric::kReadWriteIncl)});
+      }
+      std::printf("== activity (read+write bytes per slice) ==\n%s\n",
+                  render_heat_strips(series).c_str());
+    }
+    if (!cli.str("csv").empty()) {
+      write_text(cli.str("csv"), tquad::flat_profile_table(tool).to_csv());
+    }
+    if (!cli.str("trace").empty()) {
+      // Re-run under the recorder for a portable trace file.
+      vm::HostEnv trace_host;
+      if (!cli.str("in").empty()) trace_host.attach_input(read_file(cli.str("in")));
+      trace_host.create_output();
+      trace::TraceRecorder recorder(program, options.library_policy);
+      vm::Machine machine(program, trace_host);
+      machine.run(&recorder);
+      write_file(cli.str("trace"), recorder.take().serialize());
+      std::printf("trace written to %s\n", cli.str("trace").c_str());
+    }
+    if (!cli.str("out").empty()) {
+      write_file(cli.str("out"), host.output(out_fd));
+      std::printf("guest output written to %s\n", cli.str("out").c_str());
+    }
+    return 0;
+  } catch (const Error& err) {
+    std::fprintf(stderr, "tquad: %s\n", err.what());
+    return 1;
+  }
+}

@@ -1,0 +1,68 @@
+// wfs_gen: materialise the hArtes-wfs case study as files on disk, so the
+// command-line profilers can run it the way the paper ran the real binary:
+//
+//   wfs_gen -image wfs.tqim -wav input.wav [-tiny] [-asm wfs.s]
+//   tquad   -image wfs.tqim -in input.wav -report all
+//   quad    -image wfs.tqim -in input.wav -clusters 5 -dot qdu.dot
+//
+// -asm also dumps the full guest disassembly for inspection.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "isa/isa.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "wfs/runner.hpp"
+
+namespace {
+
+using namespace tq;
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) TQUAD_THROW("cannot write '" + path + "'");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("wfs_gen: emit the wfs guest image and its input WAV");
+  cli.add_string("image", "wfs.tqim", "output path for the guest image");
+  cli.add_string("wav", "input.wav", "output path for the input WAV");
+  cli.add_string("asm", "", "also dump the guest disassembly to this path");
+  cli.add_flag("tiny", false, "use the tiny configuration");
+  try {
+    cli.parse(argc, argv);
+    const wfs::WfsConfig cfg =
+        cli.flag("tiny") ? wfs::WfsConfig::tiny() : wfs::WfsConfig::standard();
+    const wfs::WfsArtifacts artifacts = wfs::build_wfs_program(cfg);
+    write_file(cli.str("image"), artifacts.program.serialize());
+    const wfs::WavData input = wfs::make_test_signal(
+        cfg.input_samples(), static_cast<std::uint32_t>(cfg.sample_rate));
+    write_file(cli.str("wav"), wfs::wav_encode(input));
+    std::printf("wrote %s (%zu functions, %s static instructions) and %s "
+                "(%u mono samples)\n",
+                cli.str("image").c_str(), artifacts.program.functions().size(),
+                format_count(artifacts.program.static_instructions()).c_str(),
+                cli.str("wav").c_str(), cfg.input_samples());
+    if (!cli.str("asm").empty()) {
+      std::ostringstream listing;
+      for (const auto& fn : artifacts.program.functions()) {
+        listing << ".func " << fn.name;
+        if (fn.image == vm::ImageKind::kLibrary) listing << " @library";
+        if (fn.image == vm::ImageKind::kOs) listing << " @os";
+        listing << '\n' << isa::disassemble(fn.code) << '\n';
+      }
+      std::ofstream out(cli.str("asm"));
+      out << listing.str();
+      std::printf("disassembly written to %s\n", cli.str("asm").c_str());
+    }
+    return 0;
+  } catch (const Error& err) {
+    std::fprintf(stderr, "wfs_gen: %s\n", err.what());
+    return 1;
+  }
+}
