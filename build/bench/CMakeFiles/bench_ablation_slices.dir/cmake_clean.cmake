@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slices.dir/bench_ablation_slices.cpp.o"
+  "CMakeFiles/bench_ablation_slices.dir/bench_ablation_slices.cpp.o.d"
+  "bench_ablation_slices"
+  "bench_ablation_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_quad_bindings.dir/bench_table2_quad_bindings.cpp.o"
+  "CMakeFiles/bench_table2_quad_bindings.dir/bench_table2_quad_bindings.cpp.o.d"
+  "bench_table2_quad_bindings"
+  "bench_table2_quad_bindings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_quad_bindings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

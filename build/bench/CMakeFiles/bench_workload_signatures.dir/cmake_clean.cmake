@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_signatures.dir/bench_workload_signatures.cpp.o"
+  "CMakeFiles/bench_workload_signatures.dir/bench_workload_signatures.cpp.o.d"
+  "bench_workload_signatures"
+  "bench_workload_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

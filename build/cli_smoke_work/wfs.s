@@ -1,0 +1,854 @@
+.func libc_read @library
+0:	sys 2
+1:	ret
+
+.func libc_write @library
+0:	sys 3
+1:	ret
+
+.func libc_seek @library
+0:	sys 4
+1:	ret
+
+.func ldint
+0:	movi r8, 268435456
+1:	movi r9, 0
+2:	sltsi r0, r9, 64
+3:	brz r0, @12
+4:	movi r0, 0
+5:	movi r10, 1
+6:	shl r10, r10, r9
+7:	shli r11, r9, 3
+8:	add r11, r11, r8
+9:	store8 [r11+0], r10
+10:	addi r9, r9, 1
+11:	jmp @2
+12:	movi r0, 0
+13:	ret
+
+.func bitrev
+0:	addi sp, sp, -16
+1:	mov r5, r1
+2:	movi r3, 0
+3:	movi r6, 268435456
+4:	load8 r7, [r6+0]
+5:	and r7, r5, r7
+6:	shli r3, r3, 1
+7:	or r3, r3, r7
+8:	shrli r5, r5, 1
+9:	store8 [sp+8], r3
+10:	load8 r7, [r6+0]
+11:	and r7, r5, r7
+12:	shli r3, r3, 1
+13:	or r3, r3, r7
+14:	shrli r5, r5, 1
+15:	store8 [sp+8], r3
+16:	load8 r7, [r6+0]
+17:	and r7, r5, r7
+18:	shli r3, r3, 1
+19:	or r3, r3, r7
+20:	shrli r5, r5, 1
+21:	store8 [sp+8], r3
+22:	load8 r7, [r6+0]
+23:	and r7, r5, r7
+24:	shli r3, r3, 1
+25:	or r3, r3, r7
+26:	shrli r5, r5, 1
+27:	store8 [sp+8], r3
+28:	load8 r7, [r6+0]
+29:	and r7, r5, r7
+30:	shli r3, r3, 1
+31:	or r3, r3, r7
+32:	shrli r5, r5, 1
+33:	store8 [sp+8], r3
+34:	load8 r7, [r6+0]
+35:	and r7, r5, r7
+36:	shli r3, r3, 1
+37:	or r3, r3, r7
+38:	shrli r5, r5, 1
+39:	store8 [sp+8], r3
+40:	load8 r7, [r6+0]
+41:	and r7, r5, r7
+42:	shli r3, r3, 1
+43:	or r3, r3, r7
+44:	shrli r5, r5, 1
+45:	store8 [sp+8], r3
+46:	load8 r1, [sp+8]
+47:	addi sp, sp, 16
+48:	ret
+
+.func perm
+0:	addi sp, sp, -32
+1:	store8 [sp+0], r1
+2:	store8 [sp+8], r2
+3:	store8 [sp+16], r3
+4:	movi r8, 0
+5:	load8 r9, [sp+8]
+6:	slts r0, r8, r9
+7:	brz r0, @28
+8:	mov r1, r8
+9:	load8 r2, [sp+16]
+10:	call fn#4
+11:	slts r0, r8, r1
+12:	brz r0, @26
+13:	load8 r10, [sp+0]
+14:	shli r11, r8, 4
+15:	add r11, r11, r10
+16:	shli r12, r1, 4
+17:	add r12, r12, r10
+18:	fload f8, [r11+0]
+19:	fload f9, [r12+0]
+20:	fstore [r11+0], f9
+21:	fstore [r12+0], f8
+22:	fload f8, [r11+8]
+23:	fload f9, [r12+8]
+24:	fstore [r11+8], f9
+25:	fstore [r12+8], f8
+26:	addi r8, r8, 1
+27:	jmp @5
+28:	addi sp, sp, 32
+29:	ret
+
+.func fft1d
+0:	addi sp, sp, -64
+1:	store8 [sp+0], r1
+2:	store8 [sp+8], r2
+3:	store8 [sp+16], r3
+4:	store8 [sp+24], r4
+5:	mov r2, r3
+6:	mov r3, r4
+7:	call fn#5
+8:	movi r14, 2
+9:	load8 r15, [sp+16]
+10:	slts r0, r15, r14
+11:	brnz r0, @73
+12:	load8 r16, [sp+8]
+13:	i2f f10, r16
+14:	fmovi f11, 6.28319
+15:	fmul f10, f10, f11
+16:	i2f f11, r14
+17:	fdiv f10, f10, f11
+18:	fcos f12, f10
+19:	fsin f13, f10
+20:	fstore [sp+32], f12
+21:	fstore [sp+40], f13
+22:	movi r16, 0
+23:	slts r0, r16, r15
+24:	brz r0, @71
+25:	fmovi f14, 1
+26:	fmovi f15, 0
+27:	movi r17, 0
+28:	shrli r18, r14, 1
+29:	slts r0, r17, r18
+30:	brz r0, @69
+31:	add r19, r16, r17
+32:	shli r19, r19, 4
+33:	load8 r2, [sp+0]
+34:	add r19, r19, r2
+35:	add r3, r16, r17
+36:	add r3, r3, r18
+37:	shli r3, r3, 4
+38:	add r3, r3, r2
+39:	fload f1, [r19+0]
+40:	fload f2, [r19+8]
+41:	fload f3, [r3+0]
+42:	fload f4, [r3+8]
+43:	fmul f5, f3, f14
+44:	fmul f6, f4, f15
+45:	fsub f5, f5, f6
+46:	fmul f6, f3, f15
+47:	fmul f7, f4, f14
+48:	fadd f6, f6, f7
+49:	fadd f7, f1, f5
+50:	fstore [r19+0], f7
+51:	fadd f7, f2, f6
+52:	fstore [r19+8], f7
+53:	fsub f7, f1, f5
+54:	fstore [r3+0], f7
+55:	fsub f7, f2, f6
+56:	fstore [r3+8], f7
+57:	fload f12, [sp+32]
+58:	fload f13, [sp+40]
+59:	fmul f5, f14, f12
+60:	fmul f6, f15, f13
+61:	fsub f5, f5, f6
+62:	fmul f6, f14, f13
+63:	fmul f7, f15, f12
+64:	fadd f6, f6, f7
+65:	fmov f14, f5
+66:	fmov f15, f6
+67:	addi r17, r17, 1
+68:	jmp @29
+69:	add r16, r16, r14
+70:	jmp @23
+71:	shli r14, r14, 1
+72:	jmp @9
+73:	load8 r16, [sp+8]
+74:	sltsi r0, r16, 0
+75:	brz r0, @92
+76:	load8 r15, [sp+16]
+77:	i2f f10, r15
+78:	fmovi f11, 1
+79:	fdiv f10, f11, f10
+80:	load8 r2, [sp+0]
+81:	shli r17, r15, 1
+82:	movi r16, 0
+83:	slts r0, r16, r17
+84:	brz r0, @92
+85:	shli r3, r16, 3
+86:	add r3, r3, r2
+87:	fload f11, [r3+0]
+88:	fmul f11, f11, f10
+89:	fstore [r3+0], f11
+90:	addi r16, r16, 1
+91:	jmp @83
+92:	addi sp, sp, 64
+93:	ret
+
+.func cmult
+0:	addi sp, sp, -16
+1:	store8 [sp+0], r1
+2:	fload f1, [r1+0]
+3:	fload f2, [r1+8]
+4:	fload f3, [r2+0]
+5:	fload f4, [r2+8]
+6:	fmul f5, f1, f3
+7:	fmul f6, f2, f4
+8:	fsub f5, f5, f6
+9:	fmul f6, f1, f4
+10:	fmul f7, f2, f3
+11:	fadd f6, f6, f7
+12:	load8 r4, [sp+0]
+13:	fstore [r3+0], f5
+14:	fstore [r3+8], f6
+15:	addi sp, sp, 16
+16:	ret
+
+.func cadd
+0:	addi sp, sp, -16
+1:	store8 [sp+0], r1
+2:	fload f1, [r1+0]
+3:	fload f2, [r1+8]
+4:	fload f3, [r2+0]
+5:	fload f4, [r2+8]
+6:	fadd f5, f1, f3
+7:	fadd f6, f2, f4
+8:	load8 r4, [sp+0]
+9:	fstore [r3+0], f5
+10:	fstore [r3+8], f6
+11:	addi sp, sp, 16
+12:	ret
+
+.func zeroRealVec
+0:	addi sp, sp, -16
+1:	movi r3, 0
+2:	store8 [sp+0], r3
+3:	fmovi f1, 0
+4:	load8 r3, [sp+0]
+5:	slts r0, r3, r2
+6:	brz r0, @13
+7:	shli r4, r3, 2
+8:	add r4, r4, r1
+9:	fstore4 [r4+0], f1
+10:	addi r3, r3, 1
+11:	store8 [sp+0], r3
+12:	jmp @4
+13:	addi sp, sp, 16
+14:	ret
+
+.func zeroCplxVec
+0:	addi sp, sp, -16
+1:	movi r3, 0
+2:	store8 [sp+0], r3
+3:	load8 r3, [sp+0]
+4:	slts r0, r3, r2
+5:	brz r0, @14
+6:	shli r4, r3, 4
+7:	add r4, r4, r1
+8:	fmovi f1, 0
+9:	fstore [r4+0], f1
+10:	fstore [r4+8], f1
+11:	addi r3, r3, 1
+12:	store8 [sp+0], r3
+13:	jmp @3
+14:	addi sp, sp, 16
+15:	ret
+
+.func r2c
+0:	movi r8, 0
+1:	slts r0, r8, r3
+2:	brz r0, @14
+3:	movi r0, 0
+4:	shli r9, r8, 3
+5:	add r9, r9, r1
+6:	fload f8, [r9+0]
+7:	shli r10, r8, 4
+8:	add r10, r10, r2
+9:	fstore [r10+0], f8
+10:	fmovi f9, 0
+11:	fstore [r10+8], f9
+12:	addi r8, r8, 1
+13:	jmp @1
+14:	movi r0, 0
+15:	ret
+
+.func c2r
+0:	sub r8, r4, r3
+1:	movi r9, 0
+2:	slts r0, r9, r3
+3:	brz r0, @14
+4:	movi r0, 0
+5:	add r10, r8, r9
+6:	shli r10, r10, 4
+7:	add r10, r10, r1
+8:	fload f8, [r10+0]
+9:	shli r11, r9, 3
+10:	add r11, r11, r2
+11:	fstore [r11+0], f8
+12:	addi r9, r9, 1
+13:	jmp @2
+14:	movi r0, 0
+15:	ret
+
+.func vsmult2d
+0:	fload f2, [r2+0]
+1:	fmul f2, f2, f1
+2:	fstore [r1+0], f2
+3:	fload f2, [r2+8]
+4:	fmul f2, f2, f1
+5:	fstore [r1+8], f2
+6:	ret
+
+.func calculateGainPQ
+0:	addi sp, sp, -16
+1:	store8 [sp+0], r1
+2:	movi r14, 268473472
+3:	fload f10, [r14+0]
+4:	fload f11, [r14+8]
+5:	movi r15, 268473552
+6:	shli r16, r1, 3
+7:	add r16, r16, r15
+8:	fload f12, [r16+0]
+9:	fsub f10, f10, f12
+10:	fmul f12, f10, f10
+11:	fmul f13, f11, f11
+12:	fadd f12, f12, f13
+13:	fsqrt f12, f12
+14:	movi r14, 268473520
+15:	fstore [r14+0], f10
+16:	fstore [r14+8], f11
+17:	fmovi f13, 1
+18:	fdiv f1, f13, f12
+19:	fstore [sp+8], f12
+20:	movi r1, 268473536
+21:	movi r2, 268473520
+22:	call fn#13
+23:	fload f12, [sp+8]
+24:	fmovi f13, 0.5
+25:	fmax f13, f12, f13
+26:	fmovi f14, 0.25
+27:	fdiv f14, f14, f13
+28:	load8 r14, [sp+0]
+29:	movi r15, 268473344
+30:	shli r16, r14, 3
+31:	add r16, r16, r15
+32:	fstore [r16+0], f14
+33:	fmovi f13, 139.942
+34:	fmul f13, f12, f13
+35:	f2i r17, f13
+36:	movi r18, 959
+37:	slts r0, r18, r17
+38:	mov r17, r18  ?r0
+39:	movi r18, 0
+40:	slts r0, r17, r18
+41:	mov r17, r18  ?r0
+42:	movi r15, 268473408
+43:	shli r16, r14, 3
+44:	add r16, r16, r15
+45:	store8 [r16+0], r17
+46:	addi sp, sp, 16
+47:	ret
+
+.func PrimarySource_deriveTP
+0:	fmovi f1, 0.00133333
+1:	movi r1, 268473504
+2:	movi r2, 268473488
+3:	call fn#13
+4:	movi r14, 268473472
+5:	movi r15, 268473504
+6:	fload f10, [r14+0]
+7:	fload f11, [r15+0]
+8:	fadd f10, f10, f11
+9:	fstore [r14+0], f10
+10:	fload f10, [r14+8]
+11:	fload f11, [r15+8]
+12:	fadd f10, f10, f11
+13:	fstore [r14+8], f10
+14:	ret
+
+.func AudioIo_getFrames
+0:	muli r20, r1, 256
+1:	movi r21, 268471808
+2:	add r20, r20, r21
+3:	movi r21, 268448256
+4:	movi r22, 0
+5:	sltsi r0, r22, 64
+6:	brz r0, @16
+7:	movi r0, 0
+8:	shli r23, r22, 2
+9:	add r23, r23, r20
+10:	fload4 f16, [r23+0]
+11:	shli r24, r22, 3
+12:	add r24, r24, r21
+13:	fstore [r24+0], f16
+14:	addi r22, r22, 1
+15:	jmp @5
+16:	movi r0, 0
+17:	ret
+
+.func Filter_process_pre_
+0:	movi r20, 268447232
+1:	movi r21, 0
+2:	sltsi r0, r21, 64
+3:	brz r0, @11
+4:	movi r0, 0
+5:	shli r22, r21, 3
+6:	add r22, r22, r20
+7:	fload f16, [r22+512]
+8:	fstore [r22+0], f16
+9:	addi r21, r21, 1
+10:	jmp @2
+11:	movi r0, 0
+12:	movi r23, 268448256
+13:	movi r21, 0
+14:	sltsi r0, r21, 64
+15:	brz r0, @24
+16:	movi r0, 0
+17:	shli r22, r21, 3
+18:	add r24, r22, r23
+19:	fload f16, [r24+0]
+20:	add r24, r22, r20
+21:	fstore [r24+512], f16
+22:	addi r21, r21, 1
+23:	jmp @14
+24:	movi r0, 0
+25:	ret
+
+.func Filter_process
+0:	addi sp, sp, -32
+1:	movi r1, 268441088
+2:	movi r2, 128
+3:	call fn#10
+4:	movi r1, 268447232
+5:	movi r2, 268441088
+6:	movi r3, 128
+7:	call fn#11
+8:	movi r1, 268441088
+9:	movi r2, 1
+10:	movi r3, 128
+11:	movi r4, 7
+12:	call fn#6
+13:	movi r20, 0
+14:	store8 [sp+0], r20
+15:	load8 r20, [sp+0]
+16:	sltsi r0, r20, 128
+17:	brz r0, @39
+18:	shli r21, r20, 4
+19:	movi r1, 268441088
+20:	add r1, r1, r21
+21:	movi r2, 268436992
+22:	add r2, r2, r21
+23:	movi r3, 268443136
+24:	add r3, r3, r21
+25:	call fn#7
+26:	load8 r20, [sp+0]
+27:	shli r21, r20, 4
+28:	movi r1, 268443136
+29:	add r1, r1, r21
+30:	movi r2, 268439040
+31:	add r2, r2, r21
+32:	movi r3, 268445184
+33:	add r3, r3, r21
+34:	call fn#8
+35:	load8 r20, [sp+0]
+36:	addi r20, r20, 1
+37:	store8 [sp+0], r20
+38:	jmp @15
+39:	movi r1, 268445184
+40:	movi r2, -1
+41:	movi r3, 128
+42:	movi r4, 7
+43:	call fn#6
+44:	movi r1, 268445184
+45:	movi r2, 268448768
+46:	movi r3, 64
+47:	movi r4, 128
+48:	call fn#12
+49:	addi sp, sp, 32
+50:	ret
+
+.func DelayLine_processChunk
+0:	addi sp, sp, -32
+1:	muli r20, r1, 64
+2:	store8 [sp+0], r20
+3:	movi r21, 268449280
+4:	movi r22, 268448768
+5:	movi r23, 0
+6:	sltsi r0, r23, 64
+7:	brz r0, @19
+8:	movi r0, 0
+9:	add r24, r20, r23
+10:	andi r24, r24, 1023
+11:	shli r24, r24, 3
+12:	add r24, r24, r21
+13:	shli r25, r23, 3
+14:	add r25, r25, r22
+15:	fload f16, [r25+0]
+16:	fstore [r24+0], f16
+17:	addi r23, r23, 1
+18:	jmp @6
+19:	movi r0, 0
+20:	movi r26, 0
+21:	sltsi r0, r26, 8
+22:	brz r0, @61
+23:	movi r27, 268457472
+24:	muli r1, r26, 256
+25:	add r1, r1, r27
+26:	movi r2, 64
+27:	call fn#9
+28:	movi r2, 268473344
+29:	shli r3, r26, 3
+30:	add r2, r2, r3
+31:	fload f17, [r2+0]
+32:	movi r2, 268473408
+33:	shli r3, r26, 3
+34:	add r2, r2, r3
+35:	load8 r24, [r2+0]
+36:	load8 r20, [sp+0]
+37:	muli r25, r26, 256
+38:	add r25, r25, r27
+39:	movi r23, 0
+40:	sltsi r0, r23, 64
+41:	brz r0, @59
+42:	add r2, r20, r23
+43:	sub r2, r2, r24
+44:	fmovi f16, 0
+45:	sltsi r3, r2, 0
+46:	xori r5, r3, 1
+47:	andi r2, r2, 1023
+48:	shli r2, r2, 3
+49:	add r2, r2, r21
+50:	fload f16, [r2+0]  ?r5
+51:	shli r4, r23, 2
+52:	add r4, r4, r25
+53:	fload4 f18, [r4+0]
+54:	fmul f19, f17, f16
+55:	fadd f18, f18, f19
+56:	fstore4 [r4+0], f18
+57:	addi r23, r23, 1
+58:	jmp @40
+59:	addi r26, r26, 1
+60:	jmp @21
+61:	addi sp, sp, 32
+62:	ret
+
+.func AudioIo_setFrames
+0:	muli r20, r1, 256
+1:	movi r21, 268459520
+2:	add r20, r20, r21
+3:	movi r22, 268457472
+4:	movi r23, 0
+5:	sltsi r0, r23, 8
+6:	brz r0, @18
+7:	mov r24, r20
+8:	mov r25, r22
+9:	movi r26, 4
+10:	brz r26, @14
+11:	movs64 [r24], [r25]
+12:	addi r26, r26, -1
+13:	jmp @10
+14:	addi r20, r20, 1536
+15:	addi r22, r22, 256
+16:	addi r23, r23, 1
+17:	jmp @5
+18:	ret
+
+.func ffw
+0:	addi sp, sp, -32
+1:	store8 [sp+0], r1
+2:	movi r20, 268435968
+3:	movi r21, 0
+4:	sltsi r0, r21, 128
+5:	brz r0, @13
+6:	movi r0, 0
+7:	fmovi f16, 0
+8:	shli r22, r21, 3
+9:	add r22, r22, r20
+10:	fstore [r22+0], f16
+11:	addi r21, r21, 1
+12:	jmp @4
+13:	movi r0, 0
+14:	load8 r1, [sp+0]
+15:	brnz r1, @30
+16:	fmovi f16, 0.0313258
+17:	fmovi f17, 0.97
+18:	movi r21, 0
+19:	sltsi r0, r21, 65
+20:	brz r0, @28
+21:	movi r0, 0
+22:	shli r22, r21, 3
+23:	add r22, r22, r20
+24:	fstore [r22+0], f16
+25:	fmul f16, f16, f17
+26:	addi r21, r21, 1
+27:	jmp @19
+28:	movi r0, 0
+29:	jmp @34
+30:	fmovi f16, 0.05
+31:	fstore [r20+0], f16
+32:	fmovi f16, 0.025
+33:	fstore [r20+256], f16
+34:	movi r1, 268443136
+35:	movi r2, 128
+36:	call fn#10
+37:	movi r1, 268435968
+38:	movi r2, 268443136
+39:	movi r3, 128
+40:	call fn#11
+41:	movi r1, 268443136
+42:	movi r2, 1
+43:	movi r3, 128
+44:	movi r4, 7
+45:	call fn#6
+46:	load8 r1, [sp+0]
+47:	movi r23, 268436992
+48:	movi r24, 268439040
+49:	mov r23, r24  ?r1
+50:	movi r24, 268443136
+51:	movi r21, 0
+52:	sltsi r0, r21, 256
+53:	brz r0, @62
+54:	movi r0, 0
+55:	shli r22, r21, 3
+56:	add r25, r22, r24
+57:	fload f16, [r25+0]
+58:	add r25, r22, r23
+59:	fstore [r25+0], f16
+60:	addi r21, r21, 1
+61:	jmp @52
+62:	movi r0, 0
+63:	addi sp, sp, 32
+64:	ret
+
+.func wav_load
+0:	addi sp, sp, -64
+1:	movi r1, 0
+2:	movi r2, 268473664
+3:	movi r3, 44
+4:	call fn#0
+5:	movi r20, 268473664
+6:	load4 r21, [r20+0]
+7:	movi r22, 1179011410
+8:	seq r21, r21, r22
+9:	brz r21, @18
+10:	load4 r21, [r20+8]
+11:	movi r22, 1163280727
+12:	seq r21, r21, r22
+13:	brz r21, @18
+14:	load4 r21, [r20+36]
+15:	movi r22, 1635017060
+16:	seq r21, r21, r22
+17:	brnz r21, @21
+18:	movi r1, -1
+19:	sys 6
+20:	halt
+21:	load4 r23, [r20+40]
+22:	shrli r23, r23, 1
+23:	movi r24, 384
+24:	slts r0, r24, r23
+25:	mov r23, r24  ?r0
+26:	store8 [sp+0], r23
+27:	movi r25, 268471808
+28:	movi r26, 0
+29:	load8 r23, [sp+0]
+30:	slts r0, r26, r23
+31:	brz r0, @58
+32:	sub r27, r23, r26
+33:	movi r24, 1024
+34:	slts r0, r24, r27
+35:	mov r27, r24  ?r0
+36:	movi r1, 0
+37:	movi r2, 268473664
+38:	shli r3, r27, 1
+39:	call fn#0
+40:	movi r20, 268473664
+41:	movi r21, 0
+42:	slts r0, r21, r27
+43:	brz r0, @56
+44:	shli r22, r21, 1
+45:	add r22, r22, r20
+46:	loads2 r2, [r22+0]
+47:	i2f f16, r2
+48:	fmovi f17, 3.05176e-05
+49:	fmul f16, f16, f17
+50:	add r3, r26, r21
+51:	shli r3, r3, 2
+52:	add r3, r3, r25
+53:	fstore4 [r3+0], f16
+54:	addi r21, r21, 1
+55:	jmp @42
+56:	add r26, r26, r27
+57:	jmp @29
+58:	movi r24, 384
+59:	slts r0, r26, r24
+60:	brz r0, @67
+61:	shli r3, r26, 2
+62:	add r3, r3, r25
+63:	fmovi f16, 0
+64:	fstore4 [r3+0], f16
+65:	addi r26, r26, 1
+66:	jmp @58
+67:	addi sp, sp, 64
+68:	ret
+
+.func wav_store
+0:	addi sp, sp, -64
+1:	movi r20, 268473664
+2:	movi r21, 1179011410
+3:	store4 [r20+0], r21
+4:	movi r21, 6180
+5:	store4 [r20+4], r21
+6:	movi r21, 1163280727
+7:	store4 [r20+8], r21
+8:	movi r21, 544501094
+9:	store4 [r20+12], r21
+10:	movi r21, 16
+11:	store4 [r20+16], r21
+12:	movi r21, 1
+13:	store2 [r20+20], r21
+14:	movi r21, 8
+15:	store2 [r20+22], r21
+16:	movi r21, 48000
+17:	store4 [r20+24], r21
+18:	movi r21, 768000
+19:	store4 [r20+28], r21
+20:	movi r21, 16
+21:	store2 [r20+32], r21
+22:	movi r21, 16
+23:	store2 [r20+34], r21
+24:	movi r21, 1635017060
+25:	store4 [r20+36], r21
+26:	movi r21, 6144
+27:	store4 [r20+40], r21
+28:	movi r1, 1
+29:	movi r2, 268473664
+30:	movi r3, 44
+31:	call fn#1
+32:	fmovi f16, 0
+33:	movi r20, 0
+34:	sltsi r0, r20, 1
+35:	brz r0, @52
+36:	fmovi f17, 0
+37:	movi r21, 268459520
+38:	movi r22, 0
+39:	movi r23, 3072
+40:	slts r0, r22, r23
+41:	brz r0, @49
+42:	shli r23, r22, 2
+43:	add r23, r23, r21
+44:	fload4 f18, [r23+0]
+45:	fabs f18, f18
+46:	fmax f17, f17, f18
+47:	addi r22, r22, 1
+48:	jmp @39
+49:	fmov f16, f17
+50:	addi r20, r20, 1
+51:	jmp @34
+52:	fmovi f17, 1e-09
+53:	fmax f17, f16, f17
+54:	fmovi f18, 0.9
+55:	fdiv f17, f18, f17
+56:	movi r20, 0
+57:	movi r24, 268473664
+58:	movi r25, 0
+59:	movi r2, 384
+60:	slts r0, r20, r2
+61:	brz r0, @99
+62:	movi r21, 0
+63:	sltsi r0, r21, 8
+64:	brz r0, @97
+65:	movi r2, 384
+66:	mul r3, r21, r2
+67:	add r3, r3, r20
+68:	shli r3, r3, 2
+69:	movi r2, 268459520
+70:	add r3, r3, r2
+71:	fload4 f19, [r3+0]
+72:	fstore [sp+0], f19
+73:	fload f19, [sp+0]
+74:	fmul f19, f19, f17
+75:	fmovi f20, 32767
+76:	fmul f19, f19, f20
+77:	fmovi f20, -32768
+78:	fmax f19, f19, f20
+79:	fmovi f20, 32767
+80:	fmin f19, f19, f20
+81:	f2i r2, f19
+82:	store8 [sp+8], r2
+83:	load8 r2, [sp+8]
+84:	add r3, r24, r25
+85:	store2 [r3+0], r2
+86:	addi r25, r25, 2
+87:	movi r2, 2048
+88:	slts r0, r25, r2
+89:	brnz r0, @95
+90:	movi r1, 1
+91:	mov r2, r24
+92:	mov r3, r25
+93:	call fn#1
+94:	movi r25, 0
+95:	addi r21, r21, 1
+96:	jmp @63
+97:	addi r20, r20, 1
+98:	jmp @59
+99:	brz r25, @104
+100:	movi r1, 1
+101:	mov r2, r24
+102:	mov r3, r25
+103:	call fn#1
+104:	addi sp, sp, 64
+105:	ret
+
+.func main
+0:	call fn#3
+1:	movi r1, 0
+2:	call fn#21
+3:	movi r1, 1
+4:	call fn#21
+5:	call fn#22
+6:	movi r28, 0
+7:	sltsi r0, r28, 6
+8:	brz r0, @29
+9:	sltsi r29, r28, 3
+10:	brz r29, @19
+11:	call fn#15
+12:	movi r29, 0
+13:	sltsi r0, r29, 8
+14:	brz r0, @19
+15:	mov r1, r29
+16:	call fn#14
+17:	addi r29, r29, 1
+18:	jmp @13
+19:	mov r1, r28
+20:	call fn#16
+21:	call fn#17
+22:	call fn#18
+23:	mov r1, r28
+24:	call fn#19
+25:	mov r1, r28
+26:	call fn#20
+27:	addi r28, r28, 1
+28:	jmp @7
+29:	call fn#23
+30:	halt
+

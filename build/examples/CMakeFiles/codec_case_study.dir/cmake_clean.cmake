@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_case_study.dir/codec_case_study.cpp.o"
+  "CMakeFiles/codec_case_study.dir/codec_case_study.cpp.o.d"
+  "codec_case_study"
+  "codec_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_tool.cpp" "examples/CMakeFiles/custom_tool.dir/custom_tool.cpp.o" "gcc" "examples/CMakeFiles/custom_tool.dir/custom_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dctc/CMakeFiles/tq_dctc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfs/CMakeFiles/tq_wfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tq_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/quad/CMakeFiles/tq_quad.dir/DependInfo.cmake"
+  "/root/repo/build/src/tquad/CMakeFiles/tq_tquad.dir/DependInfo.cmake"
+  "/root/repo/build/src/gprofsim/CMakeFiles/tq_gprofsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/minipin/CMakeFiles/tq_minipin.dir/DependInfo.cmake"
+  "/root/repo/build/src/gasm/CMakeFiles/tq_gasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tq_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tq_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

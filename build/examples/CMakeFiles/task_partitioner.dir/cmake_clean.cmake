@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_partitioner.dir/task_partitioner.cpp.o"
+  "CMakeFiles/task_partitioner.dir/task_partitioner.cpp.o.d"
+  "task_partitioner"
+  "task_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

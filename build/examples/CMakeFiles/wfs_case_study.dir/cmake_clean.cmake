@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_case_study.dir/wfs_case_study.cpp.o"
+  "CMakeFiles/wfs_case_study.dir/wfs_case_study.cpp.o.d"
+  "wfs_case_study"
+  "wfs_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

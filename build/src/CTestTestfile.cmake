@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("vm")
+subdirs("gasm")
+subdirs("minipin")
+subdirs("trace")
+subdirs("quad")
+subdirs("cluster")
+subdirs("tquad")
+subdirs("gprofsim")
+subdirs("wfs")
+subdirs("workloads")
+subdirs("dctc")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/tq_cluster.dir/cluster.cpp.o.d"
+  "libtq_cluster.a"
+  "libtq_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

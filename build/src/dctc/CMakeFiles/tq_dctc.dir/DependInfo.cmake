@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dctc/dctc.cpp" "src/dctc/CMakeFiles/tq_dctc.dir/dctc.cpp.o" "gcc" "src/dctc/CMakeFiles/tq_dctc.dir/dctc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gasm/CMakeFiles/tq_gasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tq_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tq_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tq_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

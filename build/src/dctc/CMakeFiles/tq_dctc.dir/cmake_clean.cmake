@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_dctc.dir/dctc.cpp.o"
+  "CMakeFiles/tq_dctc.dir/dctc.cpp.o.d"
+  "libtq_dctc.a"
+  "libtq_dctc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_dctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

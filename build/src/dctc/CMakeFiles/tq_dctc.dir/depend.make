@@ -1,0 +1,2 @@
+# Empty dependencies file for tq_dctc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_gasm.dir/asm_parser.cpp.o"
+  "CMakeFiles/tq_gasm.dir/asm_parser.cpp.o.d"
+  "CMakeFiles/tq_gasm.dir/builder.cpp.o"
+  "CMakeFiles/tq_gasm.dir/builder.cpp.o.d"
+  "libtq_gasm.a"
+  "libtq_gasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_gasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tq_gasm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_gprofsim.dir/gprof_tool.cpp.o"
+  "CMakeFiles/tq_gprofsim.dir/gprof_tool.cpp.o.d"
+  "libtq_gprofsim.a"
+  "libtq_gprofsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_gprofsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

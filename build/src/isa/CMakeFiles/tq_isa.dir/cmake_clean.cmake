@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_isa.dir/isa.cpp.o"
+  "CMakeFiles/tq_isa.dir/isa.cpp.o.d"
+  "libtq_isa.a"
+  "libtq_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_minipin.dir/minipin.cpp.o"
+  "CMakeFiles/tq_minipin.dir/minipin.cpp.o.d"
+  "libtq_minipin.a"
+  "libtq_minipin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_minipin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quad/buffer_report.cpp" "src/quad/CMakeFiles/tq_quad.dir/buffer_report.cpp.o" "gcc" "src/quad/CMakeFiles/tq_quad.dir/buffer_report.cpp.o.d"
+  "/root/repo/src/quad/instrumented_profile.cpp" "src/quad/CMakeFiles/tq_quad.dir/instrumented_profile.cpp.o" "gcc" "src/quad/CMakeFiles/tq_quad.dir/instrumented_profile.cpp.o.d"
+  "/root/repo/src/quad/quad_tool.cpp" "src/quad/CMakeFiles/tq_quad.dir/quad_tool.cpp.o" "gcc" "src/quad/CMakeFiles/tq_quad.dir/quad_tool.cpp.o.d"
+  "/root/repo/src/quad/shadow.cpp" "src/quad/CMakeFiles/tq_quad.dir/shadow.cpp.o" "gcc" "src/quad/CMakeFiles/tq_quad.dir/shadow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minipin/CMakeFiles/tq_minipin.dir/DependInfo.cmake"
+  "/root/repo/build/src/tquad/CMakeFiles/tq_tquad.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tq_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tq_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tq_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_quad.dir/buffer_report.cpp.o"
+  "CMakeFiles/tq_quad.dir/buffer_report.cpp.o.d"
+  "CMakeFiles/tq_quad.dir/instrumented_profile.cpp.o"
+  "CMakeFiles/tq_quad.dir/instrumented_profile.cpp.o.d"
+  "CMakeFiles/tq_quad.dir/quad_tool.cpp.o"
+  "CMakeFiles/tq_quad.dir/quad_tool.cpp.o.d"
+  "CMakeFiles/tq_quad.dir/shadow.cpp.o"
+  "CMakeFiles/tq_quad.dir/shadow.cpp.o.d"
+  "libtq_quad.a"
+  "libtq_quad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

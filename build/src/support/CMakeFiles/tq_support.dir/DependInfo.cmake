@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/address_set.cpp" "src/support/CMakeFiles/tq_support.dir/address_set.cpp.o" "gcc" "src/support/CMakeFiles/tq_support.dir/address_set.cpp.o.d"
+  "/root/repo/src/support/ascii_chart.cpp" "src/support/CMakeFiles/tq_support.dir/ascii_chart.cpp.o" "gcc" "src/support/CMakeFiles/tq_support.dir/ascii_chart.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/support/CMakeFiles/tq_support.dir/cli.cpp.o" "gcc" "src/support/CMakeFiles/tq_support.dir/cli.cpp.o.d"
+  "/root/repo/src/support/paged_memory.cpp" "src/support/CMakeFiles/tq_support.dir/paged_memory.cpp.o" "gcc" "src/support/CMakeFiles/tq_support.dir/paged_memory.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/support/CMakeFiles/tq_support.dir/stats.cpp.o" "gcc" "src/support/CMakeFiles/tq_support.dir/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/tq_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/tq_support.dir/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/support/CMakeFiles/tq_support.dir/thread_pool.cpp.o" "gcc" "src/support/CMakeFiles/tq_support.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

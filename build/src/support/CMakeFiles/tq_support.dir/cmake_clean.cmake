@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_support.dir/address_set.cpp.o"
+  "CMakeFiles/tq_support.dir/address_set.cpp.o.d"
+  "CMakeFiles/tq_support.dir/ascii_chart.cpp.o"
+  "CMakeFiles/tq_support.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/tq_support.dir/cli.cpp.o"
+  "CMakeFiles/tq_support.dir/cli.cpp.o.d"
+  "CMakeFiles/tq_support.dir/paged_memory.cpp.o"
+  "CMakeFiles/tq_support.dir/paged_memory.cpp.o.d"
+  "CMakeFiles/tq_support.dir/stats.cpp.o"
+  "CMakeFiles/tq_support.dir/stats.cpp.o.d"
+  "CMakeFiles/tq_support.dir/table.cpp.o"
+  "CMakeFiles/tq_support.dir/table.cpp.o.d"
+  "CMakeFiles/tq_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/tq_support.dir/thread_pool.cpp.o.d"
+  "libtq_support.a"
+  "libtq_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tquad/bandwidth.cpp" "src/tquad/CMakeFiles/tq_tquad.dir/bandwidth.cpp.o" "gcc" "src/tquad/CMakeFiles/tq_tquad.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/tquad/callstack.cpp" "src/tquad/CMakeFiles/tq_tquad.dir/callstack.cpp.o" "gcc" "src/tquad/CMakeFiles/tq_tquad.dir/callstack.cpp.o.d"
+  "/root/repo/src/tquad/consensus.cpp" "src/tquad/CMakeFiles/tq_tquad.dir/consensus.cpp.o" "gcc" "src/tquad/CMakeFiles/tq_tquad.dir/consensus.cpp.o.d"
+  "/root/repo/src/tquad/phase.cpp" "src/tquad/CMakeFiles/tq_tquad.dir/phase.cpp.o" "gcc" "src/tquad/CMakeFiles/tq_tquad.dir/phase.cpp.o.d"
+  "/root/repo/src/tquad/report.cpp" "src/tquad/CMakeFiles/tq_tquad.dir/report.cpp.o" "gcc" "src/tquad/CMakeFiles/tq_tquad.dir/report.cpp.o.d"
+  "/root/repo/src/tquad/tquad_tool.cpp" "src/tquad/CMakeFiles/tq_tquad.dir/tquad_tool.cpp.o" "gcc" "src/tquad/CMakeFiles/tq_tquad.dir/tquad_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minipin/CMakeFiles/tq_minipin.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tq_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tq_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tq_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

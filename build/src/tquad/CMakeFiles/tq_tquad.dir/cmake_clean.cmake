@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_tquad.dir/bandwidth.cpp.o"
+  "CMakeFiles/tq_tquad.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/tq_tquad.dir/callstack.cpp.o"
+  "CMakeFiles/tq_tquad.dir/callstack.cpp.o.d"
+  "CMakeFiles/tq_tquad.dir/consensus.cpp.o"
+  "CMakeFiles/tq_tquad.dir/consensus.cpp.o.d"
+  "CMakeFiles/tq_tquad.dir/phase.cpp.o"
+  "CMakeFiles/tq_tquad.dir/phase.cpp.o.d"
+  "CMakeFiles/tq_tquad.dir/report.cpp.o"
+  "CMakeFiles/tq_tquad.dir/report.cpp.o.d"
+  "CMakeFiles/tq_tquad.dir/tquad_tool.cpp.o"
+  "CMakeFiles/tq_tquad.dir/tquad_tool.cpp.o.d"
+  "libtq_tquad.a"
+  "libtq_tquad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_tquad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tq_tquad.
+# This may be replaced when dependencies are built.

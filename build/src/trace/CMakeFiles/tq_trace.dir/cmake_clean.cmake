@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_trace.dir/trace.cpp.o"
+  "CMakeFiles/tq_trace.dir/trace.cpp.o.d"
+  "libtq_trace.a"
+  "libtq_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

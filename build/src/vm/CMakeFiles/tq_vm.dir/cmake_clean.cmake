@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_vm.dir/host_env.cpp.o"
+  "CMakeFiles/tq_vm.dir/host_env.cpp.o.d"
+  "CMakeFiles/tq_vm.dir/machine.cpp.o"
+  "CMakeFiles/tq_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/tq_vm.dir/program.cpp.o"
+  "CMakeFiles/tq_vm.dir/program.cpp.o.d"
+  "libtq_vm.a"
+  "libtq_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

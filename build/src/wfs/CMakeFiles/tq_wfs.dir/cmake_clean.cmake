@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_wfs.dir/golden.cpp.o"
+  "CMakeFiles/tq_wfs.dir/golden.cpp.o.d"
+  "CMakeFiles/tq_wfs.dir/runner.cpp.o"
+  "CMakeFiles/tq_wfs.dir/runner.cpp.o.d"
+  "CMakeFiles/tq_wfs.dir/wav.cpp.o"
+  "CMakeFiles/tq_wfs.dir/wav.cpp.o.d"
+  "CMakeFiles/tq_wfs.dir/wfs_program.cpp.o"
+  "CMakeFiles/tq_wfs.dir/wfs_program.cpp.o.d"
+  "libtq_wfs.a"
+  "libtq_wfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_wfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tq_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/tq_workloads.dir/workloads.cpp.o.d"
+  "libtq_workloads.a"
+  "libtq_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tq_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

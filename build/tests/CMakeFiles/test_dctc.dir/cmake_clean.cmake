@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dctc.dir/test_dctc.cpp.o"
+  "CMakeFiles/test_dctc.dir/test_dctc.cpp.o.d"
+  "test_dctc"
+  "test_dctc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gasm_builder.dir/test_gasm_builder.cpp.o"
+  "CMakeFiles/test_gasm_builder.dir/test_gasm_builder.cpp.o.d"
+  "test_gasm_builder"
+  "test_gasm_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gasm_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minipin.dir/test_minipin.cpp.o"
+  "CMakeFiles/test_minipin.dir/test_minipin.cpp.o.d"
+  "test_minipin"
+  "test_minipin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minipin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

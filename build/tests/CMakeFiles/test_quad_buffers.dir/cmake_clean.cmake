@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quad_buffers.dir/test_quad_buffers.cpp.o"
+  "CMakeFiles/test_quad_buffers.dir/test_quad_buffers.cpp.o.d"
+  "test_quad_buffers"
+  "test_quad_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quad_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quad_shadow.dir/test_quad_shadow.cpp.o"
+  "CMakeFiles/test_quad_shadow.dir/test_quad_shadow.cpp.o.d"
+  "test_quad_shadow"
+  "test_quad_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quad_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

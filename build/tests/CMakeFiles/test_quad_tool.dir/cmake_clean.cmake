@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quad_tool.dir/test_quad_tool.cpp.o"
+  "CMakeFiles/test_quad_tool.dir/test_quad_tool.cpp.o.d"
+  "test_quad_tool"
+  "test_quad_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quad_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_address_set.dir/test_support_address_set.cpp.o"
+  "CMakeFiles/test_support_address_set.dir/test_support_address_set.cpp.o.d"
+  "test_support_address_set"
+  "test_support_address_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_address_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_paged_memory.dir/test_support_paged_memory.cpp.o"
+  "CMakeFiles/test_support_paged_memory.dir/test_support_paged_memory.cpp.o.d"
+  "test_support_paged_memory"
+  "test_support_paged_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_paged_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tquad_bandwidth.dir/test_tquad_bandwidth.cpp.o"
+  "CMakeFiles/test_tquad_bandwidth.dir/test_tquad_bandwidth.cpp.o.d"
+  "test_tquad_bandwidth"
+  "test_tquad_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tquad_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tquad_callstack.dir/test_tquad_callstack.cpp.o"
+  "CMakeFiles/test_tquad_callstack.dir/test_tquad_callstack.cpp.o.d"
+  "test_tquad_callstack"
+  "test_tquad_callstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tquad_callstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

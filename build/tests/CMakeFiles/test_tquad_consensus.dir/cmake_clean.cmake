@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tquad_consensus.dir/test_tquad_consensus.cpp.o"
+  "CMakeFiles/test_tquad_consensus.dir/test_tquad_consensus.cpp.o.d"
+  "test_tquad_consensus"
+  "test_tquad_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tquad_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

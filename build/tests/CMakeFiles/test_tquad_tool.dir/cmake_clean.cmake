@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tquad_tool.dir/test_tquad_tool.cpp.o"
+  "CMakeFiles/test_tquad_tool.dir/test_tquad_tool.cpp.o.d"
+  "test_tquad_tool"
+  "test_tquad_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tquad_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

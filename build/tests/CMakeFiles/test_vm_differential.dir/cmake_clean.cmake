@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_differential.dir/test_vm_differential.cpp.o"
+  "CMakeFiles/test_vm_differential.dir/test_vm_differential.cpp.o.d"
+  "test_vm_differential"
+  "test_vm_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_hostenv.dir/test_vm_hostenv.cpp.o"
+  "CMakeFiles/test_vm_hostenv.dir/test_vm_hostenv.cpp.o.d"
+  "test_vm_hostenv"
+  "test_vm_hostenv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_hostenv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_machine.dir/test_vm_machine.cpp.o"
+  "CMakeFiles/test_vm_machine.dir/test_vm_machine.cpp.o.d"
+  "test_vm_machine"
+  "test_vm_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

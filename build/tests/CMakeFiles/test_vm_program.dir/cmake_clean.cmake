@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_program.dir/test_vm_program.cpp.o"
+  "CMakeFiles/test_vm_program.dir/test_vm_program.cpp.o.d"
+  "test_vm_program"
+  "test_vm_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

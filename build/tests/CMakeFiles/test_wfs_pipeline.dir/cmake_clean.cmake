@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfs_pipeline.dir/test_wfs_pipeline.cpp.o"
+  "CMakeFiles/test_wfs_pipeline.dir/test_wfs_pipeline.cpp.o.d"
+  "test_wfs_pipeline"
+  "test_wfs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfs_topology.dir/test_wfs_topology.cpp.o"
+  "CMakeFiles/test_wfs_topology.dir/test_wfs_topology.cpp.o.d"
+  "test_wfs_topology"
+  "test_wfs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfs_wav_golden.dir/test_wfs_wav_golden.cpp.o"
+  "CMakeFiles/test_wfs_wav_golden.dir/test_wfs_wav_golden.cpp.o.d"
+  "test_wfs_wav_golden"
+  "test_wfs_wav_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfs_wav_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_run.dir/asm_run.cpp.o"
+  "CMakeFiles/asm_run.dir/asm_run.cpp.o.d"
+  "asm_run"
+  "asm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quad_cli.dir/quad_cli.cpp.o"
+  "CMakeFiles/quad_cli.dir/quad_cli.cpp.o.d"
+  "quad_cli"
+  "quad_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quad_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tquad_cli.dir/tquad_cli.cpp.o"
+  "CMakeFiles/tquad_cli.dir/tquad_cli.cpp.o.d"
+  "tquad_cli"
+  "tquad_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tquad_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

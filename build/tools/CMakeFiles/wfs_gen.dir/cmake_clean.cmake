@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfs_gen.dir/wfs_gen.cpp.o"
+  "CMakeFiles/wfs_gen.dir/wfs_gen.cpp.o.d"
+  "wfs_gen"
+  "wfs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
