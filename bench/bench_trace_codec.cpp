@@ -1,0 +1,122 @@
+// TQTR codec benchmark: v1 (flat 28-byte records) versus v2 (block-compressed,
+// delta + varint) on the stream workload — the trace shape the paper's tool
+// would produce when profiling a bandwidth-bound kernel.
+//
+// Reports bytes/event and the compression ratio (the PR's acceptance bar is
+// v2 >= 4x smaller than v1 on this workload, enforced with TQUAD_CHECK),
+// encode/decode throughput, and sequential-v1 versus block-parallel-v2
+// offline aggregation time with a totals-equality cross-check.
+#include <chrono>
+#include <cstdio>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_v2.hpp"
+#include "vm/machine.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace tq;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+trace::Trace record_stream_trace(std::uint32_t elements, std::uint32_t iterations) {
+  const workloads::StreamArtifacts stream = workloads::build_stream(elements, iterations);
+  vm::HostEnv host;
+  trace::TraceRecorder recorder(stream.program);
+  vm::Machine machine(stream.program, host);
+  machine.run(&recorder);
+  return recorder.take();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_trace_codec: TQTR v1 vs v2 size and throughput");
+  cli.add_int("elements", 4096, "stream vector length (f64 elements)");
+  cli.add_int("iterations", 4, "stream benchmark repetitions");
+  cli.add_int("slice", 5000, "slice interval for the aggregation timing");
+  cli.add_int("threads", 4, "worker threads for v2 block-parallel aggregation");
+  cli.add_int("block", trace::kDefaultBlockCapacity, "v2 block capacity (records)");
+  try {
+    cli.parse(argc, argv);
+    const auto block = static_cast<std::uint32_t>(cli.integer("block"));
+    const auto slice = static_cast<std::uint64_t>(cli.integer("slice"));
+
+    const trace::Trace trace =
+        record_stream_trace(static_cast<std::uint32_t>(cli.integer("elements")),
+                            static_cast<std::uint32_t>(cli.integer("iterations")));
+    const double events = static_cast<double>(trace.records.size());
+    std::printf("stream trace: %s events, %s retired instructions\n\n",
+                format_count(trace.records.size()).c_str(),
+                format_count(trace.total_retired).c_str());
+
+    // -- Size -------------------------------------------------------------
+    auto start = Clock::now();
+    const auto v1 = trace.serialize();
+    const double v1_encode = seconds_since(start);
+    start = Clock::now();
+    const auto v2 = trace::serialize_v2(trace, block);
+    const double v2_encode = seconds_since(start);
+
+    start = Clock::now();
+    const trace::Trace v1_back = trace::Trace::deserialize(v1);
+    const double v1_decode = seconds_since(start);
+    start = Clock::now();
+    const trace::Trace v2_back = trace::Trace::deserialize(v2);
+    const double v2_decode = seconds_since(start);
+    TQUAD_CHECK(v1_back.records.size() == trace.records.size(), "v1 round trip");
+    TQUAD_CHECK(v2_back.records.size() == trace.records.size(), "v2 round trip");
+
+    const double ratio = static_cast<double>(v1.size()) / static_cast<double>(v2.size());
+    TextTable table({"format", "bytes", "bytes/event", "encode Mev/s", "decode Mev/s"});
+    table.add_row({"v1 flat", format_count(v1.size()),
+                   format_fixed(static_cast<double>(v1.size()) / events, 2),
+                   format_fixed(events / v1_encode / 1e6, 1),
+                   format_fixed(events / v1_decode / 1e6, 1)});
+    table.add_row({"v2 blocked", format_count(v2.size()),
+                   format_fixed(static_cast<double>(v2.size()) / events, 2),
+                   format_fixed(events / v2_encode / 1e6, 1),
+                   format_fixed(events / v2_decode / 1e6, 1)});
+    std::fputs(table.to_ascii().c_str(), stdout);
+    std::printf("\ncompression ratio (v1/v2): %.2fx (block capacity %u)\n\n",
+                ratio, block);
+    TQUAD_CHECK(ratio >= 4.0, "v2 must be >= 4x smaller than v1 on stream");
+
+    // -- Aggregation ------------------------------------------------------
+    start = Clock::now();
+    trace::OfflineBandwidth sequential(trace.kernel_count, slice);
+    sequential.aggregate(trace);
+    const double seq_time = seconds_since(start);
+
+    ThreadPool pool(static_cast<unsigned>(cli.integer("threads")));
+    const trace::TraceV2View view = trace::TraceV2View::open(v2);
+    start = Clock::now();
+    trace::OfflineBandwidth parallel(trace.kernel_count, slice);
+    parallel.aggregate_parallel(view, pool);
+    const double par_time = seconds_since(start);
+
+    for (std::uint32_t k = 0; k < trace.kernel_count; ++k) {
+      TQUAD_CHECK(sequential.kernel(k).totals.read_incl ==
+                          parallel.kernel(k).totals.read_incl &&
+                      sequential.kernel(k).totals.write_incl ==
+                          parallel.kernel(k).totals.write_incl,
+                  "parallel v2 aggregation diverged from sequential v1");
+    }
+    std::printf("offline aggregation at slice %llu: v1 sequential %.1f Mev/s, "
+                "v2 block-parallel %.1f Mev/s (totals identical)\n",
+                static_cast<unsigned long long>(slice), events / seq_time / 1e6,
+                events / par_time / 1e6);
+    return 0;
+  } catch (const Error& err) {
+    std::fprintf(stderr, "bench_trace_codec: %s\n", err.what());
+    return 1;
+  }
+}

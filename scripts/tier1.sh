@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 gate: the standard build + full test suite, then the trace/codec
+# surface again under ASan+UBSan (the decoders chew untrusted bytes, so they
+# get the sanitizer treatment on every run), then the codec bench, which
+# asserts the v2-vs-v1 compression floor.
+# Usage: scripts/tier1.sh   (from the repository root)
+set -e
+
+# 1. Standard build, all tests.
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+# 2. ASan+UBSan on the trace stack: codec round-trips, differential sweep,
+#    and the decoder fuzzers (the tests most likely to walk off a buffer).
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)" --target \
+    test_trace test_trace_v2_codec test_trace_offline_differential \
+    test_fuzz_decoders
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders)$'
+
+# 3. Codec bench: fails if v2 is not >= 4x smaller than v1 on stream.
+./build/bench/bench_trace_codec
+
+echo "tier1: OK"

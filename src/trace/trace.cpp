@@ -1,15 +1,17 @@
 #include "trace/trace.hpp"
 
-#include <cstring>
+#include <exception>
 
 #include "support/check.hpp"
+#include "trace/trace_v2.hpp"
+#include "trace/wire.hpp"
 
 namespace tq::trace {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x52545154;  // "TQTR"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kV1HeaderBytes = 32;
 
 }  // namespace
 
@@ -17,76 +19,108 @@ constexpr std::uint32_t kVersion = 1;
 
 std::vector<std::uint8_t> Trace::serialize() const {
   std::vector<std::uint8_t> out;
-  out.reserve(32 + records.size() * sizeof(Record));
-  auto put_u32 = [&](std::uint32_t v) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-    out.insert(out.end(), p, p + 4);
-  };
-  auto put_u64 = [&](std::uint64_t v) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-    out.insert(out.end(), p, p + 8);
-  };
-  put_u32(kMagic);
-  put_u32(kVersion);
-  put_u32(kernel_count);
-  put_u32(static_cast<std::uint32_t>(sizeof(Record)));
-  put_u64(total_retired);
-  put_u64(records.size());
-  const auto* raw = reinterpret_cast<const std::uint8_t*>(records.data());
-  out.insert(out.end(), raw, raw + records.size() * sizeof(Record));
+  out.reserve(kV1HeaderBytes + records.size() * kRecordDiskBytes);
+  wire::put_u32(out, kMagic);
+  wire::put_u32(out, static_cast<std::uint32_t>(TraceFormat::kV1));
+  wire::put_u32(out, kernel_count);
+  wire::put_u32(out, static_cast<std::uint32_t>(kRecordDiskBytes));
+  wire::put_u64(out, total_retired);
+  wire::put_u64(out, records.size());
+  // Field-by-field, so the disk layout never inherits host struct padding.
+  for (const Record& record : records) {
+    wire::put_u64(out, record.retired);
+    wire::put_u64(out, record.ea);
+    wire::put_u32(out, record.pc);
+    wire::put_u16(out, record.kernel);
+    wire::put_u16(out, record.func);
+    wire::put_u8(out, static_cast<std::uint8_t>(record.kind));
+    wire::put_u8(out, record.size);
+    wire::put_u8(out, record.flags);
+    wire::put_u8(out, 0);  // reserved
+  }
   return out;
 }
 
 Trace Trace::deserialize(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 32) TQUAD_THROW("TQTR trace too short for a header");
-  auto get_u32 = [&](std::size_t off) {
-    std::uint32_t v;
-    std::memcpy(&v, bytes.data() + off, 4);
-    return v;
-  };
-  auto get_u64 = [&](std::size_t off) {
-    std::uint64_t v;
-    std::memcpy(&v, bytes.data() + off, 8);
-    return v;
-  };
-  if (get_u32(0) != kMagic) TQUAD_THROW("not a TQTR trace (bad magic)");
-  if (get_u32(4) != kVersion) TQUAD_THROW("unsupported TQTR version");
-  if (get_u32(12) != sizeof(Record)) {
+  wire::ByteReader header(bytes);
+  if (bytes.size() < 8) TQUAD_THROW("TQTR trace too short for a header");
+  if (header.u32() != kMagic) TQUAD_THROW("not a TQTR trace (bad magic)");
+  const std::uint32_t version = header.u32();
+  if (version == static_cast<std::uint32_t>(TraceFormat::kV2)) {
+    return TraceV2View::open(bytes).decode_all();
+  }
+  if (version != static_cast<std::uint32_t>(TraceFormat::kV1)) {
+    TQUAD_THROW("unsupported TQTR version");
+  }
+  if (bytes.size() < kV1HeaderBytes) TQUAD_THROW("TQTR trace too short for a header");
+  Trace trace;
+  trace.kernel_count = header.u32();
+  if (header.u32() != kRecordDiskBytes) {
     TQUAD_THROW("TQTR record size mismatch (incompatible producer)");
   }
-  Trace trace;
-  trace.kernel_count = get_u32(8);
-  trace.total_retired = get_u64(16);
-  const std::uint64_t count = get_u64(24);
-  if (bytes.size() != 32 + count * sizeof(Record)) {
+  trace.total_retired = header.u64();
+  const std::uint64_t count = header.u64();
+  if (count > (bytes.size() - kV1HeaderBytes) / kRecordDiskBytes ||
+      bytes.size() - kV1HeaderBytes != count * kRecordDiskBytes) {
     TQUAD_THROW("TQTR trace truncated");
   }
+  wire::ByteReader reader(bytes.subspan(kV1HeaderBytes));
   trace.records.resize(count);
-  std::memcpy(trace.records.data(), bytes.data() + 32, count * sizeof(Record));
-  for (const Record& record : trace.records) {
-    if (record.kind > EventKind::kWrite) TQUAD_THROW("TQTR record with bad kind");
+  for (Record& record : trace.records) {
+    record.retired = reader.u64();
+    record.ea = reader.u64();
+    record.pc = reader.u32();
+    record.kernel = reader.u16();
+    record.func = reader.u16();
+    const std::uint8_t kind = reader.u8();
+    if (kind > static_cast<std::uint8_t>(EventKind::kWrite)) {
+      TQUAD_THROW("TQTR record with bad kind");
+    }
+    record.kind = static_cast<EventKind>(kind);
+    record.size = reader.u8();
+    record.flags = reader.u8();
+    record.reserved = reader.u8();
+    if (record.kernel != kNoKernel16 && record.kernel >= trace.kernel_count) {
+      TQUAD_THROW("TQTR record kernel id out of range");
+    }
   }
   return trace;
 }
 
 // ---- TraceRecorder --------------------------------------------------------------
 
-TraceRecorder::TraceRecorder(const vm::Program& program, tquad::LibraryPolicy policy)
+TraceRecorder::TraceRecorder(const vm::Program& program, tquad::LibraryPolicy policy,
+                             TraceFormat format)
     : stack_(program, policy) {
   trace_.kernel_count = static_cast<std::uint32_t>(program.functions().size());
-  trace_.records.reserve(1 << 16);
+  if (format == TraceFormat::kV2) {
+    writer_ = std::make_unique<TraceV2Writer>(trace_.kernel_count);
+  } else {
+    trace_.records.reserve(1 << 16);
+  }
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+void TraceRecorder::push(const Record& record) {
+  last_retired_ = record.retired;
+  if (writer_) {
+    writer_->add(record);
+  } else {
+    trace_.records.push_back(record);
+  }
 }
 
 void TraceRecorder::on_rtn_enter(std::uint32_t func) {
   stack_.on_enter(func);
   Record record{};
-  record.retired = trace_.records.empty() ? 0 : trace_.records.back().retired;
+  record.retired = last_retired_;
   record.ea = func;
   record.kernel = static_cast<std::uint16_t>(
       stack_.top() == tquad::kNoKernel ? kNoKernel16 : stack_.top());
   record.func = static_cast<std::uint16_t>(func);
   record.kind = EventKind::kEnter;
-  trace_.records.push_back(record);
+  push(record);
 }
 
 void TraceRecorder::on_instr(const vm::InstrEvent& event) {
@@ -106,7 +140,7 @@ void TraceRecorder::on_instr(const vm::InstrEvent& event) {
     record.kind = kind;
     record.size = static_cast<std::uint8_t>(size);
     record.flags = flags;
-    trace_.records.push_back(record);
+    push(record);
   };
 
   if (event.read.size != 0) {
@@ -130,7 +164,15 @@ void TraceRecorder::on_program_end(std::uint64_t retired) {
   trace_.total_retired = retired;
 }
 
-Trace TraceRecorder::take() { return std::move(trace_); }
+Trace TraceRecorder::take() {
+  TQUAD_CHECK(!writer_, "take() needs a v1 recorder; v2 mode streamed the records");
+  return std::move(trace_);
+}
+
+std::vector<std::uint8_t> TraceRecorder::take_encoded() {
+  if (writer_) return writer_->finish(trace_.total_retired);
+  return take().serialize();
+}
 
 // ---- replay ----------------------------------------------------------------------
 
@@ -151,47 +193,62 @@ OfflineBandwidth::OfflineBandwidth(std::uint32_t kernel_count,
 
 namespace {
 
-/// Accumulate the records in [begin, end) into per-kernel sample vectors
-/// using the same open-slice logic as the online recorder.
-std::vector<std::vector<tquad::SliceSample>> accumulate_range(
-    std::span<const Record> records, std::size_t kernel_count,
-    std::uint64_t slice_interval) {
-  std::vector<std::vector<tquad::SliceSample>> out(kernel_count);
+/// Accumulates record spans into per-kernel sample vectors with the same
+/// open-slice logic as the online recorder. feed() may be called repeatedly
+/// (v2 aggregation feeds one decoded block at a time); finish() flushes the
+/// open slices.
+class SliceAccumulator {
+ public:
+  SliceAccumulator(std::size_t kernel_count, std::uint64_t slice_interval)
+      : out_(kernel_count), open_(kernel_count), slice_interval_(slice_interval) {}
+
+  void feed(std::span<const Record> records) {
+    for (const Record& record : records) {
+      if (record.kernel == kNoKernel16) continue;
+      if (record.kind != EventKind::kRead && record.kind != EventKind::kWrite) {
+        continue;
+      }
+      if (record.flags & kFlagPrefetch) continue;  // paper: skip prefetches
+      TQUAD_DCHECK(record.kernel < out_.size(), "kernel id out of range in trace");
+      const std::uint64_t slice = record.retired / slice_interval_;
+      Open& slot = open_[record.kernel];
+      if (slot.slice != slice) {
+        if (slot.slice != ~0ull && !slot.counters.empty()) {
+          out_[record.kernel].push_back(tquad::SliceSample{slot.slice, slot.counters});
+        }
+        slot.slice = slice;
+        slot.counters.clear();
+      }
+      const bool stack_area = record.flags & kFlagStackArea;
+      if (record.kind == EventKind::kRead) {
+        slot.counters.read_incl += record.size;
+        if (!stack_area) slot.counters.read_excl += record.size;
+      } else {
+        slot.counters.write_incl += record.size;
+        if (!stack_area) slot.counters.write_excl += record.size;
+      }
+    }
+  }
+
+  std::vector<std::vector<tquad::SliceSample>> finish() {
+    for (std::size_t k = 0; k < out_.size(); ++k) {
+      if (open_[k].slice != ~0ull && !open_[k].counters.empty()) {
+        out_[k].push_back(tquad::SliceSample{open_[k].slice, open_[k].counters});
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
   struct Open {
     std::uint64_t slice = ~0ull;
     tquad::SliceCounters counters;
   };
-  std::vector<Open> open(kernel_count);
-  for (const Record& record : records) {
-    if (record.kernel == kNoKernel16) continue;
-    if (record.kind != EventKind::kRead && record.kind != EventKind::kWrite) continue;
-    if (record.flags & kFlagPrefetch) continue;  // paper: skip prefetches
-    TQUAD_DCHECK(record.kernel < kernel_count, "kernel id out of range in trace");
-    const std::uint64_t slice = record.retired / slice_interval;
-    Open& slot = open[record.kernel];
-    if (slot.slice != slice) {
-      if (slot.slice != ~0ull && !slot.counters.empty()) {
-        out[record.kernel].push_back(tquad::SliceSample{slot.slice, slot.counters});
-      }
-      slot.slice = slice;
-      slot.counters.clear();
-    }
-    const bool stack_area = record.flags & kFlagStackArea;
-    if (record.kind == EventKind::kRead) {
-      slot.counters.read_incl += record.size;
-      if (!stack_area) slot.counters.read_excl += record.size;
-    } else {
-      slot.counters.write_incl += record.size;
-      if (!stack_area) slot.counters.write_excl += record.size;
-    }
-  }
-  for (std::size_t k = 0; k < kernel_count; ++k) {
-    if (open[k].slice != ~0ull && !open[k].counters.empty()) {
-      out[k].push_back(tquad::SliceSample{open[k].slice, open[k].counters});
-    }
-  }
-  return out;
-}
+
+  std::vector<std::vector<tquad::SliceSample>> out_;
+  std::vector<Open> open_;
+  std::uint64_t slice_interval_;
+};
 
 }  // namespace
 
@@ -212,7 +269,9 @@ void OfflineBandwidth::merge_partial(std::uint32_t kernel,
 }
 
 void OfflineBandwidth::aggregate(const Trace& trace) {
-  auto samples = accumulate_range(trace.records, kernels_.size(), slice_interval_);
+  SliceAccumulator acc(kernels_.size(), slice_interval_);
+  acc.feed(trace.records);
+  auto samples = acc.finish();
   for (std::uint32_t k = 0; k < kernels_.size(); ++k) {
     merge_partial(k, std::move(samples[k]));
   }
@@ -227,13 +286,45 @@ void OfflineBandwidth::aggregate_parallel(const Trace& trace, ThreadPool& pool) 
   parallel_for_blocks(
       pool, 0, total,
       [&](std::uint64_t begin, std::uint64_t end, unsigned block) {
-        partials[block] = accumulate_range(
-            std::span<const Record>(trace.records.data() + begin, end - begin),
-            kernels_.size(), slice_interval_);
+        SliceAccumulator acc(kernels_.size(), slice_interval_);
+        acc.feed(std::span<const Record>(trace.records.data() + begin, end - begin));
+        partials[block] = acc.finish();
       });
   for (unsigned block = 0; block < blocks; ++block) {
     for (std::uint32_t k = 0; k < kernels_.size(); ++k) {
       merge_partial(k, std::move(partials[block][k]));
+    }
+  }
+}
+
+void OfflineBandwidth::aggregate_parallel(const TraceV2View& view, ThreadPool& pool) {
+  const std::uint64_t total = view.block_count();
+  if (total == 0) return;
+  const unsigned shards =
+      static_cast<unsigned>(std::min<std::uint64_t>(pool.size(), total));
+  std::vector<std::vector<std::vector<tquad::SliceSample>>> partials(shards);
+  // Pool tasks must not throw; trap decode errors and rethrow on the caller.
+  std::vector<std::exception_ptr> errors(shards);
+  parallel_for_blocks(
+      pool, 0, total,
+      [&](std::uint64_t begin, std::uint64_t end, unsigned shard) {
+        try {
+          SliceAccumulator acc(kernels_.size(), slice_interval_);
+          for (std::uint64_t b = begin; b < end; ++b) {
+            const std::vector<Record> records = view.decode_block(b);
+            acc.feed(records);
+          }
+          partials[shard] = acc.finish();
+        } catch (...) {
+          errors[shard] = std::current_exception();
+        }
+      });
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  for (unsigned shard = 0; shard < shards; ++shard) {
+    for (std::uint32_t k = 0; k < kernels_.size(); ++k) {
+      merge_partial(k, std::move(partials[shard][k]));
     }
   }
 }

@@ -7,19 +7,24 @@
 //   * TraceRecorder is an ExecListener that captures the profiler-relevant
 //     event stream — routine entries/returns and memory accesses, each
 //     pre-attributed to the kernel on top of the call stack and pre-classified
-//     stack/global — into a compact in-memory buffer (28 bytes/event),
-//     serialisable to a flat file ("TQTR" format).
+//     stack/global — serialisable to the "TQTR" file family: v1 is a flat
+//     28-bytes/event array, v2 (trace_v2.hpp) a block-compressed layout
+//     ~4-6x smaller that also enables block-parallel replay. Readers
+//     auto-detect the version.
 //   * replay() feeds a recorded trace back into any TraceSink, so many
 //     analyses run from one guest execution.
 //   * OfflineBandwidth aggregates a trace into the same per-kernel
 //     per-slice counters tquad::BandwidthRecorder produces online — either
 //     sequentially or sharded across a ThreadPool (records are
 //     pre-attributed, so aggregation is embarrassingly parallel; partial
-//     slices at shard boundaries merge by addition).
+//     slices at shard boundaries merge by addition). v2 traces shard by
+//     whole blocks straight from the encoded bytes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "support/thread_pool.hpp"
@@ -43,8 +48,9 @@ enum : std::uint8_t {
   kFlagPrefetch = 1u << 1,   ///< the access is a prefetch touch
 };
 
-/// One trace record. 28 bytes, trivially copyable; written to disk verbatim
-/// (little-endian hosts only, like the rest of the image formats here).
+/// One trace record. Serialised field-by-field (kRecordDiskBytes on disk in
+/// v1, delta/varint-coded in v2), so the formats never depend on host struct
+/// padding; little-endian hosts only, like the rest of the image formats.
 struct Record {
   std::uint64_t retired;  ///< instruction count before the event
   std::uint64_t ea;       ///< effective address (or entered function id)
@@ -56,10 +62,26 @@ struct Record {
   std::uint8_t flags;     ///< kFlag* bits
   std::uint8_t reserved;
 };
-static_assert(sizeof(Record) == 32 || sizeof(Record) == 28,
-              "Record layout drifted");
+
+/// On-disk size of one v1 record: the packed field sizes, independent of
+/// host padding.
+inline constexpr std::size_t kRecordDiskBytes = 28;
+static_assert(sizeof(Record::retired) + sizeof(Record::ea) + sizeof(Record::pc) +
+                  sizeof(Record::kernel) + sizeof(Record::func) +
+                  sizeof(Record::kind) + sizeof(Record::size) +
+                  sizeof(Record::flags) + sizeof(Record::reserved) ==
+              kRecordDiskBytes,
+              "Record field layout drifted");
+static_assert(std::is_trivially_copyable_v<Record>, "Record must stay POD");
 
 inline constexpr std::uint16_t kNoKernel16 = 0xffff;
+
+/// On-disk trace container formats (the version field of the shared "TQTR"
+/// magic). Readers auto-detect; writers pick via this enum.
+enum class TraceFormat : std::uint32_t {
+  kV1 = 1,  ///< flat record array, kRecordDiskBytes/event
+  kV2 = 2,  ///< block-compressed, delta/varint coded (trace_v2.hpp)
+};
 
 /// A recorded trace plus the metadata needed to interpret it.
 struct Trace {
@@ -67,11 +89,17 @@ struct Trace {
   std::uint64_t total_retired = 0;
   std::uint32_t kernel_count = 0;
 
-  /// Serialise to the flat "TQTR" byte format and back (throws tq::Error on
-  /// malformed input).
+  /// Serialise to the flat TQTR v1 byte format (field-by-field; see
+  /// serialize_v2() in trace_v2.hpp for the compressed container).
   std::vector<std::uint8_t> serialize() const;
+
+  /// Decode a TQTR image of either version, auto-detected from the header
+  /// (throws tq::Error on malformed input).
   static Trace deserialize(std::span<const std::uint8_t> bytes);
 };
+
+class TraceV2Writer;  // trace_v2.hpp
+class TraceV2View;    // trace_v2.hpp
 
 /// Records the profiler-relevant event stream of one guest run.
 ///
@@ -79,17 +107,29 @@ struct Trace {
 /// (tquad::CallStack with the given library policy); accesses with no
 /// attributable kernel are recorded with kernel = kNoKernel16 so offline
 /// consumers can choose to keep or drop them.
+///
+/// In TraceFormat::kV1 mode records are buffered in memory (take() hands
+/// them out). In kV2 mode they stream through a TraceV2Writer block encoder
+/// as they happen — memory stays proportional to the *compressed* trace —
+/// and take_encoded() returns the finished file image.
 class TraceRecorder final : public vm::ExecListener {
  public:
   TraceRecorder(const vm::Program& program,
-                tquad::LibraryPolicy policy = tquad::LibraryPolicy::kExclude);
+                tquad::LibraryPolicy policy = tquad::LibraryPolicy::kExclude,
+                TraceFormat format = TraceFormat::kV1);
+  ~TraceRecorder() override;  // out-of-line: TraceV2Writer is incomplete here
 
   void on_rtn_enter(std::uint32_t func) override;
   void on_instr(const vm::InstrEvent& event) override;
   void on_program_end(std::uint64_t retired) override;
 
-  /// Take the finished trace (call after the run; the recorder is spent).
+  /// Take the finished in-memory trace (v1 mode only; the recorder is
+  /// spent). In v2 mode the records were streamed out — use take_encoded().
   Trace take();
+
+  /// Serialise the finished trace in the recorder's format (call after the
+  /// run; the recorder is spent).
+  std::vector<std::uint8_t> take_encoded();
 
  private:
   static constexpr std::uint64_t kRedZone = 64;
@@ -97,8 +137,12 @@ class TraceRecorder final : public vm::ExecListener {
     return ea + kRedZone >= sp && ea < vm::kStackBase;
   }
 
+  void push(const Record& record);
+
   tquad::CallStack stack_;
   Trace trace_;
+  std::unique_ptr<TraceV2Writer> writer_;  ///< non-null in kV2 mode
+  std::uint64_t last_retired_ = 0;
 };
 
 /// Consumer interface for replay().
@@ -125,6 +169,12 @@ class OfflineBandwidth {
   /// record range, partial slices merge by addition. Results are identical
   /// to the sequential path.
   void aggregate_parallel(const Trace& trace, ThreadPool& pool);
+
+  /// Block-parallel aggregation straight from an encoded v2 image: workers
+  /// decode and accumulate whole blocks (bounded memory, no flat Record
+  /// array), using the block index for work division. Results are identical
+  /// to the sequential path. Decode errors rethrow as tq::Error.
+  void aggregate_parallel(const TraceV2View& view, ThreadPool& pool);
 
   std::uint64_t slice_interval() const noexcept { return slice_interval_; }
   const tquad::KernelBandwidth& kernel(std::uint32_t id) const;

@@ -1,0 +1,138 @@
+// TQTR v2: block-compressed trace container.
+//
+// v1 stores 28 bytes per event; at production trace sizes (1e9+ events) that
+// dominates both disk and replay time. v2 groups records into fixed-capacity
+// blocks, each independently decodable:
+//
+//   * per-block delta/varint coding — `retired`, `ea`, and `pc` as zigzag
+//     deltas (ea keeps one previous-address register per event kind, so read
+//     and write streams delta independently), kernel/func as varints with a
+//     "same context as previous record" shortcut bit, kind/flags/size packed
+//     into one tag byte — typically 4–7 bytes/event;
+//   * a 32-byte block header carrying first/last retired count, record and
+//     payload byte counts, and an approximate kernel-membership bloom;
+//   * a file-level index of block offsets, so consumers can shard whole
+//     blocks across a ThreadPool or seek to a retired-count range without
+//     decoding the prefix.
+//
+// Layout details in docs/FORMATS.md. Writers stream: TraceV2Writer holds one
+// open block plus the already-encoded bytes, never the full Record array.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace tq::trace {
+
+inline constexpr std::uint32_t kDefaultBlockCapacity = 4096;
+inline constexpr std::uint32_t kMaxBlockCapacity = 1u << 20;
+inline constexpr std::size_t kV2FileHeaderBytes = 40;
+inline constexpr std::size_t kV2BlockHeaderBytes = 32;
+inline constexpr std::size_t kV2IndexEntryBytes = 16;
+
+/// Per-block metadata: the on-disk block header plus its file offset.
+struct BlockInfo {
+  std::uint64_t file_offset = 0;   ///< of the block header
+  std::uint32_t record_count = 0;  ///< 1..block_capacity
+  std::uint32_t payload_bytes = 0;
+  std::uint64_t first_retired = 0;  ///< retired count of the first record
+  std::uint64_t last_retired = 0;   ///< retired count of the last record
+  std::uint64_t kernel_bloom = 0;   ///< bit (kernel & 63) set per record
+};
+
+/// Streaming v2 encoder: feed records one at a time, then finish(). Memory
+/// stays proportional to the *encoded* output plus one open block, so a
+/// recorder can write arbitrarily long runs without buffering Record arrays.
+class TraceV2Writer {
+ public:
+  explicit TraceV2Writer(std::uint32_t kernel_count,
+                         std::uint32_t block_capacity = kDefaultBlockCapacity);
+
+  /// Append one record. Throws tq::Error if the record is not representable
+  /// (flag bits outside the defined set, out-of-range kind).
+  void add(const Record& record);
+
+  /// Seal the file: flush the open block, append the index, patch the
+  /// header. The writer is spent afterwards.
+  std::vector<std::uint8_t> finish(std::uint64_t total_retired);
+
+  std::uint64_t record_count() const noexcept { return record_count_; }
+
+ private:
+  void flush_block();
+
+  std::uint32_t block_capacity_;
+  std::vector<std::uint8_t> out_;      ///< finished header + flushed blocks
+  std::vector<std::uint8_t> payload_;  ///< open block payload
+  std::vector<BlockInfo> blocks_;
+  std::uint64_t record_count_ = 0;
+  bool finished_ = false;
+
+  // Open-block coder state (reset at block boundaries so blocks decode
+  // independently).
+  std::uint32_t block_records_ = 0;
+  std::uint64_t block_first_retired_ = 0;
+  std::uint64_t block_last_retired_ = 0;
+  std::uint64_t block_bloom_ = 0;
+  std::uint64_t prev_retired_ = 0;
+  std::uint64_t prev_ea_[4] = {0, 0, 0, 0};
+  std::uint32_t prev_pc_ = 0;
+  std::uint16_t prev_kernel_ = 0;
+  std::uint16_t prev_func_ = 0;
+};
+
+/// One-shot convenience: encode a whole in-memory trace as TQTR v2.
+std::vector<std::uint8_t> serialize_v2(
+    const Trace& trace, std::uint32_t block_capacity = kDefaultBlockCapacity);
+
+/// Validated random-access view over a v2 byte image. open() checks the
+/// whole structure (magic, index/block offset chain, per-block headers,
+/// record-count totals) up front; per-block payloads are validated on
+/// decode. The view borrows `bytes` — keep them alive while using it.
+class TraceV2View {
+ public:
+  static TraceV2View open(std::span<const std::uint8_t> bytes);
+
+  std::uint32_t kernel_count() const noexcept { return kernel_count_; }
+  std::uint32_t block_capacity() const noexcept { return block_capacity_; }
+  std::uint64_t total_retired() const noexcept { return total_retired_; }
+  std::uint64_t record_count() const noexcept { return record_count_; }
+
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+  const BlockInfo& block(std::size_t i) const;
+
+  /// Decode one block. Throws tq::Error on corrupt payloads or block
+  /// headers that disagree with the decoded records (first/last retired,
+  /// kernel bloom, payload byte count).
+  std::vector<Record> decode_block(std::size_t i) const;
+
+  /// Decode every block into a flat Trace (the v1-compatible shape).
+  Trace decode_all() const;
+
+  /// Index of the first block that may contain records with
+  /// `record.retired >= retired` (blocks are ordered by retired count as
+  /// recorded); block_count() if none.
+  std::size_t first_block_at(std::uint64_t retired) const;
+
+ private:
+  TraceV2View() = default;
+
+  std::span<const std::uint8_t> bytes_;
+  std::vector<BlockInfo> blocks_;
+  std::uint32_t kernel_count_ = 0;
+  std::uint32_t block_capacity_ = 0;
+  std::uint64_t total_retired_ = 0;
+  std::uint64_t record_count_ = 0;
+};
+
+/// Replay only the records with `lo <= record.retired < hi`, using the block
+/// index to skip everything else (no prefix decode). Calls sink.on_record()
+/// per matching record — on_end() is not invoked, as there is no full Trace.
+/// Returns the number of records delivered.
+std::uint64_t replay_range(const TraceV2View& view, std::uint64_t lo,
+                           std::uint64_t hi, TraceSink& sink);
+
+}  // namespace tq::trace

@@ -20,6 +20,24 @@ test -s flat.csv && test -s run.tqtr && test -s out.wav
 grep -q "task clustering" quad.txt
 grep -q "digraph QDU" qdu.dot
 test -s quad.csv
+# Trace formats: default trace is v2 (blocked) and must replay offline with
+# kernel names; an explicit v1 trace replays to the same table.
+"$TOOLS/tquad_cli" -replay run.tqtr -image wfs.tqim -slice 2000 > replay_v2.txt
+grep -q "replayed v2 trace" replay_v2.txt
+grep -q "wav_store" replay_v2.txt
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -trace run_v1.tqtr \
+    -trace-format v1 -report flat > /dev/null
+"$TOOLS/tquad_cli" -replay run_v1.tqtr -image wfs.tqim -slice 2000 > replay_v1.txt
+grep -q "replayed v1 trace" replay_v1.txt
+# Same events either way: the per-kernel tables must be identical.
+tail -n +2 replay_v2.txt > table_v2.txt
+tail -n +2 replay_v1.txt > table_v1.txt
+cmp table_v2.txt table_v1.txt
+# quad_cli records traces too.
+"$TOOLS/quad_cli" -image wfs.tqim -in in.wav -trace quad_run.tqtr > /dev/null
+test -s quad_run.tqtr
+"$TOOLS/tquad_cli" -replay quad_run.tqtr -slice 2000 > replay_quad.txt
+grep -q "replayed v2 trace" replay_quad.txt
 # Error paths: missing image must fail with a message, not crash.
 if "$TOOLS/tquad_cli" -image does_not_exist.tqim 2> err.txt; then
   echo "expected failure on missing image" >&2

@@ -3,12 +3,16 @@
 // Deterministic seeds keep the suite reproducible.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <span>
+
 #include "gasm/asm_parser.hpp"
 #include "gasm/builder.hpp"
 #include "isa/isa.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_v2.hpp"
 #include "vm/program.hpp"
 #include "wfs/wav.hpp"
 
@@ -19,6 +23,26 @@ std::vector<std::uint8_t> random_bytes(SplitMix64& rng, std::size_t size) {
   std::vector<std::uint8_t> bytes(size);
   for (auto& byte : bytes) byte = static_cast<std::uint8_t>(rng.next());
   return bytes;
+}
+
+/// A small, valid, multi-block TQTR v2 image with a known layout (block
+/// capacity 64), used as the seed for mutation/corruption fuzzing.
+std::vector<std::uint8_t> valid_v2_image() {
+  trace::Trace t;
+  t.kernel_count = 5;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    trace::Record record{};
+    record.retired = 7 * i;
+    record.ea = 0x1000'0000 + 8 * (i % 32);
+    record.pc = static_cast<std::uint32_t>(i % 11);
+    record.kernel = static_cast<std::uint16_t>(i % 5);
+    record.func = record.kernel;
+    record.kind = (i % 2) ? trace::EventKind::kWrite : trace::EventKind::kRead;
+    record.size = 8;
+    t.records.push_back(record);
+    t.total_retired = record.retired;
+  }
+  return trace::serialize_v2(t, 64);
 }
 
 class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
@@ -55,6 +79,29 @@ TEST_P(DecoderFuzz, TraceDeserializeNeverCrashes) {
   SplitMix64 rng(GetParam());
   for (int round = 0; round < 200; ++round) {
     const auto bytes = random_bytes(rng, rng.next_below(512));
+    try {
+      (void)trace::Trace::deserialize(bytes);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(DecoderFuzz, TraceV2OpenNeverCrashes) {
+  // Random bytes behind a valid magic + version prefix, so the fuzz actually
+  // exercises the v2 header/index/block validation instead of bouncing off
+  // the magic check.
+  SplitMix64 rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    auto bytes = random_bytes(rng, 8 + rng.next_below(512));
+    bytes[0] = 'T'; bytes[1] = 'Q'; bytes[2] = 'T'; bytes[3] = 'R';
+    bytes[4] = 2; bytes[5] = 0; bytes[6] = 0; bytes[7] = 0;
+    try {
+      const trace::TraceV2View view = trace::TraceV2View::open(bytes);
+      for (std::size_t b = 0; b < view.block_count(); ++b) {
+        (void)view.decode_block(b);
+      }
+    } catch (const Error&) {
+    }
     try {
       (void)trace::Trace::deserialize(bytes);
     } catch (const Error&) {
@@ -114,6 +161,80 @@ TEST(DecoderFuzzMutation, FlippedProgramImages) {
     } catch (const Error&) {
     }
   }
+}
+
+TEST(DecoderFuzzMutation, FlippedV2Traces) {
+  const auto valid = valid_v2_image();
+  SplitMix64 rng(6);
+  for (int round = 0; round < 300; ++round) {
+    auto mutated = valid;
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.next_below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    try {
+      const trace::Trace t = trace::Trace::deserialize(mutated);
+      // A surviving image must still be internally consistent: declared
+      // counts honoured, every record well-formed.
+      for (const trace::Record& record : t.records) {
+        EXPECT_LE(static_cast<unsigned>(record.kind), 3u);
+        EXPECT_TRUE(record.kernel == trace::kNoKernel16 ||
+                    record.kernel < t.kernel_count);
+      }
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(DecoderFuzzMutation, TruncatedV2AtEveryLength) {
+  // v2 requires the blocks to end exactly at the index and the index to end
+  // exactly at EOF, so every strict prefix must be rejected.
+  const auto valid = valid_v2_image();
+  EXPECT_NO_THROW((void)trace::Trace::deserialize(valid));
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(valid.data(), cut);
+    EXPECT_THROW((void)trace::Trace::deserialize(prefix), Error) << cut;
+  }
+}
+
+TEST(DecoderFuzzMutation, LyingV2HeadersAreRejected) {
+  const auto valid = valid_v2_image();
+  const auto patch = [&](std::size_t offset, std::uint64_t value, int bytes) {
+    auto image = valid;
+    ASSERT_LE(offset + bytes, image.size());
+    std::memcpy(image.data() + offset, &value, bytes);
+    EXPECT_THROW((void)trace::Trace::deserialize(image), Error)
+        << "patch at " << offset;
+  };
+  std::uint64_t index_offset;
+  std::memcpy(&index_offset, valid.data() + 32, 8);
+
+  // File header: record count, bogus index offsets (in and out of bounds).
+  patch(24, 7, 8);
+  patch(32, index_offset + 1, 8);
+  patch(32, valid.size() + 100, 8);
+  patch(32, 0, 8);
+  // First block header at offset 40: record count, payload bytes,
+  // last retired count, kernel bloom — all lies about the payload.
+  patch(40, 63, 4);
+  patch(40, 0, 4);
+  patch(44, 11, 4);
+  patch(56, 0xdeadull, 8);
+  patch(64, 0, 8);
+  // Index entries: block offset and starting retired count must agree with
+  // the block chain.
+  patch(index_offset + 4, 41, 8);
+  patch(index_offset + 12, 3, 8);
+}
+
+TEST(DecoderFuzzMutation, CorruptV2VarintsAreRejected) {
+  const auto valid = valid_v2_image();
+  // Stomp the first block's payload with continuation bytes: the reader must
+  // reject the unterminated/overlong varint, not read past the block.
+  auto image = valid;
+  for (std::size_t i = 0; i < 16; ++i) image[72 + 1 + i] = 0xff;
+  EXPECT_THROW((void)trace::Trace::deserialize(image), Error);
 }
 
 TEST(DecoderFuzzMutation, TruncatedWavAtEveryLength) {

@@ -1,0 +1,131 @@
+// Differential sweep: for every synthetic workload plus the wfs pipeline,
+// the online BandwidthRecorder counters, the offline aggregation of a v1
+// trace (sequential and sharded), and the offline aggregation of a v2 trace
+// (sequential decode and block-parallel straight from the encoded bytes)
+// must be bit-exact, slice for slice.
+#include <gtest/gtest.h>
+
+#include "minipin/minipin.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_v2.hpp"
+#include "tquad/tquad_tool.hpp"
+#include "wfs/runner.hpp"
+#include "workloads/workloads.hpp"
+
+namespace tq::trace {
+namespace {
+
+// Small enough that the sweep stays fast, multi-block at this capacity.
+constexpr std::uint32_t kBlockCapacity = 512;
+
+void expect_matches_online(const tquad::TQuadTool& online,
+                           const OfflineBandwidth& offline, const char* label) {
+  ASSERT_EQ(offline.kernel_count(), online.kernel_count()) << label;
+  for (std::uint32_t k = 0; k < online.kernel_count(); ++k) {
+    const auto& a = online.bandwidth().kernel(k);
+    const auto& b = offline.kernel(k);
+    ASSERT_EQ(a.series.size(), b.series.size())
+        << label << ": kernel " << online.kernel_name(k);
+    for (std::size_t i = 0; i < a.series.size(); ++i) {
+      EXPECT_EQ(a.series[i].slice, b.series[i].slice) << label;
+      EXPECT_EQ(a.series[i].counters.read_incl, b.series[i].counters.read_incl)
+          << label;
+      EXPECT_EQ(a.series[i].counters.read_excl, b.series[i].counters.read_excl)
+          << label;
+      EXPECT_EQ(a.series[i].counters.write_incl, b.series[i].counters.write_incl)
+          << label;
+      EXPECT_EQ(a.series[i].counters.write_excl, b.series[i].counters.write_excl)
+          << label;
+    }
+    EXPECT_EQ(a.totals.read_incl, b.totals.read_incl) << label;
+    EXPECT_EQ(a.totals.read_excl, b.totals.read_excl) << label;
+    EXPECT_EQ(a.totals.write_incl, b.totals.write_incl) << label;
+    EXPECT_EQ(a.totals.write_excl, b.totals.write_excl) << label;
+    EXPECT_EQ(a.active_slices(), b.active_slices()) << label;
+  }
+}
+
+/// Online run and trace-recording run on fresh hosts; then every offline
+/// path must reproduce the online counters exactly.
+void check_program(const vm::Program& program, vm::HostEnv& online_host,
+                   vm::HostEnv& trace_host, std::uint64_t slice) {
+  pin::Engine engine(program, online_host);
+  tquad::TQuadTool online(engine, tquad::Options{.slice_interval = slice});
+  engine.run();
+
+  TraceRecorder recorder(program);
+  vm::Machine machine(program, trace_host);
+  machine.run(&recorder);
+  const Trace trace = recorder.take();
+
+  ThreadPool pool(3);
+
+  OfflineBandwidth v1_seq(trace.kernel_count, slice);
+  v1_seq.aggregate(trace);
+  expect_matches_online(online, v1_seq, "v1 sequential");
+
+  OfflineBandwidth v1_par(trace.kernel_count, slice);
+  v1_par.aggregate_parallel(trace, pool);
+  expect_matches_online(online, v1_par, "v1 sharded");
+
+  const auto v2_bytes = serialize_v2(trace, kBlockCapacity);
+  const Trace v2_trace = Trace::deserialize(v2_bytes);  // auto-detected
+  OfflineBandwidth v2_seq(v2_trace.kernel_count, slice);
+  v2_seq.aggregate(v2_trace);
+  expect_matches_online(online, v2_seq, "v2 sequential");
+
+  const TraceV2View view = TraceV2View::open(v2_bytes);
+  OfflineBandwidth v2_par(view.kernel_count(), slice);
+  v2_par.aggregate_parallel(view, pool);
+  expect_matches_online(online, v2_par, "v2 block-parallel");
+
+  // All offline variants agree on the timeline length too.
+  EXPECT_EQ(v1_par.max_slice(), v1_seq.max_slice());
+  EXPECT_EQ(v2_seq.max_slice(), v1_seq.max_slice());
+  EXPECT_EQ(v2_par.max_slice(), v1_seq.max_slice());
+}
+
+void check_workload(const vm::Program& program, std::uint64_t slice) {
+  vm::HostEnv online_host;
+  vm::HostEnv trace_host;
+  check_program(program, online_host, trace_host, slice);
+}
+
+class OfflineDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OfflineDifferential, Stream) {
+  check_workload(workloads::build_stream(128, 1).program, GetParam());
+}
+
+TEST_P(OfflineDifferential, MatmulNaive) {
+  check_workload(workloads::build_matmul(10, false).program, GetParam());
+}
+
+TEST_P(OfflineDifferential, MatmulTiled) {
+  check_workload(workloads::build_matmul(12, true, 4).program, GetParam());
+}
+
+TEST_P(OfflineDifferential, Chase) {
+  check_workload(workloads::build_chase(64, 400).program, GetParam());
+}
+
+TEST_P(OfflineDifferential, Histogram) {
+  check_workload(workloads::build_histogram(32, 800).program, GetParam());
+}
+
+TEST_P(OfflineDifferential, WfsPipeline) {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
+  wfs::WfsRun online_run = wfs::prepare_wfs_run(cfg);
+  wfs::WfsRun trace_run = wfs::prepare_wfs_run(cfg);
+  ASSERT_EQ(online_run.artifacts.program.serialize(),
+            trace_run.artifacts.program.serialize());
+  check_program(online_run.artifacts.program, online_run.host, trace_run.host,
+                GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Slices, OfflineDifferential,
+                         ::testing::Values(37, 5000));
+
+}  // namespace
+}  // namespace tq::trace

@@ -2,9 +2,11 @@
 //
 //   quad -image app.tqim [-in file] [-libs exclude|caller|track]
 //        [-dot qdu.dot] [-csv table2.csv] [-clusters N]
+//        [-trace out.tqtr -trace-format v1|v2]
 //
 // Prints the Table II columns for every reported kernel, optionally the QDU
-// graph in Graphviz DOT and a communication-driven task clustering.
+// graph in Graphviz DOT and a communication-driven task clustering. -trace
+// additionally records a TQTR event trace (replayable with tquad -replay).
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -16,6 +18,7 @@
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "tquad/callstack.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -31,6 +34,19 @@ void write_text(const std::string& path, const std::string& text) {
   std::ofstream out(path);
   if (!out) TQUAD_THROW("cannot write '" + path + "'");
   out << text;
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) TQUAD_THROW("cannot write '" + path + "'");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+trace::TraceFormat parse_trace_format(const std::string& name) {
+  if (name == "v1") return trace::TraceFormat::kV1;
+  if (name == "v2") return trace::TraceFormat::kV2;
+  TQUAD_THROW("unknown -trace-format '" + name + "' (v1|v2)");
 }
 
 tquad::LibraryPolicy parse_policy(const std::string& name) {
@@ -51,6 +67,8 @@ int main(int argc, char** argv) {
   cli.add_string("csv", "", "write the kernel table as CSV to this path");
   cli.add_int("clusters", 0, "if > 0, also print a task clustering");
   cli.add_string("buffers", "", "print per-buffer data maps (kernel name or 'all')");
+  cli.add_string("trace", "", "record the event trace (TQTR) to this path");
+  cli.add_string("trace-format", "v2", "trace file format: v1 | v2 (blocked)");
   cli.add_int("budget", 2'000'000'000, "abort after this many instructions");
   try {
     cli.parse(argc, argv);
@@ -58,6 +76,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s", cli.help().c_str());
       return 2;
     }
+    // Validate the format flag before the (long) analysis run, not after.
+    const trace::TraceFormat trace_format = parse_trace_format(cli.str("trace-format"));
     const vm::Program program = vm::Program::deserialize(read_file(cli.str("image")));
     vm::HostEnv host;
     if (!cli.str("in").empty()) host.attach_input(read_file(cli.str("in")));
@@ -106,6 +126,18 @@ int main(int argc, char** argv) {
     }
     if (!cli.str("csv").empty()) {
       write_text(cli.str("csv"), table.to_csv());
+    }
+    if (!cli.str("trace").empty()) {
+      // Re-run under the recorder for a portable trace file.
+      vm::HostEnv trace_host;
+      if (!cli.str("in").empty()) trace_host.attach_input(read_file(cli.str("in")));
+      trace_host.create_output();
+      trace::TraceRecorder recorder(program, options.library_policy, trace_format);
+      vm::Machine machine(program, trace_host);
+      machine.run(&recorder);
+      write_file(cli.str("trace"), recorder.take_encoded());
+      std::printf("trace written to %s (%s)\n", cli.str("trace").c_str(),
+                  cli.str("trace-format").c_str());
     }
     return 0;
   } catch (const Error& err) {

@@ -4,11 +4,15 @@
 //
 //   tquad -image app.tqim [-in file]... [-slice N] [-libs track|exclude|caller]
 //         [-report flat|bandwidth|phases|series|all] [-csv out.csv]
-//         [-trace out.tqtr] [-cpu-ghz G -cpi C]
+//         [-trace out.tqtr -trace-format v1|v2] [-cpu-ghz G -cpi C]
+//   tquad -replay run.tqtr [-image app.tqim] [-slice N] [-threads T]
 //
 // The image is a TQIM file (produce one with wfs_gen or Program::serialize);
 // -in attaches input files as guest descriptors in order; one output
-// descriptor is always appended after the inputs.
+// descriptor is always appended after the inputs. -replay aggregates a
+// recorded trace offline instead of running a guest — the TQTR version is
+// auto-detected, v2 traces aggregate block-parallel, and -image is only
+// needed for kernel names.
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -16,7 +20,10 @@
 #include "minipin/minipin.hpp"
 #include "support/ascii_chart.hpp"
 #include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_v2.hpp"
 #include "tquad/phase.hpp"
 #include "tquad/report.hpp"
 #include "tquad/tquad_tool.hpp"
@@ -51,6 +58,77 @@ tquad::LibraryPolicy parse_policy(const std::string& name) {
   TQUAD_THROW("unknown -libs policy '" + name + "' (exclude|caller|track)");
 }
 
+trace::TraceFormat parse_trace_format(const std::string& name) {
+  if (name == "v1") return trace::TraceFormat::kV1;
+  if (name == "v2") return trace::TraceFormat::kV2;
+  TQUAD_THROW("unknown -trace-format '" + name + "' (v1|v2)");
+}
+
+bool is_v2_image(const std::vector<std::uint8_t>& bytes) {
+  return bytes.size() >= 8 && bytes[0] == 'T' && bytes[1] == 'Q' &&
+         bytes[2] == 'T' && bytes[3] == 'R' && bytes[4] == 2 &&
+         bytes[5] == 0 && bytes[6] == 0 && bytes[7] == 0;
+}
+
+/// Offline -replay mode: aggregate a recorded TQTR file (any version) and
+/// print a per-kernel totals table. v2 traces aggregate block-parallel.
+int replay_trace(const CliParser& cli) {
+  const auto bytes = read_file(cli.str("replay"));
+  const auto slice = static_cast<std::uint64_t>(cli.integer("slice"));
+  const auto threads = static_cast<unsigned>(cli.integer("threads"));
+  ThreadPool pool(threads);
+
+  std::uint32_t kernel_count = 0;
+  std::uint64_t record_count = 0;
+  std::uint64_t total_retired = 0;
+  const char* version = "v1";
+  trace::OfflineBandwidth offline(1, slice);
+  if (is_v2_image(bytes)) {
+    version = "v2";
+    const trace::TraceV2View view = trace::TraceV2View::open(bytes);
+    kernel_count = view.kernel_count();
+    record_count = view.record_count();
+    total_retired = view.total_retired();
+    offline = trace::OfflineBandwidth(kernel_count, slice);
+    offline.aggregate_parallel(view, pool);
+  } else {
+    const trace::Trace t = trace::Trace::deserialize(bytes);
+    kernel_count = t.kernel_count;
+    record_count = t.records.size();
+    total_retired = t.total_retired;
+    offline = trace::OfflineBandwidth(kernel_count, slice);
+    offline.aggregate_parallel(t, pool);
+  }
+
+  // Kernel names come from the image when given; indices otherwise.
+  std::vector<std::string> names(kernel_count);
+  for (std::uint32_t k = 0; k < kernel_count; ++k) names[k] = "k" + std::to_string(k);
+  if (!cli.str("image").empty()) {
+    const vm::Program program = vm::Program::deserialize(read_file(cli.str("image")));
+    for (std::uint32_t k = 0; k < kernel_count && k < program.functions().size(); ++k) {
+      names[k] = program.functions()[k].name;
+    }
+  }
+
+  std::printf("replayed %s trace: %llu events, %llu retired, %llu slices at interval %llu\n\n",
+              version, static_cast<unsigned long long>(record_count),
+              static_cast<unsigned long long>(total_retired),
+              static_cast<unsigned long long>(offline.max_slice() + 1),
+              static_cast<unsigned long long>(slice));
+  TextTable table({"kernel", "read incl", "write incl", "read excl",
+                   "write excl", "active slices"});
+  for (std::uint32_t k = 0; k < kernel_count; ++k) {
+    const auto& totals = offline.kernel(k).totals;
+    if (totals.read_incl == 0 && totals.write_incl == 0) continue;
+    table.add_row({names[k], format_bytes(totals.read_incl),
+                   format_bytes(totals.write_incl), format_bytes(totals.read_excl),
+                   format_bytes(totals.write_excl),
+                   std::to_string(offline.kernel(k).active_slices())});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,16 +141,22 @@ int main(int argc, char** argv) {
   cli.add_string("report", "all", "flat | bandwidth | phases | series | all");
   cli.add_string("csv", "", "write the flat profile as CSV to this path");
   cli.add_string("trace", "", "record the event trace (TQTR) to this path");
+  cli.add_string("trace-format", "v2", "trace file format: v1 | v2 (blocked)");
+  cli.add_string("replay", "", "aggregate this TQTR file offline instead of running");
+  cli.add_int("threads", 4, "worker threads for -replay block-parallel aggregation");
   cli.add_string("out", "", "write guest output descriptor 's contents here");
   cli.add_double("cpu-ghz", 2.83, "target clock for unit conversion");
   cli.add_double("cpi", 1.0, "target cycles-per-instruction");
   cli.add_int("budget", 2'000'000'000, "abort after this many instructions");
   try {
     cli.parse(argc, argv);
+    if (!cli.str("replay").empty()) return replay_trace(cli);
     if (cli.str("image").empty()) {
       std::fprintf(stderr, "%s", cli.help().c_str());
       return 2;
     }
+    // Validate the format flag before the (long) profiling run, not after.
+    const trace::TraceFormat trace_format = parse_trace_format(cli.str("trace-format"));
     const vm::Program program = vm::Program::deserialize(read_file(cli.str("image")));
     vm::HostEnv host;
     if (!cli.str("in").empty()) host.attach_input(read_file(cli.str("in")));
@@ -129,11 +213,12 @@ int main(int argc, char** argv) {
       vm::HostEnv trace_host;
       if (!cli.str("in").empty()) trace_host.attach_input(read_file(cli.str("in")));
       trace_host.create_output();
-      trace::TraceRecorder recorder(program, options.library_policy);
+      trace::TraceRecorder recorder(program, options.library_policy, trace_format);
       vm::Machine machine(program, trace_host);
       machine.run(&recorder);
-      write_file(cli.str("trace"), recorder.take().serialize());
-      std::printf("trace written to %s\n", cli.str("trace").c_str());
+      write_file(cli.str("trace"), recorder.take_encoded());
+      std::printf("trace written to %s (%s)\n", cli.str("trace").c_str(),
+                  cli.str("trace-format").c_str());
     }
     if (!cli.str("out").empty()) {
       write_file(cli.str("out"), host.output(out_fd));
