@@ -20,6 +20,7 @@
 #include "gprofsim/gprof_tool.hpp"
 #include "minipin/minipin.hpp"
 #include "quad/quad_tool.hpp"
+#include "session/session.hpp"
 #include "tquad/tquad_tool.hpp"
 #include "wfs/runner.hpp"
 
@@ -92,6 +93,25 @@ void BM_VmGprof(benchmark::State& state) {
 }
 BENCHMARK(BM_VmGprof)->Unit(benchmark::kMillisecond);
 
+// All three profilers sharing one execution through a ProfileSession — the
+// single-pass the paper's methodology lacked (it ran each tool separately).
+void BM_VmSessionAll(benchmark::State& state) {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
+  for (auto _ : state) {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    session::ProfileSession profile(run.artifacts.program);
+    tquad::TQuadTool tquad_tool(run.artifacts.program,
+                                tquad::Options{.slice_interval = 5000});
+    quad::QuadTool quad_tool(run.artifacts.program);
+    gprof::GprofTool gprof_tool(run.artifacts.program, {});
+    profile.add_consumer(tquad_tool);
+    profile.add_consumer(quad_tool);
+    profile.add_consumer(gprof_tool);
+    benchmark::DoNotOptimize(profile.run_live(run.host));
+  }
+}
+BENCHMARK(BM_VmSessionAll)->Unit(benchmark::kMillisecond);
+
 double time_once(const std::function<void()>& fn) {
   const auto t0 = std::chrono::steady_clock::now();
   fn();
@@ -150,6 +170,88 @@ void print_headline_slowdowns() {
               tq::bench::kPaperSlowdownLow, tq::bench::kPaperSlowdownHigh);
 }
 
+/// One-shot single-pass-vs-three-pass comparison on the standard
+/// configuration, with a machine-readable BENCH_session.json for CI.
+/// Returns false if the combined session fails the 1.8x speedup floor.
+bool print_session_speedup() {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::standard();
+  const tquad::Options tquad_options{.slice_interval = 5000};
+  // Best of a few repetitions per variant: the comparison is between two
+  // deterministic single-threaded runs, so min is the noise-robust statistic.
+  constexpr int kReps = 3;
+
+  std::uint64_t retired = 0;
+  double three_pass_s = 0.0;
+  double single_pass_s = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double three = time_once([&] {
+      {
+        wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+        pin::Engine engine(run.artifacts.program, run.host);
+        tquad::TQuadTool tool(engine, tquad_options);
+        retired = engine.run().retired;
+      }
+      {
+        wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+        pin::Engine engine(run.artifacts.program, run.host);
+        quad::QuadTool tool(engine);
+        engine.run();
+      }
+      {
+        wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+        pin::Engine engine(run.artifacts.program, run.host);
+        gprof::GprofTool tool(engine, {});
+        engine.run();
+      }
+    });
+
+    const double single = time_once([&] {
+      wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+      session::ProfileSession profile(run.artifacts.program);
+      tquad::TQuadTool tquad_tool(run.artifacts.program, tquad_options);
+      quad::QuadTool quad_tool(run.artifacts.program);
+      gprof::GprofTool gprof_tool(run.artifacts.program, {});
+      profile.add_consumer(tquad_tool);
+      profile.add_consumer(quad_tool);
+      profile.add_consumer(gprof_tool);
+      profile.run_live(run.host);
+    });
+
+    if (rep == 0 || three < three_pass_s) three_pass_s = three;
+    if (rep == 0 || single < single_pass_s) single_pass_s = single;
+  }
+
+  const double speedup = three_pass_s / single_pass_s;
+  std::printf("\n== single-pass session vs separate runs (standard configuration) ==\n");
+  std::printf("%-44s %10.3f s\n", "tquad + quad + gprof, three executions",
+              three_pass_s);
+  std::printf("%-44s %10.3f s\n", "tquad + quad + gprof, one ProfileSession",
+              single_pass_s);
+  std::printf("%-44s %9.2fx  (floor 1.80x)\n", "speedup", speedup);
+
+  std::FILE* json = std::fopen("BENCH_session.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"workload\": \"wfs standard\",\n"
+                 "  \"retired_instructions\": %llu,\n"
+                 "  \"three_pass_seconds\": %.6f,\n"
+                 "  \"single_pass_seconds\": %.6f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"speedup_floor\": 1.8\n"
+                 "}\n",
+                 static_cast<unsigned long long>(retired), three_pass_s,
+                 single_pass_s, speedup);
+    std::fclose(json);
+    std::printf("wrote BENCH_session.json\n");
+  }
+  if (speedup < 1.8) {
+    std::fprintf(stderr, "session speedup %.2fx below the 1.80x floor\n", speedup);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,5 +259,5 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_headline_slowdowns();
-  return 0;
+  return print_session_speedup() ? 0 : 1;
 }

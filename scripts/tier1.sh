@@ -11,14 +11,17 @@ cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-# 2. ASan+UBSan on the trace stack: codec round-trips, differential sweep,
-#    and the decoder fuzzers (the tests most likely to walk off a buffer).
+# 2. ASan+UBSan on the trace stack and the session layer: codec
+#    round-trips, differential sweeps (including single-pass-vs-standalone
+#    and replay-vs-live equivalence), and the decoder fuzzers (the tests
+#    most likely to walk off a buffer).
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)" --target \
     test_trace test_trace_v2_codec test_trace_offline_differential \
-    test_fuzz_decoders
+    test_fuzz_decoders test_session test_session_differential \
+    test_session_replay
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders)$'
+    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders|test_session|test_session_differential|test_session_replay)$'
 
 # 3. Codec bench: fails if v2 is not >= 4x smaller than v1 on stream.
 ./build/bench/bench_trace_codec

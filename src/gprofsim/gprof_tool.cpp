@@ -4,12 +4,12 @@
 
 namespace tq::gprof {
 
-GprofTool::GprofTool(pin::Engine& engine, Options options)
-    : engine_(engine),
+GprofTool::GprofTool(const vm::Program& program, Options options)
+    : program_(program),
       options_(options),
-      stack_(engine.program(), options.library_policy) {
+      stack_(program, options.library_policy) {
   TQUAD_CHECK(options_.sample_period > 0, "sample period must be positive");
-  const std::size_t n = engine.program().functions().size();
+  const std::size_t n = program.functions().size();
   self_instrs_.assign(n, 0);
   samples_.assign(n, 0);
   calls_.assign(n, 0);
@@ -17,9 +17,13 @@ GprofTool::GprofTool(pin::Engine& engine, Options options)
   activation_depth_.assign(n, 0);
   activation_start_.assign(n, 0);
   next_sample_ = options_.sample_period;
-  engine_.add_rtn_instrument_function([this](pin::Rtn& rtn) { instrument_rtn(rtn); });
-  engine_.add_ins_instrument_function([this](pin::Ins& ins) { instrument_ins(ins); });
-  engine_.add_fini_function([this](std::uint64_t retired) { fini(retired); });
+}
+
+GprofTool::GprofTool(pin::Engine& engine, Options options)
+    : GprofTool(engine.program(), options) {
+  engine.add_rtn_instrument_function([this](pin::Rtn& rtn) { instrument_rtn(rtn); });
+  engine.add_ins_instrument_function([this](pin::Ins& ins) { instrument_ins(ins); });
+  engine.add_fini_function([this](std::uint64_t retired) { account_fini(retired); });
 }
 
 void GprofTool::instrument_rtn(pin::Rtn& rtn) {
@@ -27,54 +31,52 @@ void GprofTool::instrument_rtn(pin::Rtn& rtn) {
 }
 
 void GprofTool::instrument_ins(pin::Ins& ins) {
-  ins.insert_call(&GprofTool::on_tick, this);
+  ins.insert_call(&GprofTool::on_instr_tick, this);
   if (ins.is_ret()) {
     ins.insert_predicated_call(&GprofTool::on_ret, this);
   }
 }
 
-void GprofTool::enter_fc(void* tool, const pin::RtnArgs& args) {
-  auto& self = *static_cast<GprofTool*>(tool);
+// ---- mode-independent accounting ----------------------------------------------
+
+void GprofTool::account_enter(std::uint32_t func, std::uint32_t caller,
+                              bool tracked, std::uint64_t retired) {
+  if (!tracked) return;
   // Call-graph edge: the attributable routine on top of the stack (before
-  // this entry pushes) is the caller.
-  const std::uint32_t caller = self.stack_.top();
-  self.stack_.on_enter(args.func);
-  if (!self.stack_.tracked(args.func)) return;
+  // this entry pushed) is the caller.
   if (caller != tquad::kNoKernel) {
-    ++self.edges_[{caller, args.func}];
+    ++edges_[{caller, func}];
   }
-  ++self.calls_[args.func];
-  if (self.activation_depth_[args.func]++ == 0) {
-    self.activation_start_[args.func] = args.retired;
+  ++calls_[func];
+  if (activation_depth_[func]++ == 0) {
+    activation_start_[func] = retired;
   }
 }
 
-void GprofTool::on_ret(void* tool, const pin::InsArgs& args) {
-  auto& self = *static_cast<GprofTool*>(tool);
-  if (self.stack_.tracked(args.func) && self.activation_depth_[args.func] > 0) {
-    if (--self.activation_depth_[args.func] == 0) {
-      self.inclusive_[args.func] +=
-          args.retired - self.activation_start_[args.func];
-    }
-  }
-  self.stack_.on_ret(args.func);
-}
-
-void GprofTool::on_tick(void* tool, const pin::InsArgs& args) {
-  auto& self = *static_cast<GprofTool*>(tool);
+void GprofTool::account_tick(std::uint32_t func, bool tracked,
+                             std::uint64_t retired) {
   // Exact self attribution: the function whose instruction is executing.
-  ++self.self_instrs_[args.func];
+  ++self_instrs_[func];
   // PC sampling at the fixed period.
-  if (args.retired + 1 >= self.next_sample_) {
-    self.next_sample_ += self.options_.sample_period;
-    if (self.stack_.tracked(args.func)) {
-      ++self.samples_[args.func];
+  if (retired + 1 >= next_sample_) {
+    next_sample_ += options_.sample_period;
+    if (tracked) {
+      ++samples_[func];
     }
-    ++self.total_samples_;
+    ++total_samples_;
   }
 }
 
-void GprofTool::fini(std::uint64_t retired) {
+void GprofTool::account_ret(std::uint32_t func, bool tracked,
+                            std::uint64_t retired) {
+  if (tracked && activation_depth_[func] > 0) {
+    if (--activation_depth_[func] == 0) {
+      inclusive_[func] += retired - activation_start_[func];
+    }
+  }
+}
+
+void GprofTool::account_fini(std::uint64_t retired) {
   total_retired_ = retired;
   // Close any activations still open at program exit (entry function etc.).
   for (std::size_t k = 0; k < inclusive_.size(); ++k) {
@@ -83,6 +85,64 @@ void GprofTool::fini(std::uint64_t retired) {
       activation_depth_[k] = 0;
     }
   }
+}
+
+// ---- standalone trampolines -----------------------------------------------------
+
+void GprofTool::enter_fc(void* tool, const pin::RtnArgs& args) {
+  auto& self = *static_cast<GprofTool*>(tool);
+  const std::uint32_t caller = self.stack_.top();
+  self.stack_.on_enter(args.func);
+  self.account_enter(args.func, caller, self.stack_.tracked(args.func),
+                     args.retired);
+}
+
+void GprofTool::on_ret(void* tool, const pin::InsArgs& args) {
+  auto& self = *static_cast<GprofTool*>(tool);
+  self.account_ret(args.func, self.stack_.tracked(args.func), args.retired);
+  self.stack_.on_ret(args.func);
+}
+
+void GprofTool::on_instr_tick(void* tool, const pin::InsArgs& args) {
+  auto& self = *static_cast<GprofTool*>(tool);
+  self.account_tick(args.func, self.stack_.tracked(args.func), args.retired);
+}
+
+// ---- session-mode consumer ------------------------------------------------------
+
+void GprofTool::on_kernel_enter(const session::EnterEvent& event) {
+  account_enter(event.func, event.caller, event.tracked, event.retired);
+}
+
+void GprofTool::on_tick(const session::TickEvent& event) {
+  account_tick(event.func, event.tracked, event.retired);
+}
+
+void GprofTool::on_tick_run(const session::TickRunEvent& run) {
+  self_instrs_[run.func] += run.count;
+  // Closed-form PC sampling over [first_retired, first_retired + count). In
+  // a sequential tick stream next_sample_ > first_retired always holds on
+  // entry (each processed tick leaves next_sample_ at least two ahead of
+  // it), so the sample points inside the run are exactly next_sample_ - 1,
+  // next_sample_ - 1 + period, ... — the same ones the per-tick
+  // account_tick loop would hit.
+  const std::uint64_t last = run.first_retired + run.count;  // max (retired + 1)
+  if (last >= next_sample_) {
+    const std::uint64_t hits = (last - next_sample_) / options_.sample_period + 1;
+    next_sample_ += hits * options_.sample_period;
+    if (run.tracked) {
+      samples_[run.func] += hits;
+    }
+    total_samples_ += hits;
+  }
+}
+
+void GprofTool::on_kernel_ret(const session::RetEvent& event) {
+  account_ret(event.func, event.tracked, event.retired);
+}
+
+void GprofTool::on_session_end(std::uint64_t total_retired) {
+  account_fini(total_retired);
 }
 
 std::vector<GprofTool::CallEdge> GprofTool::call_graph() const {

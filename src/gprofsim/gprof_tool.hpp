@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "minipin/minipin.hpp"
+#include "session/events.hpp"
 #include "tquad/callstack.hpp"
 #include "support/table.hpp"
 
@@ -49,10 +50,13 @@ struct FlatRow {
   double total_ms_per_call = 0.0; ///< "total ms/call" (inclusive)
 };
 
-/// The profiler tool. Construct before Engine::run(); query afterwards.
-class GprofTool {
+/// The profiler tool. Construct before the run (standalone with an Engine,
+/// or session mode with a Program plus ProfileSession::add_consumer — use
+/// the same library policy as the session); query afterwards.
+class GprofTool : public session::AnalysisConsumer {
  public:
   GprofTool(pin::Engine& engine, Options options = {});
+  GprofTool(const vm::Program& program, Options options = {});
 
   GprofTool(const GprofTool&) = delete;
   GprofTool& operator=(const GprofTool&) = delete;
@@ -91,21 +95,38 @@ class GprofTool {
 
   std::size_t kernel_count() const noexcept { return self_instrs_.size(); }
   const std::string& kernel_name(std::uint32_t kernel) const {
-    return engine_.program().functions()[kernel].name;
+    return program_.functions()[kernel].name;
   }
+
+  // session::AnalysisConsumer (session mode). Memory accesses carry nothing
+  // a call-graph profile uses.
+  unsigned event_interests() const override {
+    return kEnterInterest | kTickInterest | kRetInterest;
+  }
+  void on_kernel_enter(const session::EnterEvent& event) override;
+  void on_tick(const session::TickEvent& event) override;
+  void on_tick_run(const session::TickRunEvent& run) override;
+  void on_kernel_ret(const session::RetEvent& event) override;
+  void on_session_end(std::uint64_t total_retired) override;
 
  private:
   static void enter_fc(void* tool, const pin::RtnArgs& args);
   static void on_ret(void* tool, const pin::InsArgs& args);
-  static void on_tick(void* tool, const pin::InsArgs& args);
+  static void on_instr_tick(void* tool, const pin::InsArgs& args);
 
   void instrument_rtn(pin::Rtn& rtn);
   void instrument_ins(pin::Ins& ins);
-  void fini(std::uint64_t retired);
 
-  pin::Engine& engine_;
+  // Mode-independent accounting.
+  void account_enter(std::uint32_t func, std::uint32_t caller, bool tracked,
+                     std::uint64_t retired);
+  void account_tick(std::uint32_t func, bool tracked, std::uint64_t retired);
+  void account_ret(std::uint32_t func, bool tracked, std::uint64_t retired);
+  void account_fini(std::uint64_t retired);
+
+  const vm::Program& program_;
   Options options_;
-  tquad::CallStack stack_;
+  tquad::CallStack stack_;  ///< standalone attribution; static tables in session mode
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> edges_;
   std::vector<std::uint64_t> self_instrs_;
   std::vector<std::uint64_t> samples_;

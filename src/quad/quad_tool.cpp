@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <sstream>
 
+#include "vm/stack_addr.hpp"
+
 namespace tq::quad {
 
-QuadTool::QuadTool(pin::Engine& engine, Options options)
-    : engine_(engine), stack_(engine.program(), options.library_policy) {
-  const std::size_t n = engine.program().functions().size();
+QuadTool::QuadTool(const vm::Program& program, Options options)
+    : program_(program), stack_(program, options.library_policy) {
+  const std::size_t n = program.functions().size();
   TQUAD_CHECK(n < kNoProducer, "too many functions for 16-bit producer ids");
   incl_.resize(n);
   excl_.resize(n);
@@ -16,8 +18,12 @@ QuadTool::QuadTool(pin::Engine& engine, Options options)
   mem_refs_.assign(n, 0);
   global_accesses_.assign(n, 0);
   global_bytes_.assign(n, 0);
-  engine_.add_rtn_instrument_function([this](pin::Rtn& rtn) { instrument_rtn(rtn); });
-  engine_.add_ins_instrument_function([this](pin::Ins& ins) { instrument_ins(ins); });
+}
+
+QuadTool::QuadTool(pin::Engine& engine, Options options)
+    : QuadTool(engine.program(), options) {
+  engine.add_rtn_instrument_function([this](pin::Rtn& rtn) { instrument_rtn(rtn); });
+  engine.add_ins_instrument_function([this](pin::Ins& ins) { instrument_ins(ins); });
 }
 
 void QuadTool::instrument_rtn(pin::Rtn& rtn) {
@@ -25,7 +31,7 @@ void QuadTool::instrument_rtn(pin::Rtn& rtn) {
 }
 
 void QuadTool::instrument_ins(pin::Ins& ins) {
-  ins.insert_call(&QuadTool::on_tick, this);
+  ins.insert_call(&QuadTool::on_instr_tick, this);
   if (ins.is_memory_read()) {
     ins.insert_predicated_call(&QuadTool::on_read, this);
   }
@@ -37,48 +43,42 @@ void QuadTool::instrument_ins(pin::Ins& ins) {
   }
 }
 
-void QuadTool::enter_fc(void* tool, const pin::RtnArgs& args) {
-  auto& self = *static_cast<QuadTool*>(tool);
-  self.stack_.on_enter(args.func);
-  if (self.stack_.tracked(args.func)) ++self.calls_[args.func];
+// ---- mode-independent accounting ----------------------------------------------
+
+void QuadTool::account_enter(std::uint32_t func, bool tracked) {
+  if (tracked) ++calls_[func];
 }
 
-void QuadTool::on_tick(void* tool, const pin::InsArgs& args) {
-  auto& self = *static_cast<QuadTool*>(tool);
-  const std::uint32_t kernel = self.stack_.top();
+void QuadTool::account_tick(std::uint32_t kernel, std::uint32_t read_size,
+                            std::uint32_t write_size) {
   if (kernel == tquad::kNoKernel) return;
-  ++self.instrs_[kernel];
-  if (args.read_size != 0 || args.write_size != 0) ++self.mem_refs_[kernel];
+  ++instrs_[kernel];
+  if (read_size != 0 || write_size != 0) ++mem_refs_[kernel];
 }
 
-void QuadTool::on_read(void* tool, const pin::InsArgs& args) {
-  if (args.is_prefetch) return;
-  auto& self = *static_cast<QuadTool*>(tool);
-  const std::uint32_t reader = self.stack_.top();
-  if (reader == tquad::kNoKernel) return;
-  const bool stack_area = is_stack_addr(args.read_ea, args.sp);
-
+void QuadTool::account_read(std::uint32_t reader, std::uint64_t ea,
+                            std::uint32_t size, bool stack_area) {
   // Stack-included counters always accrue.
-  KernelCounters& incl = self.incl_[reader];
-  incl.in_bytes += args.read_size;
-  incl.in_unma.insert_range(args.read_ea, args.read_size);
+  KernelCounters& incl = incl_[reader];
+  incl.in_bytes += size;
+  incl.in_unma.insert_range(ea, size);
   if (!stack_area) {
-    KernelCounters& excl = self.excl_[reader];
-    excl.in_bytes += args.read_size;
-    excl.in_unma.insert_range(args.read_ea, args.read_size);
-    ++self.global_accesses_[reader];
-    self.global_bytes_[reader] += args.read_size;
+    KernelCounters& excl = excl_[reader];
+    excl.in_bytes += size;
+    excl.in_unma.insert_range(ea, size);
+    ++global_accesses_[reader];
+    global_bytes_[reader] += size;
   }
 
   // Attribute OUT bytes to producers and record the binding (bytes plus the
   // distinct transfer addresses, the QDU edge annotations).
-  std::uint64_t cursor = args.read_ea;
-  self.shadow_.for_each_producer(
-      args.read_ea, args.read_size, [&](ProducerId producer, std::uint32_t run) {
+  std::uint64_t cursor = ea;
+  shadow_.for_each_producer(
+      ea, size, [&](ProducerId producer, std::uint32_t run) {
         if (producer != kNoProducer) {
-          self.incl_[producer].out_bytes += run;
-          if (!stack_area) self.excl_[producer].out_bytes += run;
-          auto& edge = self.bindings_[{producer, reader}];
+          incl_[producer].out_bytes += run;
+          if (!stack_area) excl_[producer].out_bytes += run;
+          auto& edge = bindings_[{producer, reader}];
           edge.bytes += run;
           edge.unma.insert_range(cursor, run);
         }
@@ -86,28 +86,79 @@ void QuadTool::on_read(void* tool, const pin::InsArgs& args) {
       });
 }
 
+void QuadTool::account_write(std::uint32_t writer, std::uint64_t ea,
+                             std::uint32_t size, bool stack_area) {
+  KernelCounters& incl = incl_[writer];
+  incl.out_unma.insert_range(ea, size);
+  if (!stack_area) {
+    KernelCounters& excl = excl_[writer];
+    excl.out_unma.insert_range(ea, size);
+    ++global_accesses_[writer];
+    global_bytes_[writer] += size;
+  }
+  shadow_.mark_write(ea, size, static_cast<ProducerId>(writer));
+}
+
+// ---- standalone trampolines -----------------------------------------------------
+
+void QuadTool::enter_fc(void* tool, const pin::RtnArgs& args) {
+  auto& self = *static_cast<QuadTool*>(tool);
+  self.stack_.on_enter(args.func);
+  self.account_enter(args.func, self.stack_.tracked(args.func));
+}
+
+void QuadTool::on_instr_tick(void* tool, const pin::InsArgs& args) {
+  auto& self = *static_cast<QuadTool*>(tool);
+  self.account_tick(self.stack_.top(), args.read_size, args.write_size);
+}
+
+void QuadTool::on_read(void* tool, const pin::InsArgs& args) {
+  if (args.is_prefetch) return;
+  auto& self = *static_cast<QuadTool*>(tool);
+  const std::uint32_t reader = self.stack_.top();
+  if (reader == tquad::kNoKernel) return;
+  self.account_read(reader, args.read_ea, args.read_size,
+                    vm::is_stack_addr(args.read_ea, args.sp));
+}
+
 void QuadTool::on_write(void* tool, const pin::InsArgs& args) {
   if (args.is_prefetch) return;
   auto& self = *static_cast<QuadTool*>(tool);
   const std::uint32_t writer = self.stack_.top();
   if (writer == tquad::kNoKernel) return;
-  const bool stack_area = is_stack_addr(args.write_ea, args.sp);
-
-  KernelCounters& incl = self.incl_[writer];
-  incl.out_unma.insert_range(args.write_ea, args.write_size);
-  if (!stack_area) {
-    KernelCounters& excl = self.excl_[writer];
-    excl.out_unma.insert_range(args.write_ea, args.write_size);
-    ++self.global_accesses_[writer];
-    self.global_bytes_[writer] += args.write_size;
-  }
-  self.shadow_.mark_write(args.write_ea, args.write_size,
-                          static_cast<ProducerId>(writer));
+  self.account_write(writer, args.write_ea, args.write_size,
+                     vm::is_stack_addr(args.write_ea, args.sp));
 }
 
 void QuadTool::on_ret(void* tool, const pin::InsArgs& args) {
   auto& self = *static_cast<QuadTool*>(tool);
   self.stack_.on_ret(args.func);
+}
+
+// ---- session-mode consumer ------------------------------------------------------
+
+void QuadTool::on_kernel_enter(const session::EnterEvent& event) {
+  account_enter(event.func, event.tracked);
+}
+
+void QuadTool::on_tick(const session::TickEvent& event) {
+  account_tick(event.kernel, event.read_size, event.write_size);
+}
+
+void QuadTool::on_tick_run(const session::TickRunEvent& run) {
+  if (run.kernel == tquad::kNoKernel) return;
+  instrs_[run.kernel] += run.count;
+  mem_refs_[run.kernel] += run.mem_count;
+}
+
+void QuadTool::on_access(const session::AccessEvent& event) {
+  if (event.is_prefetch) return;  // QUAD never traces prefetch touches
+  if (event.kernel == tquad::kNoKernel) return;
+  if (event.is_read) {
+    account_read(event.kernel, event.ea, event.size, event.is_stack);
+  } else {
+    account_write(event.kernel, event.ea, event.size, event.is_stack);
+  }
 }
 
 std::vector<Binding> QuadTool::bindings() const {

@@ -23,6 +23,7 @@
 
 #include "minipin/minipin.hpp"
 #include "quad/shadow.hpp"
+#include "session/events.hpp"
 #include "support/address_set.hpp"
 #include "tquad/callstack.hpp"
 
@@ -77,19 +78,22 @@ struct QuadOptions {
   tquad::LibraryPolicy library_policy = tquad::LibraryPolicy::kExclude;
 };
 
-/// The QUAD tool. Construct before Engine::run(); query afterwards.
-class QuadTool {
+/// The QUAD tool. Construct before the run (standalone with an Engine, or
+/// session mode with a Program plus ProfileSession::add_consumer — use the
+/// same library policy as the session); query afterwards.
+class QuadTool : public session::AnalysisConsumer {
  public:
   using Options = QuadOptions;
 
   QuadTool(pin::Engine& engine, Options options = {});
+  QuadTool(const vm::Program& program, Options options = {});
 
   QuadTool(const QuadTool&) = delete;
   QuadTool& operator=(const QuadTool&) = delete;
 
   std::size_t kernel_count() const noexcept { return incl_.size(); }
   const std::string& kernel_name(std::uint32_t kernel) const {
-    return engine_.program().functions()[kernel].name;
+    return program_.functions()[kernel].name;
   }
   bool reported(std::uint32_t kernel) const noexcept { return stack_.tracked(kernel); }
 
@@ -129,23 +133,36 @@ class QuadTool {
   const ShadowMemory& shadow() const noexcept { return shadow_; }
   const tquad::CallStack& callstack() const noexcept { return stack_; }
 
- private:
-  static constexpr std::uint64_t kRedZone = 64;
-  static bool is_stack_addr(std::uint64_t ea, std::uint64_t sp) noexcept {
-    return ea + kRedZone >= sp && ea < vm::kStackBase;
+  // session::AnalysisConsumer (session mode). No return accounting.
+  unsigned event_interests() const override {
+    return kEnterInterest | kTickInterest | kAccessInterest;
   }
+  void on_kernel_enter(const session::EnterEvent& event) override;
+  void on_tick(const session::TickEvent& event) override;
+  void on_tick_run(const session::TickRunEvent& run) override;
+  void on_access(const session::AccessEvent& event) override;
 
+ private:
   static void enter_fc(void* tool, const pin::RtnArgs& args);
   static void on_read(void* tool, const pin::InsArgs& args);
   static void on_write(void* tool, const pin::InsArgs& args);
   static void on_ret(void* tool, const pin::InsArgs& args);
-  static void on_tick(void* tool, const pin::InsArgs& args);
+  static void on_instr_tick(void* tool, const pin::InsArgs& args);
 
   void instrument_rtn(pin::Rtn& rtn);
   void instrument_ins(pin::Ins& ins);
 
-  pin::Engine& engine_;
-  tquad::CallStack stack_;
+  // Mode-independent accounting.
+  void account_enter(std::uint32_t func, bool tracked);
+  void account_tick(std::uint32_t kernel, std::uint32_t read_size,
+                    std::uint32_t write_size);
+  void account_read(std::uint32_t reader, std::uint64_t ea, std::uint32_t size,
+                    bool stack_area);
+  void account_write(std::uint32_t writer, std::uint64_t ea, std::uint32_t size,
+                     bool stack_area);
+
+  const vm::Program& program_;
+  tquad::CallStack stack_;  ///< standalone attribution; static tables in session mode
   ShadowMemory shadow_;
   std::vector<KernelCounters> incl_;
   std::vector<KernelCounters> excl_;

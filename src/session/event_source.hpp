@@ -1,0 +1,84 @@
+// Event sources: where a profiling session's raw event stream comes from.
+//
+// Two implementations of one interface, so every tool runs online or
+// offline without code changes:
+//   * LiveEngineSource — instruments a minipin Engine and executes the
+//     guest, forwarding entries / ticks / accesses / returns as they retire;
+//   * TraceReplaySource — reconstructs the same event stream from a recorded
+//     TQTR trace (v1 or v2, auto-detected), including the per-instruction
+//     ticks the trace does not store explicitly (see event_source.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "minipin/minipin.hpp"
+#include "session/attribution.hpp"
+#include "vm/host_env.hpp"
+#include "vm/program.hpp"
+
+namespace tq::session {
+
+/// A source of raw profiling events. run() drives the whole stream through
+/// `attribution` (enter/tick/access/ret in retirement order, then
+/// input_end) and returns the total retired instruction count.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  virtual const vm::Program& program() const noexcept = 0;
+  virtual std::uint64_t run(KernelAttribution& attribution) = 0;
+};
+
+/// Executes the guest once under minipin instrumentation. Single-shot,
+/// like the Engine it owns.
+class LiveEngineSource final : public EventSource {
+ public:
+  LiveEngineSource(const vm::Program& program, vm::HostEnv& host,
+                   std::uint64_t instruction_budget = 0);
+
+  const vm::Program& program() const noexcept override { return engine_.program(); }
+  std::uint64_t run(KernelAttribution& attribution) override;
+
+ private:
+  // Fused per-instruction trampolines, chosen at instrument time by the
+  // instruction's static shape (memory read/write, return). One indirect
+  // call per instruction instead of one per concern keeps the single-pass
+  // dispatch as cheap as a lone standalone tool's.
+  static void on_tick(void* attribution, const pin::InsArgs& args);
+  static void tick_read(void* attribution, const pin::InsArgs& args);
+  static void tick_write(void* attribution, const pin::InsArgs& args);
+  static void tick_read_write(void* attribution, const pin::InsArgs& args);
+  static void tick_ret(void* attribution, const pin::InsArgs& args);
+  static void enter_fc(void* attribution, const pin::RtnArgs& args);
+
+  static void input_read(KernelAttribution& sink, const pin::InsArgs& args);
+  static void input_write(KernelAttribution& sink, const pin::InsArgs& args);
+
+  pin::Engine engine_;
+  bool ran_ = false;
+};
+
+/// Replays a recorded TQTR byte image (v1 flat or v2 blocked, auto-detected
+/// from the header) as a live-equivalent event stream. The trace must have
+/// been recorded from `program` (kernel counts are cross-checked); v2
+/// traces stream block-by-block, so memory stays bounded.
+///
+/// Attribution is re-derived from the recorded enter/ret events — the
+/// pre-attributed kernel fields in the records are ignored — so a trace can
+/// replay under any library policy. One caveat: predicated-off instructions
+/// leave no records, so replayed TickEvents carry zero operand widths for
+/// them (see docs/FORMATS.md, "Replaying full profiles").
+class TraceReplaySource final : public EventSource {
+ public:
+  TraceReplaySource(std::span<const std::uint8_t> bytes, const vm::Program& program);
+
+  const vm::Program& program() const noexcept override { return program_; }
+  std::uint64_t run(KernelAttribution& attribution) override;
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  const vm::Program& program_;
+  bool ran_ = false;
+};
+
+}  // namespace tq::session

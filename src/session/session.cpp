@@ -1,0 +1,35 @@
+#include "session/session.hpp"
+
+#include "support/check.hpp"
+
+namespace tq::session {
+
+ProfileSession::ProfileSession(const vm::Program& program, SessionConfig config)
+    : config_(config), attribution_(program, config.library_policy) {}
+
+void ProfileSession::add_consumer(AnalysisConsumer& consumer) {
+  TQUAD_CHECK(!ran_, "add_consumer must precede ProfileSession::run");
+  attribution_.add_consumer(consumer);
+}
+
+std::uint64_t ProfileSession::run(EventSource& source) {
+  TQUAD_CHECK(!ran_, "ProfileSession::run is single-shot; construct a fresh one");
+  TQUAD_CHECK(&source.program() == &attribution_.program(),
+              "event source built from a different program");
+  ran_ = true;
+  total_retired_ = source.run(attribution_);
+  return total_retired_;
+}
+
+std::uint64_t ProfileSession::run_live(vm::HostEnv& host) {
+  LiveEngineSource source(attribution_.program(), host,
+                          config_.instruction_budget);
+  return run(source);
+}
+
+std::uint64_t ProfileSession::replay(std::span<const std::uint8_t> trace_bytes) {
+  TraceReplaySource source(trace_bytes, attribution_.program());
+  return run(source);
+}
+
+}  // namespace tq::session

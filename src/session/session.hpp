@@ -1,0 +1,67 @@
+// ProfileSession: one execution, one attribution pass, N tools.
+//
+// The paper assembled its tables from four separate executions of the same
+// application (gprof, QUAD, gprof-of-QUAD, tQUAD). A ProfileSession runs the
+// guest once — or replays a recorded trace — and feeds any subset of the
+// tools simultaneously through the shared KernelAttribution service:
+//
+//   EventSource (live Engine | TQTR replay)
+//        └─> KernelAttribution (one CallStack, one policy, one classifier)
+//              ├─> tquad::TQuadTool
+//              ├─> quad::QuadTool
+//              ├─> gprof::GprofTool
+//              └─> trace::TraceRecorder
+//
+// Consumers constructed in session mode must use the same library policy as
+// the session: the shared stack is the single source of attribution truth,
+// and a tool's own policy only feeds its static reported()/tracked() tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "session/attribution.hpp"
+#include "session/event_source.hpp"
+#include "vm/host_env.hpp"
+#include "vm/program.hpp"
+
+namespace tq::session {
+
+struct SessionConfig {
+  tquad::LibraryPolicy library_policy = tquad::LibraryPolicy::kExclude;
+  std::uint64_t instruction_budget = 0;  ///< live runs only; 0 = unlimited
+};
+
+class ProfileSession {
+ public:
+  explicit ProfileSession(const vm::Program& program, SessionConfig config = {});
+
+  ProfileSession(const ProfileSession&) = delete;
+  ProfileSession& operator=(const ProfileSession&) = delete;
+
+  /// Register a tool (before run). Dispatch follows add order.
+  void add_consumer(AnalysisConsumer& consumer);
+
+  /// Drive `source` through the attribution pass. Single-shot. Returns the
+  /// total retired instruction count.
+  std::uint64_t run(EventSource& source);
+
+  /// Execute the guest once under live instrumentation.
+  std::uint64_t run_live(vm::HostEnv& host);
+
+  /// Replay a recorded TQTR byte image (v1 or v2, auto-detected).
+  std::uint64_t replay(std::span<const std::uint8_t> trace_bytes);
+
+  const vm::Program& program() const noexcept { return attribution_.program(); }
+  const SessionConfig& config() const noexcept { return config_; }
+  const KernelAttribution& attribution() const noexcept { return attribution_; }
+  std::uint64_t total_retired() const noexcept { return total_retired_; }
+
+ private:
+  SessionConfig config_;
+  KernelAttribution attribution_;
+  std::uint64_t total_retired_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace tq::session

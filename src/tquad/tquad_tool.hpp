@@ -11,6 +11,14 @@
 //       - a per-instruction tick that attributes retired instructions to the
 //         kernel on top of the stack and drives slice rollover.
 //
+// The tool runs in either of two modes:
+//   * standalone — construct with an Engine; the tool registers its own
+//     analysis calls and maintains its own call stack (the paper's shape);
+//   * session    — construct with a Program and register on a
+//     session::ProfileSession; attribution arrives pre-computed from the
+//     shared KernelAttribution pass (live or trace replay), and the tool is
+//     pure accounting. Use the same library policy as the session.
+//
 // Unlike the original tool, stack-area inclusion/exclusion is not a run-time
 // either/or: both classifications are recorded simultaneously (see
 // BandwidthRecorder), so one run yields the paper's two runs' worth of data.
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "minipin/minipin.hpp"
+#include "session/events.hpp"
 #include "tquad/bandwidth.hpp"
 #include "tquad/callstack.hpp"
 
@@ -41,11 +50,15 @@ struct KernelActivity {
   std::uint64_t instructions = 0;  ///< retired while this kernel was on top
 };
 
-/// The tool. Construct with an Engine *before* running it; results are valid
-/// after Engine::run() returns.
-class TQuadTool {
+/// The tool. Construct before the run (Engine::run() or
+/// ProfileSession::run()); results are valid after it returns.
+class TQuadTool : public session::AnalysisConsumer {
  public:
+  /// Standalone mode: registers analysis calls on `engine`.
   TQuadTool(pin::Engine& engine, Options options);
+
+  /// Session mode: accounting only; feed via ProfileSession::add_consumer.
+  TQuadTool(const vm::Program& program, Options options);
 
   TQuadTool(const TQuadTool&) = delete;
   TQuadTool& operator=(const TQuadTool&) = delete;
@@ -59,7 +72,7 @@ class TQuadTool {
   }
   std::size_t kernel_count() const noexcept { return activity_.size(); }
   const std::string& kernel_name(std::uint32_t kernel) const {
-    return engine_.program().functions()[kernel].name;
+    return program_.functions()[kernel].name;
   }
   /// Whether the kernel is reported under the library policy.
   bool reported(std::uint32_t kernel) const noexcept { return stack_.tracked(kernel); }
@@ -68,31 +81,38 @@ class TQuadTool {
   /// Instructions retired with no attributable kernel (excluded libraries).
   std::uint64_t unattributed_instructions() const noexcept { return unattributed_; }
 
- private:
-  // Stack classification: an address at or above SP (minus a small red zone
-  // covering the return-address push) and below the stack base is "local
-  // stack area". Same SP-relative heuristic as the pintool.
-  static constexpr std::uint64_t kRedZone = 64;
-
-  static bool is_stack_addr(std::uint64_t ea, std::uint64_t sp) noexcept {
-    return ea + kRedZone >= sp && ea < vm::kStackBase;
+  // session::AnalysisConsumer (session mode). No return accounting.
+  unsigned event_interests() const override {
+    return kEnterInterest | kTickInterest | kAccessInterest;
   }
+  void on_kernel_enter(const session::EnterEvent& event) override;
+  void on_tick(const session::TickEvent& event) override;
+  void on_tick_run(const session::TickRunEvent& run) override;
+  void on_access(const session::AccessEvent& event) override;
+  void on_session_end(std::uint64_t total_retired) override;
 
-  // Analysis routines (static trampolines, pintool style).
+ private:
+  // Analysis routines (static trampolines, pintool style; standalone mode).
   static void enter_fc(void* tool, const pin::RtnArgs& args);
   static void increase_read(void* tool, const pin::InsArgs& args);
   static void increase_write(void* tool, const pin::InsArgs& args);
   static void prefetch_read(void* tool, const pin::InsArgs& args);
   static void on_ret(void* tool, const pin::InsArgs& args);
-  static void on_tick(void* tool, const pin::InsArgs& args);
+  static void on_instr_tick(void* tool, const pin::InsArgs& args);
 
   void instrument_rtn(pin::Rtn& rtn);
   void instrument_ins(pin::Ins& ins);
-  void fini(std::uint64_t retired);
 
-  pin::Engine& engine_;
+  // Mode-independent accounting.
+  void account_enter(std::uint32_t func, bool tracked);
+  void account_tick(std::uint32_t kernel);
+  void account_access(std::uint32_t kernel, std::uint64_t retired,
+                      std::uint32_t size, bool is_read, bool is_stack);
+  void account_fini(std::uint64_t retired);
+
+  const vm::Program& program_;
   Options options_;
-  CallStack stack_;
+  CallStack stack_;  ///< standalone attribution; static tables in session mode
   BandwidthRecorder recorder_;
   std::vector<KernelActivity> activity_;
   std::uint64_t total_retired_ = 0;

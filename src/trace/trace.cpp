@@ -5,6 +5,7 @@
 #include "support/check.hpp"
 #include "trace/trace_v2.hpp"
 #include "trace/wire.hpp"
+#include "vm/stack_addr.hpp"
 
 namespace tq::trace {
 
@@ -145,13 +146,13 @@ void TraceRecorder::on_instr(const vm::InstrEvent& event) {
 
   if (event.read.size != 0) {
     std::uint8_t flags = 0;
-    if (is_stack_addr(event.read.ea, event.sp)) flags |= kFlagStackArea;
+    if (vm::is_stack_addr(event.read.ea, event.sp)) flags |= kFlagStackArea;
     if (event.prefetch) flags |= kFlagPrefetch;
     emit(EventKind::kRead, event.read.ea, event.read.size, flags);
   }
   if (event.write.size != 0) {
     std::uint8_t flags = 0;
-    if (is_stack_addr(event.write.ea, event.sp)) flags |= kFlagStackArea;
+    if (vm::is_stack_addr(event.write.ea, event.sp)) flags |= kFlagStackArea;
     emit(EventKind::kWrite, event.write.ea, event.write.size, flags);
   }
   if (isa::is_ret(event.ins->op)) {
@@ -162,6 +163,59 @@ void TraceRecorder::on_instr(const vm::InstrEvent& event) {
 
 void TraceRecorder::on_program_end(std::uint64_t retired) {
   trace_.total_retired = retired;
+}
+
+// ---- session-mode consumer ------------------------------------------------------
+//
+// The shared attribution pass already supplies the kernel on top of the
+// stack and the stack-area classification, so these overrides just build
+// the same Records the standalone listener would: byte-identical output.
+
+namespace {
+
+std::uint16_t kernel16(std::uint32_t kernel) noexcept {
+  return kernel == tquad::kNoKernel ? kNoKernel16
+                                    : static_cast<std::uint16_t>(kernel);
+}
+
+}  // namespace
+
+void TraceRecorder::on_kernel_enter(const session::EnterEvent& event) {
+  Record record{};
+  record.retired = last_retired_;
+  record.ea = event.func;
+  record.kernel = kernel16(event.kernel);
+  record.func = static_cast<std::uint16_t>(event.func);
+  record.kind = EventKind::kEnter;
+  push(record);
+}
+
+void TraceRecorder::on_access(const session::AccessEvent& event) {
+  Record record{};
+  record.retired = event.retired;
+  record.ea = event.ea;
+  record.pc = event.pc;
+  record.kernel = kernel16(event.kernel);
+  record.func = static_cast<std::uint16_t>(event.func);
+  record.kind = event.is_read ? EventKind::kRead : EventKind::kWrite;
+  record.size = static_cast<std::uint8_t>(event.size);
+  if (event.is_stack) record.flags |= kFlagStackArea;
+  if (event.is_prefetch) record.flags |= kFlagPrefetch;
+  push(record);
+}
+
+void TraceRecorder::on_kernel_ret(const session::RetEvent& event) {
+  Record record{};
+  record.retired = event.retired;
+  record.pc = event.pc;
+  record.kernel = kernel16(event.kernel);
+  record.func = static_cast<std::uint16_t>(event.func);
+  record.kind = EventKind::kRet;
+  push(record);
+}
+
+void TraceRecorder::on_session_end(std::uint64_t total_retired) {
+  trace_.total_retired = total_retired;
 }
 
 Trace TraceRecorder::take() {

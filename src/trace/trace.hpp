@@ -27,6 +27,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "session/events.hpp"
 #include "support/thread_pool.hpp"
 #include "tquad/bandwidth.hpp"
 #include "tquad/callstack.hpp"
@@ -112,16 +113,33 @@ class TraceV2View;    // trace_v2.hpp
 /// them out). In kV2 mode they stream through a TraceV2Writer block encoder
 /// as they happen — memory stays proportional to the *compressed* trace —
 /// and take_encoded() returns the finished file image.
-class TraceRecorder final : public vm::ExecListener {
+///
+/// The recorder runs as a vm::ExecListener (standalone, its own CallStack)
+/// or as a session::AnalysisConsumer on a ProfileSession sharing one run —
+/// and thus one attribution pass — with the other tools. Both modes emit
+/// byte-identical traces for the same run and library policy.
+class TraceRecorder final : public vm::ExecListener,
+                            public session::AnalysisConsumer {
  public:
   TraceRecorder(const vm::Program& program,
                 tquad::LibraryPolicy policy = tquad::LibraryPolicy::kExclude,
                 TraceFormat format = TraceFormat::kV1);
   ~TraceRecorder() override;  // out-of-line: TraceV2Writer is incomplete here
 
+  // vm::ExecListener (standalone mode).
   void on_rtn_enter(std::uint32_t func) override;
   void on_instr(const vm::InstrEvent& event) override;
   void on_program_end(std::uint64_t retired) override;
+
+  // session::AnalysisConsumer (session mode). Ticks carry nothing a trace
+  // stores — the retired counters on the other records imply them.
+  unsigned event_interests() const override {
+    return kEnterInterest | kAccessInterest | kRetInterest;
+  }
+  void on_kernel_enter(const session::EnterEvent& event) override;
+  void on_access(const session::AccessEvent& event) override;
+  void on_kernel_ret(const session::RetEvent& event) override;
+  void on_session_end(std::uint64_t total_retired) override;
 
   /// Take the finished in-memory trace (v1 mode only; the recorder is
   /// spent). In v2 mode the records were streamed out — use take_encoded().
@@ -132,14 +150,9 @@ class TraceRecorder final : public vm::ExecListener {
   std::vector<std::uint8_t> take_encoded();
 
  private:
-  static constexpr std::uint64_t kRedZone = 64;
-  static bool is_stack_addr(std::uint64_t ea, std::uint64_t sp) noexcept {
-    return ea + kRedZone >= sp && ea < vm::kStackBase;
-  }
-
   void push(const Record& record);
 
-  tquad::CallStack stack_;
+  tquad::CallStack stack_;  ///< standalone attribution; idle in session mode
   Trace trace_;
   std::unique_ptr<TraceV2Writer> writer_;  ///< non-null in kV2 mode
   std::uint64_t last_retired_ = 0;

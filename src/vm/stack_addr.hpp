@@ -1,0 +1,26 @@
+// Stack-area classification shared by every attribution consumer.
+//
+// The paper's tool offers a command-line option to include or exclude "local
+// stack area" accesses; an access counts as stack area when it lands at or
+// above SP (minus a small red zone covering the return-address push) and
+// below the stack base. The same SP-relative heuristic previously lived as a
+// private copy in each tool — this is the single definition.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/program.hpp"
+
+namespace tq::vm {
+
+/// Bytes below SP still counted as stack area (covers the return-address
+/// push a call performs at SP-8 before the callee adjusts SP).
+inline constexpr std::uint64_t kStackRedZone = 64;
+
+/// Whether an access at `ea` with stack pointer `sp` hits the local stack
+/// area of the executing routine.
+inline constexpr bool is_stack_addr(std::uint64_t ea, std::uint64_t sp) noexcept {
+  return ea + kStackRedZone >= sp && ea < kStackBase;
+}
+
+}  // namespace tq::vm

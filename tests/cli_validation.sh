@@ -1,0 +1,97 @@
+#!/bin/sh
+# CLI option-validation test: incoherent flag values must fail at parse time
+# with exit code 1 and a clear message naming the offending option — before
+# any guest execution or file I/O. Also exercises the multi-tool session
+# modes the smoke test does not cover.
+# Usage: cli_validation.sh <build-tools-dir> <workdir>
+set -e
+TOOLS="$1"
+WORK="$2"
+mkdir -p "$WORK"
+cd "$WORK"
+
+# expect_error <grep-pattern> -- <command...>
+# The command must exit 1 and print the pattern on stderr.
+expect_error() {
+  pattern="$1"
+  shift 2  # drop pattern and the "--" separator
+  status=0
+  "$@" > /dev/null 2> err.txt || status=$?
+  if [ "$status" -ne 1 ]; then
+    echo "expected exit 1, got $status: $*" >&2
+    cat err.txt >&2
+    exit 1
+  fi
+  if ! grep -q "$pattern" err.txt; then
+    echo "missing error message '$pattern' for: $*" >&2
+    cat err.txt >&2
+    exit 1
+  fi
+}
+
+"$TOOLS/wfs_gen" -tiny -image wfs.tqim -wav in.wav
+
+# tquad_cli: interval/period/thread/budget flags must be strictly positive.
+expect_error "option -slice must be a positive integer (got 0)" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -slice 0
+expect_error "option -slice must be a positive integer (got -5)" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -slice -5
+expect_error "option -sample must be a positive integer (got 0)" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -sample 0
+expect_error "option -threads must be a positive integer (got 0)" -- \
+    "$TOOLS/tquad_cli" -replay x.tqtr -threads 0
+expect_error "option -budget must be a positive integer (got 0)" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -budget 0
+expect_error "unknown -report" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -report bogus
+expect_error "unknown -libs policy" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -libs sometimes
+expect_error "unknown -trace-format" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -trace t.tqtr -trace-format v3
+expect_error "unknown tool 'bogus'" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -tools bogus
+expect_error "unknown tool ''" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -tools "tquad,,quad"
+expect_error "cannot be combined with -replay" -- \
+    "$TOOLS/tquad_cli" -replay run.tqtr -trace out.tqtr
+expect_error "needs -image" -- \
+    "$TOOLS/tquad_cli" -replay run.tqtr -tools tquad
+
+# quad_cli validation.
+expect_error "option -budget must be a positive integer (got -1)" -- \
+    "$TOOLS/quad_cli" -image wfs.tqim -budget -1
+expect_error "option -clusters must not be negative (got -2)" -- \
+    "$TOOLS/quad_cli" -image wfs.tqim -clusters -2
+expect_error "unknown -trace-format" -- \
+    "$TOOLS/quad_cli" -image wfs.tqim -trace t.tqtr -trace-format flat
+
+# Multi-tool session: one pass produces all three reports plus a trace.
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -tools tquad,quad,gprof \
+    -report flat -slice 2000 -trace multi.tqtr > multi.txt
+grep -q "== flat profile ==" multi.txt
+grep -q "== quad kernel table" multi.txt
+grep -q "producer->consumer bindings" multi.txt
+grep -q "== gprof flat profile" multi.txt
+test -s multi.tqtr
+
+# Session replay: the same trace replays into the same tquad flat profile.
+"$TOOLS/tquad_cli" -replay multi.tqtr -image wfs.tqim -tools tquad,gprof \
+    -report flat -slice 2000 > replayed.txt
+grep -q "replayed session" replayed.txt
+grep -q "== gprof flat profile" replayed.txt
+# Identical flat-profile tables, live vs replay (strip the header lines and
+# the other tools' sections: compare just the tquad flat profile block).
+sed -n '/== flat profile ==/,/^$/p' multi.txt > flat_live.txt
+sed -n '/== flat profile ==/,/^$/p' replayed.txt > flat_replay.txt
+cmp flat_live.txt flat_replay.txt
+
+# A non-tquad tool subset runs without the bandwidth machinery.
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -tools gprof > gprof_only.txt
+grep -q "retired" gprof_only.txt
+grep -q "== gprof flat profile" gprof_only.txt
+if grep -q "== flat profile ==" gprof_only.txt; then
+  echo "tquad report printed without tquad tool" >&2
+  exit 1
+fi
+
+echo "cli validation: OK"

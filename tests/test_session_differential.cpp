@@ -1,0 +1,204 @@
+// Differential sweep for the single-pass ProfileSession: for every synthetic
+// workload plus the wfs pipeline, running tQUAD + QUAD + gprofsim + the trace
+// recorder simultaneously on ONE guest execution must be bit-identical to
+// running each tool standalone on its own execution (the paper's four
+// separate runs). This is the acceptance property of the session layer: the
+// shared KernelAttribution pass loses nothing relative to each tool's
+// private call stack.
+#include <gtest/gtest.h>
+
+#include "gprofsim/gprof_tool.hpp"
+#include "minipin/minipin.hpp"
+#include "quad/quad_tool.hpp"
+#include "session/session.hpp"
+#include "trace/trace.hpp"
+#include "tquad/tquad_tool.hpp"
+#include "wfs/runner.hpp"
+#include "workloads/workloads.hpp"
+
+namespace tq::session {
+namespace {
+
+constexpr std::uint64_t kSlice = 1000;
+constexpr std::uint64_t kSamplePeriod = 700;
+
+void expect_tquad_equal(const tquad::TQuadTool& a, const tquad::TQuadTool& b) {
+  ASSERT_EQ(a.kernel_count(), b.kernel_count());
+  EXPECT_EQ(a.total_retired(), b.total_retired());
+  EXPECT_EQ(a.unattributed_instructions(), b.unattributed_instructions());
+  EXPECT_EQ(a.bandwidth().max_slice(), b.bandwidth().max_slice());
+  for (std::uint32_t k = 0; k < a.kernel_count(); ++k) {
+    SCOPED_TRACE("kernel " + a.kernel_name(k));
+    EXPECT_EQ(a.activity(k).calls, b.activity(k).calls);
+    EXPECT_EQ(a.activity(k).instructions, b.activity(k).instructions);
+    const auto& ka = a.bandwidth().kernel(k);
+    const auto& kb = b.bandwidth().kernel(k);
+    EXPECT_EQ(ka.totals.read_incl, kb.totals.read_incl);
+    EXPECT_EQ(ka.totals.read_excl, kb.totals.read_excl);
+    EXPECT_EQ(ka.totals.write_incl, kb.totals.write_incl);
+    EXPECT_EQ(ka.totals.write_excl, kb.totals.write_excl);
+    ASSERT_EQ(ka.series.size(), kb.series.size());
+    for (std::size_t i = 0; i < ka.series.size(); ++i) {
+      EXPECT_EQ(ka.series[i].slice, kb.series[i].slice);
+      EXPECT_EQ(ka.series[i].counters.read_incl, kb.series[i].counters.read_incl);
+      EXPECT_EQ(ka.series[i].counters.read_excl, kb.series[i].counters.read_excl);
+      EXPECT_EQ(ka.series[i].counters.write_incl, kb.series[i].counters.write_incl);
+      EXPECT_EQ(ka.series[i].counters.write_excl, kb.series[i].counters.write_excl);
+    }
+  }
+}
+
+void expect_quad_equal(const quad::QuadTool& a, const quad::QuadTool& b) {
+  ASSERT_EQ(a.kernel_count(), b.kernel_count());
+  const quad::CostModel model;
+  for (std::uint32_t k = 0; k < a.kernel_count(); ++k) {
+    SCOPED_TRACE("kernel " + a.kernel_name(k));
+    EXPECT_EQ(a.reported(k), b.reported(k));
+    EXPECT_EQ(a.instructions(k), b.instructions(k));
+    EXPECT_EQ(a.calls(k), b.calls(k));
+    // instrumented_cost covers the private mem_refs_/global_* counters too.
+    EXPECT_EQ(a.instrumented_cost(k, model), b.instrumented_cost(k, model));
+    for (const bool incl : {false, true}) {
+      const auto& ca = incl ? a.including_stack(k) : a.excluding_stack(k);
+      const auto& cb = incl ? b.including_stack(k) : b.excluding_stack(k);
+      EXPECT_EQ(ca.in_bytes, cb.in_bytes);
+      EXPECT_EQ(ca.out_bytes, cb.out_bytes);
+      EXPECT_EQ(ca.in_unma.count(), cb.in_unma.count());
+      EXPECT_EQ(ca.out_unma.count(), cb.out_unma.count());
+    }
+  }
+  const auto ba = a.bindings();
+  const auto bb = b.bindings();
+  ASSERT_EQ(ba.size(), bb.size());
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(ba[i].producer, bb[i].producer);
+    EXPECT_EQ(ba[i].consumer, bb[i].consumer);
+    EXPECT_EQ(ba[i].bytes, bb[i].bytes);
+    EXPECT_EQ(ba[i].unma, bb[i].unma);
+  }
+}
+
+void expect_gprof_equal(const gprof::GprofTool& a, const gprof::GprofTool& b) {
+  ASSERT_EQ(a.kernel_count(), b.kernel_count());
+  EXPECT_EQ(a.total_samples(), b.total_samples());
+  EXPECT_EQ(a.total_retired(), b.total_retired());
+  for (std::uint32_t k = 0; k < a.kernel_count(); ++k) {
+    SCOPED_TRACE("kernel " + a.kernel_name(k));
+    EXPECT_EQ(a.exact_self_instructions(k), b.exact_self_instructions(k));
+    EXPECT_EQ(a.samples(k), b.samples(k));
+    EXPECT_EQ(a.calls(k), b.calls(k));
+    EXPECT_EQ(a.inclusive_instructions(k), b.inclusive_instructions(k));
+  }
+  const auto ea = a.call_graph();
+  const auto eb = b.call_graph();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].caller, eb[i].caller);
+    EXPECT_EQ(ea[i].callee, eb[i].callee);
+    EXPECT_EQ(ea[i].calls, eb[i].calls);
+  }
+}
+
+/// Five hosts: four standalone runs (one per tool, the paper's workflow) and
+/// one session run feeding all four at once.
+struct Hosts {
+  vm::HostEnv tquad, quad, gprof, trace, combined;
+};
+
+void check_program(const vm::Program& program, Hosts& hosts,
+                   tquad::LibraryPolicy policy) {
+  const tquad::Options tquad_options{.slice_interval = kSlice,
+                                     .library_policy = policy};
+  const quad::QuadOptions quad_options{policy};
+  gprof::Options gprof_options;
+  gprof_options.sample_period = kSamplePeriod;
+  gprof_options.library_policy = policy;
+
+  // Standalone: one dedicated execution per tool.
+  pin::Engine tquad_engine(program, hosts.tquad);
+  tquad::TQuadTool tquad_alone(tquad_engine, tquad_options);
+  tquad_engine.run();
+
+  pin::Engine quad_engine(program, hosts.quad);
+  quad::QuadTool quad_alone(quad_engine, quad_options);
+  quad_engine.run();
+
+  pin::Engine gprof_engine(program, hosts.gprof);
+  gprof::GprofTool gprof_alone(gprof_engine, gprof_options);
+  gprof_engine.run();
+
+  trace::TraceRecorder recorder_alone(program, policy, trace::TraceFormat::kV2);
+  vm::Machine machine(program, hosts.trace);
+  machine.run(&recorder_alone);
+
+  // Session: all four tools share one execution and one attribution pass.
+  ProfileSession session(program, SessionConfig{.library_policy = policy});
+  tquad::TQuadTool tquad_session(program, tquad_options);
+  quad::QuadTool quad_session(program, quad_options);
+  gprof::GprofTool gprof_session(program, gprof_options);
+  trace::TraceRecorder recorder_session(program, policy, trace::TraceFormat::kV2);
+  session.add_consumer(tquad_session);
+  session.add_consumer(quad_session);
+  session.add_consumer(gprof_session);
+  session.add_consumer(recorder_session);
+  session.run_live(hosts.combined);
+
+  expect_tquad_equal(tquad_alone, tquad_session);
+  expect_quad_equal(quad_alone, quad_session);
+  expect_gprof_equal(gprof_alone, gprof_session);
+  EXPECT_EQ(recorder_alone.take_encoded(), recorder_session.take_encoded());
+}
+
+void check_workload(const vm::Program& program,
+                    tquad::LibraryPolicy policy = tquad::LibraryPolicy::kExclude) {
+  Hosts hosts;
+  check_program(program, hosts, policy);
+}
+
+TEST(SessionDifferential, Stream) {
+  check_workload(workloads::build_stream(128, 1).program);
+}
+
+TEST(SessionDifferential, MatmulNaive) {
+  check_workload(workloads::build_matmul(10, false).program);
+}
+
+TEST(SessionDifferential, MatmulTiled) {
+  check_workload(workloads::build_matmul(12, true, 4).program);
+}
+
+TEST(SessionDifferential, Chase) {
+  check_workload(workloads::build_chase(64, 400).program);
+}
+
+TEST(SessionDifferential, Histogram) {
+  check_workload(workloads::build_histogram(32, 800).program);
+}
+
+class SessionDifferentialWfs
+    : public ::testing::TestWithParam<tquad::LibraryPolicy> {};
+
+// wfs is the policy-sensitive workload: it is the only one with library-image
+// routines (libc_*), so it exercises exclude/caller/track attribution paths.
+TEST_P(SessionDifferentialWfs, AllPolicies) {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
+  wfs::WfsRun runs[5] = {wfs::prepare_wfs_run(cfg), wfs::prepare_wfs_run(cfg),
+                         wfs::prepare_wfs_run(cfg), wfs::prepare_wfs_run(cfg),
+                         wfs::prepare_wfs_run(cfg)};
+  for (int i = 1; i < 5; ++i) {
+    ASSERT_EQ(runs[0].artifacts.program.serialize(),
+              runs[i].artifacts.program.serialize());
+  }
+  Hosts hosts{std::move(runs[0].host), std::move(runs[1].host),
+              std::move(runs[2].host), std::move(runs[3].host),
+              std::move(runs[4].host)};
+  check_program(runs[0].artifacts.program, hosts, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SessionDifferentialWfs,
+                         ::testing::Values(tquad::LibraryPolicy::kExclude,
+                                           tquad::LibraryPolicy::kAttributeToCaller,
+                                           tquad::LibraryPolicy::kTrack));
+
+}  // namespace
+}  // namespace tq::session

@@ -1,0 +1,119 @@
+// Helpers shared by the command-line tools (tquad_cli, quad_cli): file I/O,
+// flag parsing/validation, and report fragments used by more than one tool.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "quad/quad_tool.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "tquad/callstack.hpp"
+#include "trace/trace.hpp"
+
+namespace tq::cli {
+
+inline std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) TQUAD_THROW("cannot open '" + path + "'");
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+inline void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) TQUAD_THROW("cannot write '" + path + "'");
+  out << text;
+}
+
+inline void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) TQUAD_THROW("cannot write '" + path + "'");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+inline tquad::LibraryPolicy parse_policy(const std::string& name) {
+  if (name == "exclude") return tquad::LibraryPolicy::kExclude;
+  if (name == "caller") return tquad::LibraryPolicy::kAttributeToCaller;
+  if (name == "track") return tquad::LibraryPolicy::kTrack;
+  TQUAD_THROW("unknown -libs policy '" + name + "' (exclude|caller|track)");
+}
+
+inline trace::TraceFormat parse_trace_format(const std::string& name) {
+  if (name == "v1") return trace::TraceFormat::kV1;
+  if (name == "v2") return trace::TraceFormat::kV2;
+  TQUAD_THROW("unknown -trace-format '" + name + "' (v1|v2)");
+}
+
+/// Validate that an integer flag holds a strictly positive value; clear
+/// error at parse time instead of undefined behaviour downstream (a zero
+/// slice interval would divide by zero, a zero sample period never sample).
+inline void require_positive(const CliParser& cli, const std::string& name) {
+  if (cli.integer(name) <= 0) {
+    TQUAD_THROW("option -" + name + " must be a positive integer (got " +
+                std::to_string(cli.integer(name)) + ")");
+  }
+}
+
+inline void require_non_negative(const CliParser& cli, const std::string& name) {
+  if (cli.integer(name) < 0) {
+    TQUAD_THROW("option -" + name + " must not be negative (got " +
+                std::to_string(cli.integer(name)) + ")");
+  }
+}
+
+/// Which profilers a multi-tool session runs (the `-tools` flag).
+struct ToolSet {
+  bool tquad = false;
+  bool quad = false;
+  bool gprof = false;
+
+  bool any() const noexcept { return tquad || quad || gprof; }
+};
+
+/// Parse a comma-separated `-tools` list: any subset of tquad,quad,gprof.
+inline ToolSet parse_tools(const std::string& spec) {
+  ToolSet tools;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string name = spec.substr(begin, end - begin);
+    if (name == "tquad") {
+      tools.tquad = true;
+    } else if (name == "quad") {
+      tools.quad = true;
+    } else if (name == "gprof") {
+      tools.gprof = true;
+    } else {
+      TQUAD_THROW("unknown tool '" + name +
+                  "' in -tools (comma-separated subset of tquad,quad,gprof)");
+    }
+    begin = end + 1;
+  }
+  return tools;
+}
+
+/// The Table II kernel table of a finished QUAD run (shared by quad_cli and
+/// tquad_cli's multi-tool mode).
+inline TextTable quad_kernel_table(const quad::QuadTool& tool) {
+  TextTable table({"kernel", "IN ex", "INunma ex", "OUT ex", "OUTunma ex",
+                   "IN in", "INunma in", "OUT in", "OUTunma in"});
+  for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
+    if (!tool.reported(k)) continue;
+    const auto& ex = tool.excluding_stack(k);
+    const auto& in = tool.including_stack(k);
+    if (in.in_bytes == 0 && in.out_unma.count() == 0) continue;  // silent
+    table.add_row({tool.kernel_name(k), format_count(ex.in_bytes),
+                   format_count(ex.in_unma.count()), format_count(ex.out_bytes),
+                   format_count(ex.out_unma.count()), format_count(in.in_bytes),
+                   format_count(in.in_unma.count()), format_count(in.out_bytes),
+                   format_count(in.out_unma.count())});
+  }
+  return table;
+}
+
+}  // namespace tq::cli

@@ -6,59 +6,25 @@
 //
 // Prints the Table II columns for every reported kernel, optionally the QDU
 // graph in Graphviz DOT and a communication-driven task clustering. -trace
-// additionally records a TQTR event trace (replayable with tquad -replay).
+// additionally records a TQTR event trace (replayable with tquad -replay) —
+// the recorder rides the same single-pass ProfileSession as the analysis, so
+// the guest executes once.
 #include <cstdio>
-#include <fstream>
-#include <iterator>
+#include <optional>
 
 #include "cluster/cluster.hpp"
-#include "minipin/minipin.hpp"
 #include "quad/buffer_report.hpp"
 #include "quad/quad_tool.hpp"
+#include "session/session.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "tquad/callstack.hpp"
 #include "trace/trace.hpp"
 
-namespace {
-
-using namespace tq;
-
-std::vector<std::uint8_t> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) TQUAD_THROW("cannot open '" + path + "'");
-  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
-}
-
-void write_text(const std::string& path, const std::string& text) {
-  std::ofstream out(path);
-  if (!out) TQUAD_THROW("cannot write '" + path + "'");
-  out << text;
-}
-
-void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) TQUAD_THROW("cannot write '" + path + "'");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-}
-
-trace::TraceFormat parse_trace_format(const std::string& name) {
-  if (name == "v1") return trace::TraceFormat::kV1;
-  if (name == "v2") return trace::TraceFormat::kV2;
-  TQUAD_THROW("unknown -trace-format '" + name + "' (v1|v2)");
-}
-
-tquad::LibraryPolicy parse_policy(const std::string& name) {
-  if (name == "exclude") return tquad::LibraryPolicy::kExclude;
-  if (name == "caller") return tquad::LibraryPolicy::kAttributeToCaller;
-  if (name == "track") return tquad::LibraryPolicy::kTrack;
-  TQUAD_THROW("unknown -libs policy '" + name + "' (exclude|caller|track)");
-}
-
-}  // namespace
+#include "cli_common.hpp"
 
 int main(int argc, char** argv) {
+  using namespace tq;
   CliParser cli("quad: producer/consumer memory analysis for TQIM guest images");
   cli.add_string("image", "", "guest image (TQIM) to analyse [required]");
   cli.add_string("in", "", "input file to attach as a guest descriptor");
@@ -72,37 +38,38 @@ int main(int argc, char** argv) {
   cli.add_int("budget", 2'000'000'000, "abort after this many instructions");
   try {
     cli.parse(argc, argv);
+    // Validate every flag before any file I/O or the (long) analysis run.
+    cli::require_positive(cli, "budget");
+    cli::require_non_negative(cli, "clusters");
+    const trace::TraceFormat trace_format =
+        cli::parse_trace_format(cli.str("trace-format"));
+    const tquad::LibraryPolicy policy = cli::parse_policy(cli.str("libs"));
     if (cli.str("image").empty()) {
       std::fprintf(stderr, "%s", cli.help().c_str());
       return 2;
     }
-    // Validate the format flag before the (long) analysis run, not after.
-    const trace::TraceFormat trace_format = parse_trace_format(cli.str("trace-format"));
-    const vm::Program program = vm::Program::deserialize(read_file(cli.str("image")));
+    const vm::Program program =
+        vm::Program::deserialize(cli::read_file(cli.str("image")));
     vm::HostEnv host;
-    if (!cli.str("in").empty()) host.attach_input(read_file(cli.str("in")));
+    if (!cli.str("in").empty()) host.attach_input(cli::read_file(cli.str("in")));
     host.create_output();
 
-    pin::Engine engine(program, host);
-    quad::QuadOptions options;
-    options.library_policy = parse_policy(cli.str("libs"));
-    quad::QuadTool tool(engine, options);
-    engine.set_instruction_budget(static_cast<std::uint64_t>(cli.integer("budget")));
-    engine.run();
-
-    TextTable table({"kernel", "IN ex", "INunma ex", "OUT ex", "OUTunma ex",
-                     "IN in", "INunma in", "OUT in", "OUTunma in"});
-    for (std::uint32_t k = 0; k < tool.kernel_count(); ++k) {
-      if (!tool.reported(k)) continue;
-      const auto& ex = tool.excluding_stack(k);
-      const auto& in = tool.including_stack(k);
-      if (in.in_bytes == 0 && in.out_unma.count() == 0) continue;  // silent
-      table.add_row({tool.kernel_name(k), format_count(ex.in_bytes),
-                     format_count(ex.in_unma.count()), format_count(ex.out_bytes),
-                     format_count(ex.out_unma.count()), format_count(in.in_bytes),
-                     format_count(in.in_unma.count()), format_count(in.out_bytes),
-                     format_count(in.out_unma.count())});
+    // One guest execution feeds both the analysis and the optional trace
+    // recorder through the shared attribution pass.
+    session::SessionConfig config;
+    config.library_policy = policy;
+    config.instruction_budget = static_cast<std::uint64_t>(cli.integer("budget"));
+    session::ProfileSession profile(program, config);
+    quad::QuadTool tool(program, quad::QuadOptions{policy});
+    profile.add_consumer(tool);
+    std::optional<trace::TraceRecorder> recorder;
+    if (!cli.str("trace").empty()) {
+      recorder.emplace(program, policy, trace_format);
+      profile.add_consumer(*recorder);
     }
+    profile.run_live(host);
+
+    const TextTable table = cli::quad_kernel_table(tool);
     std::fputs(table.to_ascii().c_str(), stdout);
     std::printf("\n%zu producer->consumer bindings\n", tool.bindings().size());
 
@@ -121,21 +88,14 @@ int main(int argc, char** argv) {
                   cluster::describe_clustering(tool, clustering).c_str());
     }
     if (!cli.str("dot").empty()) {
-      write_text(cli.str("dot"), tool.qdu_graph_dot());
+      cli::write_text(cli.str("dot"), tool.qdu_graph_dot());
       std::printf("QDU graph written to %s\n", cli.str("dot").c_str());
     }
     if (!cli.str("csv").empty()) {
-      write_text(cli.str("csv"), table.to_csv());
+      cli::write_text(cli.str("csv"), table.to_csv());
     }
-    if (!cli.str("trace").empty()) {
-      // Re-run under the recorder for a portable trace file.
-      vm::HostEnv trace_host;
-      if (!cli.str("in").empty()) trace_host.attach_input(read_file(cli.str("in")));
-      trace_host.create_output();
-      trace::TraceRecorder recorder(program, options.library_policy, trace_format);
-      vm::Machine machine(program, trace_host);
-      machine.run(&recorder);
-      write_file(cli.str("trace"), recorder.take_encoded());
+    if (recorder.has_value()) {
+      cli::write_file(cli.str("trace"), recorder->take_encoded());
       std::printf("trace written to %s (%s)\n", cli.str("trace").c_str(),
                   cli.str("trace-format").c_str());
     }

@@ -3,21 +3,30 @@
 // stack-area option, and library exclusion — Section IV-C).
 //
 //   tquad -image app.tqim [-in file]... [-slice N] [-libs track|exclude|caller]
-//         [-report flat|bandwidth|phases|series|all] [-csv out.csv]
-//         [-trace out.tqtr -trace-format v1|v2] [-cpu-ghz G -cpi C]
+//         [-tools tquad,quad,gprof] [-report flat|bandwidth|phases|series|all]
+//         [-csv out.csv] [-trace out.tqtr -trace-format v1|v2]
+//         [-sample N] [-cpu-ghz G -cpi C]
 //   tquad -replay run.tqtr [-image app.tqim] [-slice N] [-threads T]
+//   tquad -replay run.tqtr -image app.tqim -tools tquad,quad,gprof
 //
 // The image is a TQIM file (produce one with wfs_gen or Program::serialize);
 // -in attaches input files as guest descriptors in order; one output
-// descriptor is always appended after the inputs. -replay aggregates a
-// recorded trace offline instead of running a guest — the TQTR version is
-// auto-detected, v2 traces aggregate block-parallel, and -image is only
-// needed for kernel names.
+// descriptor is always appended after the inputs.
+//
+// All profiling goes through one ProfileSession: the guest executes ONCE and
+// every tool selected with -tools (plus the -trace recorder) consumes the
+// same attributed event stream — the paper needed a separate execution per
+// tool. -replay aggregates a recorded trace offline instead of running a
+// guest: without -tools it prints the per-kernel bandwidth totals (the TQTR
+// version is auto-detected, v2 traces aggregate block-parallel, and -image
+// is only needed for kernel names); with -tools it replays the trace through
+// the same session machinery and produces the full reports (requires -image).
 #include <cstdio>
-#include <fstream>
-#include <iterator>
+#include <optional>
 
-#include "minipin/minipin.hpp"
+#include "gprofsim/gprof_tool.hpp"
+#include "quad/quad_tool.hpp"
+#include "session/session.hpp"
 #include "support/ascii_chart.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -28,46 +37,43 @@
 #include "tquad/report.hpp"
 #include "tquad/tquad_tool.hpp"
 
+#include "cli_common.hpp"
+
 namespace {
 
 using namespace tq;
-
-std::vector<std::uint8_t> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) TQUAD_THROW("cannot open '" + path + "'");
-  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
-}
-
-void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) TQUAD_THROW("cannot write '" + path + "'");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-}
-
-void write_text(const std::string& path, const std::string& text) {
-  std::ofstream out(path);
-  if (!out) TQUAD_THROW("cannot write '" + path + "'");
-  out << text;
-}
-
-tquad::LibraryPolicy parse_policy(const std::string& name) {
-  if (name == "exclude") return tquad::LibraryPolicy::kExclude;
-  if (name == "caller") return tquad::LibraryPolicy::kAttributeToCaller;
-  if (name == "track") return tquad::LibraryPolicy::kTrack;
-  TQUAD_THROW("unknown -libs policy '" + name + "' (exclude|caller|track)");
-}
-
-trace::TraceFormat parse_trace_format(const std::string& name) {
-  if (name == "v1") return trace::TraceFormat::kV1;
-  if (name == "v2") return trace::TraceFormat::kV2;
-  TQUAD_THROW("unknown -trace-format '" + name + "' (v1|v2)");
-}
+using cli::read_file;
+using cli::write_file;
+using cli::write_text;
 
 bool is_v2_image(const std::vector<std::uint8_t>& bytes) {
   return bytes.size() >= 8 && bytes[0] == 'T' && bytes[1] == 'Q' &&
          bytes[2] == 'T' && bytes[3] == 'R' && bytes[4] == 2 &&
          bytes[5] == 0 && bytes[6] == 0 && bytes[7] == 0;
+}
+
+/// Flag coherence checks, before any file I/O.
+void validate_options(const CliParser& cli) {
+  cli::require_positive(cli, "slice");
+  cli::require_positive(cli, "sample");
+  cli::require_positive(cli, "threads");
+  cli::require_positive(cli, "budget");
+  (void)cli::parse_trace_format(cli.str("trace-format"));
+  (void)cli::parse_policy(cli.str("libs"));
+  const std::string& report = cli.str("report");
+  if (report != "flat" && report != "bandwidth" && report != "phases" &&
+      report != "series" && report != "all") {
+    TQUAD_THROW("unknown -report '" + report +
+                "' (flat|bandwidth|phases|series|all)");
+  }
+  if (!cli.str("tools").empty()) (void)cli::parse_tools(cli.str("tools"));
+  if (!cli.str("replay").empty() && !cli.str("trace").empty()) {
+    TQUAD_THROW("-trace records a live run and cannot be combined with -replay");
+  }
+  if (!cli.str("replay").empty() && !cli.str("tools").empty() &&
+      cli.str("image").empty()) {
+    TQUAD_THROW("-replay with -tools needs -image for program context");
+  }
 }
 
 /// Offline -replay mode: aggregate a recorded TQTR file (any version) and
@@ -129,6 +135,126 @@ int replay_trace(const CliParser& cli) {
   return 0;
 }
 
+/// Single-pass profiling: one ProfileSession feeds every selected tool from
+/// one guest execution (or one trace replay).
+int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
+  const tquad::LibraryPolicy policy = cli::parse_policy(cli.str("libs"));
+  const trace::TraceFormat trace_format =
+      cli::parse_trace_format(cli.str("trace-format"));
+  const vm::Program program = vm::Program::deserialize(read_file(cli.str("image")));
+  const bool replaying = !cli.str("replay").empty();
+
+  session::SessionConfig config;
+  config.library_policy = policy;
+  config.instruction_budget = static_cast<std::uint64_t>(cli.integer("budget"));
+  session::ProfileSession profile(program, config);
+
+  std::optional<tquad::TQuadTool> tquad_tool;
+  std::optional<quad::QuadTool> quad_tool;
+  std::optional<gprof::GprofTool> gprof_tool;
+  std::optional<trace::TraceRecorder> recorder;
+  if (tools.tquad) {
+    tquad::Options options;
+    options.slice_interval = static_cast<std::uint64_t>(cli.integer("slice"));
+    options.library_policy = policy;
+    tquad_tool.emplace(program, options);
+    profile.add_consumer(*tquad_tool);
+  }
+  if (tools.quad) {
+    quad_tool.emplace(program, quad::QuadOptions{policy});
+    profile.add_consumer(*quad_tool);
+  }
+  if (tools.gprof) {
+    gprof::Options options;
+    options.sample_period = static_cast<std::uint64_t>(cli.integer("sample"));
+    options.clock_ghz = cli.real("cpu-ghz");
+    options.ipc = 1.0 / cli.real("cpi");
+    options.library_policy = policy;
+    gprof_tool.emplace(program, options);
+    profile.add_consumer(*gprof_tool);
+  }
+  if (!cli.str("trace").empty()) {
+    recorder.emplace(program, policy, trace_format);
+    profile.add_consumer(*recorder);
+  }
+
+  vm::HostEnv host;
+  int out_fd = -1;
+  std::uint64_t retired = 0;
+  if (replaying) {
+    retired = profile.replay(read_file(cli.str("replay")));
+    std::printf("replayed session: ");
+  } else {
+    if (!cli.str("in").empty()) host.attach_input(read_file(cli.str("in")));
+    out_fd = host.create_output();
+    retired = profile.run_live(host);
+  }
+
+  const std::string report = cli.str("report");
+  if (tools.tquad) {
+    std::printf("retired %s instructions; %llu time slices at interval %llu\n\n",
+                format_count(retired).c_str(),
+                static_cast<unsigned long long>(tquad_tool->bandwidth().max_slice() + 1),
+                static_cast<unsigned long long>(
+                    tquad_tool->options().slice_interval));
+    if (report == "flat" || report == "all") {
+      std::printf("== flat profile ==\n%s\n",
+                  tquad::flat_profile_table(*tquad_tool).to_ascii().c_str());
+    }
+    if (report == "bandwidth" || report == "all") {
+      tquad::CpuModel model;
+      model.clock_ghz = cli.real("cpu-ghz");
+      model.cpi = cli.real("cpi");
+      std::printf("== bandwidth (at %.2f GHz, CPI %.2f) ==\n%s\n", model.clock_ghz,
+                  model.cpi,
+                  tquad::bandwidth_table(*tquad_tool, model).to_ascii().c_str());
+    }
+    if (report == "phases" || report == "all") {
+      const auto phases = tquad::detect_phases(*tquad_tool);
+      std::printf("== phases ==\n%s\n",
+                  tquad::describe_phases(*tquad_tool, phases).c_str());
+    }
+    if (report == "series" || report == "all") {
+      std::vector<ChartSeries> series;
+      for (const auto& row : tquad::flat_profile(*tquad_tool)) {
+        if (series.size() == 12) break;
+        series.push_back(ChartSeries{
+            row.name, tquad::dense_series(*tquad_tool, row.kernel,
+                                          tquad::Metric::kReadWriteIncl)});
+      }
+      std::printf("== activity (read+write bytes per slice) ==\n%s\n",
+                  render_heat_strips(series).c_str());
+    }
+  } else {
+    std::printf("retired %s instructions\n\n", format_count(retired).c_str());
+  }
+  if (tools.quad) {
+    std::printf("== quad kernel table (Table II) ==\n%s",
+                cli::quad_kernel_table(*quad_tool).to_ascii().c_str());
+    std::printf("\n%zu producer->consumer bindings\n\n",
+                quad_tool->bindings().size());
+  }
+  if (tools.gprof) {
+    std::printf("== gprof flat profile (sample period %llu) ==\n%s\n",
+                static_cast<unsigned long long>(cli.integer("sample")),
+                gprof_tool->flat_profile_table().to_ascii().c_str());
+  }
+  if (!cli.str("csv").empty()) {
+    if (!tools.tquad) TQUAD_THROW("-csv writes the tquad flat profile; add tquad to -tools");
+    write_text(cli.str("csv"), tquad::flat_profile_table(*tquad_tool).to_csv());
+  }
+  if (recorder.has_value()) {
+    write_file(cli.str("trace"), recorder->take_encoded());
+    std::printf("trace written to %s (%s)\n", cli.str("trace").c_str(),
+                cli.str("trace-format").c_str());
+  }
+  if (out_fd >= 0 && !cli.str("out").empty()) {
+    write_file(cli.str("out"), host.output(out_fd));
+    std::printf("guest output written to %s\n", cli.str("out").c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,93 +264,36 @@ int main(int argc, char** argv) {
   cli.add_int("slice", 5000, "time slice interval in instructions");
   cli.add_string("libs", "exclude",
                  "library/OS routine policy: exclude | caller | track");
+  cli.add_string("tools", "",
+                 "profilers sharing the single pass: comma-separated subset of "
+                 "tquad,quad,gprof (default tquad; with -replay, enables "
+                 "session replay of full profiles)");
   cli.add_string("report", "all", "flat | bandwidth | phases | series | all");
   cli.add_string("csv", "", "write the flat profile as CSV to this path");
   cli.add_string("trace", "", "record the event trace (TQTR) to this path");
   cli.add_string("trace-format", "v2", "trace file format: v1 | v2 (blocked)");
   cli.add_string("replay", "", "aggregate this TQTR file offline instead of running");
   cli.add_int("threads", 4, "worker threads for -replay block-parallel aggregation");
+  cli.add_int("sample", 10'000, "gprof sample period in instructions");
   cli.add_string("out", "", "write guest output descriptor 's contents here");
   cli.add_double("cpu-ghz", 2.83, "target clock for unit conversion");
   cli.add_double("cpi", 1.0, "target cycles-per-instruction");
   cli.add_int("budget", 2'000'000'000, "abort after this many instructions");
   try {
     cli.parse(argc, argv);
-    if (!cli.str("replay").empty()) return replay_trace(cli);
+    validate_options(cli);
+    // Plain -replay keeps the classic offline bandwidth aggregation;
+    // -replay with -tools drives the full session machinery instead.
+    if (!cli.str("replay").empty() && cli.str("tools").empty()) {
+      return replay_trace(cli);
+    }
     if (cli.str("image").empty()) {
       std::fprintf(stderr, "%s", cli.help().c_str());
       return 2;
     }
-    // Validate the format flag before the (long) profiling run, not after.
-    const trace::TraceFormat trace_format = parse_trace_format(cli.str("trace-format"));
-    const vm::Program program = vm::Program::deserialize(read_file(cli.str("image")));
-    vm::HostEnv host;
-    if (!cli.str("in").empty()) host.attach_input(read_file(cli.str("in")));
-    const int out_fd = host.create_output();
-
-    pin::Engine engine(program, host);
-    tquad::Options options;
-    options.slice_interval = static_cast<std::uint64_t>(cli.integer("slice"));
-    options.library_policy = parse_policy(cli.str("libs"));
-    tquad::TQuadTool tool(engine, options);
-
-    // Optional simultaneous trace recording (listener chaining would need a
-    // second run; the recorder is cheap enough to justify one).
-    engine.set_instruction_budget(static_cast<std::uint64_t>(cli.integer("budget")));
-    const vm::RunResult result = engine.run();
-
-    const std::string report = cli.str("report");
-    std::printf("retired %s instructions; %llu time slices at interval %llu\n\n",
-                format_count(result.retired).c_str(),
-                static_cast<unsigned long long>(tool.bandwidth().max_slice() + 1),
-                static_cast<unsigned long long>(options.slice_interval));
-    if (report == "flat" || report == "all") {
-      std::printf("== flat profile ==\n%s\n",
-                  tquad::flat_profile_table(tool).to_ascii().c_str());
-    }
-    if (report == "bandwidth" || report == "all") {
-      tquad::CpuModel model;
-      model.clock_ghz = cli.real("cpu-ghz");
-      model.cpi = cli.real("cpi");
-      std::printf("== bandwidth (at %.2f GHz, CPI %.2f) ==\n%s\n", model.clock_ghz,
-                  model.cpi, tquad::bandwidth_table(tool, model).to_ascii().c_str());
-    }
-    if (report == "phases" || report == "all") {
-      const auto phases = tquad::detect_phases(tool);
-      std::printf("== phases ==\n%s\n",
-                  tquad::describe_phases(tool, phases).c_str());
-    }
-    if (report == "series" || report == "all") {
-      std::vector<ChartSeries> series;
-      for (const auto& row : tquad::flat_profile(tool)) {
-        if (series.size() == 12) break;
-        series.push_back(ChartSeries{
-            row.name, tquad::dense_series(tool, row.kernel,
-                                          tquad::Metric::kReadWriteIncl)});
-      }
-      std::printf("== activity (read+write bytes per slice) ==\n%s\n",
-                  render_heat_strips(series).c_str());
-    }
-    if (!cli.str("csv").empty()) {
-      write_text(cli.str("csv"), tquad::flat_profile_table(tool).to_csv());
-    }
-    if (!cli.str("trace").empty()) {
-      // Re-run under the recorder for a portable trace file.
-      vm::HostEnv trace_host;
-      if (!cli.str("in").empty()) trace_host.attach_input(read_file(cli.str("in")));
-      trace_host.create_output();
-      trace::TraceRecorder recorder(program, options.library_policy, trace_format);
-      vm::Machine machine(program, trace_host);
-      machine.run(&recorder);
-      write_file(cli.str("trace"), recorder.take_encoded());
-      std::printf("trace written to %s (%s)\n", cli.str("trace").c_str(),
-                  cli.str("trace-format").c_str());
-    }
-    if (!cli.str("out").empty()) {
-      write_file(cli.str("out"), host.output(out_fd));
-      std::printf("guest output written to %s\n", cli.str("out").c_str());
-    }
-    return 0;
+    const cli::ToolSet tools =
+        cli::parse_tools(cli.str("tools").empty() ? "tquad" : cli.str("tools"));
+    return run_profile(cli, tools);
   } catch (const Error& err) {
     std::fprintf(stderr, "tquad: %s\n", err.what());
     return 1;
