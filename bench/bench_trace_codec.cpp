@@ -6,11 +6,13 @@
 // v2 >= 4x smaller than v1 on this workload, enforced with TQUAD_CHECK),
 // encode/decode throughput, and sequential-v1 versus block-parallel-v2
 // offline aggregation time with a totals-equality cross-check.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/crc32c.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/trace.hpp"
@@ -89,6 +91,57 @@ int main(int argc, char** argv) {
     std::printf("\ncompression ratio (v1/v2): %.2fx (block capacity %u)\n\n",
                 ratio, block);
     TQUAD_CHECK(ratio >= 4.0, "v2 must be >= 4x smaller than v1 on stream");
+
+    // -- CRC overhead gate -------------------------------------------------
+    // v2.1 verifies a CRC-32C per block on the streaming decode path; the
+    // acceptance bar is < 5% decode-time overhead. The extra work v2.1 does
+    // per block is exactly one chained CRC over the 32 semantic header bytes
+    // plus the payload, so time that pass directly against the plain v2.0
+    // streaming decode (best-of-N each). Differencing two end-to-end decode
+    // timings instead would be ill-conditioned: run-to-run frequency and
+    // allocator noise is the same magnitude as the ~2% being measured.
+    const auto encode_minor = [&](std::uint32_t minor) {
+      trace::TraceV2Writer writer(trace.kernel_count, block, minor);
+      for (const trace::Record& record : trace.records) writer.add(record);
+      return writer.finish(trace.total_retired);
+    };
+    const auto v20_bytes = encode_minor(0);
+    const auto v21_bytes = encode_minor(trace::kV2MinorCrc);
+    const trace::TraceV2View plain_view = trace::TraceV2View::open(v20_bytes);
+    const trace::TraceV2View crc_view = trace::TraceV2View::open(v21_bytes);
+    double plain_decode = 1e100;
+    double crc_pass = 1e100;
+    volatile std::uint32_t crc_sink = 0;
+    for (int rep = 0; rep < 25; ++rep) {
+      auto begin = Clock::now();
+      std::size_t decoded = 0;
+      for (std::size_t b = 0; b < plain_view.block_count(); ++b) {
+        decoded += plain_view.decode_block(b).size();
+      }
+      TQUAD_CHECK(decoded == trace.records.size(), "streaming decode lost records");
+      plain_decode = std::min(plain_decode, seconds_since(begin));
+
+      begin = Clock::now();
+      for (std::size_t b = 0; b < crc_view.block_count(); ++b) {
+        const trace::BlockInfo& info = crc_view.block(b);
+        const std::uint8_t* header = v21_bytes.data() + info.file_offset;
+        crc_sink = crc32c(header + trace::kV2BlockHeaderBytes, info.payload_bytes,
+                          crc32c(header, 32));
+      }
+      crc_pass = std::min(crc_pass, seconds_since(begin));
+    }
+    (void)crc_sink;
+    const double crc_overhead = crc_pass / plain_decode;
+    std::printf("CRC-32C (%s): streaming decode %.1f Mev/s, per-block verify "
+                "pass %.1f GB/s, overhead %.2f%%\n\n",
+                crc32c_hardware() ? "sse4.2" : "software",
+                events / plain_decode / 1e6,
+                static_cast<double>(v21_bytes.size()) / crc_pass / 1e9,
+                crc_overhead * 100.0);
+    TQUAD_CHECK(crc_overhead < 0.05,
+                "CRC verification must cost < 5% on streaming decode");
+    TQUAD_CHECK(crc_view.decode_all().records.size() == trace.records.size(),
+                "v2.1 decode with verification lost records");
 
     // -- Aggregation ------------------------------------------------------
     start = Clock::now();

@@ -13,17 +13,19 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 # 2. ASan+UBSan on the trace stack and the session layer: codec
 #    round-trips, differential sweeps (including single-pass-vs-standalone
-#    and replay-vs-live equivalence), and the decoder fuzzers (the tests
-#    most likely to walk off a buffer).
+#    and replay-vs-live equivalence), the decoder fuzzers and the v2.1
+#    corruption/salvage suite (the tests most likely to walk off a buffer),
+#    plus the fault-injection differential harness.
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)" --target \
     test_trace test_trace_v2_codec test_trace_offline_differential \
-    test_fuzz_decoders test_session test_session_differential \
-    test_session_replay
+    test_fuzz_decoders test_trace_salvage test_fault_injection \
+    test_session test_session_differential test_session_replay
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders|test_session|test_session_differential|test_session_replay)$'
+    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders|test_trace_salvage|test_fault_injection|test_session|test_session_differential|test_session_replay)$'
 
-# 3. Codec bench: fails if v2 is not >= 4x smaller than v1 on stream.
+# 3. Codec bench: fails if v2 is not >= 4x smaller than v1 on stream or if
+#    v2.1 per-block CRC verification costs >= 5% on streaming decode.
 ./build/bench/bench_trace_codec
 
 echo "tier1: OK"

@@ -108,6 +108,11 @@ class GprofTool : public session::AnalysisConsumer {
   void on_tick_run(const session::TickRunEvent& run) override;
   void on_kernel_ret(const session::RetEvent& event) override;
   void on_session_end(std::uint64_t total_retired) override;
+  void on_finish(const vm::RunOutcome& outcome) override { outcome_ = outcome; }
+
+  /// How the observed run ended (session mode; kHalted for a clean run).
+  /// A trapped/truncated outcome means the profile is a valid prefix.
+  const vm::RunOutcome& outcome() const noexcept { return outcome_; }
 
  private:
   static void enter_fc(void* tool, const pin::RtnArgs& args);
@@ -134,6 +139,7 @@ class GprofTool : public session::AnalysisConsumer {
   std::vector<std::uint64_t> inclusive_;
   std::vector<std::uint64_t> activation_depth_;
   std::vector<std::uint64_t> activation_start_;
+  vm::RunOutcome outcome_;
   std::uint64_t total_samples_ = 0;
   std::uint64_t total_retired_ = 0;
   std::uint64_t next_sample_ = 0;

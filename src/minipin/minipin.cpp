@@ -58,7 +58,7 @@ void Engine::add_fini_function(std::function<void(std::uint64_t)> callback) {
   fini_callbacks_.push_back(std::move(callback));
 }
 
-vm::RunResult Engine::run() {
+vm::RunOutcome Engine::run() {
   TQUAD_CHECK(!ran_, "Engine::run is single-shot; construct a fresh Engine");
   ran_ = true;
   return machine_.run(this);

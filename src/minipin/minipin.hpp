@@ -131,12 +131,20 @@ class Engine final : public vm::ExecListener {
   void add_rtn_instrument_function(std::function<void(Rtn&)> callback);
   void add_fini_function(std::function<void(std::uint64_t retired)> callback);
 
-  /// Execute the program under instrumentation.
-  vm::RunResult run();
+  /// Execute the program under instrumentation. Guest traps and budget
+  /// exhaustion come back as RunOutcome statuses (fini callbacks still
+  /// fire); host/tool errors throw.
+  vm::RunOutcome run();
 
-  /// Abort the run once this many instructions retire (0 = unlimited).
+  /// Stop the run gracefully once this many instructions retire
+  /// (0 = unlimited).
   void set_instruction_budget(std::uint64_t budget) noexcept {
     machine_.set_instruction_budget(budget);
+  }
+
+  /// Arm deterministic fault injection on the underlying Machine.
+  void set_fault_plan(const vm::FaultPlan& plan) noexcept {
+    machine_.set_fault_plan(plan);
   }
 
   const vm::Program& program() const noexcept { return program_; }

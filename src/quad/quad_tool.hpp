@@ -141,6 +141,11 @@ class QuadTool : public session::AnalysisConsumer {
   void on_tick(const session::TickEvent& event) override;
   void on_tick_run(const session::TickRunEvent& run) override;
   void on_access(const session::AccessEvent& event) override;
+  void on_finish(const vm::RunOutcome& outcome) override { outcome_ = outcome; }
+
+  /// How the observed run ended (session mode; kHalted for a clean run).
+  /// A trapped/truncated outcome means the profile is a valid prefix.
+  const vm::RunOutcome& outcome() const noexcept { return outcome_; }
 
  private:
   static void enter_fc(void* tool, const pin::RtnArgs& args);
@@ -176,6 +181,7 @@ class QuadTool : public session::AnalysisConsumer {
     AddressSet unma;
   };
   std::map<std::pair<std::uint32_t, std::uint32_t>, BindingAccum> bindings_;
+  vm::RunOutcome outcome_;
 };
 
 }  // namespace tq::quad

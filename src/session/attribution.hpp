@@ -162,6 +162,17 @@ class KernelAttribution {
     }
   }
 
+  /// End of input with the structured outcome: flush, deliver
+  /// on_session_end(outcome.retired), then on_finish(outcome) to every
+  /// consumer. Event sources call this on every path (halt/trap/truncation)
+  /// so partial profiles are flushed and stamped, never discarded.
+  void input_finish(const vm::RunOutcome& outcome) {
+    input_end(outcome.retired);
+    for (AnalysisConsumer* consumer : consumers_) {
+      consumer->on_finish(outcome);
+    }
+  }
+
  private:
   void flush_run() {
     if (run_count_ == 0) return;

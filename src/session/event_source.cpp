@@ -79,7 +79,7 @@ void LiveEngineSource::enter_fc(void* attribution, const pin::RtnArgs& args) {
   static_cast<KernelAttribution*>(attribution)->input_enter(args.func, args.retired);
 }
 
-std::uint64_t LiveEngineSource::run(KernelAttribution& attribution) {
+vm::RunOutcome LiveEngineSource::run(KernelAttribution& attribution) {
   TQUAD_CHECK(!ran_, "LiveEngineSource::run is single-shot; construct a fresh one");
   ran_ = true;
   KernelAttribution* sink = &attribution;
@@ -101,9 +101,12 @@ std::uint64_t LiveEngineSource::run(KernelAttribution& attribution) {
       ins.insert_call(&LiveEngineSource::on_tick, sink);
     }
   });
-  engine_.add_fini_function(
-      [sink](std::uint64_t retired) { sink->input_end(retired); });
-  return engine_.run().retired;
+  // input_finish runs after the engine returns (not as a fini callback) so
+  // the structured outcome — including trap details — reaches every
+  // consumer on the trap and truncation paths too.
+  const vm::RunOutcome outcome = engine_.run();
+  attribution.input_finish(outcome);
+  return outcome;
 }
 
 // ---- TraceReplaySource ----------------------------------------------------------
@@ -141,10 +144,10 @@ class ReplayFeeder {
     }
   }
 
-  void finish(std::uint64_t total_retired) {
+  void finish(const vm::RunOutcome& outcome) {
     flush_group();
-    emit_silent_ticks_until(total_retired);
-    attribution_.input_end(total_retired);
+    emit_silent_ticks_until(outcome.retired);
+    attribution_.input_finish(outcome);
   }
 
  private:
@@ -222,27 +225,23 @@ class ReplayFeeder {
   std::uint64_t next_tick_ = 0;
 };
 
-bool is_v2_image(std::span<const std::uint8_t> bytes) {
-  return bytes.size() >= 8 && bytes[0] == 'T' && bytes[1] == 'Q' &&
-         bytes[2] == 'T' && bytes[3] == 'R' && bytes[4] == 2 && bytes[5] == 0 &&
-         bytes[6] == 0 && bytes[7] == 0;
-}
-
 }  // namespace
 
 TraceReplaySource::TraceReplaySource(std::span<const std::uint8_t> bytes,
-                                     const vm::Program& program)
-    : bytes_(bytes), program_(program) {}
+                                     const vm::Program& program, bool salvage)
+    : bytes_(bytes), program_(program), salvage_(salvage) {}
 
-std::uint64_t TraceReplaySource::run(KernelAttribution& attribution) {
+vm::RunOutcome TraceReplaySource::run(KernelAttribution& attribution) {
   TQUAD_CHECK(!ran_, "TraceReplaySource::run is single-shot; construct a fresh one");
   ran_ = true;
   const auto function_count =
       static_cast<std::uint32_t>(program_.functions().size());
   ReplayFeeder feeder(attribution, function_count);
-  std::uint64_t total_retired = 0;
-  if (is_v2_image(bytes_)) {
-    const trace::TraceV2View view = trace::TraceV2View::open(bytes_);
+  vm::RunOutcome outcome;
+  if (trace::is_v2_image(bytes_)) {
+    const trace::TraceV2View view =
+        salvage_ ? trace::TraceV2View::salvage(bytes_, &salvage_report_)
+                 : trace::TraceV2View::open(bytes_);
     if (view.kernel_count() != function_count) {
       TQUAD_THROW("trace was recorded from a different image (kernel count mismatch)");
     }
@@ -250,17 +249,24 @@ std::uint64_t TraceReplaySource::run(KernelAttribution& attribution) {
       const std::vector<trace::Record> records = view.decode_block(b);
       feeder.feed(records);
     }
-    total_retired = view.total_retired();
+    outcome.retired = view.total_retired();
+    // A salvaged stream with losses is an incomplete profile; say so.
+    if (salvage_ && !salvage_report_.clean()) {
+      outcome.status = vm::RunStatus::kTruncated;
+    }
   } else {
+    if (salvage_) {
+      TQUAD_THROW("salvage replay supports TQTR v2 traces only");
+    }
     const trace::Trace trace = trace::Trace::deserialize(bytes_);
     if (trace.kernel_count != function_count) {
       TQUAD_THROW("trace was recorded from a different image (kernel count mismatch)");
     }
     feeder.feed(trace.records);
-    total_retired = trace.total_retired;
+    outcome.retired = trace.total_retired;
   }
-  feeder.finish(total_retired);
-  return total_retired;
+  feeder.finish(outcome);
+  return outcome;
 }
 
 }  // namespace tq::session

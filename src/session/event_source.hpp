@@ -14,6 +14,7 @@
 
 #include "minipin/minipin.hpp"
 #include "session/attribution.hpp"
+#include "trace/trace_v2.hpp"
 #include "vm/host_env.hpp"
 #include "vm/program.hpp"
 
@@ -21,12 +22,13 @@ namespace tq::session {
 
 /// A source of raw profiling events. run() drives the whole stream through
 /// `attribution` (enter/tick/access/ret in retirement order, then
-/// input_end) and returns the total retired instruction count.
+/// input_finish on every path — including guest traps and truncation) and
+/// returns the structured outcome. Only host/tool errors throw.
 class EventSource {
  public:
   virtual ~EventSource() = default;
   virtual const vm::Program& program() const noexcept = 0;
-  virtual std::uint64_t run(KernelAttribution& attribution) = 0;
+  virtual vm::RunOutcome run(KernelAttribution& attribution) = 0;
 };
 
 /// Executes the guest once under minipin instrumentation. Single-shot,
@@ -36,8 +38,13 @@ class LiveEngineSource final : public EventSource {
   LiveEngineSource(const vm::Program& program, vm::HostEnv& host,
                    std::uint64_t instruction_budget = 0);
 
+  /// Arm deterministic fault injection on the underlying Machine.
+  void set_fault_plan(const vm::FaultPlan& plan) noexcept {
+    engine_.set_fault_plan(plan);
+  }
+
   const vm::Program& program() const noexcept override { return engine_.program(); }
-  std::uint64_t run(KernelAttribution& attribution) override;
+  vm::RunOutcome run(KernelAttribution& attribution) override;
 
  private:
   // Fused per-instruction trampolines, chosen at instrument time by the
@@ -70,14 +77,23 @@ class LiveEngineSource final : public EventSource {
 /// them (see docs/FORMATS.md, "Replaying full profiles").
 class TraceReplaySource final : public EventSource {
  public:
-  TraceReplaySource(std::span<const std::uint8_t> bytes, const vm::Program& program);
+  TraceReplaySource(std::span<const std::uint8_t> bytes, const vm::Program& program,
+                    bool salvage = false);
 
   const vm::Program& program() const noexcept override { return program_; }
-  std::uint64_t run(KernelAttribution& attribution) override;
+  vm::RunOutcome run(KernelAttribution& attribution) override;
+
+  /// After a salvage-mode run: what the decoder recovered vs. dropped
+  /// (zero-valued when the trace was clean). v2-only.
+  const trace::SalvageReport& salvage_report() const noexcept {
+    return salvage_report_;
+  }
 
  private:
   std::span<const std::uint8_t> bytes_;
   const vm::Program& program_;
+  trace::SalvageReport salvage_report_;
+  bool salvage_ = false;
   bool ran_ = false;
 };
 

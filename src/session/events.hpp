@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "tquad/callstack.hpp"
+#include "vm/run_outcome.hpp"
 
 namespace tq::session {
 
@@ -134,6 +135,12 @@ class AnalysisConsumer {
 
   /// End of the run; `total_retired` is the final instruction count.
   virtual void on_session_end(std::uint64_t total_retired) { (void)total_retired; }
+
+  /// The structured outcome, delivered right after on_session_end on every
+  /// path — clean halt, guest trap, or budget truncation. Tools that stamp
+  /// reports (PARTIAL/TRUNCATED) or must finalize durable output (the trace
+  /// recorder) hook this; pure accumulators can ignore it.
+  virtual void on_finish(const vm::RunOutcome& outcome) { (void)outcome; }
 };
 
 }  // namespace tq::session

@@ -12,24 +12,28 @@ void ProfileSession::add_consumer(AnalysisConsumer& consumer) {
   attribution_.add_consumer(consumer);
 }
 
-std::uint64_t ProfileSession::run(EventSource& source) {
+vm::RunOutcome ProfileSession::run(EventSource& source) {
   TQUAD_CHECK(!ran_, "ProfileSession::run is single-shot; construct a fresh one");
   TQUAD_CHECK(&source.program() == &attribution_.program(),
               "event source built from a different program");
   ran_ = true;
-  total_retired_ = source.run(attribution_);
-  return total_retired_;
+  outcome_ = source.run(attribution_);
+  return outcome_;
 }
 
-std::uint64_t ProfileSession::run_live(vm::HostEnv& host) {
+vm::RunOutcome ProfileSession::run_live(vm::HostEnv& host) {
   LiveEngineSource source(attribution_.program(), host,
                           config_.instruction_budget);
+  source.set_fault_plan(config_.fault_plan);
   return run(source);
 }
 
-std::uint64_t ProfileSession::replay(std::span<const std::uint8_t> trace_bytes) {
-  TraceReplaySource source(trace_bytes, attribution_.program());
-  return run(source);
+vm::RunOutcome ProfileSession::replay(std::span<const std::uint8_t> trace_bytes,
+                                      bool salvage) {
+  TraceReplaySource source(trace_bytes, attribution_.program(), salvage);
+  const vm::RunOutcome outcome = run(source);
+  salvage_report_ = source.salvage_report();
+  return outcome;
 }
 
 }  // namespace tq::session

@@ -30,6 +30,7 @@ namespace tq::session {
 struct SessionConfig {
   tquad::LibraryPolicy library_policy = tquad::LibraryPolicy::kExclude;
   std::uint64_t instruction_budget = 0;  ///< live runs only; 0 = unlimited
+  vm::FaultPlan fault_plan;              ///< live runs only; default disarmed
 };
 
 class ProfileSession {
@@ -43,24 +44,37 @@ class ProfileSession {
   void add_consumer(AnalysisConsumer& consumer);
 
   /// Drive `source` through the attribution pass. Single-shot. Returns the
-  /// total retired instruction count.
-  std::uint64_t run(EventSource& source);
+  /// structured outcome: guest traps and budget truncation come back as
+  /// statuses — every consumer has already been flushed and notified via
+  /// on_finish() — while host/tool errors throw.
+  vm::RunOutcome run(EventSource& source);
 
   /// Execute the guest once under live instrumentation.
-  std::uint64_t run_live(vm::HostEnv& host);
+  vm::RunOutcome run_live(vm::HostEnv& host);
 
-  /// Replay a recorded TQTR byte image (v1 or v2, auto-detected).
-  std::uint64_t replay(std::span<const std::uint8_t> trace_bytes);
+  /// Replay a recorded TQTR byte image (v1 or v2, auto-detected). With
+  /// `salvage`, corrupt or truncated v2 blocks are skipped instead of
+  /// failing the replay (see TraceV2View::salvage); the recovery details
+  /// are in salvage_report() afterwards.
+  vm::RunOutcome replay(std::span<const std::uint8_t> trace_bytes,
+                        bool salvage = false);
 
   const vm::Program& program() const noexcept { return attribution_.program(); }
   const SessionConfig& config() const noexcept { return config_; }
   const KernelAttribution& attribution() const noexcept { return attribution_; }
-  std::uint64_t total_retired() const noexcept { return total_retired_; }
+  std::uint64_t total_retired() const noexcept { return outcome_.retired; }
+  /// The outcome of the completed run (valid after run/run_live/replay).
+  const vm::RunOutcome& outcome() const noexcept { return outcome_; }
+  /// What a salvage replay recovered (zero-valued otherwise).
+  const trace::SalvageReport& salvage_report() const noexcept {
+    return salvage_report_;
+  }
 
  private:
   SessionConfig config_;
   KernelAttribution attribution_;
-  std::uint64_t total_retired_ = 0;
+  vm::RunOutcome outcome_;
+  trace::SalvageReport salvage_report_;
   bool ran_ = false;
 };
 

@@ -1,0 +1,174 @@
+#include "support/crc32c.hpp"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define TQUAD_CRC32C_X86 1
+#endif
+
+namespace tq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Software path: slicing-by-8 (processes 8 bytes per iteration with eight
+// 256-entry tables; ~1 GB/s class, used only when SSE4.2 is absent).
+
+struct Tables {
+  std::uint32_t t[8][256];
+
+  Tables() noexcept {
+    constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (int slice = 1; slice < 8; ++slice) {
+        t[slice][i] = (t[slice - 1][i] >> 8) ^ t[0][t[slice - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+std::uint32_t crc32c_sw(const std::uint8_t* p, std::size_t n,
+                        std::uint32_t crc) noexcept {
+  static const Tables tables;
+  const auto& t = tables.t;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;
+    crc = t[7][word & 0xff] ^ t[6][(word >> 8) & 0xff] ^
+          t[5][(word >> 16) & 0xff] ^ t[4][(word >> 24) & 0xff] ^
+          t[3][(word >> 32) & 0xff] ^ t[2][(word >> 40) & 0xff] ^
+          t[1][(word >> 48) & 0xff] ^ t[0][word >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xff];
+  }
+  return crc;
+}
+
+// ---------------------------------------------------------------------------
+// Hardware path: the SSE4.2 crc32 instruction. A single crc32q chain is
+// latency-bound (8 bytes per 3 cycles), so the bulk loop runs three
+// independent chains over adjacent 1 KiB lanes and merges them with a
+// table-driven "advance the CRC past 1 KiB of zeros" operator — CRC is
+// linear over GF(2), so the operator is a 32x32 bit matrix folded into four
+// 256-entry lookup tables. ~3x the single-chain throughput on wide cores.
+// The target attribute scopes -msse4.2 to these functions only; callers must
+// gate on the cpuid check below.
+
+#ifdef TQUAD_CRC32C_X86
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw_chain(
+    const std::uint8_t* p, std::size_t n, std::uint32_t crc) noexcept {
+#if defined(__x86_64__)
+  std::uint64_t crc64 = crc;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+#endif
+  while (n--) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+
+#if defined(__x86_64__)
+constexpr std::size_t kLane = 1024;  // bytes per interleaved chain
+
+struct LaneShiftTables {
+  std::uint32_t t[4][256];
+
+  LaneShiftTables() noexcept {
+    // basis[i]: a CRC state with only bit i set, advanced past kLane zero
+    // bytes. Any state's advance is then the XOR of the basis vectors of its
+    // set bits, folded bytewise into four tables.
+    const std::uint8_t zeros[kLane] = {};
+    std::uint32_t basis[32];
+    for (int i = 0; i < 32; ++i) {
+      basis[i] = crc32c_hw_chain(zeros, kLane, 1u << i);
+    }
+    for (int b = 0; b < 4; ++b) {
+      for (int v = 0; v < 256; ++v) {
+        std::uint32_t acc = 0;
+        for (int j = 0; j < 8; ++j) {
+          if (v & (1 << j)) acc ^= basis[8 * b + j];
+        }
+        t[b][v] = acc;
+      }
+    }
+  }
+
+  std::uint32_t shift(std::uint32_t crc) const noexcept {
+    return t[0][crc & 0xff] ^ t[1][(crc >> 8) & 0xff] ^
+           t[2][(crc >> 16) & 0xff] ^ t[3][crc >> 24];
+  }
+};
+#endif
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    const std::uint8_t* p, std::size_t n, std::uint32_t crc) noexcept {
+#if defined(__x86_64__)
+  if (n >= 3 * kLane) {
+    // Safe magic-static: the constructor only issues kLane-sized chain
+    // calls, which never re-enter this branch.
+    static const LaneShiftTables tables;
+    while (n >= 3 * kLane) {
+      std::uint64_t c0 = crc;
+      std::uint64_t c1 = 0;
+      std::uint64_t c2 = 0;
+      for (std::size_t i = 0; i < kLane; i += 8) {
+        std::uint64_t w0, w1, w2;
+        std::memcpy(&w0, p + i, 8);
+        std::memcpy(&w1, p + kLane + i, 8);
+        std::memcpy(&w2, p + 2 * kLane + i, 8);
+        c0 = _mm_crc32_u64(c0, w0);
+        c1 = _mm_crc32_u64(c1, w1);
+        c2 = _mm_crc32_u64(c2, w2);
+      }
+      // crc(A|B|C) = shift(shift(crcA) ^ crcB) ^ crcC, shift = +kLane zeros.
+      crc = tables.shift(tables.shift(static_cast<std::uint32_t>(c0)) ^
+                         static_cast<std::uint32_t>(c1)) ^
+            static_cast<std::uint32_t>(c2);
+      p += 3 * kLane;
+      n -= 3 * kLane;
+    }
+  }
+#endif
+  return crc32c_hw_chain(p, n, crc);
+}
+
+bool detect_hardware() noexcept { return __builtin_cpu_supports("sse4.2"); }
+#else
+bool detect_hardware() noexcept { return false; }
+#endif
+
+const bool kUseHardware = detect_hardware();
+
+}  // namespace
+
+bool crc32c_hardware() noexcept { return kUseHardware; }
+
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+#ifdef TQUAD_CRC32C_X86
+  if (kUseHardware) return ~crc32c_hw(p, size, crc);
+#endif
+  return ~crc32c_sw(p, size, crc);
+}
+
+}  // namespace tq

@@ -1,0 +1,23 @@
+// CRC-32C (Castagnoli), the per-block checksum of TQTR v2.1.
+//
+// The Castagnoli polynomial (0x1EDC6F41, reflected 0x82F63B78) is the one
+// with hardware support on x86 (SSE4.2 `crc32`), which keeps integrity
+// checking essentially free on the streaming decode path; a slicing-by-8
+// table implementation covers every other host. Same parameterisation as
+// iSCSI/RFC 3720: init 0xffffffff, reflected, final xor 0xffffffff.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tq {
+
+/// Checksum `size` bytes. Pass a previous result as `seed` to chain
+/// non-contiguous regions: crc32c(b, nb, crc32c(a, na)).
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0) noexcept;
+
+/// True when the SSE4.2 hardware path is in use (exposed for the bench).
+bool crc32c_hardware() noexcept;
+
+}  // namespace tq

@@ -90,6 +90,11 @@ class TQuadTool : public session::AnalysisConsumer {
   void on_tick_run(const session::TickRunEvent& run) override;
   void on_access(const session::AccessEvent& event) override;
   void on_session_end(std::uint64_t total_retired) override;
+  void on_finish(const vm::RunOutcome& outcome) override { outcome_ = outcome; }
+
+  /// How the observed run ended (session mode; kHalted for a clean run).
+  /// A trapped/truncated outcome means the profile is a valid prefix.
+  const vm::RunOutcome& outcome() const noexcept { return outcome_; }
 
  private:
   // Analysis routines (static trampolines, pintool style; standalone mode).
@@ -115,6 +120,7 @@ class TQuadTool : public session::AnalysisConsumer {
   CallStack stack_;  ///< standalone attribution; static tables in session mode
   BandwidthRecorder recorder_;
   std::vector<KernelActivity> activity_;
+  vm::RunOutcome outcome_;
   std::uint64_t total_retired_ = 0;
   std::uint64_t unattributed_ = 0;
 };

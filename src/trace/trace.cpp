@@ -1,5 +1,6 @@
 #include "trace/trace.hpp"
 
+#include <cstdio>
 #include <exception>
 
 #include "support/check.hpp"
@@ -47,7 +48,8 @@ Trace Trace::deserialize(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 8) TQUAD_THROW("TQTR trace too short for a header");
   if (header.u32() != kMagic) TQUAD_THROW("not a TQTR trace (bad magic)");
   const std::uint32_t version = header.u32();
-  if (version == static_cast<std::uint32_t>(TraceFormat::kV2)) {
+  if ((version & 0xffffu) == static_cast<std::uint32_t>(TraceFormat::kV2)) {
+    // v2.x (the minor lives in the high half; TraceV2View::open validates it).
     return TraceV2View::open(bytes).decode_all();
   }
   if (version != static_cast<std::uint32_t>(TraceFormat::kV1)) {
@@ -101,7 +103,28 @@ TraceRecorder::TraceRecorder(const vm::Program& program, tquad::LibraryPolicy po
   }
 }
 
-TraceRecorder::~TraceRecorder() = default;
+TraceRecorder::~TraceRecorder() {
+  // Never throw out of a destructor (the recorder may be unwinding with the
+  // rest of a failed session): contain a failing final flush and report it.
+  try {
+    finalize();
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "TraceRecorder: finalize failed: %s\n", err.what());
+  } catch (...) {
+    std::fprintf(stderr, "TraceRecorder: finalize failed\n");
+  }
+}
+
+void TraceRecorder::on_finish(const vm::RunOutcome& outcome) {
+  (void)outcome;  // total_retired already arrived via on_session_end
+  finalize();
+}
+
+void TraceRecorder::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (writer_) encoded_ = writer_->finish(trace_.total_retired);
+}
 
 void TraceRecorder::push(const Record& record) {
   last_retired_ = record.retired;
@@ -224,7 +247,10 @@ Trace TraceRecorder::take() {
 }
 
 std::vector<std::uint8_t> TraceRecorder::take_encoded() {
-  if (writer_) return writer_->finish(trace_.total_retired);
+  if (writer_) {
+    finalize();
+    return std::move(encoded_);
+  }
   return take().serialize();
 }
 

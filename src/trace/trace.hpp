@@ -140,6 +140,13 @@ class TraceRecorder final : public vm::ExecListener,
   void on_access(const session::AccessEvent& event) override;
   void on_kernel_ret(const session::RetEvent& event) override;
   void on_session_end(std::uint64_t total_retired) override;
+  void on_finish(const vm::RunOutcome& outcome) override;
+
+  /// Seal the trace: flush the open v2 block and append the file index.
+  /// Idempotent; runs on every session outcome (on_finish) — including
+  /// guest traps and truncation — and from take_encoded(), so a trace
+  /// recorded up to a fault is a complete, replayable file.
+  void finalize();
 
   /// Take the finished in-memory trace (v1 mode only; the recorder is
   /// spent). In v2 mode the records were streamed out — use take_encoded().
@@ -154,8 +161,10 @@ class TraceRecorder final : public vm::ExecListener,
 
   tquad::CallStack stack_;  ///< standalone attribution; idle in session mode
   Trace trace_;
-  std::unique_ptr<TraceV2Writer> writer_;  ///< non-null in kV2 mode
+  std::unique_ptr<TraceV2Writer> writer_;   ///< non-null in kV2 mode
+  std::vector<std::uint8_t> encoded_;       ///< sealed v2 image (finalize())
   std::uint64_t last_retired_ = 0;
+  bool finalized_ = false;
 };
 
 /// Consumer interface for replay().

@@ -23,11 +23,29 @@ void Machine::trap(const std::string& why) const {
   throw TrapError("guest trap: " + why + " (in '" + where + "' at pc " +
                       std::to_string(cpu_.pc) + ", retired " +
                       std::to_string(retired_) + ")",
-                  cpu_.func, cpu_.pc);
+                  why, cpu_.func, cpu_.pc);
+}
+
+// FaultPlan function-entry trigger. Runs right after on_rtn_enter fired for
+// the entered routine, so the event stream up to the trap matches a clean
+// run cut at the same retired count.
+void Machine::check_entry_fault() {
+  if (fault_.fail_func == FaultPlan::kNoFunc || cpu_.func != fault_.fail_func)
+    return;
+  if (++fault_entries_seen_ >= fault_.fail_func_entries) {
+    trap("fault injection: function entered " +
+         std::to_string(fault_entries_seen_) + " time(s)");
+  }
 }
 
 void Machine::do_sys(const Instr& ins) {
   auto& r = cpu_.regs;
+  ++syscalls_seen_;
+  if (fault_.fail_syscall != 0 && syscalls_seen_ == fault_.fail_syscall)
+      [[unlikely]] {
+    trap("fault injection: syscall " + std::to_string(syscalls_seen_) +
+         " failed");
+  }
   try {
     switch (static_cast<isa::Sys>(ins.imm)) {
       case isa::Sys::kAlloc: {
@@ -81,17 +99,33 @@ void Machine::do_sys(const Instr& ins) {
   }
 }
 
-RunResult Machine::run(ExecListener* listener) {
+RunOutcome Machine::run(ExecListener* listener) {
   TQUAD_CHECK(!ran_, "Machine::run is single-shot; construct a fresh Machine");
   ran_ = true;
   for (const DataInit& init : program_.data()) {
     memory_.write(init.addr, init.bytes);
   }
-  return listener ? run_loop<true>(listener) : run_loop<false>(nullptr);
+  try {
+    return listener ? run_loop<true>(listener) : run_loop<false>(nullptr);
+  } catch (const TrapError& err) {
+    // Guest-attributable fault: a structured outcome, not a host error. The
+    // listener still sees on_program_end so tools flush their partial state.
+    RunOutcome out;
+    out.status = RunStatus::kTrapped;
+    out.retired = retired_;
+    out.trap_kind = err.reason();
+    out.trap_function = err.func() < program_.functions().size()
+                            ? program_.functions()[err.func()].name
+                            : "<bad function>";
+    out.trap_func = err.func();
+    out.trap_pc = err.pc();
+    if (listener) listener->on_program_end(retired_);
+    return out;
+  }
 }
 
 template <bool kTraced>
-RunResult Machine::run_loop(ExecListener* listener) {
+RunOutcome Machine::run_loop(ExecListener* listener) {
   cpu_.func = program_.entry();
   cpu_.pc = 0;
   cpu_.sp() = kStackBase;
@@ -99,6 +133,7 @@ RunResult Machine::run_loop(ExecListener* listener) {
     listener->on_program_start(program_);
     listener->on_rtn_enter(cpu_.func);
   }
+  check_entry_fault();
   const Function* fn = &program_.functions()[cpu_.func];
   auto& r = cpu_.regs;
   auto& f = cpu_.fregs;
@@ -109,7 +144,17 @@ RunResult Machine::run_loop(ExecListener* listener) {
     }
     const Instr& ins = fn->code[cpu_.pc];
     if (budget_ != 0 && retired_ >= budget_) [[unlikely]] {
-      trap("instruction budget exhausted");
+      // Graceful truncation: the events so far are a valid prefix.
+      if constexpr (kTraced) listener->on_program_end(retired_);
+      RunOutcome out;
+      out.status = RunStatus::kTruncated;
+      out.retired = retired_;
+      return out;
+    }
+    if (fault_.trap_at_retired != 0 && retired_ >= fault_.trap_at_retired)
+        [[unlikely]] {
+      trap("fault injection: trap at retired " +
+           std::to_string(fault_.trap_at_retired));
     }
     const bool executed = !ins.predicated() || r[ins.pr] != 0;
 
@@ -156,7 +201,9 @@ RunResult Machine::run_loop(ExecListener* listener) {
         break;
       case Op::kHalt: {
         if constexpr (kTraced) listener->on_program_end(retired_);
-        return RunResult{retired_};
+        RunOutcome out;
+        out.retired = retired_;
+        return out;
       }
 
       case Op::kAdd: r[ins.rd] = r[ins.ra] + r[ins.rb]; break;
@@ -330,6 +377,7 @@ RunResult Machine::run_loop(ExecListener* listener) {
         cpu_.pc = 0;
         fn = &program_.functions()[cpu_.func];
         if constexpr (kTraced) listener->on_rtn_enter(cpu_.func);
+        check_entry_fault();
         continue;
       }
       case Op::kRet: {
@@ -358,7 +406,7 @@ RunResult Machine::run_loop(ExecListener* listener) {
   }
 }
 
-template RunResult Machine::run_loop<false>(ExecListener*);
-template RunResult Machine::run_loop<true>(ExecListener*);
+template RunOutcome Machine::run_loop<false>(ExecListener*);
+template RunOutcome Machine::run_loop<true>(ExecListener*);
 
 }  // namespace tq::vm

@@ -18,6 +18,7 @@
 #include "support/paged_memory.hpp"
 #include "vm/host_env.hpp"
 #include "vm/program.hpp"
+#include "vm/run_outcome.hpp"
 
 namespace tq::vm {
 
@@ -76,23 +77,50 @@ class ExecListener {
   virtual void on_program_end(std::uint64_t retired) { (void)retired; }
 };
 
-/// Outcome of a completed run.
-struct RunResult {
-  std::uint64_t retired = 0;  ///< total retired instructions
-};
-
 /// Guest trap: unrecoverable runtime fault (bad descriptor, stack overflow,
 /// division by zero, runaway execution). Carries the faulting location.
+/// Machine::run converts it into a RunOutcome{kTrapped}; it only escapes when
+/// thrown outside the run loop.
 class TrapError : public Error {
  public:
-  TrapError(std::string message, std::uint32_t func, std::uint32_t pc)
-      : Error(std::move(message)), func_(func), pc_(pc) {}
+  TrapError(std::string message, std::string reason, std::uint32_t func,
+            std::uint32_t pc)
+      : Error(std::move(message)),
+        reason_(std::move(reason)),
+        func_(func),
+        pc_(pc) {}
+  /// The bare fault kind (e.g. "guest stack overflow"), without location.
+  const std::string& reason() const noexcept { return reason_; }
   std::uint32_t func() const noexcept { return func_; }
   std::uint32_t pc() const noexcept { return pc_; }
 
  private:
+  std::string reason_;
   std::uint32_t func_;
   std::uint32_t pc_;
+};
+
+/// Deterministic fault injection: make the guest trap at a precise point so
+/// tests can prove that partial profiles equal the prefix of a clean run.
+/// Zero / kNoFunc fields disable the corresponding trigger. All triggers
+/// fire *after* the events of every earlier instruction were delivered, so a
+/// plan that traps with N instructions retired produces exactly the event
+/// stream of a budget-N truncated run.
+struct FaultPlan {
+  static constexpr std::uint32_t kNoFunc = 0xffffffffu;
+
+  /// Trap before retiring instruction N (so exactly N instructions retire).
+  std::uint64_t trap_at_retired = 0;
+  /// Trap inside the K-th executed syscall (1-based), as if the host call
+  /// had failed mid-flight.
+  std::uint64_t fail_syscall = 0;
+  /// Trap once `fail_func` has been entered `fail_func_entries` times.
+  std::uint32_t fail_func = kNoFunc;
+  std::uint64_t fail_func_entries = 1;
+
+  bool armed() const noexcept {
+    return trap_at_retired != 0 || fail_syscall != 0 || fail_func != kNoFunc;
+  }
 };
 
 /// The virtual machine. Bind a validated Program and a HostEnv, then run().
@@ -101,14 +129,20 @@ class Machine {
   /// `program` and `host` must outlive the Machine.
   Machine(const Program& program, HostEnv& host);
 
-  /// Execute from the program entry to kHalt. If `listener` is null the
+  /// Execute from the program entry until kHalt, a guest trap, or budget
+  /// exhaustion — all three are RunOutcome statuses, not exceptions, and on
+  /// every path `listener->on_program_end()` fires so tools can flush what
+  /// they observed. Host/tool errors still throw. If `listener` is null the
   /// uninstrumented fast path runs (the "native execution" baseline of the
   /// paper's overhead numbers). Can be called once per Machine.
-  RunResult run(ExecListener* listener = nullptr);
+  RunOutcome run(ExecListener* listener = nullptr);
 
-  /// Abort the run (throw TrapError) once this many instructions retire.
-  /// Zero (default) means unlimited.
+  /// Stop the run gracefully (RunStatus::kTruncated) once this many
+  /// instructions retire. Zero (default) means unlimited.
   void set_instruction_budget(std::uint64_t budget) noexcept { budget_ = budget; }
+
+  /// Arm deterministic fault injection (see FaultPlan).
+  void set_fault_plan(const FaultPlan& plan) noexcept { fault_ = plan; }
 
   /// Post-run inspection.
   const Cpu& cpu() const noexcept { return cpu_; }
@@ -119,9 +153,10 @@ class Machine {
 
  private:
   template <bool kTraced>
-  RunResult run_loop(ExecListener* listener);
+  RunOutcome run_loop(ExecListener* listener);
 
   [[noreturn]] void trap(const std::string& why) const;
+  void check_entry_fault();
   void do_sys(const isa::Instr& ins);
 
   const Program& program_;
@@ -131,6 +166,9 @@ class Machine {
   std::uint64_t retired_ = 0;
   std::uint64_t budget_ = 0;
   std::uint64_t heap_ptr_ = kHeapBase;
+  FaultPlan fault_;
+  std::uint64_t syscalls_seen_ = 0;
+  std::uint64_t fault_entries_seen_ = 0;
   bool ran_ = false;
 };
 

@@ -38,6 +38,30 @@ cmp table_v2.txt table_v1.txt
 test -s quad_run.tqtr
 "$TOOLS/tquad_cli" -replay quad_run.tqtr -slice 2000 > replay_quad.txt
 grep -q "replayed v2 trace" replay_quad.txt
+# tqtr_doctor: a freshly recorded trace verifies clean and summarizes.
+"$TOOLS/tqtr_doctor" verify run.tqtr > doctor.txt
+grep -q "^ok: v2.1" doctor.txt
+"$TOOLS/tqtr_doctor" summarize run.tqtr > summary.txt
+grep -q "TQTR v2.1" summary.txt
+grep -q "crc32c" summary.txt
+# Corrupt one payload byte: verify pinpoints the block, strict replay fails,
+# -salvage replays what survives, and repair writes a clean file again.
+cp run.tqtr bad.tqtr
+printf '\377\377\377\377' | dd of=bad.tqtr bs=1 seek=100 conv=notrunc 2> /dev/null
+if "$TOOLS/tqtr_doctor" verify bad.tqtr > doctor_bad.txt; then
+  echo "verify accepted a corrupt trace" >&2
+  exit 1
+fi
+grep -q "corrupt: block 0" doctor_bad.txt
+if "$TOOLS/tquad_cli" -replay bad.tqtr -slice 2000 > /dev/null 2>&1; then
+  echo "strict replay accepted a corrupt trace" >&2
+  exit 1
+fi
+"$TOOLS/tquad_cli" -replay bad.tqtr -slice 2000 -salvage > salvaged.txt
+grep -q "salvage: dropped block 0" salvaged.txt
+grep -q "replayed v2 trace" salvaged.txt
+"$TOOLS/tqtr_doctor" repair bad.tqtr -out repaired.tqtr > /dev/null
+"$TOOLS/tqtr_doctor" verify repaired.tqtr > /dev/null
 # Error paths: missing image must fail with a message, not crash.
 if "$TOOLS/tquad_cli" -image does_not_exist.tqim 2> err.txt; then
   echo "expected failure on missing image" >&2

@@ -56,6 +56,12 @@ expect_error "cannot be combined with -replay" -- \
     "$TOOLS/tquad_cli" -replay run.tqtr -trace out.tqtr
 expect_error "needs -image" -- \
     "$TOOLS/tquad_cli" -replay run.tqtr -tools tquad
+expect_error "unknown -on-trap mode" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -on-trap retry
+expect_error "only applies to -replay" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -salvage
+expect_error "unknown -on-trap mode" -- \
+    "$TOOLS/quad_cli" -image wfs.tqim -on-trap never
 
 # quad_cli validation.
 expect_error "option -budget must be a positive integer (got -1)" -- \
@@ -93,5 +99,76 @@ if grep -q "== flat profile ==" gprof_only.txt; then
   echo "tquad report printed without tquad tool" >&2
   exit 1
 fi
+
+# --- exit-code contract: 0 ok/truncated, 1 tool error, 2 usage, 3 guest trap ---
+
+# expect_status <want> <stdout-file> -- <command...>
+expect_status() {
+  want="$1"
+  out="$2"
+  shift 3  # drop want, stdout file, and the "--" separator
+  status=0
+  "$@" > "$out" 2> err.txt || status=$?
+  if [ "$status" -ne "$want" ]; then
+    echo "expected exit $want, got $status: $*" >&2
+    cat err.txt >&2
+    exit 1
+  fi
+}
+
+# Usage errors exit 2.
+expect_status 2 usage.txt -- "$TOOLS/tquad_cli"
+expect_status 2 usage.txt -- "$TOOLS/quad_cli"
+expect_status 2 usage.txt -- "$TOOLS/asm_run"
+
+# A trapping guest: partial reports and exit 3 by default, no reports under
+# -on-trap abort, and a graceful TRUNCATED exit 0 under a tight -budget.
+cat > trap.s <<'EOF'
+.entry main
+.func work
+    movi   r1, 5
+    movi   r2, 0
+    divs   r3, r1, r2
+    ret
+.func main
+    movi   r10, 0
+spin:
+    addi   r10, r10, 1
+    sltsi  r0, r10, 50
+    brnz   r0, spin
+    call   work
+    halt
+EOF
+expect_status 3 trap_run.txt -- "$TOOLS/asm_run" trap.s -image trap.tqim
+grep -q "guest trap" err.txt
+grep -q "division" err.txt
+
+expect_status 3 trap_report.txt -- "$TOOLS/tquad_cli" -image trap.tqim
+grep -q "status: PARTIAL (guest trap:" trap_report.txt
+grep -q "in 'work'" trap_report.txt
+grep -q "== flat profile ==" trap_report.txt
+
+expect_status 3 trap_abort.txt -- \
+    "$TOOLS/tquad_cli" -image trap.tqim -on-trap abort
+if grep -q "flat profile" trap_abort.txt; then
+  echo "reports printed despite -on-trap abort" >&2
+  exit 1
+fi
+grep -q "guest trap" err.txt
+
+expect_status 3 trap_quad.txt -- "$TOOLS/quad_cli" -image trap.tqim
+grep -q "status: PARTIAL" trap_quad.txt
+
+expect_status 0 truncated.txt -- \
+    "$TOOLS/tquad_cli" -image trap.tqim -budget 20 -report flat
+grep -q "status: TRUNCATED (instruction budget exhausted" truncated.txt
+
+# A trace recorded up to the trap is finalized and replayable.
+expect_status 3 trap_traced.txt -- \
+    "$TOOLS/tquad_cli" -image trap.tqim -trace trap.tqtr -report flat
+test -s trap.tqtr
+"$TOOLS/tqtr_doctor" verify trap.tqtr > /dev/null
+expect_status 0 trap_replay.txt -- \
+    "$TOOLS/tquad_cli" -replay trap.tqtr -image trap.tqim -slice 5000
 
 echo "cli validation: OK"

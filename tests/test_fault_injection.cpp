@@ -1,0 +1,232 @@
+// Deterministic fault injection: the FaultPlan hooks on the VM and the
+// partial-profile guarantee built on them. The load-bearing property is
+// prefix equality — a session cut short by an injected guest trap at retired
+// N must produce byte-for-byte the same tool state as a session gracefully
+// truncated by an instruction budget of N, on every workload and for every
+// tool. That is what makes a PARTIAL report trustworthy: it is exactly the
+// clean run's prefix, not an approximation of it.
+#include <gtest/gtest.h>
+
+#include "gasm/builder.hpp"
+#include "gprofsim/gprof_tool.hpp"
+#include "quad/quad_tool.hpp"
+#include "session/session.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_v2.hpp"
+#include "tquad/tquad_tool.hpp"
+#include "wfs/runner.hpp"
+#include "workloads/workloads.hpp"
+
+#include "session_tool_compare.hpp"
+
+namespace tq::session {
+namespace {
+
+constexpr std::uint64_t kSlice = 1000;
+constexpr std::uint64_t kSamplePeriod = 700;
+
+/// The three profilers plus the trace recorder riding one ProfileSession.
+struct SessionRun {
+  explicit SessionRun(const vm::Program& program, SessionConfig config)
+      : session(program, config),
+        tquad(program, tquad::Options{.slice_interval = kSlice}),
+        quad(program, quad::QuadOptions{}),
+        gprof(program,
+              [] {
+                gprof::Options options;
+                options.sample_period = kSamplePeriod;
+                return options;
+              }()),
+        recorder(program, tquad::LibraryPolicy::kExclude,
+                 trace::TraceFormat::kV2) {
+    session.add_consumer(tquad);
+    session.add_consumer(quad);
+    session.add_consumer(gprof);
+    session.add_consumer(recorder);
+  }
+
+  vm::RunOutcome run_live(vm::HostEnv& host) { return session.run_live(host); }
+
+  ProfileSession session;
+  tquad::TQuadTool tquad;
+  quad::QuadTool quad;
+  gprof::GprofTool gprof;
+  trace::TraceRecorder recorder;
+};
+
+/// Fault at retired N must equal budget-truncation at N, tool for tool, and
+/// the traces both runs recorded must be identical and replayable.
+void check_fault_equals_prefix(const vm::Program& program, vm::HostEnv&& fault_host,
+                               vm::HostEnv&& budget_host, std::uint64_t clean_total) {
+  ASSERT_GT(clean_total, 2u);
+  const std::uint64_t cut = clean_total / 2;
+
+  SessionConfig fault_config;
+  fault_config.fault_plan.trap_at_retired = cut;
+  SessionRun faulted(program, fault_config);
+  const vm::RunOutcome fault_outcome = faulted.run_live(fault_host);
+  ASSERT_EQ(fault_outcome.status, vm::RunStatus::kTrapped);
+  EXPECT_NE(fault_outcome.trap_kind.find("fault injection"), std::string::npos);
+  ASSERT_EQ(fault_outcome.retired, cut);
+
+  SessionConfig budget_config;
+  budget_config.instruction_budget = cut;
+  SessionRun truncated(program, budget_config);
+  const vm::RunOutcome budget_outcome = truncated.run_live(budget_host);
+  ASSERT_EQ(budget_outcome.status, vm::RunStatus::kTruncated);
+  ASSERT_EQ(budget_outcome.retired, cut);
+
+  testutil::expect_tquad_equal(faulted.tquad, truncated.tquad);
+  testutil::expect_quad_equal(faulted.quad, truncated.quad);
+  testutil::expect_gprof_equal(faulted.gprof, truncated.gprof);
+
+  // Consumers saw the structured outcome, not just the event stream.
+  EXPECT_EQ(faulted.tquad.outcome().status, vm::RunStatus::kTrapped);
+  EXPECT_EQ(faulted.quad.outcome().status, vm::RunStatus::kTrapped);
+  EXPECT_EQ(faulted.gprof.outcome().status, vm::RunStatus::kTrapped);
+  EXPECT_EQ(truncated.tquad.outcome().status, vm::RunStatus::kTruncated);
+
+  // Both cut-short traces were finalized on the error path and replay to the
+  // same retired count through the session machinery.
+  const std::vector<std::uint8_t> fault_trace = faulted.recorder.take_encoded();
+  EXPECT_EQ(fault_trace, truncated.recorder.take_encoded());
+  ASSERT_NO_THROW((void)trace::TraceV2View::open(fault_trace));
+  ProfileSession replay_session(program, SessionConfig{});
+  tquad::TQuadTool replay_tool(program, tquad::Options{.slice_interval = kSlice});
+  replay_session.add_consumer(replay_tool);
+  const vm::RunOutcome replay_outcome = replay_session.replay(fault_trace);
+  EXPECT_EQ(replay_outcome.retired, cut);
+  testutil::expect_tquad_equal(faulted.tquad, replay_tool);
+}
+
+std::uint64_t clean_total(const vm::Program& program, vm::HostEnv&& host) {
+  vm::Machine machine(program, host);
+  const vm::RunOutcome outcome = machine.run();
+  EXPECT_EQ(outcome.status, vm::RunStatus::kHalted);
+  return outcome.retired;
+}
+
+void check_workload(const vm::Program& program) {
+  const std::uint64_t total = clean_total(program, vm::HostEnv{});
+  check_fault_equals_prefix(program, vm::HostEnv{}, vm::HostEnv{}, total);
+}
+
+TEST(FaultDifferential, Stream) {
+  check_workload(workloads::build_stream(128, 1).program);
+}
+
+TEST(FaultDifferential, MatmulNaive) {
+  check_workload(workloads::build_matmul(10, false).program);
+}
+
+TEST(FaultDifferential, MatmulTiled) {
+  check_workload(workloads::build_matmul(12, true, 4).program);
+}
+
+TEST(FaultDifferential, Chase) {
+  check_workload(workloads::build_chase(64, 400).program);
+}
+
+TEST(FaultDifferential, Histogram) {
+  check_workload(workloads::build_histogram(32, 800).program);
+}
+
+TEST(FaultDifferential, Wfs) {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
+  wfs::WfsRun runs[3] = {wfs::prepare_wfs_run(cfg), wfs::prepare_wfs_run(cfg),
+                         wfs::prepare_wfs_run(cfg)};
+  const std::uint64_t total =
+      clean_total(runs[0].artifacts.program, std::move(runs[0].host));
+  check_fault_equals_prefix(runs[0].artifacts.program, std::move(runs[1].host),
+                            std::move(runs[2].host), total);
+}
+
+// ---- FaultPlan trigger kinds on the bare Machine ----------------------------------
+
+TEST(FaultPlan, TrapAtRetiredIsDeterministic) {
+  const vm::Program program = workloads::build_stream(64, 1).program;
+  vm::RunOutcome outcomes[2];
+  for (vm::RunOutcome& outcome : outcomes) {
+    vm::HostEnv host;
+    vm::Machine machine(program, host);
+    vm::FaultPlan plan;
+    plan.trap_at_retired = 123;
+    machine.set_fault_plan(plan);
+    outcome = machine.run();
+  }
+  EXPECT_EQ(outcomes[0].status, vm::RunStatus::kTrapped);
+  EXPECT_EQ(outcomes[0].retired, 123u);
+  EXPECT_EQ(outcomes[0].status, outcomes[1].status);
+  EXPECT_EQ(outcomes[0].retired, outcomes[1].retired);
+  EXPECT_EQ(outcomes[0].trap_kind, outcomes[1].trap_kind);
+  EXPECT_EQ(outcomes[0].trap_func, outcomes[1].trap_func);
+  EXPECT_EQ(outcomes[0].trap_pc, outcomes[1].trap_pc);
+}
+
+TEST(FaultPlan, FailSyscallTrapsOnTheKthSyscall) {
+  gasm::ProgramBuilder prog;
+  auto& f = prog.begin_function("main");
+  for (int i = 0; i < 3; ++i) {
+    f.movi(gasm::R{1}, 16);
+    f.sys(isa::Sys::kAlloc);
+  }
+  f.halt();
+  const vm::Program program = prog.build("main");
+
+  vm::HostEnv host;
+  vm::Machine machine(program, host);
+  vm::FaultPlan plan;
+  plan.fail_syscall = 2;
+  machine.set_fault_plan(plan);
+  const vm::RunOutcome outcome = machine.run();
+  ASSERT_EQ(outcome.status, vm::RunStatus::kTrapped);
+  EXPECT_NE(outcome.trap_kind.find("syscall 2"), std::string::npos);
+  // movi+sys, movi, then the failing sys delivered its tick: 4 retired.
+  EXPECT_EQ(outcome.retired, 4u);
+  EXPECT_EQ(outcome.trap_function, "main");
+}
+
+TEST(FaultPlan, FailFuncTrapsOnTheMthEntry) {
+  gasm::ProgramBuilder prog;
+  auto& helper = prog.begin_function("helper");
+  helper.ret();
+  auto& main_fn = prog.begin_function("main");
+  for (int i = 0; i < 5; ++i) main_fn.call("helper");
+  main_fn.halt();
+  const vm::Program program = prog.build("main");
+
+  std::uint32_t helper_id = 0;
+  for (std::uint32_t k = 0; k < program.functions().size(); ++k) {
+    if (program.functions()[k].name == "helper") helper_id = k;
+  }
+
+  vm::HostEnv host;
+  vm::Machine machine(program, host);
+  vm::FaultPlan plan;
+  plan.fail_func = helper_id;
+  plan.fail_func_entries = 3;
+  machine.set_fault_plan(plan);
+  const vm::RunOutcome outcome = machine.run();
+  ASSERT_EQ(outcome.status, vm::RunStatus::kTrapped);
+  EXPECT_EQ(outcome.trap_function, "helper");
+  EXPECT_NE(outcome.trap_kind.find("entered 3 time"), std::string::npos);
+  // call+ret per entry: two clean round trips, then the third call's tick.
+  EXPECT_EQ(outcome.retired, 5u);
+}
+
+TEST(FaultPlan, UnarmedPlanChangesNothing) {
+  const vm::Program program = workloads::build_stream(32, 1).program;
+  vm::HostEnv clean_host;
+  vm::Machine clean(program, clean_host);
+  const vm::RunOutcome clean_outcome = clean.run();
+
+  vm::HostEnv planned_host;
+  vm::Machine planned(program, planned_host);
+  planned.set_fault_plan(vm::FaultPlan{});  // all triggers disarmed
+  const vm::RunOutcome planned_outcome = planned.run();
+  EXPECT_EQ(planned_outcome.status, vm::RunStatus::kHalted);
+  EXPECT_EQ(planned_outcome.retired, clean_outcome.retired);
+}
+
+}  // namespace
+}  // namespace tq::session

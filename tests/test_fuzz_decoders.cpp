@@ -26,10 +26,11 @@ std::vector<std::uint8_t> random_bytes(SplitMix64& rng, std::size_t size) {
 }
 
 /// A small, valid, multi-block TQTR v2 image with a known layout (block
-/// capacity 64), used as the seed for mutation/corruption fuzzing.
-std::vector<std::uint8_t> valid_v2_image() {
-  trace::Trace t;
-  t.kernel_count = 5;
+/// capacity 64, v2.1 with per-block CRC by default), used as the seed for
+/// mutation/corruption fuzzing.
+std::vector<std::uint8_t> valid_v2_image(std::uint32_t minor = trace::kV2MinorCrc) {
+  trace::TraceV2Writer writer(5, 64, minor);
+  std::uint64_t total_retired = 0;
   for (std::uint64_t i = 0; i < 300; ++i) {
     trace::Record record{};
     record.retired = 7 * i;
@@ -39,10 +40,10 @@ std::vector<std::uint8_t> valid_v2_image() {
     record.func = record.kernel;
     record.kind = (i % 2) ? trace::EventKind::kWrite : trace::EventKind::kRead;
     record.size = 8;
-    t.records.push_back(record);
-    t.total_retired = record.retired;
+    writer.add(record);
+    total_retired = record.retired;
   }
-  return trace::serialize_v2(t, 64);
+  return writer.finish(total_retired);
 }
 
 class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
@@ -94,7 +95,10 @@ TEST_P(DecoderFuzz, TraceV2OpenNeverCrashes) {
   for (int round = 0; round < 200; ++round) {
     auto bytes = random_bytes(rng, 8 + rng.next_below(512));
     bytes[0] = 'T'; bytes[1] = 'Q'; bytes[2] = 'T'; bytes[3] = 'R';
-    bytes[4] = 2; bytes[5] = 0; bytes[6] = 0; bytes[7] = 0;
+    // Alternate between v2.0 and v2.1 header prefixes (version word packs
+    // major|minor little-endian), so both block-header layouts get fuzzed.
+    bytes[4] = 2; bytes[5] = 0;
+    bytes[6] = static_cast<std::uint8_t>(round % 2); bytes[7] = 0;
     try {
       const trace::TraceV2View view = trace::TraceV2View::open(bytes);
       for (std::size_t b = 0; b < view.block_count(); ++b) {
@@ -104,6 +108,10 @@ TEST_P(DecoderFuzz, TraceV2OpenNeverCrashes) {
     }
     try {
       (void)trace::Trace::deserialize(bytes);
+    } catch (const Error&) {
+    }
+    try {
+      (void)trace::TraceV2View::salvage(bytes);
     } catch (const Error&) {
     }
   }
@@ -216,12 +224,15 @@ TEST(DecoderFuzzMutation, LyingV2HeadersAreRejected) {
   patch(32, valid.size() + 100, 8);
   patch(32, 0, 8);
   // First block header at offset 40: record count, payload bytes,
-  // last retired count, kernel bloom — all lies about the payload.
+  // last retired count, kernel bloom, the v2.1 CRC itself, and the reserved
+  // word — all lies about the payload.
   patch(40, 63, 4);
   patch(40, 0, 4);
   patch(44, 11, 4);
   patch(56, 0xdeadull, 8);
   patch(64, 0, 8);
+  patch(72, 0xbadc0deull, 4);
+  patch(76, 1, 4);
   // Index entries: block offset and starting retired count must agree with
   // the block chain.
   patch(index_offset + 4, 41, 8);
@@ -229,12 +240,59 @@ TEST(DecoderFuzzMutation, LyingV2HeadersAreRejected) {
 }
 
 TEST(DecoderFuzzMutation, CorruptV2VarintsAreRejected) {
-  const auto valid = valid_v2_image();
   // Stomp the first block's payload with continuation bytes: the reader must
-  // reject the unterminated/overlong varint, not read past the block.
-  auto image = valid;
-  for (std::size_t i = 0; i < 16; ++i) image[72 + 1 + i] = 0xff;
-  EXPECT_THROW((void)trace::Trace::deserialize(image), Error);
+  // reject the unterminated/overlong varint, not read past the block. The
+  // v2.0 image (no CRC, payload at 72) proves the varint reader itself
+  // rejects; the v2.1 image (payload at 80) is caught by the CRC first.
+  auto v20 = valid_v2_image(0);
+  for (std::size_t i = 0; i < 16; ++i) v20[72 + 1 + i] = 0xff;
+  EXPECT_THROW((void)trace::Trace::deserialize(v20), Error);
+  auto v21 = valid_v2_image();
+  for (std::size_t i = 0; i < 16; ++i) v21[80 + 1 + i] = 0xff;
+  EXPECT_THROW((void)trace::Trace::deserialize(v21), Error);
+}
+
+// ---- salvage-mode corpora ---------------------------------------------------------
+// Salvage is deliberately permissive, so it gets the adversarial corpus too:
+// whatever the damage, it must either throw tq::Error or return a view whose
+// every block decodes — never crash, never hand back undecodable blocks.
+
+TEST(DecoderFuzzMutation, SalvageSurvivesBitFlips) {
+  const auto valid = valid_v2_image();
+  SplitMix64 rng(7);
+  for (int round = 0; round < 300; ++round) {
+    auto mutated = valid;
+    const std::size_t flips = 1 + rng.next_below(6);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.next_below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    try {
+      trace::SalvageReport report;
+      const trace::TraceV2View view = trace::TraceV2View::salvage(mutated, &report);
+      for (std::size_t b = 0; b < view.block_count(); ++b) {
+        EXPECT_NO_THROW((void)view.decode_block(b)) << "round " << round;
+      }
+      EXPECT_EQ(report.blocks_recovered, view.block_count());
+    } catch (const Error&) {
+      // header damage can make the whole file unrecoverable; that's fine
+    }
+  }
+}
+
+TEST(DecoderFuzzMutation, SalvageSurvivesTruncationAtEveryLength) {
+  const auto valid = valid_v2_image();
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(valid.begin(),
+                                           valid.begin() + static_cast<long>(cut));
+    try {
+      const trace::TraceV2View view = trace::TraceV2View::salvage(prefix);
+      for (std::size_t b = 0; b < view.block_count(); ++b) {
+        EXPECT_NO_THROW((void)view.decode_block(b)) << "cut " << cut;
+      }
+    } catch (const Error&) {
+    }
+  }
 }
 
 TEST(DecoderFuzzMutation, TruncatedWavAtEveryLength) {

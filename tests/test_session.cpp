@@ -37,7 +37,7 @@ TEST(Session, LiveEventStreamInvariants) {
   CapturingConsumer capture;
   session.add_consumer(capture);
   vm::HostEnv host;
-  const std::uint64_t retired = session.run_live(host);
+  const std::uint64_t retired = session.run_live(host).retired;
 
   EXPECT_GT(retired, 0u);
   EXPECT_EQ(session.total_retired(), retired);
@@ -143,7 +143,7 @@ TEST(Session, ReplayEmptyTraceYieldsSilentTicks) {
   ProfileSession session(workload.program);
   CapturingConsumer capture;
   session.add_consumer(capture);
-  EXPECT_EQ(session.replay(bytes), 5u);
+  EXPECT_EQ(session.replay(bytes).retired, 5u);
   EXPECT_EQ(capture.ticks.size(), 5u);
   EXPECT_TRUE(capture.accesses.empty());
 }

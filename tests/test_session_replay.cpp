@@ -128,7 +128,7 @@ void check_program(const vm::Program& program, vm::HostEnv& host) {
   live.attach(live_session);
   live_session.add_consumer(rec_v1);
   live_session.add_consumer(rec_v2);
-  const std::uint64_t live_retired = live_session.run_live(host);
+  const std::uint64_t live_retired = live_session.run_live(host).retired;
 
   const auto v1_bytes = rec_v1.take_encoded();
   const auto v2_bytes = rec_v2.take_encoded();
@@ -140,7 +140,7 @@ void check_program(const vm::Program& program, vm::HostEnv& host) {
                                      trace::TraceFormat::kV2);
     replayed.attach(replay_session);
     replay_session.add_consumer(re_recorder);
-    EXPECT_EQ(replay_session.replay(*bytes), live_retired);
+    EXPECT_EQ(replay_session.replay(*bytes).retired, live_retired);
     expect_replay_matches_live(live, replayed);
     // Round trip: the replay-driven recording equals the live v2 recording.
     EXPECT_EQ(re_recorder.take_encoded(), v2_bytes);

@@ -360,11 +360,14 @@ TEST(MachineSys, AllocReturnsZeroedAlignedBlocks) {
 
 TEST(MachineTrap, DivisionByZero) {
   HostEnv host;
-  EXPECT_THROW(run_program(host, [](ProgramBuilder&, auto& f) {
+  auto [result, machine] = run_program(host, [](ProgramBuilder&, auto& f) {
     f.movi(R{1}, 1);
     f.movi(R{2}, 0);
     f.divs(R{3}, R{1}, R{2});
-  }), TrapError);
+  });
+  EXPECT_EQ(result.status, RunStatus::kTrapped);
+  EXPECT_FALSE(result.complete());
+  EXPECT_NE(result.trap_kind.find("division"), std::string::npos);
 }
 
 TEST(MachineTrap, InstructionBudgetExhausted) {
@@ -377,7 +380,10 @@ TEST(MachineTrap, InstructionBudgetExhausted) {
   Program program = prog.build("main");
   Machine machine(program, host);
   machine.set_instruction_budget(10'000);
-  EXPECT_THROW(machine.run(), TrapError);
+  // Running out of budget is a graceful cut, not a guest fault.
+  const RunOutcome outcome = machine.run();
+  EXPECT_EQ(outcome.status, RunStatus::kTruncated);
+  EXPECT_EQ(outcome.retired, 10'000u);
   EXPECT_EQ(machine.retired(), 10'000u);
 }
 
@@ -388,30 +394,32 @@ TEST(MachineTrap, ReturnWithEmptyStack) {
   f.ret();  // nothing to return to
   Program program = prog.build("main");
   Machine machine(program, host);
-  EXPECT_THROW(machine.run(), TrapError);
+  EXPECT_EQ(machine.run().status, RunStatus::kTrapped);
 }
 
 TEST(MachineTrap, BadFileDescriptor) {
   HostEnv host;  // no files attached
-  EXPECT_THROW(run_program(host, [](ProgramBuilder&, auto& f) {
+  auto [result, machine] = run_program(host, [](ProgramBuilder&, auto& f) {
     f.movi(R{1}, 3);
     f.sys(isa::Sys::kFileSize);
-  }), TrapError);
+  });
+  EXPECT_EQ(result.status, RunStatus::kTrapped);
 }
 
-TEST(MachineTrap, MessageNamesFunctionAndPc) {
+TEST(MachineTrap, OutcomeNamesFunctionAndPc) {
   HostEnv host;
-  try {
-    run_program(host, [](ProgramBuilder&, auto& f) {
-      f.movi(R{1}, 1);
-      f.movi(R{2}, 0);
-      f.divs(R{3}, R{1}, R{2});
-    });
-    FAIL() << "expected TrapError";
-  } catch (const TrapError& trap) {
-    EXPECT_NE(std::string(trap.what()).find("main"), std::string::npos);
-    EXPECT_EQ(trap.pc(), 2u);
-  }
+  auto [result, machine] = run_program(host, [](ProgramBuilder&, auto& f) {
+    f.movi(R{1}, 1);
+    f.movi(R{2}, 0);
+    f.divs(R{3}, R{1}, R{2});
+  });
+  ASSERT_EQ(result.status, RunStatus::kTrapped);
+  EXPECT_EQ(result.trap_function, "main");
+  EXPECT_EQ(result.trap_pc, 2u);
+  // movi, movi, plus the div: its tick was delivered before the fault, so
+  // it counts toward the observed prefix.
+  EXPECT_EQ(result.retired, 3u);
+  EXPECT_NE(result.summary().find("main"), std::string::npos);
 }
 
 TEST(MachineTrap, RunIsSingleShot) {

@@ -1,0 +1,36 @@
+// Byte-level trace corruptors for the salvage and fuzz suites: deterministic
+// single-fault injections into an encoded TQTR image (no randomness — each
+// test names the exact byte it damages, so failures reproduce exactly).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tq::testutil {
+
+/// Flip one bit: `bit` indexes into the whole image (byte = bit / 8).
+inline std::vector<std::uint8_t> flip_bit(std::vector<std::uint8_t> bytes,
+                                          std::size_t bit) {
+  bytes.at(bit / 8) ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  return bytes;
+}
+
+/// Cut the image at `size` bytes (models a crash mid-write).
+inline std::vector<std::uint8_t> truncate_at(std::vector<std::uint8_t> bytes,
+                                             std::size_t size) {
+  if (size < bytes.size()) bytes.resize(size);
+  return bytes;
+}
+
+/// Zero `count` bytes starting at `offset` (models a lost disk sector).
+inline std::vector<std::uint8_t> zero_range(std::vector<std::uint8_t> bytes,
+                                            std::size_t offset,
+                                            std::size_t count) {
+  for (std::size_t i = 0; i < count && offset + i < bytes.size(); ++i) {
+    bytes[offset + i] = 0;
+  }
+  return bytes;
+}
+
+}  // namespace tq::testutil

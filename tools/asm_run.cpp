@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   cli.add_string("out", "", "write the guest output descriptor here");
   cli.add_flag("profile", false, "run under tQUAD and print the reports");
   cli.add_int("slice", 1000, "tQUAD slice interval");
-  cli.add_int("budget", 1'000'000'000, "abort after this many instructions");
+  cli.add_int("budget", 1'000'000'000, "stop after this many instructions");
   try {
     cli.parse(argc, argv);
     if (cli.positional().size() != 1) {
@@ -69,13 +69,20 @@ int main(int argc, char** argv) {
     if (!cli.str("in").empty()) host.attach_input(read_bytes(cli.str("in")));
     const int out_fd = host.create_output();
 
+    // A guest trap is still a finished (partial) run: the reports, guest
+    // log, and -out contents up to the fault are emitted, and the exit code
+    // (3) tells scripts the run did not complete.
+    vm::RunOutcome result;
     if (cli.flag("profile")) {
       pin::Engine engine(program, host);
       tquad::TQuadTool tool(
           engine, tquad::Options{.slice_interval =
                                      static_cast<std::uint64_t>(cli.integer("slice"))});
       engine.set_instruction_budget(static_cast<std::uint64_t>(cli.integer("budget")));
-      const vm::RunResult result = engine.run();
+      result = engine.run();
+      if (!result.complete()) {
+        std::fprintf(stderr, "asm_run: %s\n", result.summary().c_str());
+      }
       std::printf("retired %s instructions\n\n", format_count(result.retired).c_str());
       std::fputs(tquad::flat_profile_table(tool).to_ascii().c_str(), stdout);
       const auto phases = tquad::detect_phases(tool);
@@ -85,7 +92,10 @@ int main(int argc, char** argv) {
     } else {
       vm::Machine machine(program, host);
       machine.set_instruction_budget(static_cast<std::uint64_t>(cli.integer("budget")));
-      const vm::RunResult result = machine.run();
+      result = machine.run();
+      if (!result.complete()) {
+        std::fprintf(stderr, "asm_run: %s\n", result.summary().c_str());
+      }
       std::printf("retired %s instructions\n", format_count(result.retired).c_str());
     }
     for (const std::string& line : host.log()) {
@@ -94,7 +104,7 @@ int main(int argc, char** argv) {
     if (!cli.str("out").empty()) {
       write_bytes(cli.str("out"), host.output(out_fd));
     }
-    return 0;
+    return result.status == vm::RunStatus::kTrapped ? 3 : 0;
   } catch (const Error& err) {
     std::fprintf(stderr, "asm_run: %s\n", err.what());
     return 1;

@@ -13,6 +13,8 @@
 #include "support/table.hpp"
 #include "tquad/callstack.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_v2.hpp"
+#include "vm/run_outcome.hpp"
 
 namespace tq::cli {
 
@@ -62,6 +64,50 @@ inline void require_non_negative(const CliParser& cli, const std::string& name) 
   if (cli.integer(name) < 0) {
     TQUAD_THROW("option -" + name + " must not be negative (got " +
                 std::to_string(cli.integer(name)) + ")");
+  }
+}
+
+/// Validate the `-on-trap` flag (what to do when the guest faults).
+inline void validate_on_trap(const std::string& mode) {
+  if (mode != "report" && mode != "abort") {
+    TQUAD_THROW("unknown -on-trap mode '" + mode + "' (report|abort)");
+  }
+}
+
+/// Exit code for a finished run: 3 flags a guest trap (distinct from tool
+/// errors = 1 and usage errors = 2); a budget cut is a graceful 0.
+inline int outcome_exit_code(const vm::RunOutcome& outcome) {
+  return outcome.status == vm::RunStatus::kTrapped ? 3 : 0;
+}
+
+/// Stamp non-clean outcomes above the reports so a reader (or a script
+/// grepping the output) cannot mistake a prefix profile for a full run.
+inline void print_outcome_status(const vm::RunOutcome& outcome) {
+  switch (outcome.status) {
+    case vm::RunStatus::kHalted:
+      break;
+    case vm::RunStatus::kTrapped:
+      std::printf("status: PARTIAL (%s)\n", outcome.summary().c_str());
+      break;
+    case vm::RunStatus::kTruncated:
+      std::printf("status: TRUNCATED (%s)\n", outcome.summary().c_str());
+      break;
+  }
+}
+
+/// Human summary of a salvage pass over a damaged v2 trace.
+inline void print_salvage_report(const trace::SalvageReport& report) {
+  std::printf("salvage: recovered %zu of %zu blocks (%llu records kept, "
+              "%llu dropped)%s\n",
+              report.blocks_recovered, report.blocks_found,
+              static_cast<unsigned long long>(report.records_recovered),
+              static_cast<unsigned long long>(report.records_dropped),
+              report.index_rebuilt ? "; index rebuilt from block headers" : "");
+  for (const auto& dropped : report.dropped) {
+    std::printf("salvage: dropped block %zu at offset %llu (%s)\n",
+                dropped.index,
+                static_cast<unsigned long long>(dropped.file_offset),
+                dropped.reason.c_str());
   }
 }
 

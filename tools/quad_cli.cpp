@@ -35,12 +35,17 @@ int main(int argc, char** argv) {
   cli.add_string("buffers", "", "print per-buffer data maps (kernel name or 'all')");
   cli.add_string("trace", "", "record the event trace (TQTR) to this path");
   cli.add_string("trace-format", "v2", "trace file format: v1 | v2 (blocked)");
-  cli.add_int("budget", 2'000'000'000, "abort after this many instructions");
+  cli.add_int("budget", 2'000'000'000,
+              "stop after this many instructions (reports stamp TRUNCATED)");
+  cli.add_string("on-trap", "report",
+                 "guest-fault handling: report (emit PARTIAL reports, exit 3) "
+                 "| abort (print the trap and exit 3 with no reports)");
   try {
     cli.parse(argc, argv);
     // Validate every flag before any file I/O or the (long) analysis run.
     cli::require_positive(cli, "budget");
     cli::require_non_negative(cli, "clusters");
+    cli::validate_on_trap(cli.str("on-trap"));
     const trace::TraceFormat trace_format =
         cli::parse_trace_format(cli.str("trace-format"));
     const tquad::LibraryPolicy policy = cli::parse_policy(cli.str("libs"));
@@ -67,7 +72,13 @@ int main(int argc, char** argv) {
       recorder.emplace(program, policy, trace_format);
       profile.add_consumer(*recorder);
     }
-    profile.run_live(host);
+    const vm::RunOutcome outcome = profile.run_live(host);
+    if (outcome.status == vm::RunStatus::kTrapped &&
+        cli.str("on-trap") == "abort") {
+      std::fprintf(stderr, "quad: %s\n", outcome.summary().c_str());
+      return 3;
+    }
+    cli::print_outcome_status(outcome);
 
     const TextTable table = cli::quad_kernel_table(tool);
     std::fputs(table.to_ascii().c_str(), stdout);
@@ -99,7 +110,7 @@ int main(int argc, char** argv) {
       std::printf("trace written to %s (%s)\n", cli.str("trace").c_str(),
                   cli.str("trace-format").c_str());
     }
-    return 0;
+    return cli::outcome_exit_code(outcome);
   } catch (const Error& err) {
     std::fprintf(stderr, "quad: %s\n", err.what());
     return 1;

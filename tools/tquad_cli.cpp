@@ -5,9 +5,9 @@
 //   tquad -image app.tqim [-in file]... [-slice N] [-libs track|exclude|caller]
 //         [-tools tquad,quad,gprof] [-report flat|bandwidth|phases|series|all]
 //         [-csv out.csv] [-trace out.tqtr -trace-format v1|v2]
-//         [-sample N] [-cpu-ghz G -cpi C]
-//   tquad -replay run.tqtr [-image app.tqim] [-slice N] [-threads T]
-//   tquad -replay run.tqtr -image app.tqim -tools tquad,quad,gprof
+//         [-sample N] [-cpu-ghz G -cpi C] [-budget N] [-on-trap report|abort]
+//   tquad -replay run.tqtr [-image app.tqim] [-slice N] [-threads T] [-salvage]
+//   tquad -replay run.tqtr -image app.tqim -tools tquad,quad,gprof [-salvage]
 //
 // The image is a TQIM file (produce one with wfs_gen or Program::serialize);
 // -in attaches input files as guest descriptors in order; one output
@@ -21,6 +21,14 @@
 // version is auto-detected, v2 traces aggregate block-parallel, and -image
 // is only needed for kernel names); with -tools it replays the trace through
 // the same session machinery and produces the full reports (requires -image).
+//
+// Fault tolerance: a guest trap does not discard the run. Under the default
+// -on-trap report the tool emits every report stamped `status: PARTIAL`,
+// still writes -trace/-csv/-out, and exits 3; -on-trap abort prints the trap
+// and exits 3 with no reports. -budget exhaustion stamps `status: TRUNCATED`
+// and exits 0. -salvage replays damaged v2 traces block-by-block, skipping
+// blocks whose CRC or structure check fails. Exit codes: 0 ok/truncated,
+// 1 tool error, 2 usage error, 3 guest trap.
 #include <cstdio>
 #include <optional>
 
@@ -46,12 +54,6 @@ using cli::read_file;
 using cli::write_file;
 using cli::write_text;
 
-bool is_v2_image(const std::vector<std::uint8_t>& bytes) {
-  return bytes.size() >= 8 && bytes[0] == 'T' && bytes[1] == 'Q' &&
-         bytes[2] == 'T' && bytes[3] == 'R' && bytes[4] == 2 &&
-         bytes[5] == 0 && bytes[6] == 0 && bytes[7] == 0;
-}
-
 /// Flag coherence checks, before any file I/O.
 void validate_options(const CliParser& cli) {
   cli::require_positive(cli, "slice");
@@ -60,6 +62,10 @@ void validate_options(const CliParser& cli) {
   cli::require_positive(cli, "budget");
   (void)cli::parse_trace_format(cli.str("trace-format"));
   (void)cli::parse_policy(cli.str("libs"));
+  cli::validate_on_trap(cli.str("on-trap"));
+  if (cli.flag("salvage") && cli.str("replay").empty()) {
+    TQUAD_THROW("-salvage only applies to -replay");
+  }
   const std::string& report = cli.str("report");
   if (report != "flat" && report != "bandwidth" && report != "phases" &&
       report != "series" && report != "all") {
@@ -89,15 +95,22 @@ int replay_trace(const CliParser& cli) {
   std::uint64_t total_retired = 0;
   const char* version = "v1";
   trace::OfflineBandwidth offline(1, slice);
-  if (is_v2_image(bytes)) {
+  if (trace::is_v2_image(bytes)) {
     version = "v2";
-    const trace::TraceV2View view = trace::TraceV2View::open(bytes);
+    trace::SalvageReport salvage_report;
+    const trace::TraceV2View view =
+        cli.flag("salvage") ? trace::TraceV2View::salvage(bytes, &salvage_report)
+                            : trace::TraceV2View::open(bytes);
+    if (cli.flag("salvage")) cli::print_salvage_report(salvage_report);
     kernel_count = view.kernel_count();
     record_count = view.record_count();
     total_retired = view.total_retired();
     offline = trace::OfflineBandwidth(kernel_count, slice);
     offline.aggregate_parallel(view, pool);
   } else {
+    if (cli.flag("salvage")) {
+      TQUAD_THROW("salvage replay supports TQTR v2 traces only");
+    }
     const trace::Trace t = trace::Trace::deserialize(bytes);
     kernel_count = t.kernel_count;
     record_count = t.records.size();
@@ -180,15 +193,25 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
 
   vm::HostEnv host;
   int out_fd = -1;
-  std::uint64_t retired = 0;
+  vm::RunOutcome outcome;
   if (replaying) {
-    retired = profile.replay(read_file(cli.str("replay")));
-    std::printf("replayed session: ");
+    outcome = profile.replay(read_file(cli.str("replay")), cli.flag("salvage"));
   } else {
     if (!cli.str("in").empty()) host.attach_input(read_file(cli.str("in")));
     out_fd = host.create_output();
-    retired = profile.run_live(host);
+    outcome = profile.run_live(host);
   }
+  if (outcome.status == vm::RunStatus::kTrapped &&
+      cli.str("on-trap") == "abort") {
+    std::fprintf(stderr, "tquad: %s\n", outcome.summary().c_str());
+    return 3;
+  }
+  cli::print_outcome_status(outcome);
+  if (replaying && cli.flag("salvage")) {
+    cli::print_salvage_report(profile.salvage_report());
+  }
+  if (replaying) std::printf("replayed session: ");
+  const std::uint64_t retired = outcome.retired;
 
   const std::string report = cli.str("report");
   if (tools.tquad) {
@@ -252,7 +275,7 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
     write_file(cli.str("out"), host.output(out_fd));
     std::printf("guest output written to %s\n", cli.str("out").c_str());
   }
-  return 0;
+  return cli::outcome_exit_code(outcome);
 }
 
 }  // namespace
@@ -278,7 +301,14 @@ int main(int argc, char** argv) {
   cli.add_string("out", "", "write guest output descriptor 's contents here");
   cli.add_double("cpu-ghz", 2.83, "target clock for unit conversion");
   cli.add_double("cpi", 1.0, "target cycles-per-instruction");
-  cli.add_int("budget", 2'000'000'000, "abort after this many instructions");
+  cli.add_int("budget", 2'000'000'000,
+              "stop after this many instructions (reports stamp TRUNCATED)");
+  cli.add_string("on-trap", "report",
+                 "guest-fault handling: report (emit PARTIAL reports, exit 3) "
+                 "| abort (print the trap and exit 3 with no reports)");
+  cli.add_flag("salvage", false,
+               "with -replay: skip corrupt/truncated v2 blocks instead of "
+               "failing, and report what was recovered");
   try {
     cli.parse(argc, argv);
     validate_options(cli);
