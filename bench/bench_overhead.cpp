@@ -16,6 +16,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "gprofsim/gprof_tool.hpp"
 #include "minipin/minipin.hpp"
@@ -252,6 +253,94 @@ bool print_session_speedup() {
   return true;
 }
 
+/// One-shot serial-vs-parallel pipeline comparison on the standard wfs
+/// configuration, with a machine-readable BENCH_pipeline.json for CI.
+///
+/// The speedup floor (1.5x at parallel:4) is enforced only when the machine
+/// actually has >= 4 hardware threads: on smaller hosts (CI containers are
+/// often single-core) the parallel run degenerates into context-switched
+/// serial execution plus ring traffic, and the gate would measure the
+/// scheduler, not the pipeline. The numbers are still measured and written.
+bool print_pipeline_speedup() {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::standard();
+  const tquad::Options tquad_options{.slice_interval = 5000};
+  constexpr int kReps = 3;
+  constexpr double kFloor = 1.5;
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool gate_applicable = cores >= 4;
+
+  const auto run_session = [&](const session::PipelineOptions& pipeline) {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    session::SessionConfig config;
+    config.pipeline = pipeline;
+    session::ProfileSession profile(run.artifacts.program, config);
+    tquad::TQuadTool tquad_tool(run.artifacts.program, tquad_options);
+    quad::QuadTool quad_tool(run.artifacts.program);
+    gprof::GprofTool gprof_tool(run.artifacts.program, {});
+    profile.add_consumer(tquad_tool);
+    profile.add_consumer(quad_tool);
+    profile.add_consumer(gprof_tool);
+    profile.run_live(run.host);
+  };
+  const auto parallel = [](unsigned workers) {
+    session::PipelineOptions options;
+    options.mode = session::PipelineMode::kParallel;
+    options.workers = workers;
+    return options;
+  };
+
+  double serial_s = 0.0;
+  double par2_s = 0.0;
+  double par4_s = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double serial = time_once([&] { run_session({}); });
+    const double par2 = time_once([&] { run_session(parallel(2)); });
+    const double par4 = time_once([&] { run_session(parallel(4)); });
+    if (rep == 0 || serial < serial_s) serial_s = serial;
+    if (rep == 0 || par2 < par2_s) par2_s = par2;
+    if (rep == 0 || par4 < par4_s) par4_s = par4;
+  }
+
+  const double speedup2 = serial_s / par2_s;
+  const double speedup4 = serial_s / par4_s;
+  std::printf("\n== parallel pipeline vs serial dispatch (standard configuration, "
+              "%u hardware threads) ==\n", cores);
+  std::printf("%-44s %10.3f s\n", "session, -pipeline serial", serial_s);
+  std::printf("%-44s %10.3f s  (%.2fx)\n", "session, -pipeline parallel:2", par2_s,
+              speedup2);
+  std::printf("%-44s %10.3f s  (%.2fx)\n", "session, -pipeline parallel:4", par4_s,
+              speedup4);
+  std::printf("%-44s %9.2fx  (%s)\n", "parallel:4 floor", kFloor,
+              gate_applicable ? "enforced" : "not enforced: < 4 hardware threads");
+
+  std::FILE* json = std::fopen("BENCH_pipeline.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"workload\": \"wfs standard\",\n"
+                 "  \"tools\": \"tquad+quad+gprof\",\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"serial_seconds\": %.6f,\n"
+                 "  \"parallel2_seconds\": %.6f,\n"
+                 "  \"parallel4_seconds\": %.6f,\n"
+                 "  \"parallel2_speedup\": %.3f,\n"
+                 "  \"parallel4_speedup\": %.3f,\n"
+                 "  \"speedup_floor\": %.2f,\n"
+                 "  \"floor_enforced\": %s\n"
+                 "}\n",
+                 cores, serial_s, par2_s, par4_s, speedup2, speedup4, kFloor,
+                 gate_applicable ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_pipeline.json\n");
+  }
+  if (gate_applicable && speedup4 < kFloor) {
+    std::fprintf(stderr, "parallel:4 speedup %.2fx below the %.2fx floor\n",
+                 speedup4, kFloor);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,5 +348,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_headline_slowdowns();
-  return print_session_speedup() ? 0 : 1;
+  const bool session_ok = print_session_speedup();
+  const bool pipeline_ok = print_pipeline_speedup();
+  return session_ok && pipeline_ok ? 0 : 1;
 }

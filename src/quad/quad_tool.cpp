@@ -11,13 +11,10 @@ QuadTool::QuadTool(const vm::Program& program, Options options)
     : program_(program), stack_(program, options.library_policy) {
   const std::size_t n = program.functions().size();
   TQUAD_CHECK(n < kNoProducer, "too many functions for 16-bit producer ids");
-  incl_.resize(n);
-  excl_.resize(n);
+  state_.init(n);
   instrs_.assign(n, 0);
   calls_.assign(n, 0);
   mem_refs_.assign(n, 0);
-  global_accesses_.assign(n, 0);
-  global_bytes_.assign(n, 0);
 }
 
 QuadTool::QuadTool(pin::Engine& engine, Options options)
@@ -56,29 +53,30 @@ void QuadTool::account_tick(std::uint32_t kernel, std::uint32_t read_size,
   if (read_size != 0 || write_size != 0) ++mem_refs_[kernel];
 }
 
-void QuadTool::account_read(std::uint32_t reader, std::uint64_t ea,
-                            std::uint32_t size, bool stack_area) {
+void QuadTool::account_read(AddressState& state, std::uint32_t reader,
+                            std::uint64_t ea, std::uint32_t size,
+                            bool stack_area, bool count_access) {
   // Stack-included counters always accrue.
-  KernelCounters& incl = incl_[reader];
+  KernelCounters& incl = state.incl[reader];
   incl.in_bytes += size;
   incl.in_unma.insert_range(ea, size);
   if (!stack_area) {
-    KernelCounters& excl = excl_[reader];
+    KernelCounters& excl = state.excl[reader];
     excl.in_bytes += size;
     excl.in_unma.insert_range(ea, size);
-    ++global_accesses_[reader];
-    global_bytes_[reader] += size;
+    if (count_access) ++state.global_accesses[reader];
+    state.global_bytes[reader] += size;
   }
 
   // Attribute OUT bytes to producers and record the binding (bytes plus the
   // distinct transfer addresses, the QDU edge annotations).
   std::uint64_t cursor = ea;
-  shadow_.for_each_producer(
+  state.shadow.for_each_producer(
       ea, size, [&](ProducerId producer, std::uint32_t run) {
         if (producer != kNoProducer) {
-          incl_[producer].out_bytes += run;
-          if (!stack_area) excl_[producer].out_bytes += run;
-          auto& edge = bindings_[{producer, reader}];
+          state.incl[producer].out_bytes += run;
+          if (!stack_area) state.excl[producer].out_bytes += run;
+          auto& edge = state.bindings[{producer, reader}];
           edge.bytes += run;
           edge.unma.insert_range(cursor, run);
         }
@@ -86,17 +84,18 @@ void QuadTool::account_read(std::uint32_t reader, std::uint64_t ea,
       });
 }
 
-void QuadTool::account_write(std::uint32_t writer, std::uint64_t ea,
-                             std::uint32_t size, bool stack_area) {
-  KernelCounters& incl = incl_[writer];
+void QuadTool::account_write(AddressState& state, std::uint32_t writer,
+                             std::uint64_t ea, std::uint32_t size,
+                             bool stack_area, bool count_access) {
+  KernelCounters& incl = state.incl[writer];
   incl.out_unma.insert_range(ea, size);
   if (!stack_area) {
-    KernelCounters& excl = excl_[writer];
+    KernelCounters& excl = state.excl[writer];
     excl.out_unma.insert_range(ea, size);
-    ++global_accesses_[writer];
-    global_bytes_[writer] += size;
+    if (count_access) ++state.global_accesses[writer];
+    state.global_bytes[writer] += size;
   }
-  shadow_.mark_write(ea, size, static_cast<ProducerId>(writer));
+  state.shadow.mark_write(ea, size, static_cast<ProducerId>(writer));
 }
 
 // ---- standalone trampolines -----------------------------------------------------
@@ -117,8 +116,8 @@ void QuadTool::on_read(void* tool, const pin::InsArgs& args) {
   auto& self = *static_cast<QuadTool*>(tool);
   const std::uint32_t reader = self.stack_.top();
   if (reader == tquad::kNoKernel) return;
-  self.account_read(reader, args.read_ea, args.read_size,
-                    vm::is_stack_addr(args.read_ea, args.sp));
+  account_read(self.state_, reader, args.read_ea, args.read_size,
+               vm::is_stack_addr(args.read_ea, args.sp), true);
 }
 
 void QuadTool::on_write(void* tool, const pin::InsArgs& args) {
@@ -126,8 +125,8 @@ void QuadTool::on_write(void* tool, const pin::InsArgs& args) {
   auto& self = *static_cast<QuadTool*>(tool);
   const std::uint32_t writer = self.stack_.top();
   if (writer == tquad::kNoKernel) return;
-  self.account_write(writer, args.write_ea, args.write_size,
-                     vm::is_stack_addr(args.write_ea, args.sp));
+  account_write(self.state_, writer, args.write_ea, args.write_size,
+                vm::is_stack_addr(args.write_ea, args.sp), true);
 }
 
 void QuadTool::on_ret(void* tool, const pin::InsArgs& args) {
@@ -155,16 +154,72 @@ void QuadTool::on_access(const session::AccessEvent& event) {
   if (event.is_prefetch) return;  // QUAD never traces prefetch touches
   if (event.kernel == tquad::kNoKernel) return;
   if (event.is_read) {
-    account_read(event.kernel, event.ea, event.size, event.is_stack);
+    account_read(state_, event.kernel, event.ea, event.size, event.is_stack,
+                 true);
   } else {
-    account_write(event.kernel, event.ea, event.size, event.is_stack);
+    account_write(state_, event.kernel, event.ea, event.size, event.is_stack,
+                  true);
   }
+}
+
+// ---- sharded access accounting (parallel pipeline) ------------------------------
+
+void QuadTool::prepare_shards(unsigned shards) {
+  TQUAD_CHECK(shards >= 1, "prepare_shards needs at least one shard");
+  TQUAD_CHECK(shards_.empty(), "prepare_shards called twice");
+  // Shard 0 aliases state_ directly; only the extra shards replicate it.
+  shards_.reserve(shards - 1);
+  for (unsigned s = 1; s < shards; ++s) {
+    auto state = std::make_unique<AddressState>();
+    state->init(kernel_count());
+    shards_.push_back(std::move(state));
+  }
+}
+
+void QuadTool::apply_access_shard(unsigned shard,
+                                  const session::AccessEvent& event,
+                                  bool count_access) {
+  if (event.is_prefetch) return;  // QUAD never traces prefetch touches
+  if (event.kernel == tquad::kNoKernel) return;
+  TQUAD_DCHECK(shard < shards_.size() + 1, "shard id out of range");
+  AddressState& state = shard == 0 ? state_ : *shards_[shard - 1];
+  if (event.is_read) {
+    account_read(state, event.kernel, event.ea, event.size, event.is_stack,
+                 count_access);
+  } else {
+    account_write(state, event.kernel, event.ea, event.size, event.is_stack,
+                  count_access);
+  }
+}
+
+void QuadTool::merge_shards() {
+  for (auto& shard : shards_) {
+    state_.shadow.adopt_disjoint(std::move(shard->shadow));
+    for (std::size_t k = 0; k < state_.incl.size(); ++k) {
+      state_.incl[k].in_bytes += shard->incl[k].in_bytes;
+      state_.incl[k].out_bytes += shard->incl[k].out_bytes;
+      state_.incl[k].in_unma.merge(std::move(shard->incl[k].in_unma));
+      state_.incl[k].out_unma.merge(std::move(shard->incl[k].out_unma));
+      state_.excl[k].in_bytes += shard->excl[k].in_bytes;
+      state_.excl[k].out_bytes += shard->excl[k].out_bytes;
+      state_.excl[k].in_unma.merge(std::move(shard->excl[k].in_unma));
+      state_.excl[k].out_unma.merge(std::move(shard->excl[k].out_unma));
+      state_.global_accesses[k] += shard->global_accesses[k];
+      state_.global_bytes[k] += shard->global_bytes[k];
+    }
+    for (auto& [key, accum] : shard->bindings) {
+      BindingAccum& edge = state_.bindings[key];
+      edge.bytes += accum.bytes;
+      edge.unma.merge(std::move(accum.unma));
+    }
+  }
+  shards_.clear();
 }
 
 std::vector<Binding> QuadTool::bindings() const {
   std::vector<Binding> edges;
-  edges.reserve(bindings_.size());
-  for (const auto& [key, accum] : bindings_) {
+  edges.reserve(state_.bindings.size());
+  for (const auto& [key, accum] : state_.bindings) {
     edges.push_back(Binding{key.first, key.second, accum.bytes, accum.unma.count()});
   }
   std::sort(edges.begin(), edges.end(), [](const Binding& a, const Binding& b) {
@@ -175,21 +230,22 @@ std::vector<Binding> QuadTool::bindings() const {
 
 std::uint64_t QuadTool::binding_bytes(std::uint32_t producer,
                                       std::uint32_t consumer) const {
-  auto it = bindings_.find({producer, consumer});
-  return it == bindings_.end() ? 0 : it->second.bytes;
+  auto it = state_.bindings.find({producer, consumer});
+  return it == state_.bindings.end() ? 0 : it->second.bytes;
 }
 
 std::uint64_t QuadTool::instrumented_cost(std::uint32_t kernel,
                                           const CostModel& model) const {
   TQUAD_CHECK(kernel < instrs_.size(), "kernel id out of range");
-  const std::uint64_t working_set =
-      excl_[kernel].in_unma.count() + excl_[kernel].out_unma.count();
+  const std::uint64_t working_set = state_.excl[kernel].in_unma.count() +
+                                    state_.excl[kernel].out_unma.count();
   const double trace_scale =
       working_set <= model.hot_set_bytes ? model.hot_discount : 1.0;
   const double trace_cost =
-      trace_scale *
-      (static_cast<double>(global_accesses_[kernel] * model.per_global_trace) +
-       static_cast<double>(global_bytes_[kernel] * model.per_global_byte));
+      trace_scale * (static_cast<double>(state_.global_accesses[kernel] *
+                                         model.per_global_trace) +
+                     static_cast<double>(state_.global_bytes[kernel] *
+                                         model.per_global_byte));
   return instrs_[kernel] * model.per_instruction +
          mem_refs_[kernel] * model.per_memory_stub +
          static_cast<std::uint64_t>(trace_cost);

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -81,7 +82,8 @@ struct QuadOptions {
 /// The QUAD tool. Construct before the run (standalone with an Engine, or
 /// session mode with a Program plus ProfileSession::add_consumer — use the
 /// same library policy as the session); query afterwards.
-class QuadTool : public session::AnalysisConsumer {
+class QuadTool : public session::AnalysisConsumer,
+                 public session::ShardedAccessConsumer {
  public:
   using Options = QuadOptions;
 
@@ -91,7 +93,7 @@ class QuadTool : public session::AnalysisConsumer {
   QuadTool(const QuadTool&) = delete;
   QuadTool& operator=(const QuadTool&) = delete;
 
-  std::size_t kernel_count() const noexcept { return incl_.size(); }
+  std::size_t kernel_count() const noexcept { return state_.incl.size(); }
   const std::string& kernel_name(std::uint32_t kernel) const {
     return program_.functions()[kernel].name;
   }
@@ -99,12 +101,12 @@ class QuadTool : public session::AnalysisConsumer {
 
   /// Counters with stack accesses included / excluded.
   const KernelCounters& including_stack(std::uint32_t kernel) const {
-    TQUAD_CHECK(kernel < incl_.size(), "kernel id out of range");
-    return incl_[kernel];
+    TQUAD_CHECK(kernel < state_.incl.size(), "kernel id out of range");
+    return state_.incl[kernel];
   }
   const KernelCounters& excluding_stack(std::uint32_t kernel) const {
-    TQUAD_CHECK(kernel < excl_.size(), "kernel id out of range");
-    return excl_[kernel];
+    TQUAD_CHECK(kernel < state_.excl.size(), "kernel id out of range");
+    return state_.excl[kernel];
   }
 
   /// Producer→consumer bindings (stack-included classification), sorted by
@@ -130,7 +132,7 @@ class QuadTool : public session::AnalysisConsumer {
   /// Render the QDU graph in Graphviz DOT (edges labelled with bytes).
   std::string qdu_graph_dot() const;
 
-  const ShadowMemory& shadow() const noexcept { return shadow_; }
+  const ShadowMemory& shadow() const noexcept { return state_.shadow; }
   const tquad::CallStack& callstack() const noexcept { return stack_; }
 
   // session::AnalysisConsumer (session mode). No return accounting.
@@ -142,6 +144,21 @@ class QuadTool : public session::AnalysisConsumer {
   void on_tick_run(const session::TickRunEvent& run) override;
   void on_access(const session::AccessEvent& event) override;
   void on_finish(const vm::RunOutcome& outcome) override { outcome_ = outcome; }
+
+  // session::ShardedAccessConsumer (parallel pipeline): the per-address
+  // state partitions by page, so access accounting scales across workers
+  // while enter/tick counters stay on a separate control lane.
+  session::ShardedAccessConsumer* sharded_access() override { return this; }
+  void prepare_shards(unsigned shards) override;
+  void apply_access_shard(unsigned shard, const session::AccessEvent& event,
+                          bool count_access) override;
+  void merge_shards() override;
+
+  /// Shards the last prepare_shards() created (1 when never sharded);
+  /// test introspection.
+  unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size()) + 1;
+  }
 
   /// How the observed run ended (session mode; kHalted for a clean run).
   /// A trapped/truncated outcome means the profile is a valid prefix.
@@ -157,30 +174,52 @@ class QuadTool : public session::AnalysisConsumer {
   void instrument_rtn(pin::Rtn& rtn);
   void instrument_ins(pin::Ins& ins);
 
-  // Mode-independent accounting.
-  void account_enter(std::uint32_t func, bool tracked);
-  void account_tick(std::uint32_t kernel, std::uint32_t read_size,
-                    std::uint32_t write_size);
-  void account_read(std::uint32_t reader, std::uint64_t ea, std::uint32_t size,
-                    bool stack_area);
-  void account_write(std::uint32_t writer, std::uint64_t ea, std::uint32_t size,
-                     bool stack_area);
-
-  const vm::Program& program_;
-  tquad::CallStack stack_;  ///< standalone attribution; static tables in session mode
-  ShadowMemory shadow_;
-  std::vector<KernelCounters> incl_;
-  std::vector<KernelCounters> excl_;
-  std::vector<std::uint64_t> instrs_;
-  std::vector<std::uint64_t> calls_;
-  std::vector<std::uint64_t> mem_refs_;
-  std::vector<std::uint64_t> global_accesses_;
-  std::vector<std::uint64_t> global_bytes_;
   struct BindingAccum {
     std::uint64_t bytes = 0;
     AddressSet unma;
   };
-  std::map<std::pair<std::uint32_t, std::uint32_t>, BindingAccum> bindings_;
+
+  /// Every piece of state keyed (directly or transitively) by guest address:
+  /// the shadow memory, the Table II counters, the per-kernel global-access
+  /// cost counters, and the binding matrix. The serial path owns exactly one
+  /// (state_); the parallel pipeline replicates it per address shard and
+  /// folds the replicas back in merge_shards().
+  struct AddressState {
+    ShadowMemory shadow;
+    std::vector<KernelCounters> incl;
+    std::vector<KernelCounters> excl;
+    std::vector<std::uint64_t> global_accesses;
+    std::vector<std::uint64_t> global_bytes;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, BindingAccum> bindings;
+
+    void init(std::size_t kernels) {
+      incl.resize(kernels);
+      excl.resize(kernels);
+      global_accesses.assign(kernels, 0);
+      global_bytes.assign(kernels, 0);
+    }
+  };
+
+  // Mode-independent accounting. `count_access` is false for the
+  // continuation pieces of a page-split access, so the per-access counter
+  // increments exactly once per original access.
+  void account_enter(std::uint32_t func, bool tracked);
+  void account_tick(std::uint32_t kernel, std::uint32_t read_size,
+                    std::uint32_t write_size);
+  static void account_read(AddressState& state, std::uint32_t reader,
+                           std::uint64_t ea, std::uint32_t size,
+                           bool stack_area, bool count_access);
+  static void account_write(AddressState& state, std::uint32_t writer,
+                            std::uint64_t ea, std::uint32_t size,
+                            bool stack_area, bool count_access);
+
+  const vm::Program& program_;
+  tquad::CallStack stack_;  ///< standalone attribution; static tables in session mode
+  AddressState state_;      ///< serial accounting, and shard 0 in parallel mode
+  std::vector<std::unique_ptr<AddressState>> shards_;  ///< shards 1..N-1
+  std::vector<std::uint64_t> instrs_;
+  std::vector<std::uint64_t> calls_;
+  std::vector<std::uint64_t> mem_refs_;
   vm::RunOutcome outcome_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/check.hpp"
+
 namespace tq::quad {
 
 ShadowMemory::Page& ShadowMemory::touch_page(std::uint64_t page_no) {
@@ -25,6 +27,15 @@ void ShadowMemory::mark_write(std::uint64_t addr, std::uint32_t size,
     cursor += in_page;
     remaining -= in_page;
   }
+}
+
+void ShadowMemory::adopt_disjoint(ShadowMemory&& other) {
+  if (this == &other) return;
+  for (auto& [page_no, page] : other.pages_) {
+    const bool inserted = pages_.emplace(page_no, std::move(page)).second;
+    TQUAD_CHECK(inserted, "shadow shards overlap: page owned by two shards");
+  }
+  other.pages_.clear();
 }
 
 ProducerId ShadowMemory::producer_of(std::uint64_t addr) const noexcept {

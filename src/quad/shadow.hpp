@@ -37,6 +37,12 @@ class ShadowMemory {
   /// Producer of one byte (kNoProducer when never written).
   ProducerId producer_of(std::uint64_t addr) const noexcept;
 
+  /// Adopt every page of `other`, leaving it empty. The page sets must be
+  /// disjoint (the sharded-pipeline invariant: accesses are routed to shards
+  /// by page number, so no page materialises in two shards); a collision is
+  /// a routing bug and trips a check.
+  void adopt_disjoint(ShadowMemory&& other);
+
   /// Visit the producer of every byte in [addr, addr+size):
   /// `visit(producer, run_length)` is called per maximal same-producer run.
   template <typename Visit>

@@ -141,6 +141,42 @@ class AnalysisConsumer {
   /// reports (PARTIAL/TRUNCATED) or must finalize durable output (the trace
   /// recorder) hook this; pure accumulators can ignore it.
   virtual void on_finish(const vm::RunOutcome& outcome) { (void)outcome; }
+
+  /// Optional capability hook: a consumer whose per-address accounting can
+  /// be partitioned by address range (QUAD's shadow memory) returns its
+  /// ShardedAccessConsumer facet so the parallel pipeline can fan access
+  /// events out to several worker threads. Default: not shardable.
+  virtual class ShardedAccessConsumer* sharded_access() { return nullptr; }
+};
+
+/// Address-sharded access accounting. The parallel pipeline routes each
+/// AccessEvent to a shard by address; one shard is drained by exactly one
+/// worker thread, in stream order, so shard state needs no locking.
+///
+/// Routing contract kept by the pipeline:
+///  - every delivered event lies within a single 4 KiB page, so a shard's
+///    pages are disjoint from every other shard's (accesses crossing a page
+///    boundary are split into per-page pieces);
+///  - the pieces of one original access carry `count_access == true` exactly
+///    once, so per-access (as opposed to per-byte) counters stay exact;
+///  - `prepare_shards` happens before any apply, `merge_shards` after all
+///    shard rings drained (the on_finish barrier) and before the consumer's
+///    own on_finish.
+class ShardedAccessConsumer {
+ public:
+  virtual ~ShardedAccessConsumer() = default;
+
+  /// Allocate `shards` independent shard states (shard ids 0..shards-1).
+  virtual void prepare_shards(unsigned shards) = 0;
+
+  /// Apply one (possibly split) access to shard `shard`.
+  virtual void apply_access_shard(unsigned shard, const AccessEvent& event,
+                                  bool count_access) = 0;
+
+  /// Fold all shard states back into the main accounting. Runs on the
+  /// publisher thread after every shard drained; results must be identical
+  /// to having applied the whole access stream serially.
+  virtual void merge_shards() = 0;
 };
 
 }  // namespace tq::session

@@ -9,7 +9,9 @@ ProfileSession::ProfileSession(const vm::Program& program, SessionConfig config)
 
 void ProfileSession::add_consumer(AnalysisConsumer& consumer) {
   TQUAD_CHECK(!ran_, "add_consumer must precede ProfileSession::run");
-  attribution_.add_consumer(consumer);
+  // Registration with the attribution is deferred to run(): in parallel
+  // mode the pipeline registers a lane wrapper in the consumer's place.
+  consumers_.push_back(&consumer);
 }
 
 vm::RunOutcome ProfileSession::run(EventSource& source) {
@@ -17,7 +19,23 @@ vm::RunOutcome ProfileSession::run(EventSource& source) {
   TQUAD_CHECK(&source.program() == &attribution_.program(),
               "event source built from a different program");
   ran_ = true;
-  outcome_ = source.run(attribution_);
+  if (config_.pipeline.mode == PipelineMode::kParallel && !consumers_.empty()) {
+    ParallelPipeline pipeline(config_.pipeline);
+    for (AnalysisConsumer* consumer : consumers_) {
+      pipeline.attach(*consumer, attribution_);
+    }
+    pipeline.start();
+    // input_finish (invoked by the source on every path, including traps)
+    // runs each lane's drain barrier, so by the time run() returns every
+    // tool holds its complete, serially-ordered accounting.
+    outcome_ = source.run(attribution_);
+    pipeline_stats_ = pipeline.stats();
+  } else {
+    for (AnalysisConsumer* consumer : consumers_) {
+      attribution_.add_consumer(*consumer);
+    }
+    outcome_ = source.run(attribution_);
+  }
   return outcome_;
 }
 

@@ -18,10 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "session/attribution.hpp"
 #include "session/event_source.hpp"
+#include "session/pipeline.hpp"
 #include "vm/host_env.hpp"
 #include "vm/program.hpp"
 
@@ -31,6 +34,7 @@ struct SessionConfig {
   tquad::LibraryPolicy library_policy = tquad::LibraryPolicy::kExclude;
   std::uint64_t instruction_budget = 0;  ///< live runs only; 0 = unlimited
   vm::FaultPlan fault_plan;              ///< live runs only; default disarmed
+  PipelineOptions pipeline;              ///< serial (inline consumers) by default
 };
 
 class ProfileSession {
@@ -70,11 +74,16 @@ class ProfileSession {
     return salvage_report_;
   }
 
+  /// Ring traffic of a completed parallel run (zero-valued for serial runs).
+  const PipelineStats& pipeline_stats() const noexcept { return pipeline_stats_; }
+
  private:
   SessionConfig config_;
   KernelAttribution attribution_;
+  std::vector<AnalysisConsumer*> consumers_;  ///< registered at run()
   vm::RunOutcome outcome_;
   trace::SalvageReport salvage_report_;
+  PipelineStats pipeline_stats_;
   bool ran_ = false;
 };
 

@@ -70,6 +70,31 @@ std::uint64_t AddressSet::count_range(std::uint64_t addr,
   return total;
 }
 
+void AddressSet::merge(AddressSet&& other) {
+  if (this == &other) return;
+  for (auto& [page_no, bitmap] : other.pages_) {
+    auto it = pages_.find(page_no);
+    if (it == pages_.end()) {
+      std::uint64_t pop = 0;
+      for (std::size_t w = 0; w < kWordsPerPage; ++w) {
+        pop += static_cast<std::uint64_t>(std::popcount(bitmap->words[w]));
+      }
+      population_ += pop;
+      pages_.emplace(page_no, std::move(bitmap));
+    } else {
+      Bitmap& mine = *it->second;
+      for (std::size_t w = 0; w < kWordsPerPage; ++w) {
+        const std::uint64_t before = mine.words[w];
+        const std::uint64_t after = before | bitmap->words[w];
+        population_ += static_cast<std::uint64_t>(std::popcount(after) -
+                                                  std::popcount(before));
+        mine.words[w] = after;
+      }
+    }
+  }
+  other.clear();
+}
+
 bool AddressSet::contains(std::uint64_t addr) const noexcept {
   auto it = pages_.find(addr >> kPageBits);
   if (it == pages_.end()) return false;

@@ -40,6 +40,12 @@ class AddressSet {
   /// popcount behind buffer-coverage reports.
   std::uint64_t count_range(std::uint64_t addr, std::uint64_t size) const noexcept;
 
+  /// Fold `other` into this set (set union) and leave `other` empty. Pages
+  /// absent here are adopted wholesale; overlapping pages are OR-merged with
+  /// the population recomputed per word. Safe for arbitrary overlap, O(1)
+  /// per disjoint page.
+  void merge(AddressSet&& other);
+
   /// Number of resident bitmap pages (memory-footprint diagnostics).
   std::size_t resident_pages() const noexcept { return pages_.size(); }
 

@@ -23,6 +23,14 @@ class Error : public std::runtime_error {
   explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
 };
 
+/// A command-line usage error: malformed flag syntax or values. The CLIs
+/// map this to exit code 2 (vs 1 for other Errors), matching the
+/// 0 ok / 1 error / 2 usage / 3 trap contract.
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,

@@ -171,4 +171,10 @@ std::uint32_t crc32c(const void* data, std::size_t size,
   return ~crc32c_sw(p, size, crc);
 }
 
+std::uint32_t crc32c_software(const void* data, std::size_t size,
+                              std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  return ~crc32c_sw(p, size, ~seed);
+}
+
 }  // namespace tq

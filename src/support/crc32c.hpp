@@ -20,4 +20,10 @@ std::uint32_t crc32c(const void* data, std::size_t size,
 /// True when the SSE4.2 hardware path is in use (exposed for the bench).
 bool crc32c_hardware() noexcept;
 
+/// Checksum via the slicing-by-8 software path regardless of hardware
+/// support — the test seam proving both implementations agree. Same
+/// parameterisation and chaining contract as crc32c().
+std::uint32_t crc32c_software(const void* data, std::size_t size,
+                              std::uint32_t seed = 0) noexcept;
+
 }  // namespace tq

@@ -1,0 +1,152 @@
+// Fixed-capacity single-producer / single-consumer queue with blocking
+// backpressure, plus the Doorbell eventcount that lets one drain thread
+// multiplex several rings without missing wakeups.
+//
+// The ring is deliberately mutex+condvar based rather than lock-free: the
+// session pipeline pushes *batches* of thousands of events, so queue
+// operations are off the hot path, and a locked ring is trivially correct
+// under ThreadSanitizer. Capacity is fixed at construction; a full ring
+// blocks the producer (`push`), which is exactly the backpressure the
+// live-analysis pipeline wants — the guest VM slows down instead of the
+// process growing without bound.
+//
+// Threading contract: exactly one producer thread calls push/close, exactly
+// one consumer thread calls try_pop. `close` is idempotent and may also be
+// called by the producer after the consumer finished (abort path).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace tq {
+
+/// Eventcount used by pipeline workers that drain more than one ring: the
+/// worker snapshots `epoch()`, scans its rings with `try_pop`, and — only if
+/// no ring yielded anything — sleeps in `wait_past(snapshot)`. Any producer
+/// push (or close) rings the bell, so a push that lands between the scan and
+/// the sleep advances the epoch and the sleep returns immediately. This makes
+/// the scan-then-sleep loop lost-wakeup-free without the worker holding any
+/// ring lock while idle.
+class Doorbell {
+ public:
+  std::uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+  }
+
+  void ring() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++epoch_;
+    }
+    cv_.notify_all();
+  }
+
+  void wait_past(std::uint64_t seen) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return epoch_ != seen; });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;
+};
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) : slots_(capacity) {
+    TQUAD_CHECK(capacity > 0, "SpscRing capacity must be positive");
+  }
+
+  /// Attach the consumer-side doorbell. Must happen before the first push.
+  void set_doorbell(Doorbell* bell) { bell_ = bell; }
+
+  /// Producer: enqueue `value`, blocking while the ring is full
+  /// (backpressure). Pushing to a closed ring is a programming error.
+  void push(T value) {
+    bool was_empty = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (size_ == slots_.size()) {
+        ++push_waits_;
+        space_cv_.wait(lock, [&] { return size_ < slots_.size(); });
+      }
+      TQUAD_CHECK(!closed_, "push on closed SpscRing");
+      was_empty = size_ == 0;
+      slots_[(head_ + size_) % slots_.size()] = std::move(value);
+      ++size_;
+      ++pushes_;
+    }
+    // Ring the doorbell only on the empty->non-empty edge: while the ring
+    // stays non-empty the worker cannot be asleep waiting on it.
+    if (was_empty && bell_ != nullptr) bell_->ring();
+  }
+
+  /// Producer (or drain-barrier owner): no more pushes will arrive.
+  /// Idempotent. Wakes the consumer so it can observe `done()`.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    if (bell_ != nullptr) bell_->ring();
+  }
+
+  /// Consumer: dequeue into `out` if anything is queued. Never blocks.
+  bool try_pop(T& out) {
+    bool was_full = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (size_ == 0) return false;
+      was_full = size_ == slots_.size();
+      out = std::move(slots_[head_]);
+      head_ = (head_ + 1) % slots_.size();
+      --size_;
+    }
+    if (was_full) space_cv_.notify_one();
+    return true;
+  }
+
+  /// Consumer: true once the ring is closed and fully drained.
+  bool done() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_ && size_ == 0;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Times the producer found the ring full and had to wait (backpressure
+  /// stalls). Read after the run for bench/test introspection.
+  std::uint64_t push_waits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return push_waits_;
+  }
+
+  /// Total values ever pushed (post-run introspection).
+  std::uint64_t pushes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pushes_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  std::uint64_t push_waits_ = 0;
+  std::uint64_t pushes_ = 0;
+  Doorbell* bell_ = nullptr;
+};
+
+}  // namespace tq

@@ -62,6 +62,42 @@ grep -q "salvage: dropped block 0" salvaged.txt
 grep -q "replayed v2 trace" salvaged.txt
 "$TOOLS/tqtr_doctor" repair bad.tqtr -out repaired.tqtr > /dev/null
 "$TOOLS/tqtr_doctor" verify repaired.tqtr > /dev/null
+
+# tqtr_doctor exit-code matrix: 0 ok, 1 corrupt/unreadable, 2 usage.
+# expect_exit <want> -- <command...>
+expect_exit() {
+  want="$1"
+  shift 2  # drop want and the "--" separator
+  status=0
+  "$@" > /dev/null 2>&1 || status=$?
+  if [ "$status" -ne "$want" ]; then
+    echo "expected exit $want, got $status: $*" >&2
+    exit 1
+  fi
+}
+expect_exit 0 -- "$TOOLS/tqtr_doctor" verify run.tqtr
+expect_exit 0 -- "$TOOLS/tqtr_doctor" summarize run.tqtr
+expect_exit 0 -- "$TOOLS/tqtr_doctor" repair bad.tqtr -out repaired2.tqtr
+expect_exit 1 -- "$TOOLS/tqtr_doctor" verify bad.tqtr
+expect_exit 1 -- "$TOOLS/tqtr_doctor" verify run_v1.tqtr   # v1: not a v2 file
+expect_exit 1 -- "$TOOLS/tqtr_doctor" verify does_not_exist.tqtr
+expect_exit 2 -- "$TOOLS/tqtr_doctor"
+expect_exit 2 -- "$TOOLS/tqtr_doctor" verify
+expect_exit 2 -- "$TOOLS/tqtr_doctor" verify run.tqtr extra_arg
+expect_exit 2 -- "$TOOLS/tqtr_doctor" frobnicate run.tqtr
+expect_exit 2 -- "$TOOLS/tqtr_doctor" repair bad.tqtr      # repair needs -out
+
+# Parallel pipeline smoke: same reports and byte-identical trace as the
+# serial run at the top of this script.
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -report all -slice 2000 \
+    -csv flat_par.csv -trace run_par.tqtr -out out_par.wav \
+    -pipeline parallel:2 > tquad_par.txt
+grep -v "written to" tquad.txt > tquad_body.txt
+grep -v "written to" tquad_par.txt > tquad_par_body.txt
+cmp tquad_body.txt tquad_par_body.txt
+cmp flat.csv flat_par.csv
+cmp run.tqtr run_par.tqtr
+cmp out.wav out_par.wav
 # Error paths: missing image must fail with a message, not crash.
 if "$TOOLS/tquad_cli" -image does_not_exist.tqim 2> err.txt; then
   echo "expected failure on missing image" >&2

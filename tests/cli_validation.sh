@@ -121,6 +121,34 @@ expect_status 2 usage.txt -- "$TOOLS/tquad_cli"
 expect_status 2 usage.txt -- "$TOOLS/quad_cli"
 expect_status 2 usage.txt -- "$TOOLS/asm_run"
 
+# Malformed -pipeline specs are usage errors (exit 2), validated before any
+# guest execution, on both CLIs.
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -pipeline bogus
+grep -q "unknown -pipeline mode 'bogus'" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -pipeline parallel:x
+grep -q "bad -pipeline worker count" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -pipeline parallel:
+grep -q "bad -pipeline worker count" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -pipeline parallel:99999
+grep -q "bad -pipeline worker count" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/quad_cli" -image wfs.tqim -pipeline Serial
+grep -q "unknown -pipeline mode" err.txt
+
+# A valid -pipeline parallel run produces the same reports as the serial
+# multi-tool run above, and records a byte-identical trace.
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -tools tquad,quad,gprof \
+    -report flat -slice 2000 -trace multi_par.tqtr \
+    -pipeline parallel:3 > multi_par.txt
+grep -v "trace written to" multi.txt > multi_serial_body.txt
+grep -v "trace written to" multi_par.txt > multi_par_body.txt
+cmp multi_serial_body.txt multi_par_body.txt
+cmp multi.tqtr multi_par.tqtr
+
 # A trapping guest: partial reports and exit 3 by default, no reports under
 # -on-trap abort, and a graceful TRUNCATED exit 0 under a tight -budget.
 cat > trap.s <<'EOF'

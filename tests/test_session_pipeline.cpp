@@ -1,0 +1,439 @@
+// Determinism matrix for the parallel live-analysis pipeline: a session
+// running its consumers on drain workers (-pipeline parallel) must produce
+// byte-identical tool state to the serial reference dispatch — for every
+// tool combination, on every workload, under injected guest traps, and with
+// the ring squeezed down to one single-event batch (pure backpressure).
+// The pipeline is only allowed to change *when* accounting runs, never what
+// it accumulates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gprofsim/gprof_tool.hpp"
+#include "quad/quad_tool.hpp"
+#include "session/session.hpp"
+#include "support/paged_memory.hpp"
+#include "trace/trace.hpp"
+#include "tquad/tquad_tool.hpp"
+#include "vm/machine.hpp"
+#include "wfs/runner.hpp"
+#include "workloads/workloads.hpp"
+
+#include "session_tool_compare.hpp"
+
+namespace tq::session {
+namespace {
+
+constexpr std::uint64_t kSlice = 1000;
+constexpr std::uint64_t kSamplePeriod = 700;
+
+/// Which consumers ride the session (bit i of the matrix loop).
+struct ToolMask {
+  bool tquad = false;
+  bool quad = false;
+  bool gprof = false;
+  bool trace = false;
+};
+
+constexpr ToolMask kAllTools{true, true, true, true};
+
+PipelineOptions parallel_options(unsigned workers, std::size_t batch_events = 256,
+                                 std::size_t ring_batches = 2,
+                                 unsigned access_shards = 0) {
+  PipelineOptions options;
+  options.mode = PipelineMode::kParallel;
+  options.workers = workers;
+  options.batch_events = batch_events;
+  options.ring_batches = ring_batches;
+  options.access_shards = access_shards;
+  return options;
+}
+
+/// One session plus the masked subset of consumers.
+struct SessionRun {
+  SessionRun(const vm::Program& program, const SessionConfig& config, ToolMask mask)
+      : session(program, config) {
+    if (mask.tquad) {
+      tquad_tool.emplace(program,
+                         tquad::Options{.slice_interval = kSlice,
+                                        .library_policy = config.library_policy});
+      session.add_consumer(*tquad_tool);
+    }
+    if (mask.quad) {
+      quad_tool.emplace(program, quad::QuadOptions{config.library_policy});
+      session.add_consumer(*quad_tool);
+    }
+    if (mask.gprof) {
+      gprof::Options options;
+      options.sample_period = kSamplePeriod;
+      options.library_policy = config.library_policy;
+      gprof_tool.emplace(program, options);
+      session.add_consumer(*gprof_tool);
+    }
+    if (mask.trace) {
+      recorder.emplace(program, config.library_policy, trace::TraceFormat::kV2);
+      session.add_consumer(*recorder);
+    }
+  }
+
+  ProfileSession session;
+  std::optional<tquad::TQuadTool> tquad_tool;
+  std::optional<quad::QuadTool> quad_tool;
+  std::optional<gprof::GprofTool> gprof_tool;
+  std::optional<trace::TraceRecorder> recorder;
+};
+
+/// Compare every tool the parallel run carried against the serial reference.
+/// `serial_trace` is the reference trace taken once (take_encoded consumes).
+void expect_matches_serial(SessionRun& serial, const std::vector<std::uint8_t>& serial_trace,
+                           SessionRun& parallel, ToolMask mask) {
+  if (mask.tquad) {
+    testutil::expect_tquad_equal(*serial.tquad_tool, *parallel.tquad_tool);
+  }
+  if (mask.quad) {
+    testutil::expect_quad_equal(*serial.quad_tool, *parallel.quad_tool);
+  }
+  if (mask.gprof) {
+    testutil::expect_gprof_equal(*serial.gprof_tool, *parallel.gprof_tool);
+  }
+  if (mask.trace) {
+    EXPECT_EQ(serial_trace, parallel.recorder->take_encoded());
+  }
+}
+
+enum class Which { kStream, kMatmulNaive, kMatmulTiled, kChase, kHistogram, kWfs };
+
+/// One guest execution's inputs. The wfs member keeps the prepared program
+/// alive; synthetic programs are built once and shared (their hosts are
+/// stateless defaults).
+struct Guest {
+  std::optional<wfs::WfsRun> wfs;
+  const vm::Program* program = nullptr;
+  vm::HostEnv host;
+};
+
+void make_guest(Which which, Guest& guest) {
+  switch (which) {
+    case Which::kStream: {
+      static const auto artifacts = workloads::build_stream(128, 1);
+      guest.program = &artifacts.program;
+      break;
+    }
+    case Which::kMatmulNaive: {
+      static const auto artifacts = workloads::build_matmul(10, false);
+      guest.program = &artifacts.program;
+      break;
+    }
+    case Which::kMatmulTiled: {
+      static const auto artifacts = workloads::build_matmul(12, true, 4);
+      guest.program = &artifacts.program;
+      break;
+    }
+    case Which::kChase: {
+      static const auto artifacts = workloads::build_chase(64, 400);
+      guest.program = &artifacts.program;
+      break;
+    }
+    case Which::kHistogram: {
+      static const auto artifacts = workloads::build_histogram(32, 800);
+      guest.program = &artifacts.program;
+      break;
+    }
+    case Which::kWfs: {
+      guest.wfs.emplace(wfs::prepare_wfs_run(wfs::WfsConfig::tiny()));
+      guest.program = &guest.wfs->artifacts.program;
+      guest.host = std::move(guest.wfs->host);
+      break;
+    }
+  }
+}
+
+/// Serial all-tools reference for one workload, run once per test.
+struct Reference {
+  explicit Reference(Which which) {
+    make_guest(which, guest);
+    run.emplace(*guest.program, SessionConfig{}, kAllTools);
+    outcome = run->session.run_live(guest.host);
+    trace = run->recorder->take_encoded();
+  }
+
+  Guest guest;
+  std::optional<SessionRun> run;
+  vm::RunOutcome outcome;
+  std::vector<std::uint8_t> trace;
+};
+
+// ---------------------------------------------------------------------------
+// Full tool-combination matrix: 15 non-empty consumer subsets per workload.
+
+void check_matrix(Which which) {
+  Reference ref(which);
+  for (unsigned bits = 1; bits < 16; ++bits) {
+    const ToolMask mask{(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0,
+                        (bits & 8) != 0};
+    SCOPED_TRACE("tool mask bits=" + std::to_string(bits));
+    Guest guest;
+    make_guest(which, guest);
+    ASSERT_EQ(ref.guest.program->serialize(), guest.program->serialize());
+    SessionConfig config;
+    config.pipeline = parallel_options(/*workers=*/3, /*batch_events=*/256,
+                                       /*ring_batches=*/2, /*access_shards=*/3);
+    SessionRun run(*guest.program, config, mask);
+    const vm::RunOutcome outcome = run.session.run_live(guest.host);
+    EXPECT_EQ(outcome.status, ref.outcome.status);
+    EXPECT_EQ(outcome.retired, ref.outcome.retired);
+    EXPECT_GT(run.session.pipeline_stats().batches_published, 0u);
+    expect_matches_serial(*ref.run, ref.trace, run, mask);
+  }
+}
+
+TEST(PipelineMatrix, Stream) { check_matrix(Which::kStream); }
+TEST(PipelineMatrix, MatmulNaive) { check_matrix(Which::kMatmulNaive); }
+TEST(PipelineMatrix, MatmulTiled) { check_matrix(Which::kMatmulTiled); }
+TEST(PipelineMatrix, Chase) { check_matrix(Which::kChase); }
+TEST(PipelineMatrix, Histogram) { check_matrix(Which::kHistogram); }
+TEST(PipelineMatrix, Wfs) { check_matrix(Which::kWfs); }
+
+// ---------------------------------------------------------------------------
+// Fault-tolerance parity: a guest trap mid-run must drain the rings and
+// leave exactly the serial trapped run's state (the PR 3 PARTIAL contract
+// survives the thread hop).
+
+void check_fault_parity(Which which) {
+  Guest probe;
+  make_guest(which, probe);
+  vm::Machine machine(*probe.program, probe.host);
+  const std::uint64_t total = machine.run().retired;
+  ASSERT_GT(total, 2u);
+  const std::uint64_t cut = total / 2;
+
+  SessionConfig fault_config;
+  fault_config.fault_plan.trap_at_retired = cut;
+
+  Guest serial_guest;
+  make_guest(which, serial_guest);
+  SessionRun serial(*serial_guest.program, fault_config, kAllTools);
+  const vm::RunOutcome serial_outcome = serial.session.run_live(serial_guest.host);
+  ASSERT_EQ(serial_outcome.status, vm::RunStatus::kTrapped);
+  ASSERT_EQ(serial_outcome.retired, cut);
+  const std::vector<std::uint8_t> serial_trace = serial.recorder->take_encoded();
+
+  Guest parallel_guest;
+  make_guest(which, parallel_guest);
+  SessionConfig parallel_config = fault_config;
+  parallel_config.pipeline = parallel_options(/*workers=*/3, /*batch_events=*/64,
+                                              /*ring_batches=*/2,
+                                              /*access_shards=*/2);
+  SessionRun parallel(*parallel_guest.program, parallel_config, kAllTools);
+  const vm::RunOutcome outcome = parallel.session.run_live(parallel_guest.host);
+  ASSERT_EQ(outcome.status, vm::RunStatus::kTrapped);
+  ASSERT_EQ(outcome.retired, cut);
+
+  // The drain barrier ran before on_finish: every tool saw the trap outcome.
+  EXPECT_EQ(parallel.tquad_tool->outcome().status, vm::RunStatus::kTrapped);
+  EXPECT_EQ(parallel.quad_tool->outcome().status, vm::RunStatus::kTrapped);
+  EXPECT_EQ(parallel.gprof_tool->outcome().status, vm::RunStatus::kTrapped);
+
+  expect_matches_serial(serial, serial_trace, parallel, kAllTools);
+}
+
+TEST(PipelineFault, Stream) { check_fault_parity(Which::kStream); }
+TEST(PipelineFault, MatmulNaive) { check_fault_parity(Which::kMatmulNaive); }
+TEST(PipelineFault, MatmulTiled) { check_fault_parity(Which::kMatmulTiled); }
+TEST(PipelineFault, Chase) { check_fault_parity(Which::kChase); }
+TEST(PipelineFault, Histogram) { check_fault_parity(Which::kHistogram); }
+TEST(PipelineFault, Wfs) { check_fault_parity(Which::kWfs); }
+
+// ---------------------------------------------------------------------------
+// Backpressure torture: ring capacity 1 batch of 1 event makes the VM thread
+// block on nearly every publish. Throughput dies; the reports must not care.
+
+void check_capacity_one(Which which) {
+  Reference ref(which);
+  Guest guest;
+  make_guest(which, guest);
+  SessionConfig config;
+  config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/1,
+                                     /*ring_batches=*/1, /*access_shards=*/2);
+  SessionRun run(*guest.program, config, kAllTools);
+  const vm::RunOutcome outcome = run.session.run_live(guest.host);
+  EXPECT_EQ(outcome.status, ref.outcome.status);
+  EXPECT_EQ(outcome.retired, ref.outcome.retired);
+  expect_matches_serial(*ref.run, ref.trace, run, kAllTools);
+
+  // Single-event batches in depth-1 rings: the publisher must have hit a
+  // full ring at least once on any workload with thousands of events.
+  const PipelineStats stats = run.session.pipeline_stats();
+  EXPECT_GT(stats.batches_published, 0u);
+  EXPECT_GT(stats.backpressure_waits, 0u);
+}
+
+TEST(PipelineBackpressure, Stream) { check_capacity_one(Which::kStream); }
+TEST(PipelineBackpressure, MatmulNaive) { check_capacity_one(Which::kMatmulNaive); }
+TEST(PipelineBackpressure, MatmulTiled) { check_capacity_one(Which::kMatmulTiled); }
+TEST(PipelineBackpressure, Chase) { check_capacity_one(Which::kChase); }
+TEST(PipelineBackpressure, Histogram) { check_capacity_one(Which::kHistogram); }
+TEST(PipelineBackpressure, Wfs) { check_capacity_one(Which::kWfs); }
+
+// Backpressure under a trap: the abort/drain path with a full ring is the
+// nastiest corner (publisher mid-push when the guest faults).
+TEST(PipelineBackpressure, HistogramFaultCapacityOne) {
+  Guest probe;
+  make_guest(Which::kHistogram, probe);
+  vm::Machine machine(*probe.program, probe.host);
+  const std::uint64_t cut = machine.run().retired / 2;
+  ASSERT_GT(cut, 0u);
+
+  SessionConfig fault_config;
+  fault_config.fault_plan.trap_at_retired = cut;
+  Guest serial_guest;
+  make_guest(Which::kHistogram, serial_guest);
+  SessionRun serial(*serial_guest.program, fault_config, kAllTools);
+  ASSERT_EQ(serial.session.run_live(serial_guest.host).status,
+            vm::RunStatus::kTrapped);
+  const std::vector<std::uint8_t> serial_trace = serial.recorder->take_encoded();
+
+  SessionConfig parallel_config = fault_config;
+  parallel_config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/1,
+                                              /*ring_batches=*/1,
+                                              /*access_shards=*/2);
+  Guest parallel_guest;
+  make_guest(Which::kHistogram, parallel_guest);
+  SessionRun parallel(*parallel_guest.program, parallel_config, kAllTools);
+  const vm::RunOutcome outcome = parallel.session.run_live(parallel_guest.host);
+  ASSERT_EQ(outcome.status, vm::RunStatus::kTrapped);
+  ASSERT_EQ(outcome.retired, cut);
+  expect_matches_serial(serial, serial_trace, parallel, kAllTools);
+}
+
+// ---------------------------------------------------------------------------
+// QUAD shard sweep: every shard count must merge back to the serial answer
+// (matmul naive has the richest producer/consumer binding structure).
+
+TEST(PipelineShards, MatmulShardSweep) {
+  Reference ref(Which::kMatmulNaive);
+  for (unsigned shards = 1; shards <= 4; ++shards) {
+    SCOPED_TRACE("access_shards=" + std::to_string(shards));
+    Guest guest;
+    make_guest(Which::kMatmulNaive, guest);
+    SessionConfig config;
+    config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/128,
+                                       /*ring_batches=*/2, shards);
+    SessionRun run(*guest.program, config, kAllTools);
+    run.session.run_live(guest.host);
+    expect_matches_serial(*ref.run, ref.trace, run, kAllTools);
+  }
+}
+
+// Worker-count sweep, including more workers than lanes (the pipeline clamps)
+// and the auto (0 = hardware concurrency) setting.
+TEST(PipelineShards, WorkerSweep) {
+  Reference ref(Which::kHistogram);
+  for (unsigned workers : {0u, 1u, 2u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    Guest guest;
+    make_guest(Which::kHistogram, guest);
+    SessionConfig config;
+    config.pipeline = parallel_options(workers);
+    SessionRun run(*guest.program, config, kAllTools);
+    run.session.run_live(guest.host);
+    expect_matches_serial(*ref.run, ref.trace, run, kAllTools);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct unit for the sharded-consumer contract: feeding QuadTool's shard
+// facet a split page-crossing access (count_access on the first piece only)
+// and merging must equal the serial on_access of the unsplit access.
+
+TEST(PipelineShards, QuadShardedFacetSplitAccess) {
+  static const auto artifacts = workloads::build_stream(16, 1);
+  const vm::Program& program = artifacts.program;
+  constexpr std::uint64_t kPage = 1ull << PagedMemory::kPageBits;
+  constexpr unsigned kShards = 3;
+
+  quad::QuadTool serial(program);
+  quad::QuadTool sharded(program);
+  EXPECT_EQ(sharded.shard_count(), 1u);
+  sharded.prepare_shards(kShards);
+  EXPECT_EQ(sharded.shard_count(), kShards);
+
+  const auto shard_of = [](std::uint64_t ea) {
+    return static_cast<unsigned>((ea >> PagedMemory::kPageBits) % kShards);
+  };
+  const auto feed = [&](AccessEvent event) {
+    serial.on_access(event);
+    // Mirror the router: split per page, count_access on the first piece.
+    std::uint64_t cursor = event.ea;
+    std::uint32_t remaining = event.size;
+    bool first = true;
+    while (remaining > 0) {
+      const std::uint64_t page_end =
+          ((cursor >> PagedMemory::kPageBits) + 1) << PagedMemory::kPageBits;
+      AccessEvent piece = event;
+      piece.ea = cursor;
+      piece.size = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(remaining, page_end - cursor));
+      sharded.apply_access_shard(shard_of(cursor), piece, first);
+      first = false;
+      cursor += piece.size;
+      remaining -= piece.size;
+    }
+  };
+
+  // Writer kernel 0 produces across a page boundary; reader kernel 1
+  // consumes the same bytes (also split), creating a 0→1 binding whose byte
+  // and unique-address counts must survive the split + merge exactly.
+  AccessEvent write;
+  write.func = 0;
+  write.kernel = 0;
+  write.ea = 3 * kPage - 4;
+  write.size = 8;  // crosses from page 2 into page 3
+  write.is_read = false;
+  feed(write);
+
+  AccessEvent read = write;
+  read.func = 1;
+  read.kernel = 1;
+  read.is_read = true;
+  feed(read);
+
+  // Same-page accesses land whole in their shard.
+  AccessEvent aligned = write;
+  aligned.ea = 7 * kPage + 64;
+  aligned.size = 8;
+  feed(aligned);
+  AccessEvent aligned_read = aligned;
+  aligned_read.kernel = 1;
+  aligned_read.func = 1;
+  aligned_read.is_read = true;
+  feed(aligned_read);
+
+  sharded.merge_shards();
+  EXPECT_EQ(sharded.shard_count(), 1u);
+  testutil::expect_quad_equal(serial, sharded);
+  EXPECT_EQ(serial.binding_bytes(0, 1), 16u);
+  EXPECT_EQ(sharded.binding_bytes(0, 1), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Replay through the parallel pipeline: a recorded trace replayed with
+// parallel dispatch equals the live serial run that produced it.
+
+TEST(PipelineReplay, StreamReplayParallel) {
+  Reference ref(Which::kStream);
+
+  SessionConfig config;
+  config.pipeline = parallel_options(/*workers=*/3, /*batch_events=*/32,
+                                     /*ring_batches=*/2, /*access_shards=*/3);
+  SessionRun replayed(*ref.guest.program, config, kAllTools);
+  const vm::RunOutcome outcome = replayed.session.replay(ref.trace);
+  EXPECT_EQ(outcome.retired, ref.outcome.retired);
+  expect_matches_serial(*ref.run, ref.trace, replayed, kAllTools);
+}
+
+}  // namespace
+}  // namespace tq::session

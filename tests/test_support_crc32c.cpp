@@ -1,0 +1,134 @@
+// CRC-32C (Castagnoli): the RFC 3720 reference vectors, hardware-vs-software
+// agreement across lengths and alignments, and the chaining contract. The
+// checksum guards every TQTR v2 block, so a silent implementation divergence
+// (e.g. the SSE4.2 path disagreeing with slicing-by-8 on some tail length)
+// would make traces written on one host "corrupt" on another.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "support/crc32c.hpp"
+
+namespace tq {
+namespace {
+
+// RFC 3720 B.4 test vectors (iSCSI CRC32C: init/xorout 0xffffffff,
+// reflected Castagnoli polynomial).
+TEST(Crc32c, Rfc3720Vectors) {
+  const std::vector<std::uint8_t> zeros(32, 0x00);
+  const std::vector<std::uint8_t> ones(32, 0xff);
+  std::vector<std::uint8_t> ramp(32);
+  std::iota(ramp.begin(), ramp.end(), std::uint8_t{0});
+  std::vector<std::uint8_t> ramp_down(32);
+  for (std::size_t i = 0; i < 32; ++i)
+    ramp_down[i] = static_cast<std::uint8_t>(31 - i);
+  const std::string digits = "123456789";  // the classic "check" input
+
+  const struct {
+    const void* data;
+    std::size_t size;
+    std::uint32_t expected;
+  } vectors[] = {
+      {zeros.data(), zeros.size(), 0x8a9136aau},
+      {ones.data(), ones.size(), 0x62a8ab43u},
+      {ramp.data(), ramp.size(), 0x46dd794eu},
+      {ramp_down.data(), ramp_down.size(), 0x113fdb5cu},
+      {digits.data(), digits.size(), 0xe3069283u},
+  };
+  for (const auto& v : vectors) {
+    EXPECT_EQ(crc32c(v.data, v.size), v.expected);
+    EXPECT_EQ(crc32c_software(v.data, v.size), v.expected);
+  }
+}
+
+TEST(Crc32c, EmptyInput) {
+  EXPECT_EQ(crc32c(nullptr, 0), 0u);
+  EXPECT_EQ(crc32c_software(nullptr, 0), 0u);
+  const std::uint8_t byte = 0xab;
+  // Empty chained onto a seed is the identity.
+  const std::uint32_t seed = crc32c(&byte, 1);
+  EXPECT_EQ(crc32c(&byte, 0, seed), seed);
+  EXPECT_EQ(crc32c_software(&byte, 0, seed), seed);
+}
+
+// The dispatching entry point and the software seam must agree on every
+// length (covering the slicing-by-8 remainder cases and the hardware path's
+// 8/4/2/1-byte tail ladder) and on every starting alignment within a word.
+TEST(Crc32c, HardwareMatchesSoftware) {
+  std::mt19937 rng(0xc0ffee);
+  std::vector<std::uint8_t> buffer(4096 + 64);
+  for (auto& b : buffer) b = static_cast<std::uint8_t>(rng());
+
+  for (std::size_t offset = 0; offset < 9; ++offset) {
+    for (std::size_t size : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                             std::size_t{3}, std::size_t{7}, std::size_t{8},
+                             std::size_t{9}, std::size_t{15}, std::size_t{16},
+                             std::size_t{63}, std::size_t{64}, std::size_t{65},
+                             std::size_t{255}, std::size_t{1024},
+                             std::size_t{3072}, std::size_t{4096}}) {
+      const std::uint8_t* p = buffer.data() + offset;
+      EXPECT_EQ(crc32c(p, size), crc32c_software(p, size))
+          << "offset=" << offset << " size=" << size;
+    }
+  }
+}
+
+TEST(Crc32c, RandomizedLengthsAgree) {
+  std::mt19937 rng(20260806);
+  std::vector<std::uint8_t> buffer(8192);
+  for (auto& b : buffer) b = static_cast<std::uint8_t>(rng());
+  std::uniform_int_distribution<std::size_t> offset_dist(0, 128);
+  std::uniform_int_distribution<std::size_t> size_dist(0, 7000);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t offset = offset_dist(rng);
+    const std::size_t size = std::min(size_dist(rng), buffer.size() - offset);
+    const std::uint8_t* p = buffer.data() + offset;
+    ASSERT_EQ(crc32c(p, size), crc32c_software(p, size))
+        << "offset=" << offset << " size=" << size;
+  }
+}
+
+// Chaining: checksumming a buffer in arbitrary splits via the seed argument
+// must equal the one-shot checksum — that is how the v2 writer folds a
+// block header and its payload into one CRC.
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  std::mt19937 rng(7);
+  std::vector<std::uint8_t> buffer(2048);
+  for (auto& b : buffer) b = static_cast<std::uint8_t>(rng());
+  const std::uint32_t whole = crc32c(buffer.data(), buffer.size());
+
+  for (std::size_t cut : {std::size_t{1}, std::size_t{5}, std::size_t{512},
+                          std::size_t{2047}}) {
+    const std::uint32_t chained =
+        crc32c(buffer.data() + cut, buffer.size() - cut,
+               crc32c(buffer.data(), cut));
+    EXPECT_EQ(chained, whole) << "cut=" << cut;
+    const std::uint32_t chained_sw =
+        crc32c_software(buffer.data() + cut, buffer.size() - cut,
+                        crc32c_software(buffer.data(), cut));
+    EXPECT_EQ(chained_sw, whole) << "cut=" << cut;
+  }
+
+  // Many tiny increments (every byte its own call).
+  std::uint32_t crc = 0;
+  for (std::size_t i = 0; i < buffer.size(); ++i)
+    crc = crc32c(&buffer[i], 1, crc);
+  EXPECT_EQ(crc, whole);
+}
+
+TEST(Crc32c, SeedAndDataSensitivity) {
+  const std::uint8_t a[] = {1, 2, 3, 4};
+  std::uint8_t b[] = {1, 2, 3, 4};
+  EXPECT_EQ(crc32c(a, sizeof a), crc32c(b, sizeof b));
+  b[3] ^= 0x01;  // single-bit flip must change the checksum
+  EXPECT_NE(crc32c(a, sizeof a), crc32c(b, sizeof b));
+  EXPECT_NE(crc32c(a, sizeof a, 0), crc32c(a, sizeof a, 1));
+}
+
+}  // namespace
+}  // namespace tq

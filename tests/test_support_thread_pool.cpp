@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
+#include "support/spsc_ring.hpp"
 #include "support/thread_pool.hpp"
 
 namespace tq {
@@ -87,6 +90,123 @@ TEST(ParallelForBlocks, NonZeroOffsetRange) {
   std::uint64_t want = 0;
   for (std::uint64_t i = 100; i < 200; ++i) want += i;
   EXPECT_EQ(sum.load(), want);
+}
+
+TEST(SpscRing, FifoSingleThread) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  ring.push(1);
+  ring.push(2);
+  ring.push(3);
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  ring.push(4);  // wraps around the storage
+  for (int want : {2, 3, 4}) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, want);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(ring.pushes(), 4u);
+  EXPECT_EQ(ring.push_waits(), 0u);
+}
+
+TEST(SpscRing, DoneOnlyWhenClosedAndDrained) {
+  SpscRing<int> ring(2);
+  ring.push(7);
+  EXPECT_FALSE(ring.done());
+  ring.close();
+  EXPECT_FALSE(ring.done());  // closed but not drained
+  ring.close();               // idempotent
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(ring.done());
+}
+
+// Capacity 1 forces the producer through the backpressure wait on nearly
+// every push; the consumer must still see every value exactly once, in order.
+TEST(SpscRing, CapacityOneStressPreservesOrder) {
+  static constexpr int kValues = 20000;
+  SpscRing<int> ring(1);
+  std::thread consumer([&ring] {
+    int expected = 0;
+    int out = 0;
+    while (!ring.done()) {
+      if (ring.try_pop(out)) {
+        ASSERT_EQ(out, expected);
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    EXPECT_EQ(expected, kValues);
+  });
+  for (int i = 0; i < kValues; ++i) ring.push(i);
+  ring.close();
+  consumer.join();
+  EXPECT_EQ(ring.pushes(), static_cast<std::uint64_t>(kValues));
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  ring.push(std::make_unique<int>(42));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+// The scan-then-sleep protocol: a worker that snapshots the epoch, finds all
+// rings empty, and sleeps must be woken by a push that lands at any point
+// after the snapshot — including between scan and sleep (the lost-wakeup
+// window wait_past closes).
+TEST(Doorbell, PushWakesSleepingWorker) {
+  Doorbell bell;
+  SpscRing<int> a(4);
+  SpscRing<int> b(4);
+  a.set_doorbell(&bell);
+  b.set_doorbell(&bell);
+
+  std::atomic<int> drained{0};
+  std::thread worker([&] {
+    for (;;) {
+      const std::uint64_t seen = bell.epoch();
+      bool progress = false;
+      int out = 0;
+      while (a.try_pop(out)) {
+        drained.fetch_add(out);
+        progress = true;
+      }
+      while (b.try_pop(out)) {
+        drained.fetch_add(out);
+        progress = true;
+      }
+      if (a.done() && b.done()) return;
+      if (!progress) bell.wait_past(seen);
+    }
+  });
+
+  for (int i = 1; i <= 50; ++i) {
+    a.push(i);
+    b.push(100 + i);
+  }
+  a.close();
+  b.close();
+  worker.join();
+  // 1+..+50 plus 101+..+150.
+  EXPECT_EQ(drained.load(), 50 * 51 / 2 + 100 * 50 + 50 * 51 / 2);
+}
+
+TEST(Doorbell, CloseRingsTheBell) {
+  Doorbell bell;
+  SpscRing<int> ring(1);
+  ring.set_doorbell(&bell);
+  const std::uint64_t before = bell.epoch();
+  std::thread waiter([&] { bell.wait_past(before); });
+  ring.close();  // close on an empty ring must still wake sleepers
+  waiter.join();
+  EXPECT_GT(bell.epoch(), before);
 }
 
 }  // namespace

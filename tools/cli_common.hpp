@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "quad/quad_tool.hpp"
+#include "session/pipeline.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "tquad/callstack.hpp"
@@ -72,6 +73,33 @@ inline void validate_on_trap(const std::string& mode) {
   if (mode != "report" && mode != "abort") {
     TQUAD_THROW("unknown -on-trap mode '" + mode + "' (report|abort)");
   }
+}
+
+/// Parse the `-pipeline` flag: `serial` (the default reference
+/// implementation) or `parallel[:N]` with N drain workers (N omitted or 0 =
+/// hardware concurrency). Malformed specs raise UsageError, which the CLIs
+/// map to exit code 2.
+inline session::PipelineOptions parse_pipeline(const std::string& spec) {
+  session::PipelineOptions options;
+  if (spec == "serial") return options;
+  const std::string kParallel = "parallel";
+  if (spec.compare(0, kParallel.size(), kParallel) == 0) {
+    options.mode = session::PipelineMode::kParallel;
+    if (spec.size() == kParallel.size()) return options;
+    if (spec[kParallel.size()] == ':') {
+      const std::string count = spec.substr(kParallel.size() + 1);
+      if (!count.empty() &&
+          count.find_first_not_of("0123456789") == std::string::npos &&
+          count.size() <= 4) {
+        options.workers = static_cast<unsigned>(std::stoul(count));
+        return options;
+      }
+      throw UsageError("bad -pipeline worker count '" + count +
+                       "' (parallel:N needs a small positive integer)");
+    }
+  }
+  throw UsageError("unknown -pipeline mode '" + spec +
+                   "' (serial|parallel[:N])");
 }
 
 /// Exit code for a finished run: 3 flags a guest trap (distinct from tool

@@ -3,6 +3,7 @@
 //   quad -image app.tqim [-in file] [-libs exclude|caller|track]
 //        [-dot qdu.dot] [-csv table2.csv] [-clusters N]
 //        [-trace out.tqtr -trace-format v1|v2]
+//        [-pipeline serial|parallel[:N]]
 //
 // Prints the Table II columns for every reported kernel, optionally the QDU
 // graph in Graphviz DOT and a communication-driven task clustering. -trace
@@ -40,12 +41,17 @@ int main(int argc, char** argv) {
   cli.add_string("on-trap", "report",
                  "guest-fault handling: report (emit PARTIAL reports, exit 3) "
                  "| abort (print the trap and exit 3 with no reports)");
+  cli.add_string("pipeline", "serial",
+                 "analysis dispatch: serial (tools run on the VM thread) | "
+                 "parallel[:N] (tools drain event rings on N worker threads)");
   try {
     cli.parse(argc, argv);
     // Validate every flag before any file I/O or the (long) analysis run.
     cli::require_positive(cli, "budget");
     cli::require_non_negative(cli, "clusters");
     cli::validate_on_trap(cli.str("on-trap"));
+    const session::PipelineOptions pipeline =
+        cli::parse_pipeline(cli.str("pipeline"));
     const trace::TraceFormat trace_format =
         cli::parse_trace_format(cli.str("trace-format"));
     const tquad::LibraryPolicy policy = cli::parse_policy(cli.str("libs"));
@@ -64,6 +70,7 @@ int main(int argc, char** argv) {
     session::SessionConfig config;
     config.library_policy = policy;
     config.instruction_budget = static_cast<std::uint64_t>(cli.integer("budget"));
+    config.pipeline = pipeline;
     session::ProfileSession profile(program, config);
     quad::QuadTool tool(program, quad::QuadOptions{policy});
     profile.add_consumer(tool);
@@ -111,6 +118,9 @@ int main(int argc, char** argv) {
                   cli.str("trace-format").c_str());
     }
     return cli::outcome_exit_code(outcome);
+  } catch (const UsageError& err) {
+    std::fprintf(stderr, "quad: %s\n", err.what());
+    return 2;
   } catch (const Error& err) {
     std::fprintf(stderr, "quad: %s\n", err.what());
     return 1;

@@ -6,6 +6,7 @@
 //         [-tools tquad,quad,gprof] [-report flat|bandwidth|phases|series|all]
 //         [-csv out.csv] [-trace out.tqtr -trace-format v1|v2]
 //         [-sample N] [-cpu-ghz G -cpi C] [-budget N] [-on-trap report|abort]
+//         [-pipeline serial|parallel[:N]]
 //   tquad -replay run.tqtr [-image app.tqim] [-slice N] [-threads T] [-salvage]
 //   tquad -replay run.tqtr -image app.tqim -tools tquad,quad,gprof [-salvage]
 //
@@ -63,6 +64,7 @@ void validate_options(const CliParser& cli) {
   (void)cli::parse_trace_format(cli.str("trace-format"));
   (void)cli::parse_policy(cli.str("libs"));
   cli::validate_on_trap(cli.str("on-trap"));
+  (void)cli::parse_pipeline(cli.str("pipeline"));
   if (cli.flag("salvage") && cli.str("replay").empty()) {
     TQUAD_THROW("-salvage only applies to -replay");
   }
@@ -160,6 +162,7 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
   session::SessionConfig config;
   config.library_policy = policy;
   config.instruction_budget = static_cast<std::uint64_t>(cli.integer("budget"));
+  config.pipeline = cli::parse_pipeline(cli.str("pipeline"));
   session::ProfileSession profile(program, config);
 
   std::optional<tquad::TQuadTool> tquad_tool;
@@ -309,6 +312,9 @@ int main(int argc, char** argv) {
   cli.add_flag("salvage", false,
                "with -replay: skip corrupt/truncated v2 blocks instead of "
                "failing, and report what was recovered");
+  cli.add_string("pipeline", "serial",
+                 "analysis dispatch: serial (tools run on the VM thread) | "
+                 "parallel[:N] (tools drain event rings on N worker threads)");
   try {
     cli.parse(argc, argv);
     validate_options(cli);
@@ -324,6 +330,9 @@ int main(int argc, char** argv) {
     const cli::ToolSet tools =
         cli::parse_tools(cli.str("tools").empty() ? "tquad" : cli.str("tools"));
     return run_profile(cli, tools);
+  } catch (const UsageError& err) {
+    std::fprintf(stderr, "tquad: %s\n", err.what());
+    return 2;
   } catch (const Error& err) {
     std::fprintf(stderr, "tquad: %s\n", err.what());
     return 1;
