@@ -22,6 +22,7 @@
 #include "minipin/minipin.hpp"
 #include "quad/quad_tool.hpp"
 #include "session/session.hpp"
+#include "support/metrics.hpp"
 #include "tquad/tquad_tool.hpp"
 #include "wfs/runner.hpp"
 
@@ -341,6 +342,92 @@ bool print_pipeline_speedup() {
   return true;
 }
 
+/// One-shot metrics-overhead measurement, with BENCH_metrics.json for CI.
+///
+/// The self-observability contract: enabling -metrics must cost < 2% wall
+/// time, because the hot path only bumps plain always-on counters — the
+/// registry is touched once, after the run. Best-of-N minima keep the gate
+/// noise-robust on loaded CI hosts.
+bool print_metrics_overhead() {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::standard();
+  const tquad::Options tquad_options{.slice_interval = 5000};
+  constexpr int kReps = 5;
+  constexpr double kCeiling = 0.02;  // 2%
+
+  const auto run_session = [&](metrics::Registry* registry) {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    session::SessionConfig config;
+    config.metrics = registry;
+    session::ProfileSession profile(run.artifacts.program, config);
+    tquad::TQuadTool tquad_tool(run.artifacts.program, tquad_options);
+    quad::QuadTool quad_tool(run.artifacts.program);
+    gprof::GprofTool gprof_tool(run.artifacts.program, {});
+    profile.add_consumer(tquad_tool);
+    profile.add_consumer(quad_tool);
+    profile.add_consumer(gprof_tool);
+    profile.run_live(run.host);
+    if (registry != nullptr) {
+      quad_tool.publish_metrics(*registry);
+      benchmark::DoNotOptimize(registry->render_json());
+    }
+  };
+
+  double plain_s = 0.0;
+  double metered_s = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Alternate the order each rep: clock-frequency / load drift over the
+    // measurement window then biases both variants equally instead of
+    // always penalising whichever runs second.
+    const auto measure_plain = [&] { return time_once([&] { run_session(nullptr); }); };
+    const auto measure_metered = [&] {
+      return time_once([&] {
+        metrics::Registry registry;
+        run_session(&registry);
+      });
+    };
+    double plain, metered;
+    if (rep % 2 == 0) {
+      plain = measure_plain();
+      metered = measure_metered();
+    } else {
+      metered = measure_metered();
+      plain = measure_plain();
+    }
+    if (rep == 0 || plain < plain_s) plain_s = plain;
+    if (rep == 0 || metered < metered_s) metered_s = metered;
+  }
+
+  const double overhead = metered_s / plain_s - 1.0;
+  std::printf("\n== metrics-enabled overhead (standard configuration) ==\n");
+  std::printf("%-44s %10.3f s\n", "session, metrics off", plain_s);
+  std::printf("%-44s %10.3f s\n", "session, metrics on (incl. rendering)",
+              metered_s);
+  std::printf("%-44s %9.2f%%  (ceiling %.0f%%)\n", "overhead", overhead * 100.0,
+              kCeiling * 100.0);
+
+  std::FILE* json = std::fopen("BENCH_metrics.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"workload\": \"wfs standard\",\n"
+                 "  \"tools\": \"tquad+quad+gprof\",\n"
+                 "  \"plain_seconds\": %.6f,\n"
+                 "  \"metrics_seconds\": %.6f,\n"
+                 "  \"overhead_fraction\": %.4f,\n"
+                 "  \"overhead_ceiling\": %.2f\n"
+                 "}\n",
+                 plain_s, metered_s, overhead, kCeiling);
+    std::fclose(json);
+    std::printf("wrote BENCH_metrics.json\n");
+  }
+  if (overhead >= kCeiling) {
+    std::fprintf(stderr, "metrics overhead %.2f%% at or above the %.0f%% ceiling\n",
+                 overhead * 100.0, kCeiling * 100.0);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -350,5 +437,6 @@ int main(int argc, char** argv) {
   print_headline_slowdowns();
   const bool session_ok = print_session_speedup();
   const bool pipeline_ok = print_pipeline_speedup();
-  return session_ok && pipeline_ok ? 0 : 1;
+  const bool metrics_ok = print_metrics_overhead();
+  return session_ok && pipeline_ok && metrics_ok ? 0 : 1;
 }

@@ -20,22 +20,24 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)" --target \
     test_trace test_trace_v2_codec test_trace_offline_differential \
     test_fuzz_decoders test_trace_salvage test_fault_injection \
-    test_session test_session_differential test_session_replay
+    test_session test_session_differential test_session_replay \
+    test_support_metrics
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders|test_trace_salvage|test_fault_injection|test_session|test_session_differential|test_session_replay)$'
+    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders|test_trace_salvage|test_fault_injection|test_session|test_session_differential|test_session_replay|test_support_metrics)$'
 
 # 3. ThreadSanitizer on everything that spawns threads: the parallel
-#    analysis pipeline (rings, doorbells, shard merge, drain barrier), the
-#    thread pool / SPSC ring primitives, parallel trace replay, and the
+#    analysis pipeline (rings, doorbells, shard merge, drain barrier,
+#    push-racing-close shutdown), the thread pool / SPSC ring primitives,
+#    the metrics thread-sink fold, parallel trace replay, and the
 #    fault-injection harness whose trap path exercises the pipeline's
 #    abort/drain sequence.
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target \
-    test_support_thread_pool test_session test_session_differential \
-    test_session_replay test_session_pipeline test_trace \
-    test_fault_injection test_support_crc32c
+    test_support_thread_pool test_support_metrics test_session \
+    test_session_differential test_session_replay test_session_pipeline \
+    test_trace test_fault_injection test_support_crc32c
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R '^(test_support_thread_pool|test_session|test_session_differential|test_session_replay|test_session_pipeline|test_trace|test_fault_injection|test_support_crc32c)$'
+    -R '^(test_support_thread_pool|test_support_metrics|test_session|test_session_differential|test_session_replay|test_session_pipeline|test_trace|test_fault_injection|test_support_crc32c)$'
 
 # 4. Codec bench: fails if v2 is not >= 4x smaller than v1 on stream or if
 #    v2.1 per-block CRC verification costs >= 5% on streaming decode.

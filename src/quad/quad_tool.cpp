@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/metrics.hpp"
 #include "vm/stack_addr.hpp"
 
 namespace tq::quad {
@@ -249,6 +250,23 @@ std::uint64_t QuadTool::instrumented_cost(std::uint32_t kernel,
   return instrs_[kernel] * model.per_instruction +
          mem_refs_[kernel] * model.per_memory_stub +
          static_cast<std::uint64_t>(trace_cost);
+}
+
+void QuadTool::publish_metrics(metrics::Registry& registry) const {
+  registry.set_gauge("quad.shadow.pages", state_.shadow.resident_pages());
+  registry.set_gauge("quad.shadow.bytes", state_.shadow.resident_bytes());
+  std::uint64_t in_incl = 0, out_incl = 0, in_excl = 0, out_excl = 0;
+  for (std::size_t k = 0; k < state_.incl.size(); ++k) {
+    in_incl += state_.incl[k].in_unma.count();
+    out_incl += state_.incl[k].out_unma.count();
+    in_excl += state_.excl[k].in_unma.count();
+    out_excl += state_.excl[k].out_unma.count();
+  }
+  registry.set_gauge("quad.unma.in_incl", in_incl);
+  registry.set_gauge("quad.unma.out_incl", out_incl);
+  registry.set_gauge("quad.unma.in_excl", in_excl);
+  registry.set_gauge("quad.unma.out_excl", out_excl);
+  registry.set_gauge("quad.bindings", bindings().size());
 }
 
 std::string QuadTool::qdu_graph_dot() const {

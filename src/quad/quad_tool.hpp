@@ -28,6 +28,10 @@
 #include "support/address_set.hpp"
 #include "tquad/callstack.hpp"
 
+namespace tq::metrics {
+class Registry;
+}  // namespace tq::metrics
+
 namespace tq::quad {
 
 /// Table II counters for one kernel under one stack classification.
@@ -163,6 +167,10 @@ class QuadTool : public session::AnalysisConsumer,
   /// How the observed run ended (session mode; kHalted for a clean run).
   /// A trapped/truncated outcome means the profile is a valid prefix.
   const vm::RunOutcome& outcome() const noexcept { return outcome_; }
+
+  /// Self-observability: shadow-memory footprint and total UnMA set sizes
+  /// into `registry` under quad.* names. Call after the run (post merge).
+  void publish_metrics(metrics::Registry& registry) const;
 
  private:
   static void enter_fc(void* tool, const pin::RtnArgs& args);

@@ -17,6 +17,17 @@
 
 namespace tq::session {
 
+/// Attributed-event tallies by kind, maintained by KernelAttribution for
+/// every run. Ticks are counted at run-flush granularity (one add per run,
+/// not per instruction), so the bookkeeping stays off the per-tick path.
+struct EventCounts {
+  std::uint64_t enters = 0;
+  std::uint64_t ticks = 0;      ///< total instruction ticks (exact + batched)
+  std::uint64_t tick_runs = 0;  ///< TickRunEvents delivered
+  std::uint64_t accesses = 0;
+  std::uint64_t rets = 0;
+};
+
 class KernelAttribution {
  public:
   KernelAttribution(const vm::Program& program, tquad::LibraryPolicy policy)
@@ -55,6 +66,8 @@ class KernelAttribution {
   tquad::LibraryPolicy policy() const noexcept { return policy_; }
   const tquad::CallStack& callstack() const noexcept { return stack_; }
   std::size_t consumer_count() const noexcept { return consumers_.size(); }
+  /// Valid once the run finished (pending tick runs flush at input_end).
+  const EventCounts& event_counts() const noexcept { return counts_; }
 
   // ---- event input (called by EventSources) -------------------------------
 
@@ -68,6 +81,7 @@ class KernelAttribution {
     stack_.on_enter(func);
     top_ = stack_.top();
     event.kernel = top_;
+    ++counts_.enters;
     for (AnalysisConsumer* consumer : enter_consumers_) {
       consumer->on_kernel_enter(event);
     }
@@ -119,6 +133,7 @@ class KernelAttribution {
     event.read_size = read_size;
     event.write_size = write_size;
     event.tracked = tracked_[func] != 0;
+    ++counts_.ticks;
     for (AnalysisConsumer* consumer : tick_consumers_) consumer->on_tick(event);
   }
 
@@ -135,6 +150,7 @@ class KernelAttribution {
     event.is_read = is_read;
     event.is_stack = is_stack;
     event.is_prefetch = is_prefetch;
+    ++counts_.accesses;
     for (AnalysisConsumer* consumer : access_consumers_) {
       consumer->on_access(event);
     }
@@ -148,6 +164,7 @@ class KernelAttribution {
     event.kernel = top_;
     event.retired = retired;
     event.tracked = tracked_[func] != 0;
+    ++counts_.rets;
     for (AnalysisConsumer* consumer : ret_consumers_) {
       consumer->on_kernel_ret(event);
     }
@@ -183,6 +200,8 @@ class KernelAttribution {
     run.count = run_count_;
     run.mem_count = run_mem_;
     run.tracked = tracked_[run_func_] != 0;
+    counts_.ticks += run_count_;
+    ++counts_.tick_runs;
     run_count_ = 0;
     for (AnalysisConsumer* consumer : tick_consumers_) {
       consumer->on_tick_run(run);
@@ -199,6 +218,7 @@ class KernelAttribution {
   std::vector<AnalysisConsumer*> tick_consumers_;
   std::vector<AnalysisConsumer*> access_consumers_;
   std::vector<AnalysisConsumer*> ret_consumers_;
+  EventCounts counts_;
 
   // Pending tick run (see input_batch_tick).
   std::uint32_t run_func_ = 0;

@@ -1,17 +1,28 @@
 #include "session/pipeline.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "session/attribution.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/paged_memory.hpp"
 
 namespace tq::session {
 namespace detail {
+
+/// Per-worker metric slots, resolved once from the worker's ThreadSink so
+/// pump() only touches plain thread-local memory. Null pointers mean
+/// metrics are disabled for the run.
+struct WorkerMetrics {
+  metrics::ThreadSink::Counter* batches = nullptr;
+  metrics::Histogram* batch_events = nullptr;
+};
 
 // ---------------------------------------------------------------------------
 // Events on the wire: a tagged union of the attributed event structs (all
@@ -46,7 +57,7 @@ class Drainable {
   virtual ~Drainable() = default;
 
   /// Worker: apply available batches; true if any work was done.
-  virtual bool pump() = 0;
+  virtual bool pump(const WorkerMetrics& wm) = 0;
 
   /// Wire this drainable's ring to its worker's doorbell (before any push).
   virtual void set_bell(Doorbell* bell) = 0;
@@ -149,16 +160,27 @@ class EventLane final : public LaneBase, public Drainable {
   void set_bell(Doorbell* bell) override { ring_.set_doorbell(bell); }
   void abort_close() override { ring_.close(); }
   void add_stats(PipelineStats& stats) const override {
-    stats.batches_published += ring_.pushes();
-    stats.backpressure_waits += ring_.push_waits();
+    const auto rs = ring_.stats();
+    stats.batches_published += rs.pushes;
+    stats.backpressure_waits += rs.push_waits;
+    stats.producer_stall_ns += rs.stall_ns;
+    stats.dropped_after_close += rs.dropped_after_close;
+    if (rs.occupancy_high_water > stats.ring_occupancy_high_water) {
+      stats.ring_occupancy_high_water = rs.occupancy_high_water;
+    }
+    ++stats.rings;
   }
 
   // -- worker side --
-  bool pump() override {
+  bool pump(const WorkerMetrics& wm) override {
     bool progress = false;
     Batch batch;
     // Cap the pops per call so sibling lanes on the same worker get a turn.
     for (std::size_t i = 0; i < ring_.capacity() && ring_.try_pop(batch); ++i) {
+      if (wm.batches != nullptr) {
+        wm.batches->add(1);
+        wm.batch_events->observe(batch.size());
+      }
       apply(batch);
       progress = true;
     }
@@ -239,10 +261,14 @@ class AccessShard final : public Drainable {
 
   void set_bell(Doorbell* bell) override { ring_.set_doorbell(bell); }
 
-  bool pump() override {
+  bool pump(const WorkerMetrics& wm) override {
     bool progress = false;
     ShardBatch batch;
     for (std::size_t i = 0; i < ring_.capacity() && ring_.try_pop(batch); ++i) {
+      if (wm.batches != nullptr) {
+        wm.batches->add(1);
+        wm.batch_events->observe(batch.size());
+      }
       for (const ShardRecord& record : batch) {
         sharded_.apply_access_shard(shard_, record.event, record.count_access);
       }
@@ -313,7 +339,12 @@ class ShardedAccessLane final : public LaneBase {
     for (unsigned s = 0; s < shards_.size(); ++s) flush(s);
     for (auto& shard : shards_) shard->ring().close();
     for (auto& shard : shards_) shard->wait_drained();
+    const auto fold_start = std::chrono::steady_clock::now();
     sharded_.merge_shards();
+    fold_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - fold_start)
+            .count());
   }
 
   // -- pipeline wiring --
@@ -325,9 +356,17 @@ class ShardedAccessLane final : public LaneBase {
   }
   void add_stats(PipelineStats& stats) const override {
     for (const auto& shard : shards_) {
-      stats.batches_published += shard->ring().pushes();
-      stats.backpressure_waits += shard->ring().push_waits();
+      const auto rs = shard->ring().stats();
+      stats.batches_published += rs.pushes;
+      stats.backpressure_waits += rs.push_waits;
+      stats.producer_stall_ns += rs.stall_ns;
+      stats.dropped_after_close += rs.dropped_after_close;
+      if (rs.occupancy_high_water > stats.ring_occupancy_high_water) {
+        stats.ring_occupancy_high_water = rs.occupancy_high_water;
+      }
+      ++stats.rings;
     }
+    stats.shard_fold_ns += fold_ns_;
   }
 
  private:
@@ -354,6 +393,7 @@ class ShardedAccessLane final : public LaneBase {
   const std::size_t batch_cap_;
   std::vector<std::unique_ptr<AccessShard>> shards_;
   std::vector<ShardBatch> batches_;
+  std::uint64_t fold_ns_ = 0;  ///< written at the drain barrier, read after
 };
 
 }  // namespace detail
@@ -371,8 +411,9 @@ unsigned effective_workers(const PipelineOptions& options) {
 
 }  // namespace
 
-ParallelPipeline::ParallelPipeline(const PipelineOptions& options)
-    : options_(options), workers_(effective_workers(options)) {
+ParallelPipeline::ParallelPipeline(const PipelineOptions& options,
+                                   metrics::Registry* metrics)
+    : options_(options), metrics_(metrics), workers_(effective_workers(options)) {
   TQUAD_CHECK(options.mode == PipelineMode::kParallel,
               "ParallelPipeline constructed in serial mode");
   // Auto shard count: match the workers (the access stream is the heaviest
@@ -438,14 +479,25 @@ void ParallelPipeline::start() {
   for (unsigned w = 0; w < workers_; ++w) {
     std::vector<detail::Drainable*> mine = assignment[w];
     Doorbell* bell = bells_[w].get();
-    pool_->submit([mine = std::move(mine), bell] {
+    metrics::Registry* registry = metrics_;
+    pool_->submit([mine = std::move(mine), bell, registry] {
+      // The sink lives for the worker's whole drain loop and folds into the
+      // registry when the worker exits — which it only does once all of its
+      // rings are closed and drained, i.e. at the drain barrier.
+      std::optional<metrics::ThreadSink> sink;
+      detail::WorkerMetrics wm;
+      if (registry != nullptr) {
+        sink.emplace(*registry);
+        wm.batches = &sink->counter("pipeline.worker.batches");
+        wm.batch_events = &sink->histogram("pipeline.worker.batch_events");
+      }
       for (;;) {
         const std::uint64_t seen = bell->epoch();
         bool progress = false;
         bool all_drained = true;
         for (detail::Drainable* drainable : mine) {
           if (drainable->drained()) continue;
-          progress = drainable->pump() || progress;
+          progress = drainable->pump(wm) || progress;
           all_drained = drainable->drained() && all_drained;
         }
         if (all_drained) return;
@@ -458,6 +510,8 @@ void ParallelPipeline::start() {
 PipelineStats ParallelPipeline::stats() const {
   PipelineStats stats;
   for (const auto& lane : lanes_) lane->add_stats(stats);
+  stats.workers = workers_;
+  stats.access_shards = access_shards_;
   return stats;
 }
 

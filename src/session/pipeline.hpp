@@ -32,6 +32,10 @@
 #include "support/spsc_ring.hpp"
 #include "support/thread_pool.hpp"
 
+namespace tq::metrics {
+class Registry;
+}  // namespace tq::metrics
+
 namespace tq::session {
 
 class KernelAttribution;
@@ -50,11 +54,19 @@ struct PipelineOptions {
   unsigned access_shards = 0;     ///< shards for sharded consumers; 0 = auto
 };
 
-/// Post-run introspection (bench and tests): how much flowed through the
-/// rings and how often the publisher hit backpressure.
+/// Post-run introspection (bench, tests, and the metrics registry): how
+/// much flowed through the rings, how often and how long the publisher hit
+/// backpressure, and what the drain barrier's shard fold cost.
 struct PipelineStats {
   std::uint64_t batches_published = 0;
   std::uint64_t backpressure_waits = 0;
+  std::uint64_t producer_stall_ns = 0;    ///< publisher wall time blocked on space
+  std::uint64_t dropped_after_close = 0;  ///< pushes refused by abort close
+  std::uint64_t ring_occupancy_high_water = 0;  ///< max batches queued, any ring
+  std::uint64_t shard_fold_ns = 0;  ///< merge_shards() time at the drain barrier
+  unsigned rings = 0;
+  unsigned workers = 0;
+  unsigned access_shards = 0;
 };
 
 namespace detail {
@@ -68,7 +80,11 @@ class Drainable;
 /// then destroy (joins the workers). The pipeline must outlive the run.
 class ParallelPipeline {
  public:
-  explicit ParallelPipeline(const PipelineOptions& options);
+  /// `metrics` is optional: when set, each drain worker folds its batch
+  /// counters/size histogram into the registry through a per-worker
+  /// ThreadSink as it exits at the drain barrier.
+  explicit ParallelPipeline(const PipelineOptions& options,
+                            metrics::Registry* metrics = nullptr);
   ~ParallelPipeline();
 
   ParallelPipeline(const ParallelPipeline&) = delete;
@@ -89,6 +105,7 @@ class ParallelPipeline {
 
  private:
   PipelineOptions options_;
+  metrics::Registry* metrics_ = nullptr;
   unsigned workers_ = 1;
   unsigned access_shards_ = 1;
   bool started_ = false;

@@ -1,8 +1,60 @@
 #include "session/session.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 namespace tq::session {
+
+// ---------------------------------------------------------------------------
+// HeartbeatPrinter
+
+void HeartbeatPrinter::arm(std::uint64_t every) {
+  every_ = every;
+  next_ = every;
+  start_ = std::chrono::steady_clock::now();
+}
+
+double HeartbeatPrinter::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void HeartbeatPrinter::pulse_to(std::uint64_t retired) {
+  while (every_ != 0 && retired >= next_) {
+    std::fprintf(stderr, "heartbeat: retired=%.1fM elapsed=%.2fs\n",
+                 static_cast<double>(next_) / 1e6, elapsed_seconds());
+    next_ += every_;
+  }
+}
+
+void HeartbeatPrinter::on_finish(const vm::RunOutcome& outcome) {
+  if (every_ == 0) return;
+  const char* status = "ok";
+  switch (outcome.status) {
+    case vm::RunStatus::kHalted:
+      break;
+    case vm::RunStatus::kTrapped:
+      status = "PARTIAL";
+      break;
+    case vm::RunStatus::kTruncated:
+      status = "TRUNCATED";
+      break;
+  }
+  std::fprintf(stderr, "heartbeat: done retired=%.1fM elapsed=%.2fs status=%s",
+               static_cast<double>(outcome.retired) / 1e6, elapsed_seconds(),
+               status);
+  if (outcome.status == vm::RunStatus::kTrapped) {
+    std::fprintf(stderr, " (%s)", outcome.trap_kind.c_str());
+  }
+  std::fputc('\n', stderr);
+}
+
+// ---------------------------------------------------------------------------
+// ProfileSession
 
 ProfileSession::ProfileSession(const vm::Program& program, SessionConfig config)
     : config_(config), attribution_(program, config.library_policy) {}
@@ -19,8 +71,14 @@ vm::RunOutcome ProfileSession::run(EventSource& source) {
   TQUAD_CHECK(&source.program() == &attribution_.program(),
               "event source built from a different program");
   ran_ = true;
+  if (config_.heartbeat_interval > 0) {
+    // Inline on the VM thread in both modes: the pulse must reflect live
+    // progress, not a lane's drain position.
+    heartbeat_.arm(config_.heartbeat_interval);
+    attribution_.add_consumer(heartbeat_);
+  }
   if (config_.pipeline.mode == PipelineMode::kParallel && !consumers_.empty()) {
-    ParallelPipeline pipeline(config_.pipeline);
+    ParallelPipeline pipeline(config_.pipeline, config_.metrics);
     for (AnalysisConsumer* consumer : consumers_) {
       pipeline.attach(*consumer, attribution_);
     }
@@ -30,13 +88,43 @@ vm::RunOutcome ProfileSession::run(EventSource& source) {
     // tool holds its complete, serially-ordered accounting.
     outcome_ = source.run(attribution_);
     pipeline_stats_ = pipeline.stats();
+    // The pipeline (and with it the worker thread pool) is destroyed here,
+    // which joins the workers and folds their per-thread metric sinks.
   } else {
     for (AnalysisConsumer* consumer : consumers_) {
       attribution_.add_consumer(*consumer);
     }
     outcome_ = source.run(attribution_);
   }
+  if (config_.metrics != nullptr) publish_metrics();
   return outcome_;
+}
+
+void ProfileSession::publish_metrics() {
+  metrics::Registry& registry = *config_.metrics;
+  const EventCounts& counts = attribution_.event_counts();
+  registry.add("session.events.enter", counts.enters);
+  registry.add("session.events.tick", counts.ticks);
+  registry.add("session.events.tick_run", counts.tick_runs);
+  registry.add("session.events.access", counts.accesses);
+  registry.add("session.events.ret", counts.rets);
+  registry.set_gauge("session.retired", outcome_.retired);
+  registry.set_gauge("session.consumers",
+                     static_cast<std::uint64_t>(consumers_.size()));
+  if (config_.pipeline.mode != PipelineMode::kParallel || consumers_.empty()) {
+    return;
+  }
+  const PipelineStats& stats = pipeline_stats_;
+  registry.add("pipeline.batches_published", stats.batches_published);
+  registry.add("pipeline.backpressure_waits", stats.backpressure_waits);
+  registry.add("pipeline.producer_stall_ns", stats.producer_stall_ns);
+  registry.add("pipeline.dropped_after_close", stats.dropped_after_close);
+  registry.add("pipeline.shard_fold_ns", stats.shard_fold_ns);
+  registry.max_gauge("pipeline.ring.occupancy_high_water",
+                     stats.ring_occupancy_high_water);
+  registry.set_gauge("pipeline.rings", stats.rings);
+  registry.set_gauge("pipeline.workers", stats.workers);
+  registry.set_gauge("pipeline.access_shards", stats.access_shards);
 }
 
 vm::RunOutcome ProfileSession::run_live(vm::HostEnv& host) {

@@ -17,6 +17,7 @@
 // and a tool's own policy only feeds its static reported()/tracked() tables.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -35,6 +36,42 @@ struct SessionConfig {
   std::uint64_t instruction_budget = 0;  ///< live runs only; 0 = unlimited
   vm::FaultPlan fault_plan;              ///< live runs only; default disarmed
   PipelineOptions pipeline;              ///< serial (inline consumers) by default
+  /// Optional self-observability: when set, the session publishes its event
+  /// counts (and, for parallel runs, the pipeline's ring/worker/shard
+  /// telemetry) into the registry after the drain barrier. Never touches
+  /// report output.
+  metrics::Registry* metrics = nullptr;
+  /// Print a one-line progress pulse to stderr every this many retired
+  /// instructions (0 = off). The final pulse carries the run status, so
+  /// PARTIAL/trap exits are visible too.
+  std::uint64_t heartbeat_interval = 0;
+};
+
+/// The heartbeat consumer. Registered directly with the KernelAttribution —
+/// never behind a pipeline lane — so it observes the stream inline on the
+/// VM thread in both serial and parallel modes; its O(1) on_tick_run keeps
+/// it off the report path entirely (stderr only).
+class HeartbeatPrinter final : public AnalysisConsumer {
+ public:
+  /// Start pulsing every `every` retired instructions from now.
+  void arm(std::uint64_t every);
+
+  unsigned event_interests() const override { return kTickInterest; }
+  void on_tick(const TickEvent& event) override {
+    pulse_to(event.retired + 1);
+  }
+  void on_tick_run(const TickRunEvent& run) override {
+    pulse_to(run.first_retired + run.count);
+  }
+  void on_finish(const vm::RunOutcome& outcome) override;
+
+ private:
+  void pulse_to(std::uint64_t retired);
+  double elapsed_seconds() const;
+
+  std::uint64_t every_ = 0;
+  std::uint64_t next_ = 0;
+  std::chrono::steady_clock::time_point start_{};
 };
 
 class ProfileSession {
@@ -78,12 +115,15 @@ class ProfileSession {
   const PipelineStats& pipeline_stats() const noexcept { return pipeline_stats_; }
 
  private:
+  void publish_metrics();
+
   SessionConfig config_;
   KernelAttribution attribution_;
   std::vector<AnalysisConsumer*> consumers_;  ///< registered at run()
   vm::RunOutcome outcome_;
   trace::SalvageReport salvage_report_;
   PipelineStats pipeline_stats_;
+  HeartbeatPrinter heartbeat_;
   bool ran_ = false;
 };
 

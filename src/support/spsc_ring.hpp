@@ -10,11 +10,16 @@
 // live-analysis pipeline wants — the guest VM slows down instead of the
 // process growing without bound.
 //
-// Threading contract: exactly one producer thread calls push/close, exactly
-// one consumer thread calls try_pop. `close` is idempotent and may also be
-// called by the producer after the consumer finished (abort path).
+// Threading contract: exactly one producer thread calls push, exactly one
+// consumer thread calls try_pop. `close` is idempotent and may be called
+// from any thread (the abort path closes from the publisher while a
+// producer may be blocked in push): a push that races or follows close is a
+// defined outcome — it returns false, the value is dropped, and the drop is
+// counted — so shutdown never trips an assertion or deadlocks a blocked
+// producer.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -70,34 +75,50 @@ class SpscRing {
   void set_doorbell(Doorbell* bell) { bell_ = bell; }
 
   /// Producer: enqueue `value`, blocking while the ring is full
-  /// (backpressure). Pushing to a closed ring is a programming error.
-  void push(T value) {
+  /// (backpressure). Returns true once enqueued. A push against a closed
+  /// ring — including a close that lands while the producer is blocked on a
+  /// full ring — drops the value, counts it in dropped_after_close(), and
+  /// returns false; that makes the trap/abort shutdown path a defined
+  /// outcome instead of an assertion or a deadlock.
+  bool push(T value) {
     bool was_empty = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      if (size_ == slots_.size()) {
+      if (size_ == slots_.size() && !closed_) {
         ++push_waits_;
-        space_cv_.wait(lock, [&] { return size_ < slots_.size(); });
+        const auto stall_start = std::chrono::steady_clock::now();
+        space_cv_.wait(lock, [&] { return size_ < slots_.size() || closed_; });
+        stall_ns_ += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - stall_start)
+                .count());
       }
-      TQUAD_CHECK(!closed_, "push on closed SpscRing");
+      if (closed_) {
+        ++dropped_after_close_;
+        return false;
+      }
       was_empty = size_ == 0;
       slots_[(head_ + size_) % slots_.size()] = std::move(value);
       ++size_;
       ++pushes_;
+      if (size_ > occupancy_high_water_) occupancy_high_water_ = size_;
     }
     // Ring the doorbell only on the empty->non-empty edge: while the ring
     // stays non-empty the worker cannot be asleep waiting on it.
     if (was_empty && bell_ != nullptr) bell_->ring();
+    return true;
   }
 
-  /// Producer (or drain-barrier owner): no more pushes will arrive.
-  /// Idempotent. Wakes the consumer so it can observe `done()`.
+  /// Drain-barrier owner or abort path: no more pushes will be accepted.
+  /// Idempotent, callable from any thread. Wakes the consumer so it can
+  /// observe `done()` and any producer blocked in push() so it can fail out.
   void close() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return;
       closed_ = true;
     }
+    space_cv_.notify_all();
     if (bell_ != nullptr) bell_->ring();
   }
 
@@ -124,6 +145,26 @@ class SpscRing {
 
   std::size_t capacity() const { return slots_.size(); }
 
+  /// Post-run introspection counters, consistent under one lock.
+  struct Stats {
+    std::uint64_t pushes = 0;       ///< values ever enqueued
+    std::uint64_t push_waits = 0;   ///< pushes that found the ring full
+    std::uint64_t stall_ns = 0;     ///< producer wall time blocked on space
+    std::uint64_t dropped_after_close = 0;  ///< pushes refused by close
+    std::uint64_t occupancy_high_water = 0;  ///< max queued values seen
+  };
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.pushes = pushes_;
+    s.push_waits = push_waits_;
+    s.stall_ns = stall_ns_;
+    s.dropped_after_close = dropped_after_close_;
+    s.occupancy_high_water = occupancy_high_water_;
+    return s;
+  }
+
   /// Times the producer found the ring full and had to wait (backpressure
   /// stalls). Read after the run for bench/test introspection.
   std::uint64_t push_waits() const {
@@ -137,6 +178,12 @@ class SpscRing {
     return pushes_;
   }
 
+  /// Pushes refused because the ring was already closed.
+  std::uint64_t dropped_after_close() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_after_close_;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable space_cv_;
@@ -146,6 +193,9 @@ class SpscRing {
   bool closed_ = false;
   std::uint64_t push_waits_ = 0;
   std::uint64_t pushes_ = 0;
+  std::uint64_t stall_ns_ = 0;
+  std::uint64_t dropped_after_close_ = 0;
+  std::uint64_t occupancy_high_water_ = 0;
   Doorbell* bell_ = nullptr;
 };
 

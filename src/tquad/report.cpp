@@ -31,30 +31,50 @@ std::vector<FlatRow> flat_profile(const TQuadTool& tool) {
 }
 
 BandwidthStats bandwidth_stats(const KernelBandwidth& kernel,
-                               std::uint64_t slice_interval) {
+                               std::uint64_t slice_interval,
+                               std::uint64_t total_retired) {
   BandwidthStats stats;
   stats.activity_span = kernel.active_slices();
   if (kernel.series.empty()) return stats;
   stats.first_slice = kernel.first_active_slice();
   stats.last_slice = kernel.last_active_slice();
-  const double denom =
+  // A run of `total_retired` instructions ends inside slice
+  // (total_retired - 1) / interval; that tail slice covers only
+  // `total_retired - slice * interval` instructions. Weight it accordingly
+  // instead of pretending it spanned a full interval — otherwise a kernel
+  // whose activity ends in a short tail gets its averages (and the tail
+  // slice's peak) diluted.
+  const std::uint64_t final_slice =
+      total_retired > 0 ? (total_retired - 1) / slice_interval : 0;
+  const std::uint64_t final_width =
+      total_retired > 0 ? total_retired - final_slice * slice_interval
+                        : slice_interval;
+  const bool ends_in_tail =
+      total_retired > 0 && stats.last_slice == final_slice;
+  double denom =
       static_cast<double>(stats.activity_span) * static_cast<double>(slice_interval);
+  if (ends_in_tail) {
+    denom -= static_cast<double>(slice_interval - final_width);
+  }
   stats.avg_read_incl = static_cast<double>(kernel.totals.read_incl) / denom;
   stats.avg_read_excl = static_cast<double>(kernel.totals.read_excl) / denom;
   stats.avg_write_incl = static_cast<double>(kernel.totals.write_incl) / denom;
   stats.avg_write_excl = static_cast<double>(kernel.totals.write_excl) / denom;
   for (const SliceSample& sample : kernel.series) {
-    const double interval = static_cast<double>(slice_interval);
+    const double width =
+        ends_in_tail && sample.slice == final_slice
+            ? static_cast<double>(final_width)
+            : static_cast<double>(slice_interval);
     stats.max_rw_incl =
         std::max(stats.max_rw_incl,
                  static_cast<double>(sample.counters.read_incl +
                                      sample.counters.write_incl) /
-                     interval);
+                     width);
     stats.max_rw_excl =
         std::max(stats.max_rw_excl,
                  static_cast<double>(sample.counters.read_excl +
                                      sample.counters.write_excl) /
-                     interval);
+                     width);
   }
   return stats;
 }
@@ -97,7 +117,8 @@ TextTable bandwidth_table(const TQuadTool& tool, const CpuModel& model) {
                    "peak R+W MB/s", "est. active time (ms)"});
   for (const FlatRow& row : flat_profile(tool)) {
     const BandwidthStats stats = bandwidth_stats(tool.bandwidth().kernel(row.kernel),
-                                                 tool.bandwidth().slice_interval());
+                                                 tool.bandwidth().slice_interval(),
+                                                 tool.total_retired());
     if (stats.activity_span == 0) continue;
     const double to_mb = 1e-6;
     table.add_row(

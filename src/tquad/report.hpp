@@ -39,8 +39,14 @@ struct BandwidthStats {
   double max_rw_excl = 0.0;
 };
 
+/// Per-kernel bandwidth summary. With `total_retired` > 0 the run's final
+/// slice is weighted by its true width (`total_retired` may end mid-slice),
+/// so a kernel active in a short tail slice is not averaged as if the tail
+/// had a full `slice_interval` of instructions; 0 keeps the uniform-width
+/// behaviour for callers that aggregate without a run length.
 BandwidthStats bandwidth_stats(const KernelBandwidth& kernel,
-                               std::uint64_t slice_interval);
+                               std::uint64_t slice_interval,
+                               std::uint64_t total_retired = 0);
 
 /// Which per-slice metric to extract as a dense series.
 enum class Metric : std::uint8_t {

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "trace/trace_v2.hpp"
 #include "trace/wire.hpp"
 #include "vm/stack_addr.hpp"
@@ -123,11 +124,16 @@ void TraceRecorder::on_finish(const vm::RunOutcome& outcome) {
 void TraceRecorder::finalize() {
   if (finalized_) return;
   finalized_ = true;
-  if (writer_) encoded_ = writer_->finish(trace_.total_retired);
+  if (writer_) {
+    encoded_ = writer_->finish(trace_.total_retired);
+    encoded_bytes_ = encoded_.size();
+    blocks_written_ = writer_->block_count();
+  }
 }
 
 void TraceRecorder::push(const Record& record) {
   last_retired_ = record.retired;
+  ++records_written_;
   if (writer_) {
     writer_->add(record);
   } else {
@@ -251,7 +257,21 @@ std::vector<std::uint8_t> TraceRecorder::take_encoded() {
     finalize();
     return std::move(encoded_);
   }
-  return take().serialize();
+  std::vector<std::uint8_t> bytes = take().serialize();
+  encoded_bytes_ = bytes.size();
+  return bytes;
+}
+
+void TraceRecorder::publish_metrics(metrics::Registry& registry) const {
+  registry.add("trace.write.records", records_written_);
+  registry.add("trace.write.bytes", encoded_bytes_);
+  const std::uint64_t raw = records_written_ * kRecordDiskBytes;
+  registry.add("trace.write.raw_bytes", raw);
+  if (encoded_bytes_ > 0) {
+    registry.set_gauge("trace.write.compression_ratio_x1000",
+                       raw * 1000 / encoded_bytes_);
+  }
+  registry.add("trace.write.crc_blocks", blocks_written_);
 }
 
 // ---- replay ----------------------------------------------------------------------

@@ -33,6 +33,10 @@
 #include "tquad/callstack.hpp"
 #include "vm/machine.hpp"
 
+namespace tq::metrics {
+class Registry;
+}  // namespace tq::metrics
+
 namespace tq::trace {
 
 /// Event kinds stored in a trace.
@@ -156,6 +160,11 @@ class TraceRecorder final : public vm::ExecListener,
   /// run; the recorder is spent).
   std::vector<std::uint8_t> take_encoded();
 
+  /// Self-observability: records/bytes written, the raw-equivalent volume
+  /// (records x 28 B), the resulting compression ratio, and the CRC'd block
+  /// count, under trace.write.* names. Call after take_encoded().
+  void publish_metrics(metrics::Registry& registry) const;
+
  private:
   void push(const Record& record);
 
@@ -164,6 +173,9 @@ class TraceRecorder final : public vm::ExecListener,
   std::unique_ptr<TraceV2Writer> writer_;   ///< non-null in kV2 mode
   std::vector<std::uint8_t> encoded_;       ///< sealed v2 image (finalize())
   std::uint64_t last_retired_ = 0;
+  std::uint64_t records_written_ = 0;
+  std::uint64_t encoded_bytes_ = 0;   ///< set by take_encoded()/finalize()
+  std::uint64_t blocks_written_ = 0;  ///< v2 only
   bool finalized_ = false;
 };
 

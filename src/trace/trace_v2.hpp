@@ -101,6 +101,9 @@ class TraceV2Writer {
   std::vector<std::uint8_t> finish(std::uint64_t total_retired);
 
   std::uint64_t record_count() const noexcept { return record_count_; }
+  /// Blocks flushed so far (all of them once finish() ran); each carries
+  /// its own CRC-32C in the v2.1 layout.
+  std::size_t block_count() const noexcept { return blocks_.size(); }
 
  private:
   void flush_block();

@@ -98,6 +98,79 @@ cmp tquad_body.txt tquad_par_body.txt
 cmp flat.csv flat_par.csv
 cmp run.tqtr run_par.tqtr
 cmp out.wav out_par.wav
+# Self-observability: -metrics json:path writes valid JSON with the expected
+# sections and leaves every report byte untouched (stdout and files compare
+# equal to the metrics-off run at the top of this script).
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -report all -slice 2000 \
+    -csv flat_m.csv -trace run_m.tqtr -out out_m.wav \
+    -metrics json:metrics.json > tquad_m.txt
+grep -v "written to" tquad.txt > tquad_nowrite.txt
+grep -v "written to" tquad_m.txt > tquad_m_nowrite.txt
+cmp tquad_nowrite.txt tquad_m_nowrite.txt
+cmp flat.csv flat_m.csv
+cmp run.tqtr run_m.tqtr
+cmp out.wav out_m.wav
+python3 - <<'EOF'
+import json
+m = json.load(open("metrics.json"))
+for section in ("counters", "gauges", "histograms"):
+    assert section in m, section
+c = m["counters"]
+assert c["session.events.access"] > 0, c
+assert c["trace.write.records"] > 0, c
+assert c["trace.write.bytes"] > 0, c
+assert m["gauges"]["session.retired"]["value"] > 0, m["gauges"]
+assert m["gauges"]["trace.write.compression_ratio_x1000"]["value"] > 0, m["gauges"]
+EOF
+# Stable keys: a second identical run must expose the identical metric name
+# set (values may differ only in timing counters; names never).
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -report all -slice 2000 \
+    -csv flat_m2.csv -trace run_m2.tqtr -out out_m2.wav \
+    -metrics json:metrics2.json > /dev/null
+python3 - <<'EOF'
+import json
+a, b = json.load(open("metrics.json")), json.load(open("metrics2.json"))
+def keys(m):
+    return {(s, k) for s in m for k in m[s]}
+assert keys(a) == keys(b), keys(a) ^ keys(b)
+EOF
+# Parallel run with text metrics to stdout: the metrics block comes strictly
+# after the reports (report prefix identical), ring/worker telemetry present.
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -report all -slice 2000 \
+    -pipeline parallel:2 -metrics text > tquad_pm.txt
+sed -n '1,/== metrics ==/p' tquad_pm.txt | sed '$d' > tquad_pm_body.txt
+grep -v "written to" tquad_pm_body.txt > tquad_pm_cmp.txt
+cmp tquad_body.txt tquad_pm_cmp.txt
+grep -q "pipeline.batches_published" tquad_pm.txt
+grep -q "pipeline.worker.batch_events" tquad_pm.txt
+grep -q "session.events.access" tquad_pm.txt
+# quad_cli metrics + replay-side metrics cover the quad and trace.read names.
+"$TOOLS/quad_cli" -image wfs.tqim -in in.wav -metrics json:quad_metrics.json > /dev/null
+python3 - <<'EOF'
+import json
+m = json.load(open("quad_metrics.json"))
+assert m["gauges"]["quad.shadow.pages"]["value"] > 0
+assert m["gauges"]["quad.unma.in_incl"]["value"] > 0
+assert m["gauges"]["quad.bindings"]["value"] > 0
+EOF
+"$TOOLS/tquad_cli" -replay run.tqtr -image wfs.tqim -slice 2000 \
+    -metrics json:replay_metrics.json > /dev/null
+python3 - <<'EOF'
+import json
+m = json.load(open("replay_metrics.json"))
+assert m["counters"]["trace.read.bytes"] > 0
+assert m["counters"]["trace.read.records"] > 0
+EOF
+# Heartbeat: pulses go to stderr only, the final pulse carries the status,
+# and stdout is still byte-identical to the quiet run at the top.
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -report all -slice 2000 \
+    -csv flat_hb.csv -trace run_hb.tqtr -out out_hb.wav \
+    -heartbeat 1 > tquad_hb.txt 2> hb.txt
+grep -v "written to" tquad_hb.txt > tquad_hb_body.txt
+cmp tquad_body.txt tquad_hb_body.txt
+grep -q "heartbeat: done" hb.txt
+grep -q "status=ok" hb.txt
+
 # Error paths: missing image must fail with a message, not crash.
 if "$TOOLS/tquad_cli" -image does_not_exist.tqim 2> err.txt; then
   echo "expected failure on missing image" >&2

@@ -135,9 +135,33 @@ grep -q "bad -pipeline worker count" err.txt
 expect_status 2 usage.txt -- \
     "$TOOLS/tquad_cli" -image wfs.tqim -pipeline parallel:99999
 grep -q "bad -pipeline worker count" err.txt
+# An explicit worker count of 0 must not silently fall through to the auto
+# (hardware-concurrency) path — it is a usage error, leading zeros included.
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -pipeline parallel:0
+grep -q "bad -pipeline worker count '0'" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -pipeline parallel:0000
+grep -q "bad -pipeline worker count '0000'" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/quad_cli" -image wfs.tqim -pipeline parallel:0
+grep -q "bad -pipeline worker count '0'" err.txt
 expect_status 2 usage.txt -- \
     "$TOOLS/quad_cli" -image wfs.tqim -pipeline Serial
 grep -q "unknown -pipeline mode" err.txt
+
+# Malformed -metrics specs are usage errors too.
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -metrics xml
+grep -q "unknown -metrics format 'xml'" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -metrics json:
+grep -q "empty -metrics path" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/quad_cli" -image wfs.tqim -metrics yaml
+grep -q "unknown -metrics format" err.txt
+expect_error "option -heartbeat must not be negative" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -heartbeat -1
 
 # A valid -pipeline parallel run produces the same reports as the serial
 # multi-tool run above, and records a byte-identical trace.

@@ -8,14 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "gprofsim/gprof_tool.hpp"
 #include "quad/quad_tool.hpp"
 #include "session/session.hpp"
+#include "support/metrics.hpp"
 #include "support/paged_memory.hpp"
+#include "support/spsc_ring.hpp"
 #include "trace/trace.hpp"
 #include "tquad/tquad_tool.hpp"
 #include "vm/machine.hpp"
@@ -422,6 +427,101 @@ TEST(PipelineShards, QuadShardedFacetSplitAccess) {
 // ---------------------------------------------------------------------------
 // Replay through the parallel pipeline: a recorded trace replayed with
 // parallel dispatch equals the live serial run that produced it.
+
+// ---------------------------------------------------------------------------
+// Push racing close is a defined outcome (drop + count), not an abort. This
+// is the TSan regression for the teardown path: a producer hammering the
+// ring while another thread closes it must terminate with every accepted
+// value delivered and every rejected one counted.
+
+TEST(PipelineShutdown, PushRacingCloseStress) {
+  for (int round = 0; round < 50; ++round) {
+    SpscRing<int> ring(2);
+    std::atomic<std::uint64_t> accepted{0};
+    std::thread producer([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (ring.push(i)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          return;  // closed under us: stop publishing, nothing lost silently
+        }
+      }
+    });
+    std::thread consumer([&] {
+      int out = 0;
+      std::uint64_t popped = 0;
+      while (!ring.done()) {
+        if (ring.try_pop(out)) {
+          ++popped;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      // Every accepted push is eventually popped; pops never exceed accepts.
+      EXPECT_LE(popped, 1000u);
+    });
+    ring.close();  // race the close against both sides
+    producer.join();
+    consumer.join();
+    EXPECT_EQ(ring.pushes(), accepted.load());
+    EXPECT_LE(ring.dropped_after_close(), 1u);  // at most the racing push
+  }
+}
+
+// A producer parked on a full ring during close must wake and report the
+// drop instead of deadlocking (the latent teardown hang this PR fixes).
+TEST(PipelineShutdown, CloseReleasesBlockedPublisher) {
+  SpscRing<int> ring(1);
+  ASSERT_TRUE(ring.push(0));
+  std::thread producer([&] { EXPECT_FALSE(ring.push(1)); });
+  while (ring.push_waits() == 0) std::this_thread::yield();
+  ring.close();
+  producer.join();
+  EXPECT_EQ(ring.stats().dropped_after_close, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics parity: attaching a registry must not change any tool state, and
+// the drain-barrier fold must account for every published batch.
+
+TEST(PipelineMetrics, RegistryAttachedKeepsParityAndCountsBatches) {
+  Reference ref(Which::kHistogram);
+  Guest guest;
+  make_guest(Which::kHistogram, guest);
+  metrics::Registry registry;
+  SessionConfig config;
+  config.metrics = &registry;
+  config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/64,
+                                     /*ring_batches=*/2, /*access_shards=*/2);
+  SessionRun run(*guest.program, config, kAllTools);
+  const vm::RunOutcome outcome = run.session.run_live(guest.host);
+  EXPECT_EQ(outcome.retired, ref.outcome.retired);
+  expect_matches_serial(*ref.run, ref.trace, run, kAllTools);
+
+  const metrics::Snapshot snap = registry.snapshot();
+  const auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [key, value] : snap.counters) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_EQ(counter("pipeline.batches_published"),
+            run.session.pipeline_stats().batches_published);
+  EXPECT_EQ(counter("session.events.access"),
+            run.session.attribution().event_counts().accesses);
+  EXPECT_GT(counter("session.events.tick"), 0u);
+  // Workers folded their sinks at the drain barrier: the per-worker batch
+  // histogram saw every drained batch.
+  bool found_hist = false;
+  for (const auto& [key, hist] : snap.histograms) {
+    if (key == "pipeline.worker.batch_events") {
+      found_hist = true;
+      EXPECT_GT(hist.count(), 0u);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
 
 TEST(PipelineReplay, StreamReplayParallel) {
   Reference ref(Which::kStream);

@@ -148,6 +148,57 @@ TEST(SpscRing, CapacityOneStressPreservesOrder) {
   EXPECT_EQ(ring.pushes(), static_cast<std::uint64_t>(kValues));
 }
 
+// Pushing after close is a defined outcome, not a crash: the value is
+// dropped, push reports false, and the drop is counted so a teardown race
+// shows up in the metrics rather than aborting the process.
+TEST(SpscRing, PushAfterCloseDropsAndCounts) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.push(1));
+  ring.close();
+  EXPECT_FALSE(ring.push(2));
+  EXPECT_FALSE(ring.push(3));
+  EXPECT_EQ(ring.pushes(), 1u);
+  EXPECT_EQ(ring.dropped_after_close(), 2u);
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);          // the accepted value survives
+  EXPECT_FALSE(ring.try_pop(out));  // the dropped ones never landed
+  EXPECT_TRUE(ring.done());
+}
+
+// A producer blocked on a full ring must wake when the ring is closed out
+// from under it (the abort path) instead of waiting forever on space that
+// will never come.
+TEST(SpscRing, CloseWakesBlockedProducer) {
+  SpscRing<int> ring(1);
+  ASSERT_TRUE(ring.push(1));  // ring now full
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    const bool accepted = ring.push(2);  // blocks: full and nobody pops
+    EXPECT_FALSE(accepted);
+    returned.store(true);
+  });
+  while (ring.push_waits() == 0) std::this_thread::yield();
+  ring.close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_EQ(ring.dropped_after_close(), 1u);
+}
+
+TEST(SpscRing, StatsSnapshotTracksOccupancyHighWater) {
+  SpscRing<int> ring(4);
+  ring.push(1);
+  ring.push(2);
+  ring.push(3);
+  int out = 0;
+  ring.try_pop(out);
+  ring.push(4);
+  const auto stats = ring.stats();
+  EXPECT_EQ(stats.pushes, 4u);
+  EXPECT_EQ(stats.occupancy_high_water, 3u);
+  EXPECT_EQ(stats.dropped_after_close, 0u);
+}
+
 TEST(SpscRing, MoveOnlyPayload) {
   SpscRing<std::unique_ptr<int>> ring(2);
   ring.push(std::make_unique<int>(42));

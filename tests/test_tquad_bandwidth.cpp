@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/rng.hpp"
 #include "tquad/bandwidth.hpp"
 #include "tquad/report.hpp"
 
@@ -131,6 +136,135 @@ TEST_P(BandwidthTotalsProperty, TotalsMatchSeriesSum) {
 
 INSTANTIATE_TEST_SUITE_P(Intervals, BandwidthTotalsProperty,
                          ::testing::Values(1, 7, 100, 5000, 100000));
+
+// Boundary placement: an access with retired == K * interval is the first
+// instruction *of* slice K (retired counts instructions completed before the
+// event), never the last of slice K-1.
+TEST(BandwidthRecorder, BoundaryExactRetiredLandsInNewSlice) {
+  for (std::uint64_t interval : {1ull, 7ull, 5000ull}) {
+    SCOPED_TRACE("interval=" + std::to_string(interval));
+    BandwidthRecorder rec(1, interval);
+    for (std::uint64_t k : {0ull, 1ull, 3ull}) {
+      rec.on_access(0, k * interval, 8, true, false);
+    }
+    rec.finish();
+    // Three distinct slices — 0, 1 and 3 — one per boundary-exact access.
+    const auto& series = rec.kernel(0).series;
+    ASSERT_EQ(series.size(), 3u);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      EXPECT_EQ(series[i].slice, i < 2 ? i : 3u);
+    }
+  }
+}
+
+/// Property over adversarial random streams: for every kernel, the slice
+/// series must partition the byte totals exactly — all four counters, with
+/// accesses forced onto exact slice boundaries and long slice gaps mixed in.
+class BandwidthRandomStreamProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BandwidthRandomStreamProperty, SeriesPartitionsRunningTotals) {
+  const std::uint64_t interval = GetParam();
+  constexpr std::uint32_t kKernels = 5;
+  SplitMix64 rng(0x7157ull * interval + 1);
+  BandwidthRecorder rec(kKernels, interval);
+  SliceCounters expect[kKernels];
+  std::map<std::pair<std::uint32_t, std::uint64_t>, SliceCounters> by_slice;
+
+  std::uint64_t t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    // Mostly small steps, occasionally a multi-slice jump, and one access in
+    // eight pinned to an exact slice boundary (retired = K * interval).
+    if (rng.next_below(8) == 0) {
+      t = ((t / interval) + 1 + rng.next_below(3)) * interval;
+    } else {
+      t += rng.next_below(interval + 3);
+    }
+    const std::uint32_t kernel = static_cast<std::uint32_t>(rng.next_below(kKernels));
+    const std::uint32_t bytes = 1 + static_cast<std::uint32_t>(rng.next_below(64));
+    const bool is_read = rng.next_below(2) == 0;
+    const bool is_stack = rng.next_below(4) == 0;
+    rec.on_access(kernel, t, bytes, is_read, is_stack);
+    SliceCounters c;
+    (is_read ? c.read_incl : c.write_incl) = bytes;
+    if (!is_stack) (is_read ? c.read_excl : c.write_excl) = bytes;
+    expect[kernel].merge(c);
+    by_slice[{kernel, t / interval}].merge(c);
+  }
+  rec.finish();
+
+  for (std::uint32_t k = 0; k < kKernels; ++k) {
+    SCOPED_TRACE("kernel=" + std::to_string(k));
+    const KernelBandwidth& kernel = rec.kernel(k);
+    SliceCounters sum;
+    for (const auto& sample : kernel.series) {
+      sum.merge(sample.counters);
+      // Each flushed sample equals the independently tracked per-slice total.
+      const auto it = by_slice.find({k, sample.slice});
+      ASSERT_NE(it, by_slice.end()) << "phantom slice " << sample.slice;
+      EXPECT_EQ(sample.counters.read_incl, it->second.read_incl);
+      EXPECT_EQ(sample.counters.read_excl, it->second.read_excl);
+      EXPECT_EQ(sample.counters.write_incl, it->second.write_incl);
+      EXPECT_EQ(sample.counters.write_excl, it->second.write_excl);
+    }
+    EXPECT_EQ(sum.read_incl, expect[k].read_incl);
+    EXPECT_EQ(sum.read_excl, expect[k].read_excl);
+    EXPECT_EQ(sum.write_incl, expect[k].write_incl);
+    EXPECT_EQ(sum.write_excl, expect[k].write_excl);
+    EXPECT_EQ(kernel.totals.read_incl, expect[k].read_incl);
+    EXPECT_EQ(kernel.totals.read_excl, expect[k].read_excl);
+    EXPECT_EQ(kernel.totals.write_incl, expect[k].write_incl);
+    EXPECT_EQ(kernel.totals.write_excl, expect[k].write_excl);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, BandwidthRandomStreamProperty,
+                         ::testing::Values(1, 7, 5000));
+
+// The final-partial-slice fix: a run ending mid-slice must weight the tail
+// by its true width, both in the averages' denominator and the tail slice's
+// peak sample.
+TEST(BandwidthStats, PartialFinalSliceWeightedByTrueWidth) {
+  BandwidthRecorder rec(1, 1000);
+  rec.on_access(0, 100, 500, true, false);    // slice 0 (full)
+  rec.on_access(0, 2050, 300, true, false);   // slice 2 (the tail)
+  rec.finish();
+  // The run retired 2100 instructions: slice 2 spans only 100 of them.
+  const BandwidthStats stats = bandwidth_stats(rec.kernel(0), 1000, 2100);
+  EXPECT_EQ(stats.activity_span, 2u);
+  // denom = 1000 (slice 0) + 100 (tail) instead of 2000.
+  EXPECT_DOUBLE_EQ(stats.avg_read_incl, 800.0 / 1100.0);
+  // Tail peak: 300 bytes over 100 instructions = 3.0 B/i, beating slice 0's
+  // 0.5 — under full-width weighting it would have been a wrong 0.5 peak.
+  EXPECT_DOUBLE_EQ(stats.max_rw_incl, 3.0);
+}
+
+TEST(BandwidthStats, ExactMultipleRunHasNoTailCorrection) {
+  BandwidthRecorder rec(1, 1000);
+  rec.on_access(0, 100, 500, true, false);
+  rec.on_access(0, 1900, 300, true, false);
+  rec.finish();
+  // total_retired = 2000 ends exactly on the slice-2 boundary: the final
+  // slice is slice 1 with full width, so the weighted stats equal the
+  // unweighted ones.
+  const BandwidthStats weighted = bandwidth_stats(rec.kernel(0), 1000, 2000);
+  const BandwidthStats uniform = bandwidth_stats(rec.kernel(0), 1000);
+  EXPECT_DOUBLE_EQ(weighted.avg_read_incl, uniform.avg_read_incl);
+  EXPECT_DOUBLE_EQ(weighted.max_rw_incl, uniform.max_rw_incl);
+  EXPECT_DOUBLE_EQ(weighted.avg_read_incl, 800.0 / 2000.0);
+}
+
+// A kernel whose last activity is *not* in the run's final slice keeps
+// uniform weighting even when the run itself ends mid-slice.
+TEST(BandwidthStats, KernelEndingBeforeTailUnaffected) {
+  BandwidthRecorder rec(1, 1000);
+  rec.on_access(0, 100, 500, true, false);  // slice 0 only
+  rec.finish();
+  const BandwidthStats weighted = bandwidth_stats(rec.kernel(0), 1000, 2100);
+  const BandwidthStats uniform = bandwidth_stats(rec.kernel(0), 1000);
+  EXPECT_DOUBLE_EQ(weighted.avg_read_incl, uniform.avg_read_incl);
+  EXPECT_DOUBLE_EQ(weighted.max_rw_incl, uniform.max_rw_incl);
+}
 
 }  // namespace
 }  // namespace tq::tquad

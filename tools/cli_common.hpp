@@ -11,6 +11,7 @@
 #include "quad/quad_tool.hpp"
 #include "session/pipeline.hpp"
 #include "support/cli.hpp"
+#include "support/metrics.hpp"
 #include "support/table.hpp"
 #include "tquad/callstack.hpp"
 #include "trace/trace.hpp"
@@ -76,9 +77,10 @@ inline void validate_on_trap(const std::string& mode) {
 }
 
 /// Parse the `-pipeline` flag: `serial` (the default reference
-/// implementation) or `parallel[:N]` with N drain workers (N omitted or 0 =
-/// hardware concurrency). Malformed specs raise UsageError, which the CLIs
-/// map to exit code 2.
+/// implementation) or `parallel[:N]` with N drain workers (N omitted =
+/// hardware concurrency). Malformed specs — including an explicit worker
+/// count of 0, which would otherwise silently fall through to the auto
+/// path — raise UsageError, which the CLIs map to exit code 2.
 inline session::PipelineOptions parse_pipeline(const std::string& spec) {
   session::PipelineOptions options;
   if (spec == "serial") return options;
@@ -91,8 +93,11 @@ inline session::PipelineOptions parse_pipeline(const std::string& spec) {
       if (!count.empty() &&
           count.find_first_not_of("0123456789") == std::string::npos &&
           count.size() <= 4) {
-        options.workers = static_cast<unsigned>(std::stoul(count));
-        return options;
+        const unsigned long workers = std::stoul(count);
+        if (workers > 0) {
+          options.workers = static_cast<unsigned>(workers);
+          return options;
+        }
       }
       throw UsageError("bad -pipeline worker count '" + count +
                        "' (parallel:N needs a small positive integer)");
@@ -100,6 +105,57 @@ inline session::PipelineOptions parse_pipeline(const std::string& spec) {
   }
   throw UsageError("unknown -pipeline mode '" + spec +
                    "' (serial|parallel[:N])");
+}
+
+/// The `-metrics` flag: off by default, `text` or `json`, optionally with a
+/// `:path` destination (`-metrics json:run_metrics.json`). Without a path
+/// the rendering goes to stdout strictly *after* every report, so report
+/// bytes are unchanged whether metrics are on or off.
+struct MetricsSpec {
+  bool enabled = false;
+  bool json = false;
+  std::string path;  ///< empty = stdout
+};
+
+inline MetricsSpec parse_metrics(const std::string& spec) {
+  MetricsSpec metrics;
+  if (spec.empty()) return metrics;
+  std::string format = spec;
+  const std::size_t colon = spec.find(':');
+  if (colon != std::string::npos) {
+    format = spec.substr(0, colon);
+    metrics.path = spec.substr(colon + 1);
+    if (metrics.path.empty()) {
+      throw UsageError("empty -metrics path in '" + spec +
+                       "' (text|json[:path])");
+    }
+  }
+  if (format == "text") {
+    metrics.enabled = true;
+  } else if (format == "json") {
+    metrics.enabled = true;
+    metrics.json = true;
+  } else {
+    throw UsageError("unknown -metrics format '" + format +
+                     "' (text|json[:path])");
+  }
+  return metrics;
+}
+
+/// Emit the registry per the spec. Must be the last output of a run: with
+/// no path, the text rendering goes to stdout under a `== metrics ==`
+/// separator (JSON goes raw, as the trailing object).
+inline void emit_metrics(const metrics::Registry& registry,
+                         const MetricsSpec& spec) {
+  if (!spec.enabled) return;
+  const std::string body =
+      spec.json ? registry.render_json() : registry.render_text();
+  if (!spec.path.empty()) {
+    write_text(spec.path, body);
+    return;
+  }
+  if (!spec.json) std::printf("== metrics ==\n");
+  std::fputs(body.c_str(), stdout);
 }
 
 /// Exit code for a finished run: 3 flags a guest trap (distinct from tool
@@ -121,6 +177,17 @@ inline void print_outcome_status(const vm::RunOutcome& outcome) {
       std::printf("status: TRUNCATED (%s)\n", outcome.summary().c_str());
       break;
   }
+}
+
+/// Salvage counters into the registry under trace.salvage.* names.
+inline void publish_salvage_metrics(metrics::Registry& registry,
+                                    const trace::SalvageReport& report) {
+  registry.add("trace.salvage.blocks_found", report.blocks_found);
+  registry.add("trace.salvage.blocks_recovered", report.blocks_recovered);
+  registry.add("trace.salvage.blocks_dropped", report.dropped.size());
+  registry.add("trace.salvage.records_recovered", report.records_recovered);
+  registry.add("trace.salvage.records_dropped", report.records_dropped);
+  registry.add("trace.salvage.index_rebuilt", report.index_rebuilt ? 1 : 0);
 }
 
 /// Human summary of a salvage pass over a damaged v2 trace.

@@ -4,6 +4,7 @@
 //        [-dot qdu.dot] [-csv table2.csv] [-clusters N]
 //        [-trace out.tqtr -trace-format v1|v2]
 //        [-pipeline serial|parallel[:N]]
+//        [-metrics text|json[:path]] [-heartbeat N]
 //
 // Prints the Table II columns for every reported kernel, optionally the QDU
 // graph in Graphviz DOT and a communication-driven task clustering. -trace
@@ -44,12 +45,20 @@ int main(int argc, char** argv) {
   cli.add_string("pipeline", "serial",
                  "analysis dispatch: serial (tools run on the VM thread) | "
                  "parallel[:N] (tools drain event rings on N worker threads)");
+  cli.add_string("metrics", "",
+                 "emit profiler self-metrics after the reports: text | json, "
+                 "optionally :path (e.g. json:metrics.json; default stdout)");
+  cli.add_int("heartbeat", 0,
+              "print a progress pulse to stderr every N million retired "
+              "instructions (0 = off; the final pulse carries the outcome)");
   try {
     cli.parse(argc, argv);
     // Validate every flag before any file I/O or the (long) analysis run.
     cli::require_positive(cli, "budget");
     cli::require_non_negative(cli, "clusters");
+    cli::require_non_negative(cli, "heartbeat");
     cli::validate_on_trap(cli.str("on-trap"));
+    const cli::MetricsSpec metrics_spec = cli::parse_metrics(cli.str("metrics"));
     const session::PipelineOptions pipeline =
         cli::parse_pipeline(cli.str("pipeline"));
     const trace::TraceFormat trace_format =
@@ -67,10 +76,14 @@ int main(int argc, char** argv) {
 
     // One guest execution feeds both the analysis and the optional trace
     // recorder through the shared attribution pass.
+    metrics::Registry registry;
     session::SessionConfig config;
     config.library_policy = policy;
     config.instruction_budget = static_cast<std::uint64_t>(cli.integer("budget"));
     config.pipeline = pipeline;
+    if (metrics_spec.enabled) config.metrics = &registry;
+    config.heartbeat_interval =
+        static_cast<std::uint64_t>(cli.integer("heartbeat")) * 1'000'000;
     session::ProfileSession profile(program, config);
     quad::QuadTool tool(program, quad::QuadOptions{policy});
     profile.add_consumer(tool);
@@ -116,6 +129,12 @@ int main(int argc, char** argv) {
       cli::write_file(cli.str("trace"), recorder->take_encoded());
       std::printf("trace written to %s (%s)\n", cli.str("trace").c_str(),
                   cli.str("trace-format").c_str());
+    }
+    // Metrics come last, never interleaved with the reports above.
+    if (metrics_spec.enabled) {
+      tool.publish_metrics(registry);
+      if (recorder.has_value()) recorder->publish_metrics(registry);
+      cli::emit_metrics(registry, metrics_spec);
     }
     return cli::outcome_exit_code(outcome);
   } catch (const UsageError& err) {

@@ -7,6 +7,7 @@
 //         [-csv out.csv] [-trace out.tqtr -trace-format v1|v2]
 //         [-sample N] [-cpu-ghz G -cpi C] [-budget N] [-on-trap report|abort]
 //         [-pipeline serial|parallel[:N]]
+//         [-metrics text|json[:path]] [-heartbeat N]
 //   tquad -replay run.tqtr [-image app.tqim] [-slice N] [-threads T] [-salvage]
 //   tquad -replay run.tqtr -image app.tqim -tools tquad,quad,gprof [-salvage]
 //
@@ -65,6 +66,8 @@ void validate_options(const CliParser& cli) {
   (void)cli::parse_policy(cli.str("libs"));
   cli::validate_on_trap(cli.str("on-trap"));
   (void)cli::parse_pipeline(cli.str("pipeline"));
+  (void)cli::parse_metrics(cli.str("metrics"));
+  cli::require_non_negative(cli, "heartbeat");
   if (cli.flag("salvage") && cli.str("replay").empty()) {
     TQUAD_THROW("-salvage only applies to -replay");
   }
@@ -90,6 +93,8 @@ int replay_trace(const CliParser& cli) {
   const auto bytes = read_file(cli.str("replay"));
   const auto slice = static_cast<std::uint64_t>(cli.integer("slice"));
   const auto threads = static_cast<unsigned>(cli.integer("threads"));
+  const cli::MetricsSpec metrics_spec = cli::parse_metrics(cli.str("metrics"));
+  metrics::Registry registry;
   ThreadPool pool(threads);
 
   std::uint32_t kernel_count = 0;
@@ -103,7 +108,10 @@ int replay_trace(const CliParser& cli) {
     const trace::TraceV2View view =
         cli.flag("salvage") ? trace::TraceV2View::salvage(bytes, &salvage_report)
                             : trace::TraceV2View::open(bytes);
-    if (cli.flag("salvage")) cli::print_salvage_report(salvage_report);
+    if (cli.flag("salvage")) {
+      cli::print_salvage_report(salvage_report);
+      cli::publish_salvage_metrics(registry, salvage_report);
+    }
     kernel_count = view.kernel_count();
     record_count = view.record_count();
     total_retired = view.total_retired();
@@ -147,6 +155,13 @@ int replay_trace(const CliParser& cli) {
                    std::to_string(offline.kernel(k).active_slices())});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  if (metrics_spec.enabled) {
+    registry.add("trace.read.bytes", bytes.size());
+    registry.add("trace.read.records", record_count);
+    registry.set_gauge("session.retired", total_retired);
+    registry.set_gauge("tquad.slices", offline.max_slice() + 1);
+    cli::emit_metrics(registry, metrics_spec);
+  }
   return 0;
 }
 
@@ -159,10 +174,15 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
   const vm::Program program = vm::Program::deserialize(read_file(cli.str("image")));
   const bool replaying = !cli.str("replay").empty();
 
+  const cli::MetricsSpec metrics_spec = cli::parse_metrics(cli.str("metrics"));
+  metrics::Registry registry;
   session::SessionConfig config;
   config.library_policy = policy;
   config.instruction_budget = static_cast<std::uint64_t>(cli.integer("budget"));
   config.pipeline = cli::parse_pipeline(cli.str("pipeline"));
+  if (metrics_spec.enabled) config.metrics = &registry;
+  config.heartbeat_interval =
+      static_cast<std::uint64_t>(cli.integer("heartbeat")) * 1'000'000;
   session::ProfileSession profile(program, config);
 
   std::optional<tquad::TQuadTool> tquad_tool;
@@ -196,9 +216,12 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
 
   vm::HostEnv host;
   int out_fd = -1;
+  std::size_t replay_bytes = 0;
   vm::RunOutcome outcome;
   if (replaying) {
-    outcome = profile.replay(read_file(cli.str("replay")), cli.flag("salvage"));
+    const auto trace_bytes = read_file(cli.str("replay"));
+    replay_bytes = trace_bytes.size();
+    outcome = profile.replay(trace_bytes, cli.flag("salvage"));
   } else {
     if (!cli.str("in").empty()) host.attach_input(read_file(cli.str("in")));
     out_fd = host.create_output();
@@ -278,6 +301,20 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
     write_file(cli.str("out"), host.output(out_fd));
     std::printf("guest output written to %s\n", cli.str("out").c_str());
   }
+  // Metrics are the very last output: the session published its event and
+  // pipeline counters at the end of run(); the tool-side numbers join here,
+  // and the rendering never interleaves with the reports above.
+  if (metrics_spec.enabled) {
+    if (quad_tool.has_value()) quad_tool->publish_metrics(registry);
+    if (recorder.has_value()) recorder->publish_metrics(registry);
+    if (replaying) {
+      registry.add("trace.read.bytes", replay_bytes);
+      if (cli.flag("salvage")) {
+        cli::publish_salvage_metrics(registry, profile.salvage_report());
+      }
+    }
+    cli::emit_metrics(registry, metrics_spec);
+  }
   return cli::outcome_exit_code(outcome);
 }
 
@@ -315,6 +352,12 @@ int main(int argc, char** argv) {
   cli.add_string("pipeline", "serial",
                  "analysis dispatch: serial (tools run on the VM thread) | "
                  "parallel[:N] (tools drain event rings on N worker threads)");
+  cli.add_string("metrics", "",
+                 "emit profiler self-metrics after the reports: text | json, "
+                 "optionally :path (e.g. json:metrics.json; default stdout)");
+  cli.add_int("heartbeat", 0,
+              "print a progress pulse to stderr every N million retired "
+              "instructions (0 = off; the final pulse carries the outcome)");
   try {
     cli.parse(argc, argv);
     validate_options(cli);
