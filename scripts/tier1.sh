@@ -16,14 +16,17 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 #    and replay-vs-live equivalence), the decoder fuzzers and the v2.1
 #    corruption/salvage suite (the tests most likely to walk off a buffer),
 #    plus the fault-injection differential harness.
+#    The workload-zoo suites ride along so every registered memory shape
+#    (hash-join scatter, phase-sharp buffers, ...) is exercised under the
+#    sanitizers too.
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)" --target \
     test_trace test_trace_v2_codec test_trace_offline_differential \
     test_fuzz_decoders test_trace_salvage test_fault_injection \
     test_session test_session_differential test_session_replay \
-    test_support_metrics
+    test_support_metrics test_workload_zoo
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders|test_trace_salvage|test_fault_injection|test_session|test_session_differential|test_session_replay|test_support_metrics)$'
+    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders|test_trace_salvage|test_fault_injection|test_session|test_session_differential|test_session_replay|test_support_metrics|test_workload_zoo)$'
 
 # 3. ThreadSanitizer on everything that spawns threads: the parallel
 #    analysis pipeline (rings, doorbells, shard merge, drain barrier,
@@ -35,12 +38,18 @@ cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target \
     test_support_thread_pool test_support_metrics test_session \
     test_session_differential test_session_replay test_session_pipeline \
-    test_trace test_fault_injection test_support_crc32c
+    test_trace test_fault_injection test_support_crc32c \
+    test_workload_zoo test_trace_offline_differential
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R '^(test_support_thread_pool|test_support_metrics|test_session|test_session_differential|test_session_replay|test_session_pipeline|test_trace|test_fault_injection|test_support_crc32c)$'
+    -R '^(test_support_thread_pool|test_support_metrics|test_session|test_session_differential|test_session_replay|test_session_pipeline|test_trace|test_fault_injection|test_support_crc32c|test_workload_zoo|test_trace_offline_differential)$'
 
 # 4. Codec bench: fails if v2 is not >= 4x smaller than v1 on stream or if
 #    v2.1 per-block CRC verification costs >= 5% on streaming decode.
 ./build/bench/bench_trace_codec
+
+# 5. Workload-zoo signature bench: gates every registered workload's
+#    measured memory signature against its declared shape and writes
+#    BENCH_zoo.json; fails on any gate violation.
+./build/bench/bench_workload_signatures
 
 echo "tier1: OK"

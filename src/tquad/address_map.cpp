@@ -1,0 +1,81 @@
+#include "tquad/address_map.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.hpp"
+#include "tquad/callstack.hpp"
+
+namespace tq::tquad {
+
+AddressMapTool::AddressMapTool(const vm::Program& program,
+                               AddressMapOptions options)
+    : program_(program), options_(options) {
+  TQUAD_CHECK(options_.slice_interval > 0, "slice interval must be positive");
+  TQUAD_CHECK(options_.bucket_bytes > 0, "bucket size must be positive");
+}
+
+void AddressMapTool::on_access(const session::AccessEvent& event) {
+  KernelMap& map = kernels_[event.kernel];
+  ++map.accesses;
+  ++total_accesses_;
+  if (event.is_stack) {
+    ++map.stack_accesses;
+    return;
+  }
+  const CellKey key{event.retired / options_.slice_interval,
+                    event.ea / options_.bucket_bytes};
+  CellCounts& cell = map.cells[key];
+  if (event.is_read) {
+    ++cell.reads;
+  } else {
+    ++cell.writes;
+  }
+}
+
+std::string AddressMapTool::kernel_label(std::uint32_t kernel) const {
+  if (kernel == kNoKernel) return "(unattributed)";
+  return program_.functions()[kernel].name;
+}
+
+std::string AddressMapTool::render_json() const {
+  // Kernels render sorted by label so the output is stable regardless of
+  // function-id assignment order.
+  std::vector<std::uint32_t> order;
+  order.reserve(kernels_.size());
+  for (const auto& [kernel, map] : kernels_) order.push_back(kernel);
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return kernel_label(a) < kernel_label(b);
+            });
+
+  std::string out;
+  auto number = [](std::uint64_t v) { return std::to_string(v); };
+  out += "{\"address_map\": {";
+  out += "\"bucket_bytes\": " + number(options_.bucket_bytes) + ", ";
+  out += "\"kernels\": [";
+  bool first_kernel = true;
+  for (const std::uint32_t kernel : order) {
+    const KernelMap& map = kernels_.at(kernel);
+    if (!first_kernel) out += ", ";
+    first_kernel = false;
+    out += "{\"accesses\": " + number(map.accesses) + ", ";
+    out += "\"cells\": [";
+    bool first_cell = true;
+    for (const auto& [key, cell] : map.cells) {
+      if (!first_cell) out += ", ";
+      first_cell = false;
+      out += "[" + number(key.first) + ", " + number(key.second) + ", " +
+             number(cell.reads) + ", " + number(cell.writes) + "]";
+    }
+    out += "], ";
+    out += "\"name\": \"" + kernel_label(kernel) + "\", ";
+    out += "\"stack_accesses\": " + number(map.stack_accesses) + "}";
+  }
+  out += "], ";
+  out += "\"slice_interval\": " + number(options_.slice_interval) + ", ";
+  out += "\"total_accesses\": " + number(total_accesses_) + "}}\n";
+  return out;
+}
+
+}  // namespace tq::tquad

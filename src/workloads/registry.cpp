@@ -1,0 +1,251 @@
+#include "workloads/registry.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "wfs/runner.hpp"
+#include "workloads/workloads.hpp"
+
+namespace tq::workloads {
+
+namespace {
+
+std::string mismatch(const std::string& what, std::uint64_t index,
+                     std::uint64_t got, std::uint64_t want) {
+  return what + "[" + std::to_string(index) + "]: got " + std::to_string(got) +
+         ", want " + std::to_string(want);
+}
+
+std::string check_u64_buffer(vm::Machine& machine, const std::string& what,
+                             std::uint64_t addr,
+                             const std::vector<std::uint64_t>& want) {
+  for (std::uint64_t i = 0; i < want.size(); ++i) {
+    const std::uint64_t got = machine.memory().load(addr + 8 * i, 8);
+    if (got != want[i]) return mismatch(what, i, got, want[i]);
+  }
+  return {};
+}
+
+// ---- per-workload instance builders ----------------------------------------
+
+Instance make_stream(std::uint32_t elements, std::uint32_t iterations) {
+  StreamArtifacts art = build_stream(elements, iterations);
+  Instance inst;
+  inst.program = std::move(art.program);
+  const std::uint64_t a_addr = art.a_addr;
+  const std::uint64_t b_addr = art.b_addr;
+  const std::uint64_t c_addr = art.c_addr;
+  const double scalar = art.scalar;
+  inst.verify = [=](const Instance&, vm::Machine& machine) -> std::string {
+    // Host reference: the four STREAM kernels applied `iterations` times.
+    std::vector<double> a(elements, 2.0), b(elements, 0.5), c(elements, 0.0);
+    for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+      c = a;
+      for (std::uint32_t i = 0; i < elements; ++i) b[i] = scalar * c[i];
+      for (std::uint32_t i = 0; i < elements; ++i) c[i] = a[i] + b[i];
+      for (std::uint32_t i = 0; i < elements; ++i) a[i] = b[i] + scalar * c[i];
+    }
+    const struct {
+      const char* what;
+      std::uint64_t addr;
+      const std::vector<double>* want;
+    } buffers[] = {{"a", a_addr, &a}, {"b", b_addr, &b}, {"c", c_addr, &c}};
+    for (const auto& buf : buffers) {
+      for (std::uint32_t i = 0; i < elements; ++i) {
+        const double got = machine.memory().load_f64(buf.addr + 8 * i);
+        if (got != (*buf.want)[i]) {
+          return std::string(buf.what) + "[" + std::to_string(i) + "]: got " +
+                 std::to_string(got) + ", want " + std::to_string((*buf.want)[i]);
+        }
+      }
+    }
+    return {};
+  };
+  return inst;
+}
+
+Instance make_matmul(std::uint32_t n, bool tiled, std::uint32_t tile) {
+  MatmulArtifacts art = build_matmul(n, tiled, tile);
+  Instance inst;
+  inst.program = std::move(art.program);
+  const std::uint64_t c_addr = art.c_addr;
+  inst.verify = [=](const Instance&, vm::Machine& machine) -> std::string {
+    const std::vector<double> want = matmul_reference(n);
+    for (std::uint32_t i = 0; i < n * n; ++i) {
+      const double got = machine.memory().load_f64(c_addr + 8 * i);
+      if (got != want[i]) {
+        return "C[" + std::to_string(i) + "]: got " + std::to_string(got) +
+               ", want " + std::to_string(want[i]);
+      }
+    }
+    return {};
+  };
+  return inst;
+}
+
+Instance make_chase(std::uint32_t nodes, std::uint64_t hops) {
+  ChaseArtifacts art = build_chase(nodes, hops);
+  Instance inst;
+  inst.program = std::move(art.program);
+  const std::uint64_t nodes_addr = art.nodes_addr;
+  const std::uint64_t expected_final = art.expected_final;
+  inst.verify = [=](const Instance&, vm::Machine& machine) -> std::string {
+    const std::uint64_t final_node =
+        (machine.cpu().regs[1] - nodes_addr) / 8;
+    if (final_node != expected_final) {
+      return mismatch("final node", 0, final_node, expected_final);
+    }
+    return {};
+  };
+  return inst;
+}
+
+Instance make_histogram(std::uint32_t buckets, std::uint64_t samples) {
+  HistogramArtifacts art = build_histogram(buckets, samples);
+  Instance inst;
+  inst.program = std::move(art.program);
+  const std::uint64_t buckets_addr = art.buckets_addr;
+  inst.verify = [addr = buckets_addr, want = std::move(art.expected)](
+                    const Instance&, vm::Machine& machine) -> std::string {
+    return check_u64_buffer(machine, "bucket", addr, want);
+  };
+  return inst;
+}
+
+Instance make_hashjoin(std::uint32_t build_rows, std::uint32_t probe_rows) {
+  HashJoinArtifacts art = build_hashjoin(build_rows, probe_rows);
+  Instance inst;
+  inst.program = std::move(art.program);
+  const std::uint64_t result_addr = art.result_addr;
+  const std::uint64_t expected_sum = art.expected_sum;
+  const std::uint64_t expected_matches = art.expected_matches;
+  inst.verify = [=](const Instance&, vm::Machine& machine) -> std::string {
+    const std::uint64_t sum = machine.memory().load(result_addr, 8);
+    const std::uint64_t matches = machine.memory().load(result_addr + 8, 8);
+    if (sum != expected_sum) return mismatch("payload sum", 0, sum, expected_sum);
+    if (matches != expected_matches) {
+      return mismatch("match count", 0, matches, expected_matches);
+    }
+    return {};
+  };
+  return inst;
+}
+
+Instance make_phased(std::uint32_t elements, std::uint32_t reps) {
+  PhasedArtifacts art = build_phased(elements, reps);
+  Instance inst;
+  inst.program = std::move(art.program);
+  static const char* kNames[PhasedArtifacts::kPhases] = {"A", "B", "C", "D"};
+  struct Captured {
+    std::uint64_t addr[PhasedArtifacts::kPhases];
+    std::vector<std::uint64_t> want[PhasedArtifacts::kPhases];
+  };
+  auto cap = std::make_shared<Captured>();
+  for (std::uint32_t p = 0; p < PhasedArtifacts::kPhases; ++p) {
+    cap->addr[p] = art.buffer_addr[p];
+    cap->want[p] = std::move(art.expected[p]);
+  }
+  inst.verify = [cap](const Instance&, vm::Machine& machine) -> std::string {
+    for (std::uint32_t p = 0; p < PhasedArtifacts::kPhases; ++p) {
+      std::string err =
+          check_u64_buffer(machine, kNames[p], cap->addr[p], cap->want[p]);
+      if (!err.empty()) return err;
+    }
+    return {};
+  };
+  return inst;
+}
+
+Instance make_wfs() {
+  wfs::WfsRun run = wfs::prepare_wfs_run(wfs::WfsConfig::tiny());
+  Instance inst;
+  inst.program = run.artifacts.program;
+  inst.host = std::move(run.host);
+  inst.input = wfs::wav_encode(run.input);
+  inst.verify = [cfg = run.config, input = run.input](
+                    const Instance& self, vm::Machine&) -> std::string {
+    const wfs::GoldenResult golden = wfs::run_golden(cfg, input);
+    const wfs::WavData out =
+        wfs::wav_decode(self.host.output(wfs::WfsArtifacts::kOutputFd));
+    if (out.samples.size() != golden.output.size()) {
+      return mismatch("output size", 0, out.samples.size(),
+                      golden.output.size());
+    }
+    // The guest mirrors the golden arithmetic operation for operation;
+    // allow one LSB of PCM16 quantisation wobble.
+    for (std::size_t i = 0; i < out.samples.size(); ++i) {
+      if (std::abs(int(out.samples[i]) - int(golden.output[i])) > 1) {
+        return mismatch("sample", i,
+                        static_cast<std::uint64_t>(out.samples[i]),
+                        static_cast<std::uint64_t>(golden.output[i]));
+      }
+    }
+    return {};
+  };
+  return inst;
+}
+
+std::vector<Entry> make_registry() {
+  std::vector<Entry> zoo;
+  zoo.push_back({"stream", Shape::kStreaming, 0,
+                 [] { return make_stream(128, 2); },
+                 [] { return make_stream(4096, 4); }});
+  zoo.push_back({"matmul_naive", Shape::kStrided, 0,
+                 [] { return make_matmul(10, false, 8); },
+                 [] { return make_matmul(48, false, 8); }});
+  zoo.push_back({"matmul_tiled", Shape::kStrided, 0,
+                 [] { return make_matmul(12, true, 4); },
+                 [] { return make_matmul(48, true, 8); }});
+  zoo.push_back({"chase", Shape::kChaotic, 0,
+                 [] { return make_chase(64, 2000); },
+                 [] { return make_chase(4096, 100'000); }});
+  zoo.push_back({"histogram", Shape::kChaotic, 0,
+                 [] { return make_histogram(32, 800); },
+                 [] { return make_histogram(1024, 100'000); }});
+  zoo.push_back({"hashjoin", Shape::kMixed, 0,
+                 [] { return make_hashjoin(96, 128); },
+                 [] { return make_hashjoin(4096, 8192); }});
+  zoo.push_back({"phased", Shape::kPhaseSharp, PhasedArtifacts::kPhases,
+                 [] { return make_phased(64, 2); },
+                 [] { return make_phased(1024, 8); }});
+  zoo.push_back({"wfs", Shape::kMixed, 0, make_wfs, make_wfs});
+  return zoo;
+}
+
+}  // namespace
+
+const char* shape_name(Shape shape) {
+  switch (shape) {
+    case Shape::kStreaming: return "streaming";
+    case Shape::kStrided: return "strided";
+    case Shape::kChaotic: return "chaotic";
+    case Shape::kMixed: return "mixed";
+    case Shape::kPhaseSharp: return "phase-sharp";
+  }
+  return "unknown";
+}
+
+const std::vector<Entry>& registry() {
+  static const std::vector<Entry> zoo = make_registry();
+  return zoo;
+}
+
+const Entry& find_workload(const std::string& name) {
+  for (const Entry& entry : registry()) {
+    if (entry.name == name) return entry;
+  }
+  TQUAD_THROW("unknown workload '" + name + "' (try: stream, matmul_naive, "
+              "matmul_tiled, chase, histogram, hashjoin, phased, wfs)");
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const Entry& entry : registry()) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace tq::workloads

@@ -1,0 +1,74 @@
+// The workload zoo: every guest program with a host-side golden model,
+// enumerable behind one interface.
+//
+// Cross-cutting suites (session differential, fault-injection prefix
+// contract, pipeline byte-equality, trace replay differential) iterate
+// registry() instead of hardcoding workload lists, so each contract is
+// enforced on every memory shape — streaming, strided, chaotic, mixed and
+// phase-sharp — and a newly registered workload inherits every contract for
+// free. Benches reuse the same entries at bench_scale to gate measured
+// signatures against the declared shape.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vm/host_env.hpp"
+#include "vm/machine.hpp"
+#include "vm/program.hpp"
+
+namespace tq::workloads {
+
+/// Declared memory shape of a workload; benches assert the measured
+/// signature matches (see bench_workload_signatures).
+enum class Shape {
+  kStreaming,   ///< sequential, bandwidth-bound (stream)
+  kStrided,     ///< regular strides / tiles (matmul)
+  kChaotic,     ///< data-dependent addresses (chase, histogram)
+  kMixed,       ///< sequential and random traffic interleaved (hashjoin, wfs)
+  kPhaseSharp,  ///< disjoint per-kernel phases in time and space (phased)
+};
+
+const char* shape_name(Shape shape);
+
+/// One ready-to-run build of a workload. An Instance is single-shot: the
+/// host environment accumulates guest output, so run each Instance exactly
+/// once and build a fresh one per run. Builds are deterministic — two
+/// Instances from the same Entry serialize to identical program bytes.
+struct Instance {
+  vm::Program program;
+  vm::HostEnv host;  ///< descriptors pre-wired (wfs: fd 0 in, fd 1 out)
+  /// Bytes the guest expects attached as descriptor 0 (empty = no input).
+  /// Already attached to `host`; exposed so zoo_gen can write them to disk
+  /// for CLI runs against the exported image.
+  std::vector<std::uint8_t> input;
+  /// Golden-model check, called after the run with the machine that executed
+  /// `program` against `host`. Returns "" on success, else a description of
+  /// the first mismatch.
+  std::function<std::string(const Instance&, vm::Machine&)> verify;
+};
+
+/// A registered workload: how to build it and what shape to expect.
+struct Entry {
+  std::string name;
+  Shape shape = Shape::kStreaming;
+  /// Lower bound on the phase count tQUAD phase detection must find at
+  /// bench scale (0 = not asserted).
+  std::uint32_t expected_phases = 0;
+  std::function<Instance()> build;        ///< test scale (fast, suite-friendly)
+  std::function<Instance()> build_bench;  ///< bench scale (signature-stable)
+};
+
+/// The zoo, in registration order. Stable across calls.
+const std::vector<Entry>& registry();
+
+/// Lookup by name; throws tq::Error for unknown names.
+const Entry& find_workload(const std::string& name);
+
+/// All registered names, in registration order (for test parameterisation
+/// and `zoo_gen -list`).
+std::vector<std::string> workload_names();
+
+}  // namespace tq::workloads

@@ -384,4 +384,333 @@ HistogramArtifacts build_histogram(std::uint32_t buckets, std::uint64_t samples,
   return art;
 }
 
+// ---- hash join --------------------------------------------------------------------
+
+namespace {
+
+// Fibonacci-hash multiplier; the guest multiply wraps mod 2^64 exactly like
+// host std::uint64_t arithmetic, so host and guest hash identically.
+constexpr std::uint64_t kHashMul = 0x9E3779B97F4A7C15ull;
+
+std::uint64_t hj_hash(std::uint64_t key, std::uint32_t mask) {
+  return ((key * kHashMul) >> 29) & mask;
+}
+
+}  // namespace
+
+HashJoinArtifacts build_hashjoin(std::uint32_t build_rows, std::uint32_t probe_rows,
+                                 std::uint64_t seed) {
+  TQUAD_CHECK(build_rows >= 1, "need at least one build row");
+  TQUAD_CHECK(probe_rows >= 1, "need at least one probe row");
+  HashJoinArtifacts art;
+  art.build_rows = build_rows;
+  art.probe_rows = probe_rows;
+  std::uint32_t slots = 8;
+  while (slots < 2 * build_rows) slots <<= 1;
+  art.slots = slots;
+  const std::uint32_t mask = slots - 1;
+
+  // Deterministic relations: keys are forced odd (nonzero — zero is the
+  // empty-slot sentinel), about half of the probe keys are drawn from the
+  // build side so both hit and miss paths execute.
+  SplitMix64 rng(seed);
+  std::vector<std::uint64_t> build_keys(build_rows);
+  std::vector<std::uint64_t> build_vals(build_rows);
+  for (std::uint32_t i = 0; i < build_rows; ++i) {
+    build_keys[i] = rng.next() | 1;
+    build_vals[i] = rng.next();
+  }
+  std::vector<std::uint64_t> probe_keys(probe_rows);
+  for (std::uint32_t i = 0; i < probe_rows; ++i) {
+    probe_keys[i] = (rng.next() & 1)
+                        ? build_keys[rng.next_below(build_rows)]
+                        : (rng.next() | 1);
+  }
+
+  // Host golden model: the same linear-probing insert and lookup order the
+  // guest executes. The table is at most half full, so probes always stop.
+  std::vector<std::uint64_t> table_key(slots, 0);
+  std::vector<std::uint64_t> table_val(slots, 0);
+  for (std::uint32_t i = 0; i < build_rows; ++i) {
+    std::uint64_t h = hj_hash(build_keys[i], mask);
+    while (table_key[h] != 0) h = (h + 1) & mask;
+    table_key[h] = build_keys[i];
+    table_val[h] = build_vals[i];
+  }
+  for (std::uint32_t i = 0; i < probe_rows; ++i) {
+    std::uint64_t h = hj_hash(probe_keys[i], mask);
+    while (table_key[h] != 0) {
+      if (table_key[h] == probe_keys[i]) {
+        art.expected_sum += table_val[h];
+        ++art.expected_matches;
+        break;
+      }
+      h = (h + 1) & mask;
+    }
+  }
+
+  ProgramBuilder prog;
+  art.build_keys_addr =
+      prog.alloc_global("build_keys", static_cast<std::uint64_t>(build_rows) * 8, 64);
+  art.build_vals_addr =
+      prog.alloc_global("build_vals", static_cast<std::uint64_t>(build_rows) * 8, 64);
+  art.probe_keys_addr =
+      prog.alloc_global("probe_keys", static_cast<std::uint64_t>(probe_rows) * 8, 64);
+  art.table_addr =
+      prog.alloc_global("table", static_cast<std::uint64_t>(slots) * 16, 64);
+  art.result_addr = prog.alloc_global("result", 16, 64);
+  prog.init_data(art.build_keys_addr, u64_bytes(build_keys));
+  prog.init_data(art.build_vals_addr, u64_bytes(build_vals));
+  prog.init_data(art.probe_keys_addr, u64_bytes(probe_keys));
+
+  // r3 = hash(r1): wrapping multiply, top bits, masked to the table.
+  auto emit_hash = [&](FunctionBuilder& f) {
+    f.mul(R{3}, R{1}, R{15});
+    f.shrli(R{3}, R{3}, 29);
+    f.and_(R{3}, R{3}, R{14});
+  };
+
+  // build: stream the relation, scatter (key, payload) into the table.
+  {
+    auto& f = prog.begin_function("hj_build");
+    f.movi(R{8}, static_cast<std::int64_t>(art.build_keys_addr));
+    f.movi(R{9}, static_cast<std::int64_t>(art.build_vals_addr));
+    f.movi(R{13}, static_cast<std::int64_t>(art.table_addr));
+    f.movi(R{14}, static_cast<std::int64_t>(mask));
+    f.movi(R{15}, static_cast<std::int64_t>(kHashMul));
+    f.count_loop_imm(R{20}, 0, build_rows, [&] {
+      f.shli(R{10}, R{20}, 3);
+      f.add(R{11}, R{10}, R{8});
+      f.load(R{1}, R{11}, 0, 8);  // key
+      f.add(R{11}, R{10}, R{9});
+      f.load(R{2}, R{11}, 0, 8);  // payload
+      emit_hash(f);
+      const auto head = f.new_label();
+      const auto insert = f.new_label();
+      f.bind(head);
+      f.shli(R{4}, R{3}, 4);
+      f.add(R{4}, R{4}, R{13});  // slot address
+      f.load(R{5}, R{4}, 0, 8);  // slot key
+      f.brz(R{5}, insert);
+      f.addi(R{3}, R{3}, 1);
+      f.and_(R{3}, R{3}, R{14});
+      f.jmp(head);
+      f.bind(insert);
+      f.store(R{4}, 0, R{1}, 8);
+      f.store(R{4}, 8, R{2}, 8);
+    });
+    f.ret();
+  }
+  // probe: stream the keys, chase table slots, accumulate matched payloads.
+  {
+    auto& f = prog.begin_function("hj_probe");
+    f.movi(R{8}, static_cast<std::int64_t>(art.probe_keys_addr));
+    f.movi(R{13}, static_cast<std::int64_t>(art.table_addr));
+    f.movi(R{14}, static_cast<std::int64_t>(mask));
+    f.movi(R{15}, static_cast<std::int64_t>(kHashMul));
+    f.movi(R{16}, 0);  // payload sum
+    f.movi(R{17}, 0);  // match count
+    f.count_loop_imm(R{20}, 0, probe_rows, [&] {
+      f.shli(R{10}, R{20}, 3);
+      f.add(R{11}, R{10}, R{8});
+      f.load(R{1}, R{11}, 0, 8);  // probe key
+      emit_hash(f);
+      const auto head = f.new_label();
+      const auto hit = f.new_label();
+      const auto next = f.new_label();
+      f.bind(head);
+      f.shli(R{4}, R{3}, 4);
+      f.add(R{4}, R{4}, R{13});
+      f.load(R{5}, R{4}, 0, 8);
+      f.brz(R{5}, next);  // empty slot: miss
+      f.seq(R{6}, R{5}, R{1});
+      f.brnz(R{6}, hit);
+      f.addi(R{3}, R{3}, 1);
+      f.and_(R{3}, R{3}, R{14});
+      f.jmp(head);
+      f.bind(hit);
+      f.load(R{7}, R{4}, 8, 8);
+      f.add(R{16}, R{16}, R{7});
+      f.addi(R{17}, R{17}, 1);
+      f.bind(next);
+    });
+    f.movi(R{4}, static_cast<std::int64_t>(art.result_addr));
+    f.store(R{4}, 0, R{16}, 8);
+    f.store(R{4}, 8, R{17}, 8);
+    f.ret();
+  }
+  {
+    auto& main_fn = prog.begin_function("main");
+    main_fn.call("hj_build");
+    main_fn.call("hj_probe");
+    main_fn.halt();
+  }
+  art.program = prog.build("main");
+  return art;
+}
+
+// ---- multi-phase pipeline ---------------------------------------------------------
+
+PhasedArtifacts build_phased(std::uint32_t elements, std::uint32_t reps,
+                             std::uint64_t seed) {
+  TQUAD_CHECK(elements >= 2 && (elements & (elements - 1)) == 0,
+              "elements must be a power of two >= 2");
+  TQUAD_CHECK(reps >= 1, "need at least one pass per phase");
+  TQUAD_CHECK(seed != 0, "xorshift seed must be nonzero");
+  PhasedArtifacts art;
+  art.elements = elements;
+  art.reps = reps;
+  art.seed = seed;
+  const std::uint32_t n = elements;
+  const std::uint64_t mask = n - 1;
+
+  // Host golden model, phase by phase in program order (u64 wrap throughout,
+  // mirroring the guest ALU).
+  auto& a = art.expected[0];
+  auto& b = art.expected[1];
+  auto& c = art.expected[2];
+  auto& d = art.expected[3];
+  for (auto& buf : art.expected) buf.assign(n, 0);
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      a[i] = a[i] * 5 + std::uint64_t{i} * 3 + r + 1;
+    }
+  }
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      b[i] += a[i] * 3 + r;
+    }
+  }
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t j = n - 1 - i;
+      c[j] += b[j] * 7 + i;
+    }
+  }
+  std::uint64_t x = seed;
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      const std::uint64_t g = x & mask;
+      const std::uint64_t s = (x >> 17) & mask;
+      d[g] += c[s] + (x | 1);
+    }
+  }
+
+  ProgramBuilder prog;
+  static const char* kBufferNames[PhasedArtifacts::kPhases] = {"pa", "pb", "pc",
+                                                               "pd"};
+  for (std::uint32_t p = 0; p < PhasedArtifacts::kPhases; ++p) {
+    art.buffer_addr[p] =
+        prog.alloc_global(kBufferNames[p], static_cast<std::uint64_t>(n) * 8, 64);
+  }
+
+  // r10 = &buf[index], for buf base held in `base`.
+  auto elem = [&](FunctionBuilder& f, R index, R base) {
+    f.shli(R{10}, index, 3);
+    f.add(R{10}, R{10}, base);
+  };
+
+  // phase_fill: A[i] = A[i]*5 + i*3 + r + 1, forward sequential RMW.
+  {
+    auto& f = prog.begin_function("phase_fill");
+    f.movi(R{8}, static_cast<std::int64_t>(art.buffer_addr[0]));
+    f.count_loop_imm(R{20}, 0, reps, [&] {
+      f.count_loop_imm(R{21}, 0, n, [&] {
+        elem(f, R{21}, R{8});
+        f.load(R{11}, R{10}, 0, 8);
+        f.muli(R{11}, R{11}, 5);
+        f.muli(R{12}, R{21}, 3);
+        f.add(R{11}, R{11}, R{12});
+        f.add(R{11}, R{11}, R{20});
+        f.addi(R{11}, R{11}, 1);
+        f.store(R{10}, 0, R{11}, 8);
+      });
+    });
+    f.ret();
+  }
+  // phase_scan: B[i] += A[i]*3 + r, forward read of A, RMW of B.
+  {
+    auto& f = prog.begin_function("phase_scan");
+    f.movi(R{8}, static_cast<std::int64_t>(art.buffer_addr[0]));
+    f.movi(R{9}, static_cast<std::int64_t>(art.buffer_addr[1]));
+    f.count_loop_imm(R{20}, 0, reps, [&] {
+      f.count_loop_imm(R{21}, 0, n, [&] {
+        elem(f, R{21}, R{8});
+        f.load(R{11}, R{10}, 0, 8);
+        f.muli(R{11}, R{11}, 3);
+        f.add(R{11}, R{11}, R{20});
+        elem(f, R{21}, R{9});
+        f.load(R{12}, R{10}, 0, 8);
+        f.add(R{12}, R{12}, R{11});
+        f.store(R{10}, 0, R{12}, 8);
+      });
+    });
+    f.ret();
+  }
+  // phase_reverse: C[j] += B[j]*7 + i with j = n-1-i, backward traversal.
+  {
+    auto& f = prog.begin_function("phase_reverse");
+    f.movi(R{8}, static_cast<std::int64_t>(art.buffer_addr[1]));
+    f.movi(R{9}, static_cast<std::int64_t>(art.buffer_addr[2]));
+    f.count_loop_imm(R{20}, 0, reps, [&] {
+      f.count_loop_imm(R{21}, 0, n, [&] {
+        f.movi(R{13}, static_cast<std::int64_t>(n) - 1);
+        f.sub(R{13}, R{13}, R{21});  // j
+        elem(f, R{13}, R{8});
+        f.load(R{11}, R{10}, 0, 8);
+        f.muli(R{11}, R{11}, 7);
+        f.add(R{11}, R{11}, R{21});
+        elem(f, R{13}, R{9});
+        f.load(R{12}, R{10}, 0, 8);
+        f.add(R{12}, R{12}, R{11});
+        f.store(R{10}, 0, R{12}, 8);
+      });
+    });
+    f.ret();
+  }
+  // phase_gather: xorshift-chaotic gather from C, scatter-accumulate into D.
+  {
+    auto& f = prog.begin_function("phase_gather");
+    f.movi(R{8}, static_cast<std::int64_t>(art.buffer_addr[2]));
+    f.movi(R{9}, static_cast<std::int64_t>(art.buffer_addr[3]));
+    f.movi(R{13}, static_cast<std::int64_t>(mask));
+    f.movi(R{14}, static_cast<std::int64_t>(seed));  // x
+    f.count_loop_imm(R{20}, 0, reps, [&] {
+      f.count_loop_imm(R{21}, 0, n, [&] {
+        f.shli(R{11}, R{14}, 13);
+        f.xor_(R{14}, R{14}, R{11});
+        f.shrli(R{11}, R{14}, 7);
+        f.xor_(R{14}, R{14}, R{11});
+        f.shli(R{11}, R{14}, 17);
+        f.xor_(R{14}, R{14}, R{11});
+        f.shrli(R{11}, R{14}, 17);
+        f.and_(R{11}, R{11}, R{13});  // s
+        elem(f, R{11}, R{8});
+        f.load(R{12}, R{10}, 0, 8);   // C[s]
+        f.and_(R{11}, R{14}, R{13});  // g
+        elem(f, R{11}, R{9});
+        f.load(R{15}, R{10}, 0, 8);   // D[g]
+        f.add(R{15}, R{15}, R{12});
+        f.ori(R{16}, R{14}, 1);
+        f.add(R{15}, R{15}, R{16});
+        f.store(R{10}, 0, R{15}, 8);
+      });
+    });
+    f.ret();
+  }
+  {
+    auto& main_fn = prog.begin_function("main");
+    main_fn.call("phase_fill");
+    main_fn.call("phase_scan");
+    main_fn.call("phase_reverse");
+    main_fn.call("phase_gather");
+    main_fn.halt();
+  }
+  art.program = prog.build("main");
+  return art;
+}
+
 }  // namespace tq::workloads

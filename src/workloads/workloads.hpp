@@ -12,10 +12,20 @@
 //   * chase    — pointer chasing over a shuffled permutation cycle:
 //                latency-bound, one 8-byte read per hop, near-zero B/instr;
 //   * histogram— random scatter increments into a bucket array: read-modify-
-//                write traffic with data-dependent addresses.
+//                write traffic with data-dependent addresses;
+//   * hashjoin — build + probe over an open-addressing hash table: the build
+//                side streams a relation sequentially while scattering into
+//                the table, the probe side streams keys while chasing table
+//                slots at hash-random addresses (the classic *mixed* shape);
+//   * phased   — a four-stage pipeline (fill → scan → reverse → gather) over
+//                four distinct buffers, each stage its own kernel called
+//                exactly once: sharp phase boundaries in time and disjoint
+//                *written* address ranges per phase, built to stress tQUAD
+//                phase detection and the address-map heatmap.
 //
 // Each builder returns the Program plus the guest addresses of its buffers
-// for post-run verification.
+// for post-run verification. See registry.hpp for the workload zoo that
+// enumerates these (plus the wfs case study) behind one interface.
 #pragma once
 
 #include <cstdint>
@@ -79,5 +89,53 @@ struct HistogramArtifacts {
 };
 HistogramArtifacts build_histogram(std::uint32_t buckets, std::uint64_t samples,
                                    std::uint64_t seed = 99);
+
+/// Hash join: `build_rows` (key, payload) pairs are inserted into an
+/// open-addressing table (linear probing, power-of-two `slots` >= 2x rows),
+/// then `probe_rows` keys — roughly half of them hits — are looked up and
+/// the matched payloads summed. Kernels: "hj_build" (sequential relation
+/// read + hash-scattered table writes) and "hj_probe" (sequential key read
+/// + hash-random table reads). The guest stores the payload sum and the
+/// match count at `result_addr`; the host golden model mirrors the exact
+/// insert/probe order.
+struct HashJoinArtifacts {
+  vm::Program program;
+  std::uint64_t build_keys_addr = 0;  ///< u64[build_rows]
+  std::uint64_t build_vals_addr = 0;  ///< u64[build_rows]
+  std::uint64_t probe_keys_addr = 0;  ///< u64[probe_rows]
+  std::uint64_t table_addr = 0;       ///< (key, payload) u64 pairs, slots of 16 B
+  std::uint64_t result_addr = 0;      ///< u64[2]: payload sum, match count
+  std::uint32_t build_rows = 0;
+  std::uint32_t probe_rows = 0;
+  std::uint32_t slots = 0;
+  std::uint64_t expected_sum = 0;      ///< host-computed payload sum
+  std::uint64_t expected_matches = 0;  ///< host-computed probe hits
+};
+HashJoinArtifacts build_hashjoin(std::uint32_t build_rows, std::uint32_t probe_rows,
+                                 std::uint64_t seed = 7);
+
+/// Multi-phase pipeline: four kernels run back to back, each `reps` passes
+/// over `elements` u64 values (elements must be a power of two), writing a
+/// distinct buffer:
+///   phase_fill    — writes A from a mixing function of (index, pass);
+///   phase_scan    — reads A forward, accumulates into B;
+///   phase_reverse — reads B backward, accumulates into C;
+///   phase_gather  — xorshift-chaotic gathers from C, scatters into D.
+/// Phase boundaries are instruction-sharp (one call per kernel from main)
+/// and the written ranges A/B/C/D are disjoint, so tQUAD phase detection
+/// must find at least kPhases phases and the address-map heatmap shows one
+/// hot written band per phase.
+struct PhasedArtifacts {
+  static constexpr std::uint32_t kPhases = 4;
+  vm::Program program;
+  std::uint64_t buffer_addr[kPhases] = {};  ///< A, B, C, D
+  std::uint32_t elements = 0;
+  std::uint32_t reps = 0;
+  std::uint64_t seed = 0;
+  /// Host-computed final contents of each buffer.
+  std::vector<std::uint64_t> expected[kPhases];
+};
+PhasedArtifacts build_phased(std::uint32_t elements, std::uint32_t reps,
+                             std::uint64_t seed = 11);
 
 }  // namespace tq::workloads

@@ -171,6 +171,81 @@ cmp tquad_body.txt tquad_hb_body.txt
 grep -q "heartbeat: done" hb.txt
 grep -q "status=ok" hb.txt
 
+# Workload zoo: zoo_gen exports any registered shape; unknown names are
+# usage errors (exit 2).
+"$TOOLS/zoo_gen" -list > zoo.txt
+for w in stream matmul_naive matmul_tiled chase histogram hashjoin phased wfs; do
+  grep -q "^$w " zoo.txt
+done
+grep -q "phase-sharp" zoo.txt
+expect_exit 2 -- "$TOOLS/zoo_gen" -workload bogus -image x.tqim
+expect_exit 2 -- "$TOOLS/zoo_gen" -workload wfs -image wfs_zoo.tqim  # needs -input
+"$TOOLS/zoo_gen" -workload phased -image phased.tqim > /dev/null
+"$TOOLS/zoo_gen" -workload wfs -image wfs_zoo.tqim -input wfs_zoo.wav > /dev/null
+test -s phased.tqim && test -s wfs_zoo.tqim && test -s wfs_zoo.wav
+
+# -viz json[:path]: the address-map export must leave every report byte
+# untouched (compare to the viz-off run) whether it goes to a file or to
+# stdout, and the stdout rendering must equal the file rendering.
+"$TOOLS/tquad_cli" -image phased.tqim -report all -slice 500 > phased_plain.txt
+"$TOOLS/tquad_cli" -image phased.tqim -report all -slice 500 \
+    -viz json:map.json -metrics json:viz_metrics.json > phased_viz.txt
+grep -v "written to" phased_viz.txt > phased_viz_body.txt
+cmp phased_plain.txt phased_viz_body.txt
+"$TOOLS/tquad_cli" -image phased.tqim -report all -slice 500 \
+    -viz json > phased_viz_stdout.txt
+grep '"address_map"' phased_viz_stdout.txt > map_stdout.json
+cmp map.json map_stdout.json
+grep -v '"address_map"' phased_viz_stdout.txt > phased_viz_stdout_body.txt
+cmp phased_plain.txt phased_viz_stdout_body.txt
+# Schema: keys sorted and stable at every level, per-kernel accounting
+# conserved, and the map total equals the session's delivered access count.
+python3 - <<'EOF'
+import json
+m = json.load(open("map.json"))["address_map"]
+assert sorted(m) == list(m), list(m)
+names = [k["name"] for k in m["kernels"]]
+assert names == sorted(names), names
+total = 0
+for k in m["kernels"]:
+    assert sorted(k) == list(k), list(k)
+    assert k["cells"] == sorted(k["cells"]), k["name"]
+    cell_sum = sum(reads + writes for _, _, reads, writes in k["cells"])
+    assert k["accesses"] == k["stack_accesses"] + cell_sum, k["name"]
+    total += k["accesses"]
+assert total == m["total_accesses"], (total, m["total_accesses"])
+metrics = json.load(open("viz_metrics.json"))
+assert total == metrics["counters"]["session.events.access"], total
+EOF
+# Heatmap shape: the phase-sharp workload shows one disjoint hot written
+# address range per phase kernel, in distinct time slices.
+python3 - <<'EOF'
+import json
+m = json.load(open("map.json"))["address_map"]
+phases = [k for k in m["kernels"] if k["name"].startswith("phase_")]
+assert len(phases) == 4, [k["name"] for k in m["kernels"]]
+written = {k["name"]: {b for _, b, _, w in k["cells"] if w} for k in phases}
+slices = {k["name"]: {s for s, _, _, _ in k["cells"]} for k in phases}
+names = list(written)
+for i, a in enumerate(names):
+    assert written[a], a
+    for b in names[i + 1:]:
+        assert not (written[a] & written[b]), (a, b)
+        # Phases run back to back: consecutive ones may share the boundary
+        # slice, never more.
+        assert len(slices[a] & slices[b]) <= 1, (a, b)
+EOF
+# Replay sessions render the map too, and the wfs pipeline keeps its report
+# bytes with -viz on.
+"$TOOLS/tquad_cli" -replay run.tqtr -image wfs.tqim -tools tquad -slice 2000 \
+    -viz json:replay_map.json > /dev/null
+python3 -c "import json; json.load(open('replay_map.json'))"
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -report all -slice 2000 \
+    -viz json:wfs_map.json -out out_viz.wav > tquad_viz.txt
+grep -v "written to" tquad_viz.txt > tquad_viz_body.txt
+cmp tquad_body.txt tquad_viz_body.txt
+cmp out.wav out_viz.wav
+
 # Error paths: missing image must fail with a message, not crash.
 if "$TOOLS/tquad_cli" -image does_not_exist.tqim 2> err.txt; then
   echo "expected failure on missing image" >&2

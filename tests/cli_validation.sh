@@ -163,6 +163,20 @@ grep -q "unknown -metrics format" err.txt
 expect_error "option -heartbeat must not be negative" -- \
     "$TOOLS/tquad_cli" -image wfs.tqim -heartbeat -1
 
+# Malformed -viz specs are usage errors; a replay without an analysis session
+# has no access stream to map.
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -viz svg
+grep -q "unknown -viz format 'svg'" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -viz json:
+grep -q "empty -viz path" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -replay run.tqtr -viz json
+grep -q "needs a profiling session" err.txt
+expect_error "option -viz-bucket must be a positive integer (got 0)" -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -viz json -viz-bucket 0
+
 # A valid -pipeline parallel run produces the same reports as the serial
 # multi-tool run above, and records a byte-identical trace.
 "$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -tools tquad,quad,gprof \

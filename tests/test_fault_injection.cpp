@@ -7,6 +7,8 @@
 // clean run's prefix, not an approximation of it.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "gasm/builder.hpp"
 #include "gprofsim/gprof_tool.hpp"
 #include "quad/quad_tool.hpp"
@@ -14,7 +16,7 @@
 #include "trace/trace.hpp"
 #include "trace/trace_v2.hpp"
 #include "tquad/tquad_tool.hpp"
-#include "wfs/runner.hpp"
+#include "workloads/registry.hpp"
 #include "workloads/workloads.hpp"
 
 #include "session_tool_compare.hpp"
@@ -99,47 +101,33 @@ void check_fault_equals_prefix(const vm::Program& program, vm::HostEnv&& fault_h
   testutil::expect_tquad_equal(faulted.tquad, replay_tool);
 }
 
-std::uint64_t clean_total(const vm::Program& program, vm::HostEnv&& host) {
+std::uint64_t clean_total(const vm::Program& program, vm::HostEnv& host) {
   vm::Machine machine(program, host);
   const vm::RunOutcome outcome = machine.run();
   EXPECT_EQ(outcome.status, vm::RunStatus::kHalted);
   return outcome.retired;
 }
 
-void check_workload(const vm::Program& program) {
-  const std::uint64_t total = clean_total(program, vm::HostEnv{});
-  check_fault_equals_prefix(program, vm::HostEnv{}, vm::HostEnv{}, total);
+/// One test per registered workload — the registry supplies the workload
+/// list (wfs included, no special-casing), so a newly registered shape gets
+/// the prefix contract for free.
+class FaultDifferentialZoo : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FaultDifferentialZoo, TrapEqualsBudgetPrefix) {
+  const workloads::Entry& entry = workloads::find_workload(GetParam());
+  // Three builds: one clean run to measure the cut point, one faulted run,
+  // one budget-truncated run (each Instance is single-shot).
+  workloads::Instance clean = entry.build();
+  workloads::Instance faulted = entry.build();
+  workloads::Instance truncated = entry.build();
+  const std::uint64_t total = clean_total(clean.program, clean.host);
+  check_fault_equals_prefix(clean.program, std::move(faulted.host),
+                            std::move(truncated.host), total);
 }
 
-TEST(FaultDifferential, Stream) {
-  check_workload(workloads::build_stream(128, 1).program);
-}
-
-TEST(FaultDifferential, MatmulNaive) {
-  check_workload(workloads::build_matmul(10, false).program);
-}
-
-TEST(FaultDifferential, MatmulTiled) {
-  check_workload(workloads::build_matmul(12, true, 4).program);
-}
-
-TEST(FaultDifferential, Chase) {
-  check_workload(workloads::build_chase(64, 400).program);
-}
-
-TEST(FaultDifferential, Histogram) {
-  check_workload(workloads::build_histogram(32, 800).program);
-}
-
-TEST(FaultDifferential, Wfs) {
-  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
-  wfs::WfsRun runs[3] = {wfs::prepare_wfs_run(cfg), wfs::prepare_wfs_run(cfg),
-                         wfs::prepare_wfs_run(cfg)};
-  const std::uint64_t total =
-      clean_total(runs[0].artifacts.program, std::move(runs[0].host));
-  check_fault_equals_prefix(runs[0].artifacts.program, std::move(runs[1].host),
-                            std::move(runs[2].host), total);
-}
+INSTANTIATE_TEST_SUITE_P(Zoo, FaultDifferentialZoo,
+                         ::testing::ValuesIn(workloads::workload_names()),
+                         [](const auto& info) { return info.param; });
 
 // ---- FaultPlan trigger kinds on the bare Machine ----------------------------------
 

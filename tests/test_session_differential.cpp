@@ -1,11 +1,15 @@
-// Differential sweep for the single-pass ProfileSession: for every synthetic
-// workload plus the wfs pipeline, running tQUAD + QUAD + gprofsim + the trace
-// recorder simultaneously on ONE guest execution must be bit-identical to
-// running each tool standalone on its own execution (the paper's four
-// separate runs). This is the acceptance property of the session layer: the
-// shared KernelAttribution pass loses nothing relative to each tool's
-// private call stack.
+// Differential sweep for the single-pass ProfileSession: for every workload
+// in the zoo registry (all memory shapes, wfs included), running tQUAD +
+// QUAD + gprofsim + the trace recorder simultaneously on ONE guest execution
+// must be bit-identical to running each tool standalone on its own execution
+// (the paper's four separate runs). This is the acceptance property of the
+// session layer: the shared KernelAttribution pass loses nothing relative to
+// each tool's private call stack. The standalone tQUAD run doubles as the
+// golden-model check that the guest computed the right answer.
 #include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
 
 #include "gprofsim/gprof_tool.hpp"
 #include "minipin/minipin.hpp"
@@ -14,7 +18,7 @@
 #include "trace/trace.hpp"
 #include "tquad/tquad_tool.hpp"
 #include "wfs/runner.hpp"
-#include "workloads/workloads.hpp"
+#include "workloads/registry.hpp"
 
 #include "session_tool_compare.hpp"
 
@@ -25,13 +29,12 @@ constexpr std::uint64_t kSlice = 1000;
 constexpr std::uint64_t kSamplePeriod = 700;
 
 /// Five hosts: four standalone runs (one per tool, the paper's workflow) and
-/// one session run feeding all four at once.
-struct Hosts {
-  vm::HostEnv tquad, quad, gprof, trace, combined;
-};
-
-void check_program(const vm::Program& program, Hosts& hosts,
-                   tquad::LibraryPolicy policy) {
+/// one session run feeding all four at once. `inspect_tquad_run`, when set,
+/// sees the machine of the standalone tQUAD execution after it halts (the
+/// hook the golden-model verification uses).
+void check_program(const vm::Program& program, vm::HostEnv* (&hosts)[5],
+                   tquad::LibraryPolicy policy,
+                   const std::function<void(vm::Machine&)>& inspect_tquad_run = {}) {
   const tquad::Options tquad_options{.slice_interval = kSlice,
                                      .library_policy = policy};
   const quad::QuadOptions quad_options{policy};
@@ -40,20 +43,21 @@ void check_program(const vm::Program& program, Hosts& hosts,
   gprof_options.library_policy = policy;
 
   // Standalone: one dedicated execution per tool.
-  pin::Engine tquad_engine(program, hosts.tquad);
+  pin::Engine tquad_engine(program, *hosts[0]);
   tquad::TQuadTool tquad_alone(tquad_engine, tquad_options);
   tquad_engine.run();
+  if (inspect_tquad_run) inspect_tquad_run(tquad_engine.machine());
 
-  pin::Engine quad_engine(program, hosts.quad);
+  pin::Engine quad_engine(program, *hosts[1]);
   quad::QuadTool quad_alone(quad_engine, quad_options);
   quad_engine.run();
 
-  pin::Engine gprof_engine(program, hosts.gprof);
+  pin::Engine gprof_engine(program, *hosts[2]);
   gprof::GprofTool gprof_alone(gprof_engine, gprof_options);
   gprof_engine.run();
 
   trace::TraceRecorder recorder_alone(program, policy, trace::TraceFormat::kV2);
-  vm::Machine machine(program, hosts.trace);
+  vm::Machine machine(program, *hosts[3]);
   machine.run(&recorder_alone);
 
   // Session: all four tools share one execution and one attribution pass.
@@ -66,7 +70,7 @@ void check_program(const vm::Program& program, Hosts& hosts,
   session.add_consumer(quad_session);
   session.add_consumer(gprof_session);
   session.add_consumer(recorder_session);
-  session.run_live(hosts.combined);
+  session.run_live(*hosts[4]);
 
   testutil::expect_tquad_equal(tquad_alone, tquad_session);
   testutil::expect_quad_equal(quad_alone, quad_session);
@@ -74,31 +78,32 @@ void check_program(const vm::Program& program, Hosts& hosts,
   EXPECT_EQ(recorder_alone.take_encoded(), recorder_session.take_encoded());
 }
 
-void check_workload(const vm::Program& program,
-                    tquad::LibraryPolicy policy = tquad::LibraryPolicy::kExclude) {
-  Hosts hosts;
-  check_program(program, hosts, policy);
+/// One test per registered workload: every memory shape in the zoo gets the
+/// combined-equals-standalone contract, plus the golden-model verification
+/// of the standalone tQUAD execution.
+class SessionDifferentialZoo : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SessionDifferentialZoo, CombinedEqualsStandalone) {
+  const workloads::Entry& entry = workloads::find_workload(GetParam());
+  workloads::Instance runs[5] = {entry.build(), entry.build(), entry.build(),
+                                 entry.build(), entry.build()};
+  // Registry builds are deterministic: every run profiles the same bytes.
+  const auto image = runs[0].program.serialize();
+  for (int i = 1; i < 5; ++i) {
+    ASSERT_EQ(image, runs[i].program.serialize()) << entry.name;
+  }
+  vm::HostEnv* hosts[5] = {&runs[0].host, &runs[1].host, &runs[2].host,
+                           &runs[3].host, &runs[4].host};
+  check_program(runs[0].program, hosts, tquad::LibraryPolicy::kExclude,
+                [&](vm::Machine& machine) {
+                  ASSERT_TRUE(runs[0].verify) << entry.name;
+                  EXPECT_EQ(runs[0].verify(runs[0], machine), "") << entry.name;
+                });
 }
 
-TEST(SessionDifferential, Stream) {
-  check_workload(workloads::build_stream(128, 1).program);
-}
-
-TEST(SessionDifferential, MatmulNaive) {
-  check_workload(workloads::build_matmul(10, false).program);
-}
-
-TEST(SessionDifferential, MatmulTiled) {
-  check_workload(workloads::build_matmul(12, true, 4).program);
-}
-
-TEST(SessionDifferential, Chase) {
-  check_workload(workloads::build_chase(64, 400).program);
-}
-
-TEST(SessionDifferential, Histogram) {
-  check_workload(workloads::build_histogram(32, 800).program);
-}
+INSTANTIATE_TEST_SUITE_P(Zoo, SessionDifferentialZoo,
+                         ::testing::ValuesIn(workloads::workload_names()),
+                         [](const auto& info) { return info.param; });
 
 class SessionDifferentialWfs
     : public ::testing::TestWithParam<tquad::LibraryPolicy> {};
@@ -114,9 +119,8 @@ TEST_P(SessionDifferentialWfs, AllPolicies) {
     ASSERT_EQ(runs[0].artifacts.program.serialize(),
               runs[i].artifacts.program.serialize());
   }
-  Hosts hosts{std::move(runs[0].host), std::move(runs[1].host),
-              std::move(runs[2].host), std::move(runs[3].host),
-              std::move(runs[4].host)};
+  vm::HostEnv* hosts[5] = {&runs[0].host, &runs[1].host, &runs[2].host,
+                           &runs[3].host, &runs[4].host};
   check_program(runs[0].artifacts.program, hosts, GetParam());
 }
 

@@ -24,7 +24,7 @@
 #include "trace/trace.hpp"
 #include "tquad/tquad_tool.hpp"
 #include "vm/machine.hpp"
-#include "wfs/runner.hpp"
+#include "workloads/registry.hpp"
 #include "workloads/workloads.hpp"
 
 #include "session_tool_compare.hpp"
@@ -109,84 +109,44 @@ void expect_matches_serial(SessionRun& serial, const std::vector<std::uint8_t>& 
   }
 }
 
-enum class Which { kStream, kMatmulNaive, kMatmulTiled, kChase, kHistogram, kWfs };
-
-/// One guest execution's inputs. The wfs member keeps the prepared program
-/// alive; synthetic programs are built once and shared (their hosts are
-/// stateless defaults).
-struct Guest {
-  std::optional<wfs::WfsRun> wfs;
-  const vm::Program* program = nullptr;
-  vm::HostEnv host;
-};
-
-void make_guest(Which which, Guest& guest) {
-  switch (which) {
-    case Which::kStream: {
-      static const auto artifacts = workloads::build_stream(128, 1);
-      guest.program = &artifacts.program;
-      break;
-    }
-    case Which::kMatmulNaive: {
-      static const auto artifacts = workloads::build_matmul(10, false);
-      guest.program = &artifacts.program;
-      break;
-    }
-    case Which::kMatmulTiled: {
-      static const auto artifacts = workloads::build_matmul(12, true, 4);
-      guest.program = &artifacts.program;
-      break;
-    }
-    case Which::kChase: {
-      static const auto artifacts = workloads::build_chase(64, 400);
-      guest.program = &artifacts.program;
-      break;
-    }
-    case Which::kHistogram: {
-      static const auto artifacts = workloads::build_histogram(32, 800);
-      guest.program = &artifacts.program;
-      break;
-    }
-    case Which::kWfs: {
-      guest.wfs.emplace(wfs::prepare_wfs_run(wfs::WfsConfig::tiny()));
-      guest.program = &guest.wfs->artifacts.program;
-      guest.host = std::move(guest.wfs->host);
-      break;
-    }
-  }
+/// One fresh guest execution's inputs, built from the workload registry.
+/// Each Instance is single-shot: the host accumulates guest output.
+workloads::Instance make_guest(const std::string& name) {
+  return workloads::find_workload(name).build();
 }
 
 /// Serial all-tools reference for one workload, run once per test.
 struct Reference {
-  explicit Reference(Which which) {
-    make_guest(which, guest);
-    run.emplace(*guest.program, SessionConfig{}, kAllTools);
+  explicit Reference(const std::string& name) : guest(make_guest(name)) {
+    run.emplace(guest.program, SessionConfig{}, kAllTools);
     outcome = run->session.run_live(guest.host);
     trace = run->recorder->take_encoded();
   }
 
-  Guest guest;
+  workloads::Instance guest;
   std::optional<SessionRun> run;
   vm::RunOutcome outcome;
   std::vector<std::uint8_t> trace;
 };
 
 // ---------------------------------------------------------------------------
-// Full tool-combination matrix: 15 non-empty consumer subsets per workload.
+// Full tool-combination matrix: 15 non-empty consumer subsets per workload,
+// one test per registered memory shape.
 
-void check_matrix(Which which) {
-  Reference ref(which);
+class PipelineMatrixZoo : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelineMatrixZoo, ParallelEqualsSerial) {
+  Reference ref(GetParam());
   for (unsigned bits = 1; bits < 16; ++bits) {
     const ToolMask mask{(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0,
                         (bits & 8) != 0};
     SCOPED_TRACE("tool mask bits=" + std::to_string(bits));
-    Guest guest;
-    make_guest(which, guest);
-    ASSERT_EQ(ref.guest.program->serialize(), guest.program->serialize());
+    workloads::Instance guest = make_guest(GetParam());
+    ASSERT_EQ(ref.guest.program.serialize(), guest.program.serialize());
     SessionConfig config;
     config.pipeline = parallel_options(/*workers=*/3, /*batch_events=*/256,
                                        /*ring_batches=*/2, /*access_shards=*/3);
-    SessionRun run(*guest.program, config, mask);
+    SessionRun run(guest.program, config, mask);
     const vm::RunOutcome outcome = run.session.run_live(guest.host);
     EXPECT_EQ(outcome.status, ref.outcome.status);
     EXPECT_EQ(outcome.retired, ref.outcome.retired);
@@ -195,22 +155,20 @@ void check_matrix(Which which) {
   }
 }
 
-TEST(PipelineMatrix, Stream) { check_matrix(Which::kStream); }
-TEST(PipelineMatrix, MatmulNaive) { check_matrix(Which::kMatmulNaive); }
-TEST(PipelineMatrix, MatmulTiled) { check_matrix(Which::kMatmulTiled); }
-TEST(PipelineMatrix, Chase) { check_matrix(Which::kChase); }
-TEST(PipelineMatrix, Histogram) { check_matrix(Which::kHistogram); }
-TEST(PipelineMatrix, Wfs) { check_matrix(Which::kWfs); }
+INSTANTIATE_TEST_SUITE_P(Zoo, PipelineMatrixZoo,
+                         ::testing::ValuesIn(workloads::workload_names()),
+                         [](const auto& info) { return info.param; });
 
 // ---------------------------------------------------------------------------
 // Fault-tolerance parity: a guest trap mid-run must drain the rings and
 // leave exactly the serial trapped run's state (the PR 3 PARTIAL contract
 // survives the thread hop).
 
-void check_fault_parity(Which which) {
-  Guest probe;
-  make_guest(which, probe);
-  vm::Machine machine(*probe.program, probe.host);
+class PipelineFaultZoo : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelineFaultZoo, TrapParityUnderParallelDispatch) {
+  workloads::Instance probe = make_guest(GetParam());
+  vm::Machine machine(probe.program, probe.host);
   const std::uint64_t total = machine.run().retired;
   ASSERT_GT(total, 2u);
   const std::uint64_t cut = total / 2;
@@ -218,21 +176,19 @@ void check_fault_parity(Which which) {
   SessionConfig fault_config;
   fault_config.fault_plan.trap_at_retired = cut;
 
-  Guest serial_guest;
-  make_guest(which, serial_guest);
-  SessionRun serial(*serial_guest.program, fault_config, kAllTools);
+  workloads::Instance serial_guest = make_guest(GetParam());
+  SessionRun serial(serial_guest.program, fault_config, kAllTools);
   const vm::RunOutcome serial_outcome = serial.session.run_live(serial_guest.host);
   ASSERT_EQ(serial_outcome.status, vm::RunStatus::kTrapped);
   ASSERT_EQ(serial_outcome.retired, cut);
   const std::vector<std::uint8_t> serial_trace = serial.recorder->take_encoded();
 
-  Guest parallel_guest;
-  make_guest(which, parallel_guest);
+  workloads::Instance parallel_guest = make_guest(GetParam());
   SessionConfig parallel_config = fault_config;
   parallel_config.pipeline = parallel_options(/*workers=*/3, /*batch_events=*/64,
                                               /*ring_batches=*/2,
                                               /*access_shards=*/2);
-  SessionRun parallel(*parallel_guest.program, parallel_config, kAllTools);
+  SessionRun parallel(parallel_guest.program, parallel_config, kAllTools);
   const vm::RunOutcome outcome = parallel.session.run_live(parallel_guest.host);
   ASSERT_EQ(outcome.status, vm::RunStatus::kTrapped);
   ASSERT_EQ(outcome.retired, cut);
@@ -245,25 +201,23 @@ void check_fault_parity(Which which) {
   expect_matches_serial(serial, serial_trace, parallel, kAllTools);
 }
 
-TEST(PipelineFault, Stream) { check_fault_parity(Which::kStream); }
-TEST(PipelineFault, MatmulNaive) { check_fault_parity(Which::kMatmulNaive); }
-TEST(PipelineFault, MatmulTiled) { check_fault_parity(Which::kMatmulTiled); }
-TEST(PipelineFault, Chase) { check_fault_parity(Which::kChase); }
-TEST(PipelineFault, Histogram) { check_fault_parity(Which::kHistogram); }
-TEST(PipelineFault, Wfs) { check_fault_parity(Which::kWfs); }
+INSTANTIATE_TEST_SUITE_P(Zoo, PipelineFaultZoo,
+                         ::testing::ValuesIn(workloads::workload_names()),
+                         [](const auto& info) { return info.param; });
 
 // ---------------------------------------------------------------------------
 // Backpressure torture: ring capacity 1 batch of 1 event makes the VM thread
 // block on nearly every publish. Throughput dies; the reports must not care.
 
-void check_capacity_one(Which which) {
-  Reference ref(which);
-  Guest guest;
-  make_guest(which, guest);
+class PipelineBackpressureZoo : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelineBackpressureZoo, CapacityOneParity) {
+  Reference ref(GetParam());
+  workloads::Instance guest = make_guest(GetParam());
   SessionConfig config;
   config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/1,
                                      /*ring_batches=*/1, /*access_shards=*/2);
-  SessionRun run(*guest.program, config, kAllTools);
+  SessionRun run(guest.program, config, kAllTools);
   const vm::RunOutcome outcome = run.session.run_live(guest.host);
   EXPECT_EQ(outcome.status, ref.outcome.status);
   EXPECT_EQ(outcome.retired, ref.outcome.retired);
@@ -276,27 +230,22 @@ void check_capacity_one(Which which) {
   EXPECT_GT(stats.backpressure_waits, 0u);
 }
 
-TEST(PipelineBackpressure, Stream) { check_capacity_one(Which::kStream); }
-TEST(PipelineBackpressure, MatmulNaive) { check_capacity_one(Which::kMatmulNaive); }
-TEST(PipelineBackpressure, MatmulTiled) { check_capacity_one(Which::kMatmulTiled); }
-TEST(PipelineBackpressure, Chase) { check_capacity_one(Which::kChase); }
-TEST(PipelineBackpressure, Histogram) { check_capacity_one(Which::kHistogram); }
-TEST(PipelineBackpressure, Wfs) { check_capacity_one(Which::kWfs); }
+INSTANTIATE_TEST_SUITE_P(Zoo, PipelineBackpressureZoo,
+                         ::testing::ValuesIn(workloads::workload_names()),
+                         [](const auto& info) { return info.param; });
 
 // Backpressure under a trap: the abort/drain path with a full ring is the
 // nastiest corner (publisher mid-push when the guest faults).
 TEST(PipelineBackpressure, HistogramFaultCapacityOne) {
-  Guest probe;
-  make_guest(Which::kHistogram, probe);
-  vm::Machine machine(*probe.program, probe.host);
+  workloads::Instance probe = make_guest("histogram");
+  vm::Machine machine(probe.program, probe.host);
   const std::uint64_t cut = machine.run().retired / 2;
   ASSERT_GT(cut, 0u);
 
   SessionConfig fault_config;
   fault_config.fault_plan.trap_at_retired = cut;
-  Guest serial_guest;
-  make_guest(Which::kHistogram, serial_guest);
-  SessionRun serial(*serial_guest.program, fault_config, kAllTools);
+  workloads::Instance serial_guest = make_guest("histogram");
+  SessionRun serial(serial_guest.program, fault_config, kAllTools);
   ASSERT_EQ(serial.session.run_live(serial_guest.host).status,
             vm::RunStatus::kTrapped);
   const std::vector<std::uint8_t> serial_trace = serial.recorder->take_encoded();
@@ -305,9 +254,8 @@ TEST(PipelineBackpressure, HistogramFaultCapacityOne) {
   parallel_config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/1,
                                               /*ring_batches=*/1,
                                               /*access_shards=*/2);
-  Guest parallel_guest;
-  make_guest(Which::kHistogram, parallel_guest);
-  SessionRun parallel(*parallel_guest.program, parallel_config, kAllTools);
+  workloads::Instance parallel_guest = make_guest("histogram");
+  SessionRun parallel(parallel_guest.program, parallel_config, kAllTools);
   const vm::RunOutcome outcome = parallel.session.run_live(parallel_guest.host);
   ASSERT_EQ(outcome.status, vm::RunStatus::kTrapped);
   ASSERT_EQ(outcome.retired, cut);
@@ -319,15 +267,14 @@ TEST(PipelineBackpressure, HistogramFaultCapacityOne) {
 // (matmul naive has the richest producer/consumer binding structure).
 
 TEST(PipelineShards, MatmulShardSweep) {
-  Reference ref(Which::kMatmulNaive);
+  Reference ref("matmul_naive");
   for (unsigned shards = 1; shards <= 4; ++shards) {
     SCOPED_TRACE("access_shards=" + std::to_string(shards));
-    Guest guest;
-    make_guest(Which::kMatmulNaive, guest);
+    workloads::Instance guest = make_guest("matmul_naive");
     SessionConfig config;
     config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/128,
                                        /*ring_batches=*/2, shards);
-    SessionRun run(*guest.program, config, kAllTools);
+    SessionRun run(guest.program, config, kAllTools);
     run.session.run_live(guest.host);
     expect_matches_serial(*ref.run, ref.trace, run, kAllTools);
   }
@@ -336,14 +283,13 @@ TEST(PipelineShards, MatmulShardSweep) {
 // Worker-count sweep, including more workers than lanes (the pipeline clamps)
 // and the auto (0 = hardware concurrency) setting.
 TEST(PipelineShards, WorkerSweep) {
-  Reference ref(Which::kHistogram);
+  Reference ref("histogram");
   for (unsigned workers : {0u, 1u, 2u, 8u}) {
     SCOPED_TRACE("workers=" + std::to_string(workers));
-    Guest guest;
-    make_guest(Which::kHistogram, guest);
+    workloads::Instance guest = make_guest("histogram");
     SessionConfig config;
     config.pipeline = parallel_options(workers);
-    SessionRun run(*guest.program, config, kAllTools);
+    SessionRun run(guest.program, config, kAllTools);
     run.session.run_live(guest.host);
     expect_matches_serial(*ref.run, ref.trace, run, kAllTools);
   }
@@ -485,15 +431,14 @@ TEST(PipelineShutdown, CloseReleasesBlockedPublisher) {
 // the drain-barrier fold must account for every published batch.
 
 TEST(PipelineMetrics, RegistryAttachedKeepsParityAndCountsBatches) {
-  Reference ref(Which::kHistogram);
-  Guest guest;
-  make_guest(Which::kHistogram, guest);
+  Reference ref("histogram");
+  workloads::Instance guest = make_guest("histogram");
   metrics::Registry registry;
   SessionConfig config;
   config.metrics = &registry;
   config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/64,
                                      /*ring_batches=*/2, /*access_shards=*/2);
-  SessionRun run(*guest.program, config, kAllTools);
+  SessionRun run(guest.program, config, kAllTools);
   const vm::RunOutcome outcome = run.session.run_live(guest.host);
   EXPECT_EQ(outcome.retired, ref.outcome.retired);
   expect_matches_serial(*ref.run, ref.trace, run, kAllTools);
@@ -524,12 +469,12 @@ TEST(PipelineMetrics, RegistryAttachedKeepsParityAndCountsBatches) {
 }
 
 TEST(PipelineReplay, StreamReplayParallel) {
-  Reference ref(Which::kStream);
+  Reference ref("stream");
 
   SessionConfig config;
   config.pipeline = parallel_options(/*workers=*/3, /*batch_events=*/32,
                                      /*ring_batches=*/2, /*access_shards=*/3);
-  SessionRun replayed(*ref.guest.program, config, kAllTools);
+  SessionRun replayed(ref.guest.program, config, kAllTools);
   const vm::RunOutcome outcome = replayed.session.replay(ref.trace);
   EXPECT_EQ(outcome.retired, ref.outcome.retired);
   expect_matches_serial(*ref.run, ref.trace, replayed, kAllTools);

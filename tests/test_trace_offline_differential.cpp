@@ -1,17 +1,19 @@
-// Differential sweep: for every synthetic workload plus the wfs pipeline,
+// Differential sweep: for every workload in the zoo registry (wfs included),
 // the online BandwidthRecorder counters, the offline aggregation of a v1
 // trace (sequential and sharded), and the offline aggregation of a v2 trace
 // (sequential decode and block-parallel straight from the encoded bytes)
 // must be bit-exact, slice for slice.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+
 #include "minipin/minipin.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/trace.hpp"
 #include "trace/trace_v2.hpp"
 #include "tquad/tquad_tool.hpp"
-#include "wfs/runner.hpp"
-#include "workloads/workloads.hpp"
+#include "workloads/registry.hpp"
 
 namespace tq::trace {
 namespace {
@@ -86,46 +88,30 @@ void check_program(const vm::Program& program, vm::HostEnv& online_host,
   EXPECT_EQ(v2_par.max_slice(), v1_seq.max_slice());
 }
 
-void check_workload(const vm::Program& program, std::uint64_t slice) {
-  vm::HostEnv online_host;
-  vm::HostEnv trace_host;
-  check_program(program, online_host, trace_host, slice);
+/// (workload name, slice interval): the zoo cross slice granularities — an
+/// awkward prime slice and one coarse enough that most workloads fit a
+/// single slice.
+class OfflineDifferential
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {};
+
+TEST_P(OfflineDifferential, OfflineEqualsOnline) {
+  const workloads::Entry& entry =
+      workloads::find_workload(std::get<0>(GetParam()));
+  workloads::Instance online_run = entry.build();
+  workloads::Instance trace_run = entry.build();
+  ASSERT_EQ(online_run.program.serialize(), trace_run.program.serialize());
+  check_program(online_run.program, online_run.host, trace_run.host,
+                std::get<1>(GetParam()));
 }
 
-class OfflineDifferential : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(OfflineDifferential, Stream) {
-  check_workload(workloads::build_stream(128, 1).program, GetParam());
-}
-
-TEST_P(OfflineDifferential, MatmulNaive) {
-  check_workload(workloads::build_matmul(10, false).program, GetParam());
-}
-
-TEST_P(OfflineDifferential, MatmulTiled) {
-  check_workload(workloads::build_matmul(12, true, 4).program, GetParam());
-}
-
-TEST_P(OfflineDifferential, Chase) {
-  check_workload(workloads::build_chase(64, 400).program, GetParam());
-}
-
-TEST_P(OfflineDifferential, Histogram) {
-  check_workload(workloads::build_histogram(32, 800).program, GetParam());
-}
-
-TEST_P(OfflineDifferential, WfsPipeline) {
-  const wfs::WfsConfig cfg = wfs::WfsConfig::tiny();
-  wfs::WfsRun online_run = wfs::prepare_wfs_run(cfg);
-  wfs::WfsRun trace_run = wfs::prepare_wfs_run(cfg);
-  ASSERT_EQ(online_run.artifacts.program.serialize(),
-            trace_run.artifacts.program.serialize());
-  check_program(online_run.artifacts.program, online_run.host, trace_run.host,
-                GetParam());
-}
-
-INSTANTIATE_TEST_SUITE_P(Slices, OfflineDifferential,
-                         ::testing::Values(37, 5000));
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, OfflineDifferential,
+    ::testing::Combine(::testing::ValuesIn(workloads::workload_names()),
+                       ::testing::Values(37, 5000)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_slice" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace tq::trace

@@ -1,0 +1,228 @@
+// The workload-zoo registry itself: deterministic builds, golden-model
+// verification through the registry interface, randomized property tests for
+// the new generators, and the AddressMapTool accounting contract (every
+// delivered access counted exactly once; a phase-sharp workload paints
+// disjoint hot write ranges per phase kernel).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "session/session.hpp"
+#include "support/check.hpp"
+#include "tquad/address_map.hpp"
+#include "tquad/callstack.hpp"
+#include "vm/machine.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/workloads.hpp"
+
+namespace tq::workloads {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry surface.
+
+TEST(ZooRegistry, NamesAreUniqueAndLookupRoundTrips) {
+  const std::vector<std::string> names = workload_names();
+  ASSERT_EQ(names.size(), registry().size());
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  for (const std::string& name : names) {
+    const Entry& entry = find_workload(name);
+    EXPECT_EQ(entry.name, name);
+    EXPECT_NE(shape_name(entry.shape), nullptr);
+    EXPECT_TRUE(entry.build) << name;
+    EXPECT_TRUE(entry.build_bench) << name;
+  }
+  EXPECT_THROW((void)find_workload("no_such_workload"), Error);
+}
+
+TEST(ZooRegistry, EveryShapeIsRepresented) {
+  std::set<Shape> shapes;
+  for (const Entry& entry : registry()) shapes.insert(entry.shape);
+  EXPECT_EQ(shapes.size(), 5u) << "zoo must cover all five declared shapes";
+  EXPECT_EQ(find_workload("phased").expected_phases, 4u);
+}
+
+/// Round trip through the registry interface: two builds serialize to the
+/// same bytes, the guest halts, and the golden verifier accepts the run.
+class ZooRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooRoundTrip, BuildRunVerify) {
+  const Entry& entry = find_workload(GetParam());
+  Instance a = entry.build();
+  Instance b = entry.build();
+  ASSERT_EQ(a.program.serialize(), b.program.serialize());
+  vm::Machine machine(a.program, a.host);
+  const vm::RunOutcome outcome = machine.run();
+  ASSERT_EQ(outcome.status, vm::RunStatus::kHalted) << outcome.trap_kind;
+  ASSERT_TRUE(a.verify);
+  EXPECT_EQ(a.verify(a, machine), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooRoundTrip,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Randomized property tests for the new generators: for arbitrary sizes and
+// seeds the guest must still match the host golden model exactly.
+
+TEST(ZooProperty, HashJoinMatchesGoldenOnRandomShapes) {
+  std::mt19937_64 rng(0xfeed5eed);
+  for (int round = 0; round < 8; ++round) {
+    const auto build_rows = static_cast<std::uint32_t>(rng() % 200 + 1);
+    const auto probe_rows = static_cast<std::uint32_t>(rng() % 300 + 1);
+    const std::uint64_t seed = rng() | 1;
+    SCOPED_TRACE("build=" + std::to_string(build_rows) +
+                 " probe=" + std::to_string(probe_rows) +
+                 " seed=" + std::to_string(seed));
+    HashJoinArtifacts art = build_hashjoin(build_rows, probe_rows, seed);
+    vm::HostEnv host;
+    vm::Machine machine(art.program, host);
+    ASSERT_EQ(machine.run().status, vm::RunStatus::kHalted);
+    EXPECT_EQ(machine.memory().load(art.result_addr, 8), art.expected_sum);
+    EXPECT_EQ(machine.memory().load(art.result_addr + 8, 8),
+              art.expected_matches);
+  }
+}
+
+TEST(ZooProperty, PhasedMatchesGoldenOnRandomShapes) {
+  std::mt19937_64 rng(0xabcd1234);
+  for (int round = 0; round < 6; ++round) {
+    const auto elements = std::uint32_t{1} << (rng() % 8 + 1);  // 2..256
+    const auto reps = static_cast<std::uint32_t>(rng() % 4 + 1);
+    const std::uint64_t seed = rng() | 1;
+    SCOPED_TRACE("elements=" + std::to_string(elements) +
+                 " reps=" + std::to_string(reps) +
+                 " seed=" + std::to_string(seed));
+    PhasedArtifacts art = build_phased(elements, reps, seed);
+    vm::HostEnv host;
+    vm::Machine machine(art.program, host);
+    ASSERT_EQ(machine.run().status, vm::RunStatus::kHalted);
+    for (std::uint32_t p = 0; p < PhasedArtifacts::kPhases; ++p) {
+      for (std::uint32_t i = 0; i < elements; ++i) {
+        ASSERT_EQ(machine.memory().load(art.buffer_addr[p] + 8 * i, 8),
+                  art.expected[p][i])
+            << "phase " << p << " element " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AddressMapTool accounting contract.
+
+/// Run one registry workload with an AddressMapTool riding the session.
+struct MapRun {
+  explicit MapRun(const std::string& name,
+                  tquad::AddressMapOptions options = {})
+      : instance(find_workload(name).build()),
+        session(instance.program, session::SessionConfig{}),
+        map(instance.program, options) {
+    session.add_consumer(map);
+    outcome = session.run_live(instance.host);
+  }
+
+  Instance instance;
+  session::ProfileSession session;
+  tquad::AddressMapTool map;
+  vm::RunOutcome outcome;
+};
+
+class ZooAddressMap : public ::testing::TestWithParam<std::string> {};
+
+// Conservation on every zoo member: per kernel, accesses == stack_accesses +
+// sum of cell reads+writes; over kernels, the total equals the session's
+// delivered access-event count.
+TEST_P(ZooAddressMap, CountsEveryDeliveredAccessExactlyOnce) {
+  MapRun run(GetParam(), {.slice_interval = 500, .bucket_bytes = 128});
+  ASSERT_EQ(run.outcome.status, vm::RunStatus::kHalted);
+  std::uint64_t total = 0;
+  for (const auto& [kernel, map] : run.map.kernels()) {
+    std::uint64_t cells = 0;
+    for (const auto& [key, counts] : map.cells) {
+      EXPECT_GT(counts.reads + counts.writes, 0u) << "empty cell stored";
+      cells += counts.reads + counts.writes;
+    }
+    EXPECT_EQ(map.accesses, map.stack_accesses + cells)
+        << run.map.kernel_label(kernel);
+    total += map.accesses;
+  }
+  EXPECT_EQ(total, run.map.total_accesses());
+  EXPECT_EQ(run.map.total_accesses(),
+            run.session.attribution().event_counts().accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooAddressMap,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) { return info.param; });
+
+// The phase-sharp workload's heatmap: each phase kernel writes its own
+// buffer, so the per-kernel sets of hot *written* address buckets must be
+// pairwise disjoint (reads overlap by design — phase_scan reads A while
+// writing B).
+TEST(ZooAddressMap, PhasedKernelsWriteDisjointAddressRanges) {
+  MapRun run("phased", {.slice_interval = 500, .bucket_bytes = 64});
+  ASSERT_EQ(run.outcome.status, vm::RunStatus::kHalted);
+  std::vector<std::pair<std::string, std::set<std::uint64_t>>> written;
+  for (const auto& [kernel, map] : run.map.kernels()) {
+    const std::string label = run.map.kernel_label(kernel);
+    if (label.rfind("phase_", 0) != 0) continue;
+    std::set<std::uint64_t> buckets;
+    for (const auto& [key, counts] : map.cells) {
+      if (counts.writes > 0) buckets.insert(key.second);
+    }
+    EXPECT_FALSE(buckets.empty()) << label;
+    written.emplace_back(label, std::move(buckets));
+  }
+  ASSERT_EQ(written.size(), PhasedArtifacts::kPhases);
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    for (std::size_t j = i + 1; j < written.size(); ++j) {
+      for (const std::uint64_t bucket : written[i].second) {
+        EXPECT_EQ(written[j].second.count(bucket), 0u)
+            << written[i].first << " and " << written[j].first
+            << " both write bucket " << bucket;
+      }
+    }
+  }
+}
+
+// Unattributed accesses (kNoKernel) get their own labelled row instead of
+// vanishing: feed the tool a raw event stream directly.
+TEST(ZooAddressMap, UnattributedAndStackAccessesAreAccounted) {
+  const auto art = build_stream(16, 1);
+  tquad::AddressMapTool map(art.program,
+                            {.slice_interval = 100, .bucket_bytes = 256});
+  session::AccessEvent event;
+  event.kernel = tquad::kNoKernel;
+  event.ea = 4096;
+  event.size = 8;
+  event.retired = 250;  // slice 2
+  event.is_read = true;
+  map.on_access(event);
+  event.is_stack = true;
+  map.on_access(event);
+
+  ASSERT_EQ(map.kernels().size(), 1u);
+  const auto& m = map.kernels().begin()->second;
+  EXPECT_EQ(map.kernel_label(map.kernels().begin()->first), "(unattributed)");
+  EXPECT_EQ(m.accesses, 2u);
+  EXPECT_EQ(m.stack_accesses, 1u);
+  ASSERT_EQ(m.cells.size(), 1u);
+  EXPECT_EQ(m.cells.begin()->first,
+            (tquad::AddressMapTool::CellKey{2, 4096 / 256}));
+  EXPECT_EQ(m.cells.begin()->second.reads, 1u);
+  EXPECT_EQ(m.cells.begin()->second.writes, 0u);
+  EXPECT_EQ(map.total_accesses(), 2u);
+
+  const std::string json = map.render_json();
+  EXPECT_NE(json.find("\"(unattributed)\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_accesses\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tq::workloads

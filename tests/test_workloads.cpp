@@ -157,11 +157,50 @@ TEST(HistogramWorkload, TouchesOnlyTheBucketArray) {
   EXPECT_EQ(totals.read_excl, 5'000u * 8);
 }
 
+TEST(HashJoinWorkload, JoinMatchesHostReference) {
+  HashJoinArtifacts art = build_hashjoin(64, 96);
+  vm::HostEnv host;
+  vm::Machine machine(art.program, host);
+  machine.run();
+  EXPECT_EQ(machine.memory().load(art.result_addr, 8), art.expected_sum);
+  EXPECT_EQ(machine.memory().load(art.result_addr + 8, 8), art.expected_matches);
+  // Roughly half the probe keys come from the build side: both the hit and
+  // the miss path of the probe loop must have executed.
+  EXPECT_GT(art.expected_matches, 0u);
+  EXPECT_LT(art.expected_matches, art.probe_rows);
+}
+
+TEST(HashJoinWorkload, TableIsAtMostHalfFull) {
+  HashJoinArtifacts art = build_hashjoin(100, 10);
+  // Linear probing terminates because slots >= 2 * build_rows (power of two).
+  EXPECT_GE(art.slots, 2 * art.build_rows);
+  EXPECT_EQ(art.slots & (art.slots - 1), 0u);
+}
+
+TEST(PhasedWorkload, AllFourPhasesMatchHostReference) {
+  PhasedArtifacts art = build_phased(64, 3);
+  vm::HostEnv host;
+  vm::Machine machine(art.program, host);
+  machine.run();
+  for (std::uint32_t p = 0; p < PhasedArtifacts::kPhases; ++p) {
+    for (std::uint32_t i = 0; i < art.elements; ++i) {
+      EXPECT_EQ(machine.memory().load(art.buffer_addr[p] + 8 * i, 8),
+                art.expected[p][i])
+          << "phase " << p << " element " << i;
+    }
+  }
+}
+
 TEST(Workloads, BadParametersRejected) {
   EXPECT_DEATH((void)build_stream(12, 1), "multiple of 8");
   EXPECT_DEATH((void)build_matmul(15, true, 4), "multiple of the tile");
   EXPECT_DEATH((void)build_histogram(48, 10), "power of two");
   EXPECT_DEATH((void)build_chase(1, 10), "at least two nodes");
+  EXPECT_DEATH((void)build_hashjoin(0, 10), "at least one build row");
+  EXPECT_DEATH((void)build_hashjoin(10, 0), "at least one probe row");
+  EXPECT_DEATH((void)build_phased(12, 1), "power of two");
+  EXPECT_DEATH((void)build_phased(16, 0), "at least one pass");
+  EXPECT_DEATH((void)build_phased(16, 1, 0), "nonzero");
 }
 
 }  // namespace

@@ -158,6 +158,46 @@ inline void emit_metrics(const metrics::Registry& registry,
   std::fputs(body.c_str(), stdout);
 }
 
+/// The `-viz` flag: off by default, `json`, optionally with a `:path`
+/// destination (`-viz json:map.json`). The address-map heatmap renders
+/// after every report — with a path only a `written to` stamp joins the
+/// stdout stream, so report bytes are unchanged whether -viz is on or off.
+struct VizSpec {
+  bool enabled = false;
+  std::string path;  ///< empty = stdout
+};
+
+inline VizSpec parse_viz(const std::string& spec) {
+  VizSpec viz;
+  if (spec.empty()) return viz;
+  std::string format = spec;
+  const std::size_t colon = spec.find(':');
+  if (colon != std::string::npos) {
+    format = spec.substr(0, colon);
+    viz.path = spec.substr(colon + 1);
+    if (viz.path.empty()) {
+      throw UsageError("empty -viz path in '" + spec + "' (json[:path])");
+    }
+  }
+  if (format != "json") {
+    throw UsageError("unknown -viz format '" + format + "' (json[:path])");
+  }
+  viz.enabled = true;
+  return viz;
+}
+
+/// Emit the rendered address map per the spec (after the reports, before
+/// -metrics, which stays the strictly-last output).
+inline void emit_viz(const std::string& body, const VizSpec& spec) {
+  if (!spec.enabled) return;
+  if (!spec.path.empty()) {
+    write_text(spec.path, body);
+    std::printf("address map written to %s\n", spec.path.c_str());
+    return;
+  }
+  std::fputs(body.c_str(), stdout);
+}
+
 /// Exit code for a finished run: 3 flags a guest trap (distinct from tool
 /// errors = 1 and usage errors = 2); a budget cut is a graceful 0.
 inline int outcome_exit_code(const vm::RunOutcome& outcome) {

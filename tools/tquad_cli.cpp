@@ -7,7 +7,8 @@
 //         [-csv out.csv] [-trace out.tqtr -trace-format v1|v2]
 //         [-sample N] [-cpu-ghz G -cpi C] [-budget N] [-on-trap report|abort]
 //         [-pipeline serial|parallel[:N]]
-//         [-metrics text|json[:path]] [-heartbeat N]
+//         [-metrics text|json[:path]] [-viz json[:path] [-viz-bucket B]]
+//         [-heartbeat N]
 //   tquad -replay run.tqtr [-image app.tqim] [-slice N] [-threads T] [-salvage]
 //   tquad -replay run.tqtr -image app.tqim -tools tquad,quad,gprof [-salvage]
 //
@@ -43,6 +44,7 @@
 #include "support/thread_pool.hpp"
 #include "trace/trace.hpp"
 #include "trace/trace_v2.hpp"
+#include "tquad/address_map.hpp"
 #include "tquad/phase.hpp"
 #include "tquad/report.hpp"
 #include "tquad/tquad_tool.hpp"
@@ -67,9 +69,16 @@ void validate_options(const CliParser& cli) {
   cli::validate_on_trap(cli.str("on-trap"));
   (void)cli::parse_pipeline(cli.str("pipeline"));
   (void)cli::parse_metrics(cli.str("metrics"));
+  (void)cli::parse_viz(cli.str("viz"));
+  cli::require_positive(cli, "viz-bucket");
   cli::require_non_negative(cli, "heartbeat");
   if (cli.flag("salvage") && cli.str("replay").empty()) {
     TQUAD_THROW("-salvage only applies to -replay");
+  }
+  if (!cli.str("viz").empty() && !cli.str("replay").empty() &&
+      cli.str("tools").empty()) {
+    throw UsageError(
+        "-viz needs a profiling session (a live run, or -replay with -tools)");
   }
   const std::string& report = cli.str("report");
   if (report != "flat" && report != "bandwidth" && report != "phases" &&
@@ -175,6 +184,7 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
   const bool replaying = !cli.str("replay").empty();
 
   const cli::MetricsSpec metrics_spec = cli::parse_metrics(cli.str("metrics"));
+  const cli::VizSpec viz_spec = cli::parse_viz(cli.str("viz"));
   metrics::Registry registry;
   session::SessionConfig config;
   config.library_policy = policy;
@@ -212,6 +222,14 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
   if (!cli.str("trace").empty()) {
     recorder.emplace(program, policy, trace_format);
     profile.add_consumer(*recorder);
+  }
+  std::optional<tquad::AddressMapTool> address_map;
+  if (viz_spec.enabled) {
+    tquad::AddressMapOptions options;
+    options.slice_interval = static_cast<std::uint64_t>(cli.integer("slice"));
+    options.bucket_bytes = static_cast<std::uint64_t>(cli.integer("viz-bucket"));
+    address_map.emplace(program, options);
+    profile.add_consumer(*address_map);
   }
 
   vm::HostEnv host;
@@ -301,6 +319,11 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
     write_file(cli.str("out"), host.output(out_fd));
     std::printf("guest output written to %s\n", cli.str("out").c_str());
   }
+  // The address map rides after every report (and before the metrics that
+  // must stay the strictly-last output).
+  if (address_map.has_value()) {
+    cli::emit_viz(address_map->render_json(), viz_spec);
+  }
   // Metrics are the very last output: the session published its event and
   // pipeline counters at the end of run(); the tool-side numbers join here,
   // and the rendering never interleaves with the reports above.
@@ -355,6 +378,11 @@ int main(int argc, char** argv) {
   cli.add_string("metrics", "",
                  "emit profiler self-metrics after the reports: text | json, "
                  "optionally :path (e.g. json:metrics.json; default stdout)");
+  cli.add_string("viz", "",
+                 "export the per-kernel address-map heatmap (address bucket x "
+                 "time slice) after the reports: json, optionally :path "
+                 "(e.g. json:map.json; default stdout)");
+  cli.add_int("viz-bucket", 256, "address bucket granularity for -viz, in bytes");
   cli.add_int("heartbeat", 0,
               "print a progress pulse to stderr every N million retired "
               "instructions (0 = off; the final pulse carries the outcome)");

@@ -1,0 +1,70 @@
+// zoo_gen: materialise any workload-zoo member as files on disk, so the
+// command-line profilers can run every registered memory shape:
+//
+//   zoo_gen -list
+//   zoo_gen -workload phased -image phased.tqim
+//   zoo_gen -workload wfs -image wfs.tqim -input wfs_in.wav
+//   tquad   -image phased.tqim -report all -viz json:map.json
+//
+// Workloads with guest input (currently wfs) refuse to export without
+// -input: running their image without the attached descriptor would trap.
+#include <cstdio>
+
+#include "support/cli.hpp"
+#include "workloads/registry.hpp"
+
+#include "cli_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tq;
+  CliParser cli("zoo_gen: emit a workload-zoo guest image (see -list)");
+  cli.add_flag("list", false, "list the registered workloads and exit");
+  cli.add_string("workload", "", "workload to export (a name from -list)");
+  cli.add_string("image", "", "output path for the guest image [required]");
+  cli.add_string("input", "", "also write the workload's guest input bytes here");
+  try {
+    cli.parse(argc, argv);
+    if (cli.flag("list")) {
+      std::printf("%-14s %-12s %s\n", "name", "shape", "phases");
+      for (const auto& entry : workloads::registry()) {
+        std::printf("%-14s %-12s %u\n", entry.name.c_str(),
+                    workloads::shape_name(entry.shape), entry.expected_phases);
+      }
+      return 0;
+    }
+    if (cli.str("workload").empty() || cli.str("image").empty()) {
+      std::fprintf(stderr, "%s", cli.help().c_str());
+      return 2;
+    }
+    const workloads::Entry* entry = nullptr;
+    for (const auto& candidate : workloads::registry()) {
+      if (candidate.name == cli.str("workload")) entry = &candidate;
+    }
+    if (entry == nullptr) {
+      throw UsageError("unknown workload '" + cli.str("workload") +
+                       "' (run zoo_gen -list)");
+    }
+    const workloads::Instance instance = entry->build();
+    if (!instance.input.empty() && cli.str("input").empty()) {
+      throw UsageError("workload '" + entry->name +
+                       "' needs guest input; add -input <path>");
+    }
+    cli::write_file(cli.str("image"), instance.program.serialize());
+    std::printf("wrote %s (%s, %zu functions, %s static instructions)\n",
+                cli.str("image").c_str(), workloads::shape_name(entry->shape),
+                instance.program.functions().size(),
+                format_count(instance.program.static_instructions()).c_str());
+    if (!cli.str("input").empty()) {
+      cli::write_file(cli.str("input"), instance.input);
+      std::printf("guest input written to %s (%zu bytes)\n",
+                  cli.str("input").c_str(), instance.input.size());
+    }
+    return 0;
+  } catch (const UsageError& err) {
+    std::fprintf(stderr, "zoo_gen: %s\n", err.what());
+    return 2;
+  } catch (const Error& err) {
+    std::fprintf(stderr, "zoo_gen: %s\n", err.what());
+    return 1;
+  }
+}
