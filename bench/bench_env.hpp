@@ -1,0 +1,48 @@
+// Hardware/toolchain context stamped into every BENCH_*.json writer, so a
+// perf number (or a skipped gate) is interpretable away from the machine
+// that produced it — the parallel-pipeline floor, for instance, is only
+// enforced on >= 4 hardware threads.
+#pragma once
+
+#include <bit>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+namespace tq::bench {
+
+inline const char* byte_order_name() {
+  if constexpr (std::endian::native == std::endian::little) return "little";
+  if constexpr (std::endian::native == std::endian::big) return "big";
+  return "mixed";
+}
+
+inline std::string compiler_name() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#elif defined(_MSC_VER)
+  return "msvc " + std::to_string(_MSC_VER);
+#else
+  return "unknown";
+#endif
+}
+
+/// Emit the shared context fields into an open JSON object. `indent` is the
+/// leading whitespace of the surrounding writer; a trailing comma is always
+/// printed, so call this first inside the object.
+inline void write_env_json_fields(std::FILE* json, const char* indent = "  ") {
+  std::fprintf(json,
+               "%s\"hw_threads\": %u,\n"
+               "%s\"byte_order\": \"%s\",\n"
+               "%s\"compiler\": \"%s\",\n",
+               indent, std::thread::hardware_concurrency(), indent,
+               byte_order_name(), indent, compiler_name().c_str());
+}
+
+}  // namespace tq::bench

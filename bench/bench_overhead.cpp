@@ -24,8 +24,10 @@
 #include "session/session.hpp"
 #include "support/metrics.hpp"
 #include "tquad/tquad_tool.hpp"
+#include "vm/compiled.hpp"
 #include "wfs/runner.hpp"
 
+#include "bench_env.hpp"
 #include "paper_reference.hpp"
 
 namespace {
@@ -233,8 +235,9 @@ bool print_session_speedup() {
 
   std::FILE* json = std::fopen("BENCH_session.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    tq::bench::write_env_json_fields(json);
     std::fprintf(json,
-                 "{\n"
                  "  \"workload\": \"wfs standard\",\n"
                  "  \"retired_instructions\": %llu,\n"
                  "  \"three_pass_seconds\": %.6f,\n"
@@ -316,8 +319,9 @@ bool print_pipeline_speedup() {
 
   std::FILE* json = std::fopen("BENCH_pipeline.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    tq::bench::write_env_json_fields(json);
     std::fprintf(json,
-                 "{\n"
                  "  \"workload\": \"wfs standard\",\n"
                  "  \"tools\": \"tquad+quad+gprof\",\n"
                  "  \"hardware_threads\": %u,\n"
@@ -407,8 +411,9 @@ bool print_metrics_overhead() {
 
   std::FILE* json = std::fopen("BENCH_metrics.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    tq::bench::write_env_json_fields(json);
     std::fprintf(json,
-                 "{\n"
                  "  \"workload\": \"wfs standard\",\n"
                  "  \"tools\": \"tquad+quad+gprof\",\n"
                  "  \"plain_seconds\": %.6f,\n"
@@ -428,6 +433,112 @@ bool print_metrics_overhead() {
   return true;
 }
 
+/// One-shot compiled-vs-interpreter comparison, with BENCH_jit.json for CI.
+///
+/// Two measurements on the standard wfs configuration:
+///   * end-to-end: a full tQUAD profiling session (slice 5000) — guest
+///     execution, attribution, and tool accounting included. This is the
+///     gated number (floor 2.5x, target 3x): the compiled engine removes
+///     the per-instruction trampolines and batches tick emission, but still
+///     pays the shared per-access event cost.
+///   * bare: the uninstrumented VM, where fused-op threaded dispatch runs
+///     free of any event traffic — the engine's raw dispatch win.
+bool print_jit_speedup() {
+  const wfs::WfsConfig cfg = wfs::WfsConfig::standard();
+  const tquad::Options tquad_options{.slice_interval = 5000};
+  constexpr int kReps = 3;
+  constexpr double kFloor = 2.5;
+  constexpr double kTarget = 3.0;
+
+  // Workload construction (program build + host wiring) is hoisted out of
+  // every timed region: the measurement is the profiling run itself —
+  // lowering/instrumentation, guest execution, attribution, and tool
+  // accounting — exactly what an -engine switch changes for a loaded image.
+  const auto run_session = [&](vm::EngineKind kind) {
+    wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+    session::SessionConfig config;
+    config.engine = kind;
+    return time_once([&] {
+      session::ProfileSession profile(run.artifacts.program, config);
+      tquad::TQuadTool tool(run.artifacts.program, tquad_options);
+      profile.add_consumer(tool);
+      benchmark::DoNotOptimize(profile.run_live(run.host));
+    });
+  };
+
+  std::uint64_t retired = 0;
+  double interp_s = 0.0;
+  double compiled_s = 0.0;
+  double bare_interp_s = 0.0;
+  double bare_compiled_s = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double interp = run_session(vm::EngineKind::kInterp);
+    const double compiled = run_session(vm::EngineKind::kCompiled);
+    const double bare_interp = [&] {
+      wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+      return time_once([&] {
+        vm::Machine machine(run.artifacts.program, run.host);
+        retired = machine.run().retired;
+      });
+    }();
+    const double bare_compiled = [&] {
+      wfs::WfsRun run = wfs::prepare_wfs_run(cfg);
+      return time_once([&] {
+        vm::CompiledMachine machine(run.artifacts.program, run.host);
+        benchmark::DoNotOptimize(machine.run());
+      });
+    }();
+    if (rep == 0 || interp < interp_s) interp_s = interp;
+    if (rep == 0 || compiled < compiled_s) compiled_s = compiled;
+    if (rep == 0 || bare_interp < bare_interp_s) bare_interp_s = bare_interp;
+    if (rep == 0 || bare_compiled < bare_compiled_s) bare_compiled_s = bare_compiled;
+  }
+
+  const double speedup = interp_s / compiled_s;
+  const double bare_speedup = bare_interp_s / bare_compiled_s;
+  std::printf("\n== compiled engine vs interpreter (standard configuration, "
+              "%s instructions) ==\n", format_count(retired).c_str());
+  std::printf("%-44s %10.3f s  (%.1f Minstr/s)\n", "tQUAD session, -engine interp",
+              interp_s, static_cast<double>(retired) / 1e6 / interp_s);
+  std::printf("%-44s %10.3f s  (%.1f Minstr/s)\n", "tQUAD session, -engine compiled",
+              compiled_s, static_cast<double>(retired) / 1e6 / compiled_s);
+  std::printf("%-44s %9.2fx  (floor %.2fx, target %.2fx)\n", "end-to-end speedup",
+              speedup, kFloor, kTarget);
+  std::printf("%-44s %10.3f s\n", "bare VM, interpreter", bare_interp_s);
+  std::printf("%-44s %10.3f s\n", "bare VM, compiled", bare_compiled_s);
+  std::printf("%-44s %9.2fx\n", "bare dispatch speedup", bare_speedup);
+
+  std::FILE* json = std::fopen("BENCH_jit.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    tq::bench::write_env_json_fields(json);
+    std::fprintf(json,
+                 "  \"workload\": \"wfs standard\",\n"
+                 "  \"tools\": \"tquad\",\n"
+                 "  \"retired_instructions\": %llu,\n"
+                 "  \"interp_seconds\": %.6f,\n"
+                 "  \"compiled_seconds\": %.6f,\n"
+                 "  \"end_to_end_speedup\": %.3f,\n"
+                 "  \"bare_interp_seconds\": %.6f,\n"
+                 "  \"bare_compiled_seconds\": %.6f,\n"
+                 "  \"bare_speedup\": %.3f,\n"
+                 "  \"speedup_floor\": %.2f,\n"
+                 "  \"speedup_target\": %.2f\n"
+                 "}\n",
+                 static_cast<unsigned long long>(retired), interp_s, compiled_s,
+                 speedup, bare_interp_s, bare_compiled_s, bare_speedup, kFloor,
+                 kTarget);
+    std::fclose(json);
+    std::printf("wrote BENCH_jit.json\n");
+  }
+  if (speedup < kFloor) {
+    std::fprintf(stderr, "compiled-engine speedup %.2fx below the %.2fx floor\n",
+                 speedup, kFloor);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -438,5 +549,6 @@ int main(int argc, char** argv) {
   const bool session_ok = print_session_speedup();
   const bool pipeline_ok = print_pipeline_speedup();
   const bool metrics_ok = print_metrics_overhead();
-  return session_ok && pipeline_ok && metrics_ok ? 0 : 1;
+  const bool jit_ok = print_jit_speedup();
+  return session_ok && pipeline_ok && metrics_ok && jit_ok ? 0 : 1;
 }

@@ -38,6 +38,8 @@
 #include "tquad/tquad_tool.hpp"
 #include "workloads/registry.hpp"
 
+#include "bench_env.hpp"
+
 namespace {
 
 using namespace tq;
@@ -199,7 +201,9 @@ int main() {
 
   std::FILE* json = std::fopen("BENCH_zoo.json", "w");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"workloads\": [\n");
+    std::fprintf(json, "{\n");
+    tq::bench::write_env_json_fields(json);
+    std::fprintf(json, "  \"workloads\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const WorkloadRow& row = rows[i];
       std::fprintf(json,

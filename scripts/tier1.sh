@@ -18,30 +18,33 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 #    plus the fault-injection differential harness.
 #    The workload-zoo suites ride along so every registered memory shape
 #    (hash-join scatter, phase-sharp buffers, ...) is exercised under the
-#    sanitizers too.
+#    sanitizers too, and the engine differential suite runs the compiled
+#    (fused-op) engine against the reference interpreter — including the
+#    trap-at-N prefix contract — with ASan watching the lowered arrays.
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)" --target \
     test_trace test_trace_v2_codec test_trace_offline_differential \
     test_fuzz_decoders test_trace_salvage test_fault_injection \
     test_session test_session_differential test_session_replay \
-    test_support_metrics test_workload_zoo
+    test_support_metrics test_workload_zoo test_engine_differential
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders|test_trace_salvage|test_fault_injection|test_session|test_session_differential|test_session_replay|test_support_metrics|test_workload_zoo)$'
+    -R '^(test_trace|test_trace_v2_codec|test_trace_offline_differential|test_fuzz_decoders|test_trace_salvage|test_fault_injection|test_session|test_session_differential|test_session_replay|test_support_metrics|test_workload_zoo|test_engine_differential)$'
 
 # 3. ThreadSanitizer on everything that spawns threads: the parallel
 #    analysis pipeline (rings, doorbells, shard merge, drain barrier,
 #    push-racing-close shutdown), the thread pool / SPSC ring primitives,
 #    the metrics thread-sink fold, parallel trace replay, and the
 #    fault-injection harness whose trap path exercises the pipeline's
-#    abort/drain sequence.
+#    abort/drain sequence. The engine differential suite rides along for
+#    its compiled-engine-feeding-the-parallel-pipeline cases.
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target \
     test_support_thread_pool test_support_metrics test_session \
     test_session_differential test_session_replay test_session_pipeline \
     test_trace test_fault_injection test_support_crc32c \
-    test_workload_zoo test_trace_offline_differential
+    test_workload_zoo test_trace_offline_differential test_engine_differential
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R '^(test_support_thread_pool|test_support_metrics|test_session|test_session_differential|test_session_replay|test_session_pipeline|test_trace|test_fault_injection|test_support_crc32c|test_workload_zoo|test_trace_offline_differential)$'
+    -R '^(test_support_thread_pool|test_support_metrics|test_session|test_session_differential|test_session_replay|test_session_pipeline|test_trace|test_fault_injection|test_support_crc32c|test_workload_zoo|test_trace_offline_differential|test_engine_differential)$'
 
 # 4. Codec bench: fails if v2 is not >= 4x smaller than v1 on stream or if
 #    v2.1 per-block CRC verification costs >= 5% on streaming decode.

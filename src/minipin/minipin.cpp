@@ -38,9 +38,21 @@ void Rtn::insert_entry_call(RtnAnalysisFn fn, void* tool) {
   engine_.routines_[func_].entry_calls.push_back(Engine::EntryCall{fn, tool});
 }
 
-Engine::Engine(const vm::Program& program, vm::HostEnv& host)
-    : program_(program), host_(host), machine_(program, host) {
+Engine::Engine(const vm::Program& program, vm::HostEnv& host,
+               vm::EngineKind kind)
+    : program_(program), host_(host), kind_(kind) {
+  if (kind_ == vm::EngineKind::kCompiled) {
+    compiled_.emplace(program, host);
+  } else {
+    interp_.emplace(program, host);
+  }
   routines_.resize(program_.functions().size());
+}
+
+vm::Machine& Engine::machine() {
+  TQUAD_CHECK(interp_.has_value(),
+              "Engine::machine() requires EngineKind::kInterp");
+  return *interp_;
 }
 
 void Engine::add_ins_instrument_function(std::function<void(Ins&)> callback) {
@@ -61,8 +73,21 @@ void Engine::add_fini_function(std::function<void(std::uint64_t)> callback) {
 vm::RunOutcome Engine::run() {
   TQUAD_CHECK(!ran_, "Engine::run is single-shot; construct a fresh Engine");
   ran_ = true;
-  return machine_.run(this);
+  if (compiled_) {
+    return compiled_->run(static_cast<vm::ProbeProvider&>(*this));
+  }
+  return interp_->run(this);
 }
+
+Engine::RoutineProbes Engine::instrument(std::uint32_t func) {
+  RoutineState& state = routines_[func];
+  if (!state.instrumented) [[unlikely]] {
+    instrument_routine(func);
+  }
+  return RoutineProbes{&state.per_ins, &state.entry_calls};
+}
+
+void Engine::on_end(std::uint64_t retired) { on_program_end(retired); }
 
 void Engine::instrument_routine(std::uint32_t func) {
   RoutineState& state = routines_[func];

@@ -24,11 +24,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "vm/compiled.hpp"
+#include "vm/engine.hpp"
 #include "vm/host_env.hpp"
 #include "vm/machine.hpp"
+#include "vm/probe.hpp"
 #include "vm/program.hpp"
 
 namespace tq::pin {
@@ -36,33 +40,17 @@ namespace tq::pin {
 /// Argument bundle delivered to instruction-level analysis routines.
 /// Read and write operands are separate because string moves (kMovs), like
 /// x86 `movs`, read one location and write another in a single instruction;
-/// loads/stores populate only one side.
-struct InsArgs {
-  std::uint64_t ip = 0;          ///< (function id << 32) | instruction index
-  std::uint32_t func = 0;        ///< function id
-  std::uint32_t pc = 0;          ///< instruction index within the function
-  std::uint64_t read_ea = 0;     ///< read operand address (read_size != 0)
-  std::uint32_t read_size = 0;   ///< read width in bytes (0 = no read)
-  std::uint64_t write_ea = 0;    ///< write operand address (write_size != 0)
-  std::uint32_t write_size = 0;  ///< write width in bytes (0 = no write)
-  bool is_prefetch = false;      ///< tQUAD's analysis routines bail on this
-  bool executed = true;          ///< false when the predicate was off
-  std::uint64_t sp = 0;          ///< REG_STACK_PTR before the instruction
-  std::uint64_t retired = 0;     ///< instructions retired before this one
-};
+/// loads/stores populate only one side. An alias of the VM-level seam type
+/// so the same analysis routines run unchanged under either engine.
+using InsArgs = vm::ProbeArgs;
 
 /// Argument bundle delivered to routine-entry analysis calls.
-struct RtnArgs {
-  std::uint32_t func = 0;
-  const std::string* name = nullptr;   ///< routine name (PIN_InitSymbols view)
-  vm::ImageKind image = vm::ImageKind::kMain;
-  std::uint64_t retired = 0;
-};
+using RtnArgs = vm::EntryArgs;
 
 /// Analysis routines are plain functions with a tool pointer, mirroring the
 /// AFUNPTR + IARG_PTR idiom of pintools (no std::function in the hot path).
-using InsAnalysisFn = void (*)(void* tool, const InsArgs& args);
-using RtnAnalysisFn = void (*)(void* tool, const RtnArgs& args);
+using InsAnalysisFn = vm::ProbeFn;
+using RtnAnalysisFn = vm::EntryFn;
 
 class Engine;
 
@@ -120,11 +108,17 @@ class Rtn {
   std::uint32_t func_;
 };
 
-/// The instrumentation engine: owns the Machine, drives lazy instrumentation
-/// and dispatches analysis calls. One Engine instruments one run.
-class Engine final : public vm::ExecListener {
+/// The instrumentation engine: owns the guest engine, drives lazy
+/// instrumentation and dispatches analysis calls. One Engine instruments
+/// one run. With EngineKind::kInterp it listens to the interpreter's event
+/// stream; with EngineKind::kCompiled it instead hands the compiled engine
+/// its finalized subscription tables (vm::ProbeProvider), which are lowered
+/// into the fused-op stream — the tool-visible callback sequence is
+/// identical either way.
+class Engine final : public vm::ExecListener, public vm::ProbeProvider {
  public:
-  Engine(const vm::Program& program, vm::HostEnv& host);
+  Engine(const vm::Program& program, vm::HostEnv& host,
+         vm::EngineKind kind = vm::EngineKind::kInterp);
 
   /// Register tool callbacks (before run()).
   void add_ins_instrument_function(std::function<void(Ins&)> callback);
@@ -139,40 +133,47 @@ class Engine final : public vm::ExecListener {
   /// Stop the run gracefully once this many instructions retire
   /// (0 = unlimited).
   void set_instruction_budget(std::uint64_t budget) noexcept {
-    machine_.set_instruction_budget(budget);
+    guest().set_instruction_budget(budget);
   }
 
-  /// Arm deterministic fault injection on the underlying Machine.
+  /// Arm deterministic fault injection on the underlying engine.
   void set_fault_plan(const vm::FaultPlan& plan) noexcept {
-    machine_.set_fault_plan(plan);
+    guest().set_fault_plan(plan);
   }
 
   const vm::Program& program() const noexcept { return program_; }
-  vm::Machine& machine() noexcept { return machine_; }
   vm::HostEnv& host() noexcept { return host_; }
+  vm::EngineKind engine_kind() const noexcept { return kind_; }
+
+  /// The engine-neutral guest handle (budgets, fault plans, post-run state).
+  vm::GuestEngine& guest() noexcept {
+    return interp_ ? static_cast<vm::GuestEngine&>(*interp_)
+                   : static_cast<vm::GuestEngine&>(*compiled_);
+  }
+
+  /// The underlying interpreter; only valid with EngineKind::kInterp (used
+  /// by tests that inspect guest memory after a run).
+  vm::Machine& machine();
 
   /// Count of routines that have been instrumented so far (diagnostics).
   std::size_t instrumented_routines() const noexcept { return instrumented_count_; }
 
-  // vm::ExecListener implementation (invoked by the Machine).
+  // vm::ExecListener implementation (invoked by the interpreter).
   void on_program_start(const vm::Program& program) override;
   void on_rtn_enter(std::uint32_t func) override;
   void on_instr(const vm::InstrEvent& event) override;
   void on_program_end(std::uint64_t retired) override;
 
+  // vm::ProbeProvider implementation (invoked by the compiled engine).
+  RoutineProbes instrument(std::uint32_t func) override;
+  void on_end(std::uint64_t retired) override;
+
  private:
   friend class Ins;
   friend class Rtn;
 
-  struct AnalysisCall {
-    InsAnalysisFn fn;
-    void* tool;
-    bool predicated_only;
-  };
-  struct EntryCall {
-    RtnAnalysisFn fn;
-    void* tool;
-  };
+  using AnalysisCall = vm::InsProbe;
+  using EntryCall = vm::EntryProbe;
   struct RoutineState {
     bool instrumented = false;
     std::vector<std::vector<AnalysisCall>> per_ins;  // indexed by pc
@@ -183,7 +184,9 @@ class Engine final : public vm::ExecListener {
 
   const vm::Program& program_;
   vm::HostEnv& host_;
-  vm::Machine machine_;
+  vm::EngineKind kind_;
+  std::optional<vm::Machine> interp_;
+  std::optional<vm::CompiledMachine> compiled_;
   std::vector<RoutineState> routines_;
   std::vector<std::function<void(Ins&)>> ins_callbacks_;
   std::vector<std::function<void(Rtn&)>> rtn_callbacks_;

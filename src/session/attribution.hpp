@@ -107,6 +107,26 @@ class KernelAttribution {
     run_mem_ = mem ? 1 : 0;
   }
 
+  /// A whole pre-batched span at once: `count` contiguous ticks in `func`
+  /// starting at `first_retired`, `mem_count` of which carried a memory
+  /// operand (the compiled engine's batched emission — it accumulates the
+  /// ticks between two attribution boundaries itself, so the per-tick call
+  /// disappears from the hot path entirely).
+  void input_batch_tick_span(std::uint32_t func, std::uint64_t first_retired,
+                             std::uint64_t count, std::uint64_t mem_count) {
+    if (count == 0) return;
+    if (run_count_ != 0 && func == run_func_) {
+      run_count_ += count;
+      run_mem_ += mem_count;
+      return;
+    }
+    flush_run();
+    run_func_ = func;
+    run_start_ = first_retired;
+    run_count_ = count;
+    run_mem_ = mem_count;
+  }
+
   /// `count` contiguous ticks with no memory operands at once (the replay
   /// source's silent gaps).
   void input_batch_ticks(std::uint32_t func, std::uint64_t retired,

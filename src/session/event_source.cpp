@@ -9,10 +9,52 @@ namespace tq::session {
 
 // ---- LiveEngineSource -----------------------------------------------------------
 
+namespace {
+
+/// The compiled engine's event sink: forwards the batched stream straight
+/// into the attribution service. Tick spans land on the attribution's
+/// pending-run accumulator (input_batch_tick_span), so consumers see
+/// TickRunEvents flushed at exactly the boundaries — routine entry, return,
+/// end of input — where the interpreter-backed trampolines flush them.
+class AttributionSink final : public vm::EventSink {
+ public:
+  explicit AttributionSink(KernelAttribution& attribution)
+      : attribution_(attribution) {}
+
+  void on_enter(std::uint32_t func, std::uint64_t retired) override {
+    attribution_.input_enter(func, retired);
+  }
+  void on_tick_span(std::uint32_t func, std::uint64_t first_retired,
+                    std::uint64_t count, std::uint64_t mem_count) override {
+    attribution_.input_batch_tick_span(func, first_retired, count, mem_count);
+  }
+  void on_access(std::uint32_t func, std::uint32_t pc, std::uint64_t retired,
+                 std::uint64_t ea, std::uint32_t size, bool is_read,
+                 bool is_stack, bool is_prefetch) override {
+    attribution_.input_access(func, pc, retired, ea, size, is_read, is_stack,
+                              is_prefetch);
+  }
+  void on_ret(std::uint32_t func, std::uint32_t pc,
+              std::uint64_t retired) override {
+    attribution_.input_ret(func, pc, retired);
+  }
+
+ private:
+  KernelAttribution& attribution_;
+};
+
+}  // namespace
+
 LiveEngineSource::LiveEngineSource(const vm::Program& program, vm::HostEnv& host,
-                                   std::uint64_t instruction_budget)
-    : engine_(program, host) {
-  engine_.set_instruction_budget(instruction_budget);
+                                   std::uint64_t instruction_budget,
+                                   vm::EngineKind engine)
+    : program_(program) {
+  if (engine == vm::EngineKind::kCompiled) {
+    compiled_.emplace(program, host);
+  } else {
+    pin_.emplace(program, host);
+  }
+  guest().set_instruction_budget(instruction_budget);
 }
 
 void LiveEngineSource::input_read(KernelAttribution& sink, const pin::InsArgs& args) {
@@ -82,11 +124,19 @@ void LiveEngineSource::enter_fc(void* attribution, const pin::RtnArgs& args) {
 vm::RunOutcome LiveEngineSource::run(KernelAttribution& attribution) {
   TQUAD_CHECK(!ran_, "LiveEngineSource::run is single-shot; construct a fresh one");
   ran_ = true;
+  if (compiled_) {
+    // The fast path: the engine batches ticks into spans and emits
+    // accesses/enters/returns directly — no per-instruction callbacks.
+    AttributionSink sink(attribution);
+    const vm::RunOutcome outcome = compiled_->run(sink);
+    attribution.input_finish(outcome);
+    return outcome;
+  }
   KernelAttribution* sink = &attribution;
-  engine_.add_rtn_instrument_function([sink](pin::Rtn& rtn) {
+  pin_->add_rtn_instrument_function([sink](pin::Rtn& rtn) {
     rtn.insert_entry_call(&LiveEngineSource::enter_fc, sink);
   });
-  engine_.add_ins_instrument_function([sink](pin::Ins& ins) {
+  pin_->add_ins_instrument_function([sink](pin::Ins& ins) {
     const bool reads = ins.is_memory_read() || ins.is_prefetch();
     const bool writes = ins.is_memory_write();
     if (ins.is_ret()) {
@@ -104,7 +154,7 @@ vm::RunOutcome LiveEngineSource::run(KernelAttribution& attribution) {
   // input_finish runs after the engine returns (not as a fini callback) so
   // the structured outcome — including trap details — reaches every
   // consumer on the trap and truncation paths too.
-  const vm::RunOutcome outcome = engine_.run();
+  const vm::RunOutcome outcome = pin_->run();
   attribution.input_finish(outcome);
   return outcome;
 }

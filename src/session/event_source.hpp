@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "minipin/minipin.hpp"
@@ -31,26 +32,41 @@ class EventSource {
   virtual vm::RunOutcome run(KernelAttribution& attribution) = 0;
 };
 
-/// Executes the guest once under minipin instrumentation. Single-shot,
-/// like the Engine it owns.
+/// Executes the guest once, forwarding its event stream into the
+/// attribution service. Single-shot, like the engines it owns. With
+/// EngineKind::kCompiled (the default) the guest runs on the fused-op
+/// threaded-dispatch engine, which emits batched profiling events straight
+/// into the attribution (vm::EventSink); with EngineKind::kInterp it runs
+/// under minipin instrumentation with per-instruction trampolines. Both
+/// paths produce byte-identical consumer-visible event streams.
 class LiveEngineSource final : public EventSource {
  public:
   LiveEngineSource(const vm::Program& program, vm::HostEnv& host,
-                   std::uint64_t instruction_budget = 0);
+                   std::uint64_t instruction_budget = 0,
+                   vm::EngineKind engine = vm::EngineKind::kCompiled);
 
-  /// Arm deterministic fault injection on the underlying Machine.
+  /// Arm deterministic fault injection on the underlying engine.
   void set_fault_plan(const vm::FaultPlan& plan) noexcept {
-    engine_.set_fault_plan(plan);
+    guest().set_fault_plan(plan);
   }
 
-  const vm::Program& program() const noexcept override { return engine_.program(); }
+  /// Live progress for heartbeats: instructions retired so far. Exact at
+  /// attribution boundaries; the compiled engine keeps its counter in a
+  /// register between them.
+  std::uint64_t retired_now() const noexcept { return guest().retired(); }
+
+  vm::EngineKind engine_kind() const noexcept {
+    return pin_ ? vm::EngineKind::kInterp : vm::EngineKind::kCompiled;
+  }
+
+  const vm::Program& program() const noexcept override { return program_; }
   vm::RunOutcome run(KernelAttribution& attribution) override;
 
  private:
-  // Fused per-instruction trampolines, chosen at instrument time by the
-  // instruction's static shape (memory read/write, return). One indirect
-  // call per instruction instead of one per concern keeps the single-pass
-  // dispatch as cheap as a lone standalone tool's.
+  // Fused per-instruction trampolines for the interpreter path, chosen at
+  // instrument time by the instruction's static shape (memory read/write,
+  // return). One indirect call per instruction instead of one per concern
+  // keeps the single-pass dispatch as cheap as a lone standalone tool's.
   static void on_tick(void* attribution, const pin::InsArgs& args);
   static void tick_read(void* attribution, const pin::InsArgs& args);
   static void tick_write(void* attribution, const pin::InsArgs& args);
@@ -61,7 +77,16 @@ class LiveEngineSource final : public EventSource {
   static void input_read(KernelAttribution& sink, const pin::InsArgs& args);
   static void input_write(KernelAttribution& sink, const pin::InsArgs& args);
 
-  pin::Engine engine_;
+  vm::GuestEngine& guest() noexcept {
+    return pin_ ? pin_->guest() : static_cast<vm::GuestEngine&>(*compiled_);
+  }
+  const vm::GuestEngine& guest() const noexcept {
+    return const_cast<LiveEngineSource*>(this)->guest();
+  }
+
+  const vm::Program& program_;
+  std::optional<pin::Engine> pin_;
+  std::optional<vm::CompiledMachine> compiled_;
   bool ran_ = false;
 };
 

@@ -15,6 +15,8 @@ void HeartbeatPrinter::arm(std::uint64_t every) {
   every_ = every;
   next_ = every;
   start_ = std::chrono::steady_clock::now();
+  last_retired_ = 0;
+  last_pulse_ = start_;
 }
 
 double HeartbeatPrinter::elapsed_seconds() const {
@@ -25,8 +27,22 @@ double HeartbeatPrinter::elapsed_seconds() const {
 
 void HeartbeatPrinter::pulse_to(std::uint64_t retired) {
   while (every_ != 0 && retired >= next_) {
-    std::fprintf(stderr, "heartbeat: retired=%.1fM elapsed=%.2fs\n",
-                 static_cast<double>(next_) / 1e6, elapsed_seconds());
+    const auto now = std::chrono::steady_clock::now();
+    const double since_last =
+        std::chrono::duration<double>(now - last_pulse_).count();
+    // Throughput over the window since the previous pulse (whole-run average
+    // when this is the first). Guard the division: two pulses can land in
+    // the same clock tick on a fast run.
+    const double rate =
+        since_last > 0.0
+            ? static_cast<double>(next_ - last_retired_) / 1e6 / since_last
+            : 0.0;
+    std::fprintf(stderr,
+                 "heartbeat: retired=%.1fM elapsed=%.2fs rate=%.1fMinstr/s\n",
+                 static_cast<double>(next_) / 1e6,
+                 std::chrono::duration<double>(now - start_).count(), rate);
+    last_retired_ = next_;
+    last_pulse_ = now;
     next_ += every_;
   }
 }
@@ -129,7 +145,7 @@ void ProfileSession::publish_metrics() {
 
 vm::RunOutcome ProfileSession::run_live(vm::HostEnv& host) {
   LiveEngineSource source(attribution_.program(), host,
-                          config_.instruction_budget);
+                          config_.instruction_budget, config_.engine);
   source.set_fault_plan(config_.fault_plan);
   return run(source);
 }

@@ -35,6 +35,10 @@ struct SessionConfig {
   tquad::LibraryPolicy library_policy = tquad::LibraryPolicy::kExclude;
   std::uint64_t instruction_budget = 0;  ///< live runs only; 0 = unlimited
   vm::FaultPlan fault_plan;              ///< live runs only; default disarmed
+  /// Which execution engine runs live guests. The compiled fused-op engine
+  /// is the default; the interpreter remains as the reference
+  /// (`-engine interp`). Reports are byte-identical either way.
+  vm::EngineKind engine = vm::EngineKind::kCompiled;
   PipelineOptions pipeline;              ///< serial (inline consumers) by default
   /// Optional self-observability: when set, the session publishes its event
   /// counts (and, for parallel runs, the pipeline's ring/worker/shard
@@ -72,6 +76,9 @@ class HeartbeatPrinter final : public AnalysisConsumer {
   std::uint64_t every_ = 0;
   std::uint64_t next_ = 0;
   std::chrono::steady_clock::time_point start_{};
+  // Throughput since the previous pulse (Minstr/s in the pulse line).
+  std::uint64_t last_retired_ = 0;
+  std::chrono::steady_clock::time_point last_pulse_{};
 };
 
 class ProfileSession {

@@ -1,0 +1,49 @@
+// The common engine seam: two execution engines, one contract.
+//
+// The interpreter (vm::Machine) and the compiled threaded-dispatch engine
+// (vm::CompiledMachine) execute the same guest programs with byte-identical
+// observable behaviour — RunOutcome semantics, instruction budgets, the
+// FaultPlan triggers and the exact-prefix PARTIAL/trap contract all carry
+// over unchanged. GuestEngine is the shared surface callers program
+// against; EngineKind selects the implementation at the minipin / session /
+// CLI layers (`-engine interp|compiled`).
+#pragma once
+
+#include <cstdint>
+
+namespace tq::vm {
+
+struct Cpu;
+struct FaultPlan;
+
+/// Which execution engine runs the guest.
+enum class EngineKind : std::uint8_t {
+  kInterp = 0,    ///< the original switch-dispatch interpreter
+  kCompiled = 1,  ///< lowered fused-op threaded dispatch
+};
+
+/// "interp" / "compiled".
+const char* engine_kind_name(EngineKind kind) noexcept;
+
+/// The execution-engine contract shared by Machine and CompiledMachine.
+/// run() itself is not part of the seam — the two engines take different
+/// instrumentation hooks (ExecListener vs. ProbeProvider/EventSink) — but
+/// budgets, fault plans and post-run inspection are identical.
+class GuestEngine {
+ public:
+  virtual ~GuestEngine() = default;
+
+  /// Stop the run gracefully (RunStatus::kTruncated) once this many
+  /// instructions retire. Zero (default) means unlimited.
+  virtual void set_instruction_budget(std::uint64_t budget) noexcept = 0;
+
+  /// Arm deterministic fault injection (see FaultPlan).
+  virtual void set_fault_plan(const FaultPlan& plan) noexcept = 0;
+
+  /// Post-run inspection.
+  virtual const Cpu& cpu() const noexcept = 0;
+  virtual std::uint64_t retired() const noexcept = 0;
+  virtual std::uint64_t heap_used() const noexcept = 0;
+};
+
+}  // namespace tq::vm

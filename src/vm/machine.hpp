@@ -16,6 +16,7 @@
 #include <string>
 
 #include "support/paged_memory.hpp"
+#include "vm/engine.hpp"
 #include "vm/host_env.hpp"
 #include "vm/program.hpp"
 #include "vm/run_outcome.hpp"
@@ -123,8 +124,10 @@ struct FaultPlan {
   }
 };
 
-/// The virtual machine. Bind a validated Program and a HostEnv, then run().
-class Machine {
+/// The interpreter engine. Bind a validated Program and a HostEnv, then
+/// run(). The compiled counterpart (vm::CompiledMachine) lives behind the
+/// same GuestEngine seam.
+class Machine : public GuestEngine {
  public:
   /// `program` and `host` must outlive the Machine.
   Machine(const Program& program, HostEnv& host);
@@ -139,17 +142,21 @@ class Machine {
 
   /// Stop the run gracefully (RunStatus::kTruncated) once this many
   /// instructions retire. Zero (default) means unlimited.
-  void set_instruction_budget(std::uint64_t budget) noexcept { budget_ = budget; }
+  void set_instruction_budget(std::uint64_t budget) noexcept override {
+    budget_ = budget;
+  }
 
   /// Arm deterministic fault injection (see FaultPlan).
-  void set_fault_plan(const FaultPlan& plan) noexcept { fault_ = plan; }
+  void set_fault_plan(const FaultPlan& plan) noexcept override { fault_ = plan; }
 
   /// Post-run inspection.
-  const Cpu& cpu() const noexcept { return cpu_; }
+  const Cpu& cpu() const noexcept override { return cpu_; }
   const PagedMemory& memory() const noexcept { return memory_; }
   PagedMemory& memory() noexcept { return memory_; }
-  std::uint64_t retired() const noexcept { return retired_; }
-  std::uint64_t heap_used() const noexcept { return heap_ptr_ - kHeapBase; }
+  std::uint64_t retired() const noexcept override { return retired_; }
+  std::uint64_t heap_used() const noexcept override {
+    return heap_ptr_ - kHeapBase;
+  }
 
  private:
   template <bool kTraced>

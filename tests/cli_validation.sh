@@ -150,6 +150,18 @@ expect_status 2 usage.txt -- \
     "$TOOLS/quad_cli" -image wfs.tqim -pipeline Serial
 grep -q "unknown -pipeline mode" err.txt
 
+# Malformed -engine names are usage errors (exit 2) on both CLIs, validated
+# before any guest execution.
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -engine bogus
+grep -q "unknown -engine 'bogus'" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_cli" -image wfs.tqim -engine Compiled
+grep -q "unknown -engine" err.txt
+expect_status 2 usage.txt -- \
+    "$TOOLS/quad_cli" -image wfs.tqim -engine jit
+grep -q "unknown -engine 'jit'" err.txt
+
 # Malformed -metrics specs are usage errors too.
 expect_status 2 usage.txt -- \
     "$TOOLS/tquad_cli" -image wfs.tqim -metrics xml
@@ -186,6 +198,16 @@ grep -v "trace written to" multi.txt > multi_serial_body.txt
 grep -v "trace written to" multi_par.txt > multi_par_body.txt
 cmp multi_serial_body.txt multi_par_body.txt
 cmp multi.tqtr multi_par.tqtr
+
+# Engine parity at the CLI surface: -engine interp and -engine compiled
+# produce byte-identical reports and traces (multi.txt above ran under the
+# default, which is the compiled engine).
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -tools tquad,quad,gprof \
+    -report flat -slice 2000 -trace multi_interp.tqtr \
+    -engine interp > multi_interp.txt
+grep -v "trace written to" multi_interp.txt > multi_interp_body.txt
+cmp multi_serial_body.txt multi_interp_body.txt
+cmp multi.tqtr multi_interp.tqtr
 
 # A trapping guest: partial reports and exit 3 by default, no reports under
 # -on-trap abort, and a graceful TRUNCATED exit 0 under a tight -budget.

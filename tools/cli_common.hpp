@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "quad/quad_tool.hpp"
@@ -16,6 +17,7 @@
 #include "tquad/callstack.hpp"
 #include "trace/trace.hpp"
 #include "trace/trace_v2.hpp"
+#include "vm/engine.hpp"
 #include "vm/run_outcome.hpp"
 
 namespace tq::cli {
@@ -66,6 +68,30 @@ inline void require_non_negative(const CliParser& cli, const std::string& name) 
   if (cli.integer(name) < 0) {
     TQUAD_THROW("option -" + name + " must not be negative (got " +
                 std::to_string(cli.integer(name)) + ")");
+  }
+}
+
+/// Parse the `-engine` flag: `compiled` (the fused-op threaded-dispatch
+/// engine, the default) or `interp` (the reference interpreter). Reports
+/// are byte-identical either way; unknown names are usage errors (exit 2).
+inline vm::EngineKind parse_engine(const std::string& name) {
+  if (name == "compiled") return vm::EngineKind::kCompiled;
+  if (name == "interp") return vm::EngineKind::kInterp;
+  throw UsageError("unknown -engine '" + name + "' (interp|compiled)");
+}
+
+/// The parallel pipeline's perf contract (drain keeps up with a serial
+/// floor) is benchmarked on >= 4 hardware threads; on smaller machines the
+/// mode still produces identical reports but the floor gate is meaningless,
+/// so say so once instead of letting a slow run surprise the user.
+inline void warn_parallel_on_small_host(const session::PipelineOptions& options) {
+  if (options.mode != session::PipelineMode::kParallel) return;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && hw < 4) {
+    std::fprintf(stderr,
+                 "note: -pipeline parallel on %u hardware threads; the serial "
+                 "floor perf gate is not enforced below 4\n",
+                 hw);
   }
 }
 

@@ -3,7 +3,7 @@
 //   quad -image app.tqim [-in file] [-libs exclude|caller|track]
 //        [-dot qdu.dot] [-csv table2.csv] [-clusters N]
 //        [-trace out.tqtr -trace-format v1|v2]
-//        [-pipeline serial|parallel[:N]]
+//        [-engine interp|compiled] [-pipeline serial|parallel[:N]]
 //        [-metrics text|json[:path]] [-heartbeat N]
 //
 // Prints the Table II columns for every reported kernel, optionally the QDU
@@ -42,6 +42,10 @@ int main(int argc, char** argv) {
   cli.add_string("on-trap", "report",
                  "guest-fault handling: report (emit PARTIAL reports, exit 3) "
                  "| abort (print the trap and exit 3 with no reports)");
+  cli.add_string("engine", "compiled",
+                 "guest execution engine: compiled (fused-op threaded "
+                 "dispatch, default) | interp (reference interpreter); "
+                 "reports are byte-identical either way");
   cli.add_string("pipeline", "serial",
                  "analysis dispatch: serial (tools run on the VM thread) | "
                  "parallel[:N] (tools drain event rings on N worker threads)");
@@ -58,9 +62,11 @@ int main(int argc, char** argv) {
     cli::require_non_negative(cli, "clusters");
     cli::require_non_negative(cli, "heartbeat");
     cli::validate_on_trap(cli.str("on-trap"));
+    const vm::EngineKind engine = cli::parse_engine(cli.str("engine"));
     const cli::MetricsSpec metrics_spec = cli::parse_metrics(cli.str("metrics"));
     const session::PipelineOptions pipeline =
         cli::parse_pipeline(cli.str("pipeline"));
+    cli::warn_parallel_on_small_host(pipeline);
     const trace::TraceFormat trace_format =
         cli::parse_trace_format(cli.str("trace-format"));
     const tquad::LibraryPolicy policy = cli::parse_policy(cli.str("libs"));
@@ -80,6 +86,7 @@ int main(int argc, char** argv) {
     session::SessionConfig config;
     config.library_policy = policy;
     config.instruction_budget = static_cast<std::uint64_t>(cli.integer("budget"));
+    config.engine = engine;
     config.pipeline = pipeline;
     if (metrics_spec.enabled) config.metrics = &registry;
     config.heartbeat_interval =

@@ -6,7 +6,7 @@
 //         [-tools tquad,quad,gprof] [-report flat|bandwidth|phases|series|all]
 //         [-csv out.csv] [-trace out.tqtr -trace-format v1|v2]
 //         [-sample N] [-cpu-ghz G -cpi C] [-budget N] [-on-trap report|abort]
-//         [-pipeline serial|parallel[:N]]
+//         [-engine interp|compiled] [-pipeline serial|parallel[:N]]
 //         [-metrics text|json[:path]] [-viz json[:path] [-viz-bucket B]]
 //         [-heartbeat N]
 //   tquad -replay run.tqtr [-image app.tqim] [-slice N] [-threads T] [-salvage]
@@ -67,6 +67,7 @@ void validate_options(const CliParser& cli) {
   (void)cli::parse_trace_format(cli.str("trace-format"));
   (void)cli::parse_policy(cli.str("libs"));
   cli::validate_on_trap(cli.str("on-trap"));
+  (void)cli::parse_engine(cli.str("engine"));
   (void)cli::parse_pipeline(cli.str("pipeline"));
   (void)cli::parse_metrics(cli.str("metrics"));
   (void)cli::parse_viz(cli.str("viz"));
@@ -189,7 +190,9 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
   session::SessionConfig config;
   config.library_policy = policy;
   config.instruction_budget = static_cast<std::uint64_t>(cli.integer("budget"));
+  config.engine = cli::parse_engine(cli.str("engine"));
   config.pipeline = cli::parse_pipeline(cli.str("pipeline"));
+  cli::warn_parallel_on_small_host(config.pipeline);
   if (metrics_spec.enabled) config.metrics = &registry;
   config.heartbeat_interval =
       static_cast<std::uint64_t>(cli.integer("heartbeat")) * 1'000'000;
@@ -372,6 +375,10 @@ int main(int argc, char** argv) {
   cli.add_flag("salvage", false,
                "with -replay: skip corrupt/truncated v2 blocks instead of "
                "failing, and report what was recovered");
+  cli.add_string("engine", "compiled",
+                 "guest execution engine: compiled (fused-op threaded "
+                 "dispatch, default) | interp (reference interpreter); "
+                 "reports are byte-identical either way");
   cli.add_string("pipeline", "serial",
                  "analysis dispatch: serial (tools run on the VM thread) | "
                  "parallel[:N] (tools drain event rings on N worker threads)");
