@@ -46,11 +46,38 @@ cmake --build --preset tsan -j "$(nproc)" --target \
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
     -R '^(test_support_thread_pool|test_support_metrics|test_session|test_session_differential|test_session_replay|test_session_pipeline|test_trace|test_fault_injection|test_support_crc32c|test_workload_zoo|test_trace_offline_differential|test_engine_differential)$'
 
-# 4. Codec bench: fails if v2 is not >= 4x smaller than v1 on stream or if
+# 4. Farm smoke under ASan: the supervisor's fork/exec/waitpid plumbing and
+#    the sidecar/manifest codecs run sanitized end to end — a two-worker
+#    farm over zoo traces, one of them deliberately corrupted, must
+#    quarantine the poison member (exit 3) and still merge the healthy ones.
+cmake --build --preset asan-ubsan -j "$(nproc)" --target \
+    tquad_farm tquad_cli zoo_gen test_farm_codec
+ctest --test-dir build-asan --output-on-failure -R '^test_farm_codec$'
+FARM_WORK=build-asan/farm_smoke_work
+rm -rf "$FARM_WORK"
+mkdir -p "$FARM_WORK"
+./build-asan/tools/zoo_gen -workload phased -image "$FARM_WORK/phased.tqim" > /dev/null
+./build-asan/tools/tquad_cli -image "$FARM_WORK/phased.tqim" -slice 2000 \
+    -trace "$FARM_WORK/a.tqtr" > /dev/null
+cp "$FARM_WORK/a.tqtr" "$FARM_WORK/b.tqtr"
+printf 'XXXXXXXX' | dd of="$FARM_WORK/b.tqtr" bs=1 seek=0 conv=notrunc 2> /dev/null
+farm_status=0
+./build-asan/tools/tquad_farm -traces "$FARM_WORK/a.tqtr,$FARM_WORK/b.tqtr" \
+    -state "$FARM_WORK/state" -slice 2000 -workers 2 -max-attempts 2 \
+    -backoff-ms 10 -out "$FARM_WORK/fleet.out" > "$FARM_WORK/farm.stdout" \
+    || farm_status=$?
+[ "$farm_status" -eq 3 ] || {
+  echo "tier1: farm smoke expected exit 3 (quarantine), got $farm_status" >&2
+  exit 1
+}
+grep -q "1 quarantined" "$FARM_WORK/farm.stdout"
+grep -q "fleet bandwidth" "$FARM_WORK/fleet.out"
+
+# 5. Codec bench: fails if v2 is not >= 4x smaller than v1 on stream or if
 #    v2.1 per-block CRC verification costs >= 5% on streaming decode.
 ./build/bench/bench_trace_codec
 
-# 5. Workload-zoo signature bench: gates every registered workload's
+# 6. Workload-zoo signature bench: gates every registered workload's
 #    measured memory signature against its declared shape and writes
 #    BENCH_zoo.json; fails on any gate violation.
 ./build/bench/bench_workload_signatures

@@ -1,0 +1,156 @@
+#include "farm/fleet.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace tq::farm {
+
+void FleetAggregate::add(JobReport&& report) {
+  ++jobs_;
+  for (const MetricSample& metric : report.metrics) {
+    metric_sums_[metric.name] += metric.value;
+  }
+  auto [it, fresh] = groups_.try_emplace(report.trace_path);
+  RunGroup& group = it->second;
+  if (fresh) {
+    group.trace_path = report.trace_path;
+    group.retired = report.retired;
+    group.slice_interval = report.slice_interval;
+    group.kernel_names = std::move(report.kernel_names);
+    group.kernels = std::move(report.kernels);
+    group.quad_excl = std::move(report.quad_excl);
+    group.quad_incl = std::move(report.quad_incl);
+    return;
+  }
+  TQUAD_CHECK(group.slice_interval == report.slice_interval,
+              "fleet: shards of '" + report.trace_path +
+                  "' disagree on slice interval");
+  TQUAD_CHECK(group.kernels.size() == report.kernels.size(),
+              "fleet: shards of '" + report.trace_path +
+                  "' disagree on kernel count");
+  group.retired = std::max(group.retired, report.retired);
+  for (std::size_t k = 0; k < group.kernels.size(); ++k) {
+    group.kernels[k].merge(report.kernels[k]);
+    // A shard that knew real names (had the image) upgrades the fallback.
+    if (group.kernel_names[k].rfind('k', 0) == 0 &&
+        report.kernel_names[k].rfind('k', 0) != 0) {
+      group.kernel_names[k] = report.kernel_names[k];
+    }
+  }
+  if (report.has_quad()) {
+    if (group.quad_excl.empty()) {
+      group.quad_excl.assign(group.kernels.size(), QuadCounts{});
+      group.quad_incl.assign(group.kernels.size(), QuadCounts{});
+    }
+    for (std::size_t k = 0; k < group.kernels.size(); ++k) {
+      group.quad_excl[k].merge(report.quad_excl[k]);
+      group.quad_incl[k].merge(report.quad_incl[k]);
+    }
+  }
+}
+
+std::vector<const RunGroup*> FleetAggregate::groups() const {
+  std::vector<const RunGroup*> out;
+  out.reserve(groups_.size());
+  for (const auto& [path, group] : groups_) out.push_back(&group);
+  return out;  // std::map iterates in path order: deterministic
+}
+
+std::string FleetAggregate::render_data() const {
+  std::string out;
+  const std::vector<const RunGroup*> runs = groups();
+
+  // Per-kernel distribution across runs, keyed by kernel name. A kernel
+  // absent from a run contributes nothing (no zero-padding): the sample set
+  // is "runs in which the kernel exists".
+  struct KernelStats {
+    std::vector<double> read;   // per-run read_incl bytes
+    std::vector<double> write;  // per-run write_incl bytes
+    std::uint64_t read_total = 0;
+    std::uint64_t write_total = 0;
+    std::uint64_t active_slices = 0;
+  };
+  std::map<std::string, KernelStats> per_kernel;
+  for (const RunGroup* run : runs) {
+    for (std::size_t k = 0; k < run->kernels.size(); ++k) {
+      const tquad::SliceCounters& t = run->kernels[k].totals;
+      if (t.empty()) continue;
+      KernelStats& stats = per_kernel[run->kernel_names[k]];
+      stats.read.push_back(static_cast<double>(t.read_incl));
+      stats.write.push_back(static_cast<double>(t.write_incl));
+      stats.read_total += t.read_incl;
+      stats.write_total += t.write_incl;
+      stats.active_slices += run->kernels[k].active_slices();
+    }
+  }
+
+  out += "== fleet bandwidth (per-run volume distribution) ==\n";
+  TextTable table({"kernel", "runs", "read p50", "read p90", "read max",
+                   "write p50", "write p90", "write max", "read total",
+                   "write total", "slices"});
+  for (const auto& [name, stats] : per_kernel) {
+    table.add_row({name, std::to_string(stats.read.size()),
+                   format_bytes(static_cast<std::uint64_t>(quantile(stats.read, 0.5))),
+                   format_bytes(static_cast<std::uint64_t>(quantile(stats.read, 0.9))),
+                   format_bytes(static_cast<std::uint64_t>(quantile(stats.read, 1.0))),
+                   format_bytes(static_cast<std::uint64_t>(quantile(stats.write, 0.5))),
+                   format_bytes(static_cast<std::uint64_t>(quantile(stats.write, 0.9))),
+                   format_bytes(static_cast<std::uint64_t>(quantile(stats.write, 1.0))),
+                   format_bytes(stats.read_total), format_bytes(stats.write_total),
+                   std::to_string(stats.active_slices)});
+  }
+  out += table.to_ascii();
+
+  out += "\n== fleet runs ==\n";
+  TextTable run_table({"trace", "retired", "slice", "kernels", "read", "write"});
+  for (const RunGroup* run : runs) {
+    std::uint64_t read = 0;
+    std::uint64_t write = 0;
+    std::size_t active = 0;
+    for (const tquad::KernelBandwidth& kernel : run->kernels) {
+      read += kernel.totals.read_incl;
+      write += kernel.totals.write_incl;
+      if (!kernel.totals.empty()) ++active;
+    }
+    run_table.add_row({run->trace_path, std::to_string(run->retired),
+                       std::to_string(run->slice_interval),
+                       std::to_string(active), format_bytes(read),
+                       format_bytes(write)});
+  }
+  out += run_table.to_ascii();
+
+  // QUAD sums only when at least one run carried them.
+  bool any_quad = false;
+  for (const RunGroup* run : runs) any_quad |= !run->quad_excl.empty();
+  if (any_quad) {
+    std::map<std::string, QuadCounts> quad_sums;  // stack-excluded scope
+    for (const RunGroup* run : runs) {
+      for (std::size_t k = 0; k < run->quad_excl.size(); ++k) {
+        if (run->quad_excl[k].empty()) continue;
+        quad_sums[run->kernel_names[k]].merge(run->quad_excl[k]);
+      }
+    }
+    out += "\n== fleet quad (stack excluded, summed; UnMA is an upper bound) ==\n";
+    TextTable quad_table({"kernel", "IN", "IN UnMA", "OUT", "OUT UnMA"});
+    for (const auto& [name, q] : quad_sums) {
+      quad_table.add_row({name, format_bytes(q.in_bytes),
+                          std::to_string(q.in_unma), format_bytes(q.out_bytes),
+                          std::to_string(q.out_unma)});
+    }
+    out += quad_table.to_ascii();
+  }
+
+  if (!metric_sums_.empty()) {
+    out += "\n== fleet worker metrics (summed) ==\n";
+    for (const auto& [name, value] : metric_sums_) {
+      out += name + " " + std::to_string(value) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace tq::farm

@@ -1,0 +1,67 @@
+// Fleet-level aggregation of farm job reports.
+//
+// Jobs group by trace path: the block-range shards of one trace fold into
+// exactly the whole-trace result (tquad::KernelBandwidth::merge is
+// associative and shard-boundary-agnostic), so after grouping every group
+// is one *run* of one workload. Across runs the fleet report then answers
+// the paper's Table IV questions at fleet scale: for each kernel, the
+// distribution (p50 / p90 / max) of per-run read and write volume, plus
+// fleet-wide sums of the QUAD communication counters.
+//
+// Determinism contract: render_data() depends only on the set of completed
+// job reports — not on attempt counts, retry timing, or completion order —
+// so a chaos-ridden farm run and a clean one over the same inputs produce
+// byte-identical data reports. Run-health information (quarantines,
+// retries, interruption) lives in the stdout summary, not here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "farm/sidecar.hpp"
+
+namespace tq::farm {
+
+/// One merged run (all shards of one trace folded together).
+struct RunGroup {
+  std::string trace_path;
+  std::uint64_t retired = 0;  ///< max over shards: end of covered range
+  std::uint64_t slice_interval = 0;
+  std::vector<std::string> kernel_names;
+  std::vector<tquad::KernelBandwidth> kernels;
+  std::vector<QuadCounts> quad_excl;  ///< empty when no shard had quad data
+  std::vector<QuadCounts> quad_incl;
+};
+
+/// Accumulates job reports and renders the fleet report.
+class FleetAggregate {
+ public:
+  /// Fold one completed job in. Shards of the same trace must agree on
+  /// slice interval and kernel count (throws tq::Error otherwise).
+  void add(JobReport&& report);
+
+  std::size_t group_count() const noexcept { return groups_.size(); }
+  std::size_t job_count() const noexcept { return jobs_; }
+
+  /// Merged groups in trace-path order (deterministic).
+  std::vector<const RunGroup*> groups() const;
+
+  /// The data-only fleet report: per-kernel per-run volume percentiles,
+  /// per-group totals, QUAD sums, and summed worker metrics. Deterministic
+  /// — see the header comment.
+  std::string render_data() const;
+
+  /// Summed worker self-metrics (m lines), fleet-wide.
+  const std::map<std::string, std::uint64_t>& metric_sums() const noexcept {
+    return metric_sums_;
+  }
+
+ private:
+  std::map<std::string, RunGroup> groups_;  ///< keyed by trace path
+  std::map<std::string, std::uint64_t> metric_sums_;
+  std::size_t jobs_ = 0;
+};
+
+}  // namespace tq::farm

@@ -1,0 +1,160 @@
+#include "farm/manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/check.hpp"
+
+namespace tq::farm {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void Manifest::record_farm(std::uint64_t job_count, std::uint64_t slice_interval) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "{\"event\":\"farm\",\"jobs\":%" PRIu64 ",\"slice\":%" PRIu64 "}",
+                job_count, slice_interval);
+  log_.append(buf);
+}
+
+void Manifest::record_job(std::uint32_t id, const std::string& trace_path,
+                          bool whole, std::uint64_t block_lo,
+                          std::uint64_t block_hi) {
+  std::string line = "{\"event\":\"job\",\"id\":" + std::to_string(id) +
+                     ",\"trace\":\"" + json_escape(trace_path) + "\"" +
+                     ",\"whole\":" + (whole ? "1" : "0") +
+                     ",\"lo\":" + std::to_string(block_lo) +
+                     ",\"hi\":" + std::to_string(block_hi) + "}";
+  log_.append(line);
+}
+
+void Manifest::record_done(std::uint32_t id, std::uint32_t attempts,
+                           const std::string& sidecar_path) {
+  std::string line = "{\"event\":\"done\",\"id\":" + std::to_string(id) +
+                     ",\"attempts\":" + std::to_string(attempts) +
+                     ",\"sidecar\":\"" + json_escape(sidecar_path) + "\"}";
+  log_.append(line);
+}
+
+void Manifest::record_quarantine(std::uint32_t id, std::uint32_t attempts,
+                                 const std::string& reason,
+                                 const std::string& stderr_path) {
+  std::string line = "{\"event\":\"quarantine\",\"id\":" + std::to_string(id) +
+                     ",\"attempts\":" + std::to_string(attempts) +
+                     ",\"reason\":\"" + json_escape(reason) + "\"" +
+                     ",\"stderr\":\"" + json_escape(stderr_path) + "\"}";
+  log_.append(line);
+}
+
+namespace {
+
+// The journal is machine-written by this module, so the reader is a
+// matching extractor, not a general JSON parser: it pulls `"key":<number>`
+// and `"key":"<string>"` pairs off one line.
+
+bool extract_u64(const std::string& line, const std::string& key,
+                 std::uint64_t& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* p = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  out = std::strtoull(p, &end, 10);
+  return end != p;
+}
+
+bool extract_string(const std::string& line, const std::string& key,
+                    std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  out.clear();
+  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\') {
+      if (i + 1 >= line.size()) return false;
+      const char next = line[++i];
+      if (next == 'u') {
+        if (i + 4 >= line.size()) return false;
+        const std::string hex = line.substr(i + 1, 4);
+        out.push_back(static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16)));
+        i += 4;
+      } else {
+        out.push_back(next);
+      }
+    } else if (c == '"') {
+      return true;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return false;  // unterminated string: torn line
+}
+
+}  // namespace
+
+ManifestState Manifest::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) TQUAD_THROW("cannot open manifest '" + path + "'");
+  ManifestState state;
+  std::string line;
+  while (std::getline(in, line)) {
+    // A torn final line (supervisor killed mid-append) fails extraction and
+    // is dropped; the job it described simply re-runs.
+    std::string event;
+    if (!extract_string(line, "event", event)) continue;
+    std::uint64_t id = 0;
+    if (event == "farm") {
+      extract_u64(line, "jobs", state.job_count);
+      extract_u64(line, "slice", state.slice_interval);
+    } else if (event == "job") {
+      if (!extract_u64(line, "id", id)) continue;
+      ManifestState::Job job;
+      if (!extract_string(line, "trace", job.trace_path)) continue;
+      std::uint64_t whole = 1;
+      extract_u64(line, "whole", whole);
+      job.whole = whole != 0;
+      extract_u64(line, "lo", job.block_lo);
+      extract_u64(line, "hi", job.block_hi);
+      state.jobs[static_cast<std::uint32_t>(id)] = std::move(job);
+    } else if (event == "done") {
+      if (!extract_u64(line, "id", id)) continue;
+      ManifestState::Done done;
+      std::uint64_t attempts = 0;
+      extract_u64(line, "attempts", attempts);
+      done.attempts = static_cast<std::uint32_t>(attempts);
+      if (!extract_string(line, "sidecar", done.sidecar_path)) continue;
+      state.done[static_cast<std::uint32_t>(id)] = std::move(done);
+    } else if (event == "quarantine") {
+      if (!extract_u64(line, "id", id)) continue;
+      ManifestState::Quarantined q;
+      std::uint64_t attempts = 0;
+      extract_u64(line, "attempts", attempts);
+      q.attempts = static_cast<std::uint32_t>(attempts);
+      extract_string(line, "reason", q.reason);
+      extract_string(line, "stderr", q.stderr_path);
+      state.quarantined[static_cast<std::uint32_t>(id)] = std::move(q);
+    }
+  }
+  return state;
+}
+
+}  // namespace tq::farm

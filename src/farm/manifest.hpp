@@ -1,0 +1,80 @@
+// Crash-safe checkpoint manifest for the replay farm.
+//
+// The supervisor journals its progress as JSONL — one self-contained JSON
+// object per line, appended and fsync'd through tq::AppendLog:
+//
+//   {"event":"farm","jobs":5,"slice":50000}
+//   {"event":"job","id":0,"trace":"a.tqtr","lo":0,"hi":0,"whole":1}
+//   {"event":"done","id":0,"attempts":1,"sidecar":"state/job0.tqfs"}
+//   {"event":"quarantine","id":3,"attempts":3,"reason":"signal 11 (SIGSEGV)",
+//    "stderr":"state/job3.attempt3.stderr"}
+//
+// A `-resume` run replays the journal: `done` jobs load their sidecars and
+// are not re-run, `quarantine` jobs stay quarantined, everything else runs.
+// Because every record is one fsync'd line, killing the supervisor at any
+// instant loses at most the line being written — load() drops a torn final
+// line — and never a completed job.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/atomic_file.hpp"
+
+namespace tq::farm {
+
+/// Journal view after load(): what a previous supervisor got done.
+struct ManifestState {
+  struct Job {
+    std::string trace_path;
+    bool whole = true;
+    std::uint64_t block_lo = 0;
+    std::uint64_t block_hi = 0;
+  };
+  struct Done {
+    std::uint32_t attempts = 0;
+    std::string sidecar_path;
+  };
+  struct Quarantined {
+    std::uint32_t attempts = 0;
+    std::string reason;
+    std::string stderr_path;
+  };
+
+  std::uint64_t job_count = 0;       ///< from the farm header line
+  std::uint64_t slice_interval = 0;  ///< from the farm header line
+  std::map<std::uint32_t, Job> jobs;
+  std::map<std::uint32_t, Done> done;
+  std::map<std::uint32_t, Quarantined> quarantined;
+};
+
+/// The write side. One instance per supervisor run; append-only.
+class Manifest {
+ public:
+  /// Open `path` for appending (created if absent). Throws tq::Error.
+  void open(const std::string& path) { log_.open(path); }
+
+  void record_farm(std::uint64_t job_count, std::uint64_t slice_interval);
+  void record_job(std::uint32_t id, const std::string& trace_path, bool whole,
+                  std::uint64_t block_lo, std::uint64_t block_hi);
+  void record_done(std::uint32_t id, std::uint32_t attempts,
+                   const std::string& sidecar_path);
+  void record_quarantine(std::uint32_t id, std::uint32_t attempts,
+                         const std::string& reason,
+                         const std::string& stderr_path);
+
+  /// Parse a journal. Unreadable file → throws; a torn final line is
+  /// silently dropped (the crash window AppendLog permits).
+  static ManifestState load(const std::string& path);
+
+ private:
+  AppendLog log_;
+};
+
+/// Minimal JSON string escaping for the journal (quotes and backslashes;
+/// control characters become \u00XX). Exposed for tests.
+std::string json_escape(const std::string& raw);
+
+}  // namespace tq::farm

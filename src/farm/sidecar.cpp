@@ -1,0 +1,229 @@
+#include "farm/sidecar.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace tq::farm {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string encode_sidecar(const JobReport& report) {
+  TQUAD_CHECK(report.kernel_names.size() == report.kernels.size(),
+              "kernel_names / kernels size mismatch");
+  TQUAD_CHECK(!report.has_quad() ||
+                  (report.quad_excl.size() == report.kernels.size() &&
+                   report.quad_incl.size() == report.kernels.size()),
+              "quad counters must align with kernels");
+  std::string out = "TQFS 1\n";
+  out += "job ";
+  append_u64(out, report.job_id);
+  out += "\ntrace ";
+  out += report.trace_path;
+  out += '\n';
+  if (!report.whole) {
+    out += "range ";
+    append_u64(out, report.block_lo);
+    out += ' ';
+    append_u64(out, report.block_hi);
+    out += '\n';
+  }
+  out += "retired ";
+  append_u64(out, report.retired);
+  out += "\nslice ";
+  append_u64(out, report.slice_interval);
+  out += "\nkernels ";
+  append_u64(out, report.kernels.size());
+  out += '\n';
+  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
+    out += "name ";
+    append_u64(out, k);
+    out += ' ';
+    out += report.kernel_names[k];
+    out += '\n';
+  }
+  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
+    const tquad::KernelBandwidth& kernel = report.kernels[k];
+    if (!kernel.totals.empty()) {
+      out += "k ";
+      append_u64(out, k);
+      for (const std::uint64_t v : {kernel.totals.read_incl, kernel.totals.read_excl,
+                                    kernel.totals.write_incl, kernel.totals.write_excl}) {
+        out += ' ';
+        append_u64(out, v);
+      }
+      out += '\n';
+    }
+    for (const tquad::SliceSample& sample : kernel.series) {
+      out += "s ";
+      append_u64(out, k);
+      out += ' ';
+      append_u64(out, sample.slice);
+      for (const std::uint64_t v :
+           {sample.counters.read_incl, sample.counters.read_excl,
+            sample.counters.write_incl, sample.counters.write_excl}) {
+        out += ' ';
+        append_u64(out, v);
+      }
+      out += '\n';
+    }
+  }
+  if (report.has_quad()) {
+    for (std::size_t k = 0; k < report.kernels.size(); ++k) {
+      for (const bool excl : {true, false}) {
+        const QuadCounts& q = excl ? report.quad_excl[k] : report.quad_incl[k];
+        if (q.empty()) continue;
+        out += "q ";
+        append_u64(out, k);
+        out += excl ? " excl" : " incl";
+        for (const std::uint64_t v : {q.in_bytes, q.in_unma, q.out_bytes, q.out_unma}) {
+          out += ' ';
+          append_u64(out, v);
+        }
+        out += '\n';
+      }
+    }
+  }
+  for (const MetricSample& metric : report.metrics) {
+    out += "m ";
+    out += metric.name;
+    out += ' ';
+    append_u64(out, metric.value);
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+namespace {
+
+std::uint64_t parse_u64(std::istringstream& in, const char* what) {
+  std::uint64_t value = 0;
+  if (!(in >> value)) TQUAD_THROW(std::string("sidecar: bad ") + what);
+  return value;
+}
+
+// Sidecar bytes are untrusted (a crashed or chaos-killed worker may leave
+// anything): structural violations are recoverable decode errors, never
+// internal-invariant aborts.
+void require(bool ok, const char* what) {
+  if (!ok) TQUAD_THROW(std::string("sidecar: ") + what);
+}
+
+}  // namespace
+
+JobReport decode_sidecar(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  if (!std::getline(lines, line) || line != "TQFS 1") {
+    TQUAD_THROW("sidecar: missing TQFS 1 header");
+  }
+  JobReport report;
+  bool sized = false;
+  bool ended = false;
+  while (std::getline(lines, line)) {
+    if (line == "end") {
+      ended = true;
+      break;
+    }
+    std::istringstream in(line);
+    std::string tag;
+    in >> tag;
+    if (tag == "job") {
+      report.job_id = static_cast<std::uint32_t>(parse_u64(in, "job id"));
+    } else if (tag == "trace") {
+      // Rest of the line verbatim: paths may contain spaces.
+      std::getline(in >> std::ws, report.trace_path);
+      if (report.trace_path.empty()) TQUAD_THROW("sidecar: empty trace path");
+    } else if (tag == "range") {
+      report.whole = false;
+      report.block_lo = parse_u64(in, "range lo");
+      report.block_hi = parse_u64(in, "range hi");
+    } else if (tag == "retired") {
+      report.retired = parse_u64(in, "retired");
+    } else if (tag == "slice") {
+      report.slice_interval = parse_u64(in, "slice");
+    } else if (tag == "kernels") {
+      const std::uint64_t count = parse_u64(in, "kernel count");
+      require(count <= 1u << 20, "implausible kernel count");
+      report.kernel_names.assign(count, std::string());
+      report.kernels.assign(count, tquad::KernelBandwidth{});
+      sized = true;
+    } else if (tag == "name") {
+      require(sized, "name before kernels line");
+      const std::uint64_t k = parse_u64(in, "name id");
+      require(k < report.kernels.size(), "name id out of range");
+      std::getline(in >> std::ws, report.kernel_names[k]);
+    } else if (tag == "k") {
+      require(sized, "totals before kernels line");
+      const std::uint64_t k = parse_u64(in, "kernel id");
+      require(k < report.kernels.size(), "kernel id out of range");
+      tquad::SliceCounters& t = report.kernels[k].totals;
+      t.read_incl = parse_u64(in, "read_incl");
+      t.read_excl = parse_u64(in, "read_excl");
+      t.write_incl = parse_u64(in, "write_incl");
+      t.write_excl = parse_u64(in, "write_excl");
+    } else if (tag == "s") {
+      require(sized, "sample before kernels line");
+      const std::uint64_t k = parse_u64(in, "kernel id");
+      require(k < report.kernels.size(), "kernel id out of range");
+      tquad::SliceSample sample;
+      sample.slice = parse_u64(in, "slice index");
+      sample.counters.read_incl = parse_u64(in, "read_incl");
+      sample.counters.read_excl = parse_u64(in, "read_excl");
+      sample.counters.write_incl = parse_u64(in, "write_incl");
+      sample.counters.write_excl = parse_u64(in, "write_excl");
+      std::vector<tquad::SliceSample>& series = report.kernels[k].series;
+      require(series.empty() || series.back().slice < sample.slice,
+              "series not strictly ascending");
+      series.push_back(sample);
+    } else if (tag == "q") {
+      require(sized, "quad before kernels line");
+      if (report.quad_excl.empty()) {
+        report.quad_excl.assign(report.kernels.size(), QuadCounts{});
+        report.quad_incl.assign(report.kernels.size(), QuadCounts{});
+      }
+      const std::uint64_t k = parse_u64(in, "kernel id");
+      require(k < report.kernels.size(), "kernel id out of range");
+      std::string scope;
+      in >> scope;
+      if (scope != "excl" && scope != "incl") {
+        TQUAD_THROW("sidecar: bad quad scope '" + scope + "'");
+      }
+      QuadCounts& q = scope == "excl" ? report.quad_excl[k] : report.quad_incl[k];
+      q.in_bytes = parse_u64(in, "in_bytes");
+      q.in_unma = parse_u64(in, "in_unma");
+      q.out_bytes = parse_u64(in, "out_bytes");
+      q.out_unma = parse_u64(in, "out_unma");
+    } else if (tag == "m") {
+      MetricSample metric;
+      in >> metric.name;
+      if (metric.name.empty()) TQUAD_THROW("sidecar: empty metric name");
+      metric.value = parse_u64(in, "metric value");
+      report.metrics.push_back(std::move(metric));
+    } else if (!tag.empty()) {
+      TQUAD_THROW("sidecar: unknown line tag '" + tag + "'");
+    }
+  }
+  if (!ended) TQUAD_THROW("sidecar: missing end terminator (truncated file?)");
+  if (!sized) TQUAD_THROW("sidecar: missing kernels line");
+  if (report.trace_path.empty()) TQUAD_THROW("sidecar: missing trace line");
+  for (std::size_t k = 0; k < report.kernel_names.size(); ++k) {
+    if (report.kernel_names[k].empty()) {
+      report.kernel_names[k] = "k" + std::to_string(k);
+    }
+  }
+  return report;
+}
+
+}  // namespace tq::farm

@@ -1,0 +1,85 @@
+// Worker→supervisor result sidecars for the replay farm.
+//
+// A farm worker process replays one job (a whole TQTR trace, or a block
+// range of one) and writes its complete result — per-kernel bandwidth
+// series and totals, optional QUAD counters, and a few self-metrics — as a
+// *sidecar file* next to the checkpoint manifest. The supervisor never
+// shares memory with workers: the sidecar is the entire interface, which is
+// what makes jobs retryable, resumable, and crash-isolated.
+//
+// The format ("TQFS 1") is line-oriented text: self-describing, stable
+// across builds, cheap to diff in tests, and append-proof because a decoder
+// requires the `end` terminator. Sidecars are written atomically
+// (tq::write_text_atomic), so a file that exists either decodes fully or is
+// from a different format version — never torn.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tquad/bandwidth.hpp"
+
+namespace tq::farm {
+
+/// QUAD Table-II style counters for one kernel under one stack
+/// classification, flattened to counts (UnMA sets travel as cardinalities:
+/// a sidecar crosses a process boundary, address sets stay in the worker).
+struct QuadCounts {
+  std::uint64_t in_bytes = 0;
+  std::uint64_t in_unma = 0;
+  std::uint64_t out_bytes = 0;
+  std::uint64_t out_unma = 0;
+
+  bool empty() const noexcept {
+    return in_bytes == 0 && in_unma == 0 && out_bytes == 0 && out_unma == 0;
+  }
+  void merge(const QuadCounts& other) noexcept {
+    // UnMA cardinalities add as an upper bound — distinct runs may touch
+    // overlapping addresses. Exact unions would need the sets themselves.
+    in_bytes += other.in_bytes;
+    in_unma += other.in_unma;
+    out_bytes += other.out_bytes;
+    out_unma += other.out_unma;
+  }
+};
+
+/// One named worker self-metric (monotonic counter).
+struct MetricSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Everything a finished job reports back.
+struct JobReport {
+  std::uint32_t job_id = 0;
+  std::string trace_path;
+  bool whole = true;           ///< whole trace vs. a block range
+  std::uint64_t block_lo = 0;  ///< [lo, hi) when !whole
+  std::uint64_t block_hi = 0;
+  std::uint64_t retired = 0;   ///< instruction-time covered (end of range)
+  std::uint64_t slice_interval = 0;
+
+  /// Index-aligned per-kernel data. Names are function names when the
+  /// worker had the guest image, else the stable fallback "k<id>".
+  std::vector<std::string> kernel_names;
+  std::vector<tquad::KernelBandwidth> kernels;
+
+  /// Optional QUAD counters (workers replaying with an image). Index-
+  /// aligned with `kernels` when non-empty.
+  std::vector<QuadCounts> quad_excl;
+  std::vector<QuadCounts> quad_incl;
+
+  std::vector<MetricSample> metrics;
+
+  bool has_quad() const noexcept { return !quad_excl.empty(); }
+};
+
+/// Serialise to the TQFS 1 text format (ends with the `end` terminator).
+std::string encode_sidecar(const JobReport& report);
+
+/// Parse a TQFS 1 image. Throws tq::Error on malformed or truncated input
+/// (including a missing `end` terminator).
+JobReport decode_sidecar(const std::string& text);
+
+}  // namespace tq::farm

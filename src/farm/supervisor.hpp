@@ -1,0 +1,110 @@
+// The replay-farm supervisor: fault-tolerant fan-out of replay jobs across
+// worker processes.
+//
+// One supervisor process forks N workers (re-exec'ing this binary in
+// `-worker` mode), each replaying one job — a whole TQTR trace or a block
+// range of one. Process isolation is the fault boundary: a worker that
+// crashes (SIGSEGV, assertion), hangs (wall-clock watchdog → SIGKILL), or
+// exceeds its address-space budget (RLIMIT_AS) takes out only its own job,
+// which the supervisor retries with exponential backoff plus deterministic
+// jitter. A job that keeps failing is *quarantined* after max_attempts,
+// with its captured stderr kept for the post-mortem — one poisoned input
+// cannot stall the fleet.
+//
+// Every state transition is journaled to the checkpoint manifest
+// (farm/manifest.hpp) before the supervisor acts on it, so `-resume` after
+// a supervisor crash re-runs only unfinished jobs and the merged fleet
+// output is byte-identical to an uninterrupted run.
+//
+// SIGINT/SIGTERM request a graceful drain: admission stops, in-flight
+// workers finish, the checkpoint stays consistent, and the farm exits 4. A
+// second signal escalates: in-flight workers are SIGKILLed (their jobs stay
+// pending in the manifest, so they resume cleanly).
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "farm/sidecar.hpp"
+
+namespace tq::farm {
+
+/// One unit of work: a trace, or a [block_lo, block_hi) range of it.
+struct JobSpec {
+  std::uint32_t id = 0;
+  std::string trace_path;
+  bool whole = true;
+  std::uint64_t block_lo = 0;
+  std::uint64_t block_hi = 0;
+};
+
+/// Supervisor policy knobs (all have CLI flags on tquad_farm).
+struct FarmOptions {
+  std::string worker_exe;    ///< binary to re-exec in -worker mode
+  std::string image_path;    ///< guest image for whole-trace jobs (optional)
+  std::string state_dir;     ///< sidecars + manifest + stderr captures
+  std::uint64_t slice_interval = 50'000;
+  unsigned max_workers = 2;  ///< admission control: max in-flight processes
+  unsigned max_attempts = 3;
+  std::uint64_t timeout_ms = 0;  ///< per-attempt watchdog; 0 = none
+  std::uint64_t backoff_ms = 100;
+  std::uint64_t rss_mb = 0;  ///< per-worker RLIMIT_AS budget; 0 = none
+  std::uint64_t seed = 1;    ///< jitter seed (deterministic backoff)
+  bool resume = false;
+  /// Chaos injection, forwarded to workers on non-final attempts only (so a
+  /// healthy job always completes): probability of self-SIGKILL / of
+  /// hanging until the watchdog fires. Test hooks, but always compiled in.
+  double chaos_kill = 0.0;
+  double chaos_hang = 0.0;
+  std::uint64_t chaos_seed = 0;
+};
+
+/// What the farm accomplished.
+struct FarmOutcome {
+  std::vector<JobReport> reports;  ///< completed jobs, ascending job id
+  std::vector<std::uint32_t> quarantined;  ///< ascending job id
+  std::uint64_t retries = 0;       ///< attempts beyond each job's first
+  std::uint64_t spawned = 0;       ///< worker processes forked
+  std::uint64_t timeouts = 0;      ///< watchdog kills
+  bool interrupted = false;        ///< drained on SIGINT/SIGTERM
+
+  /// Farm exit contract: 0 all jobs merged; 3 degraded (quarantines);
+  /// 4 interrupted. (1/2 are tool/usage errors, raised before run().)
+  int exit_code() const noexcept {
+    if (interrupted) return 4;
+    if (!quarantined.empty()) return 3;
+    return 0;
+  }
+};
+
+/// Single-threaded fork/waitpid supervision loop. Construct, then run()
+/// once. Progress prints to stdout; the caller renders the fleet report
+/// from outcome.reports.
+class Supervisor {
+ public:
+  Supervisor(FarmOptions options, std::vector<JobSpec> jobs);
+
+  FarmOutcome run();
+
+  /// Install the two-stage SIGINT/SIGTERM handler (counts signals; the run
+  /// loop polls the count). Call once in main, before run().
+  static void install_signal_handlers();
+  static int signal_count() noexcept;
+
+  std::string sidecar_path(std::uint32_t job_id) const;
+  std::string stderr_path(std::uint32_t job_id, unsigned attempt) const;
+  std::string manifest_path() const;
+
+ private:
+  struct JobState;
+
+  void spawn(JobState& job);
+  std::uint64_t retry_delay_ms(std::uint32_t job_id, unsigned attempt) const;
+
+  FarmOptions options_;
+  std::vector<JobSpec> specs_;
+};
+
+}  // namespace tq::farm

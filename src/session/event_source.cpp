@@ -1,5 +1,7 @@
 #include "session/event_source.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 #include "trace/trace.hpp"
 #include "trace/trace_v2.hpp"
@@ -295,14 +297,24 @@ vm::RunOutcome TraceReplaySource::run(KernelAttribution& attribution) {
     if (view.kernel_count() != function_count) {
       TQUAD_THROW("trace was recorded from a different image (kernel count mismatch)");
     }
+    std::size_t fed = 0;
     for (std::size_t b = 0; b < view.block_count(); ++b) {
+      if (interrupt_ != nullptr && *interrupt_ != 0) break;
       const std::vector<trace::Record> records = view.decode_block(b);
       feeder.feed(records);
+      fed = b + 1;
     }
-    outcome.retired = view.total_retired();
-    // A salvaged stream with losses is an incomplete profile; say so.
-    if (salvage_ && !salvage_report_.clean()) {
-      outcome.status = vm::RunStatus::kTruncated;
+    if (fed < view.block_count()) {
+      // Interrupted between blocks: the blocks fed so far are a valid
+      // prefix; the last fed record's instruction counts as retired.
+      outcome.status = vm::RunStatus::kInterrupted;
+      outcome.retired = fed == 0 ? 0 : view.block(fed - 1).last_retired + 1;
+    } else {
+      outcome.retired = view.total_retired();
+      // A salvaged stream with losses is an incomplete profile; say so.
+      if (salvage_ && !salvage_report_.clean()) {
+        outcome.status = vm::RunStatus::kTruncated;
+      }
     }
   } else {
     if (salvage_) {
@@ -312,8 +324,21 @@ vm::RunOutcome TraceReplaySource::run(KernelAttribution& attribution) {
     if (trace.kernel_count != function_count) {
       TQUAD_THROW("trace was recorded from a different image (kernel count mismatch)");
     }
-    feeder.feed(trace.records);
-    outcome.retired = trace.total_retired;
+    const std::span<const trace::Record> records(trace.records);
+    constexpr std::size_t kChunk = 65536;  // v1 interrupt granularity
+    std::size_t fed = 0;
+    while (fed < records.size()) {
+      if (interrupt_ != nullptr && *interrupt_ != 0) break;
+      const std::size_t n = std::min(kChunk, records.size() - fed);
+      feeder.feed(records.subspan(fed, n));
+      fed += n;
+    }
+    if (fed < records.size()) {
+      outcome.status = vm::RunStatus::kInterrupted;
+      outcome.retired = fed == 0 ? 0 : records[fed - 1].retired + 1;
+    } else {
+      outcome.retired = trace.total_retired;
+    }
   }
   feeder.finish(outcome);
   return outcome;

@@ -9,6 +9,7 @@
 //     ticks the trace does not store explicitly (see event_source.cpp).
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -48,6 +49,12 @@ class LiveEngineSource final : public EventSource {
   /// Arm deterministic fault injection on the underlying engine.
   void set_fault_plan(const vm::FaultPlan& plan) noexcept {
     guest().set_fault_plan(plan);
+  }
+
+  /// Arm cooperative interruption on the underlying engine (see
+  /// vm::GuestEngine::set_interrupt_flag).
+  void set_interrupt_flag(const volatile std::sig_atomic_t* flag) noexcept {
+    guest().set_interrupt_flag(flag);
   }
 
   /// Live progress for heartbeats: instructions retired so far. Exact at
@@ -105,6 +112,13 @@ class TraceReplaySource final : public EventSource {
   TraceReplaySource(std::span<const std::uint8_t> bytes, const vm::Program& program,
                     bool salvage = false);
 
+  /// Arm cooperative interruption: the replay checks the flag between v2
+  /// blocks (and between v1 record chunks) and stops with kInterrupted; the
+  /// events fed so far are a valid prefix.
+  void set_interrupt_flag(const volatile std::sig_atomic_t* flag) noexcept {
+    interrupt_ = flag;
+  }
+
   const vm::Program& program() const noexcept override { return program_; }
   vm::RunOutcome run(KernelAttribution& attribution) override;
 
@@ -118,6 +132,7 @@ class TraceReplaySource final : public EventSource {
   std::span<const std::uint8_t> bytes_;
   const vm::Program& program_;
   trace::SalvageReport salvage_report_;
+  const volatile std::sig_atomic_t* interrupt_ = nullptr;
   bool salvage_ = false;
   bool ran_ = false;
 };

@@ -59,6 +59,9 @@ void HeartbeatPrinter::on_finish(const vm::RunOutcome& outcome) {
     case vm::RunStatus::kTruncated:
       status = "TRUNCATED";
       break;
+    case vm::RunStatus::kInterrupted:
+      status = "INTERRUPTED";
+      break;
   }
   std::fprintf(stderr, "heartbeat: done retired=%.1fM elapsed=%.2fs status=%s",
                static_cast<double>(outcome.retired) / 1e6, elapsed_seconds(),
@@ -147,12 +150,14 @@ vm::RunOutcome ProfileSession::run_live(vm::HostEnv& host) {
   LiveEngineSource source(attribution_.program(), host,
                           config_.instruction_budget, config_.engine);
   source.set_fault_plan(config_.fault_plan);
+  source.set_interrupt_flag(config_.interrupt);
   return run(source);
 }
 
 vm::RunOutcome ProfileSession::replay(std::span<const std::uint8_t> trace_bytes,
                                       bool salvage) {
   TraceReplaySource source(trace_bytes, attribution_.program(), salvage);
+  source.set_interrupt_flag(config_.interrupt);
   const vm::RunOutcome outcome = run(source);
   salvage_report_ = source.salvage_report();
   return outcome;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -49,6 +50,13 @@ struct SessionConfig {
   /// instructions (0 = off). The final pulse carries the run status, so
   /// PARTIAL/trap exits are visible too.
   std::uint64_t heartbeat_interval = 0;
+  /// Cooperative interruption: when non-null and `*interrupt` becomes
+  /// nonzero (typically from a SIGINT/SIGTERM handler), the run stops at the
+  /// next retirement boundary (live) or block boundary (replay) with
+  /// RunStatus::kInterrupted. Every consumer still sees on_finish, so
+  /// recorders finalize and reports can stamp INTERRUPTED. The flag must
+  /// outlive the run.
+  const volatile std::sig_atomic_t* interrupt = nullptr;
 };
 
 /// The heartbeat consumer. Registered directly with the KernelAttribution —

@@ -1,0 +1,96 @@
+#include "support/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace tq {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      TQUAD_THROW("write failed for '" + path + "': " + errno_text());
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  // Per-pid temp name: concurrent writers (farm workers on distinct jobs
+  // share a directory) never clobber each other's staging file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) TQUAD_THROW("cannot create '" + tmp + "': " + errno_text());
+  try {
+    write_all(fd, bytes.data(), bytes.size(), tmp);
+    if (::fsync(fd) != 0) {
+      TQUAD_THROW("fsync failed for '" + tmp + "': " + errno_text());
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    TQUAD_THROW("close failed for '" + tmp + "': " + errno_text());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string reason = errno_text();
+    ::unlink(tmp.c_str());
+    TQUAD_THROW("rename '" + tmp + "' -> '" + path + "' failed: " + reason);
+  }
+}
+
+void write_text_atomic(const std::string& path, const std::string& text) {
+  std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  write_file_atomic(path, bytes);
+}
+
+// ---------------------------------------------------------------------------
+// AppendLog
+
+AppendLog::~AppendLog() { close(); }
+
+void AppendLog::open(const std::string& path) {
+  TQUAD_CHECK(fd_ < 0, "AppendLog already open");
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) TQUAD_THROW("cannot open journal '" + path + "': " + errno_text());
+  path_ = path;
+}
+
+void AppendLog::append(const std::string& line) {
+  TQUAD_CHECK(fd_ >= 0, "AppendLog::append before open");
+  std::string record = line;
+  record.push_back('\n');
+  write_all(fd_, reinterpret_cast<const std::uint8_t*>(record.data()),
+            record.size(), path_);
+  if (::fsync(fd_) != 0) {
+    TQUAD_THROW("fsync failed for journal '" + path_ + "': " + errno_text());
+  }
+}
+
+void AppendLog::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace tq

@@ -1,0 +1,56 @@
+// Crash-safe file output.
+//
+// Two primitives the robustness paths (trace repair, farm sidecars and
+// checkpoint manifest) are built on:
+//   * write_file_atomic / write_text_atomic — write to `<path>.tmp.<pid>`,
+//     fsync, then rename(2) over the destination. A reader never observes a
+//     half-written file: either the old bytes or the complete new ones.
+//   * AppendLog — an append-only journal (O_APPEND) whose append() fsyncs
+//     after every line, so a record that append() returned for survives a
+//     crash of the writing process.
+//
+// Durability caveat: the directory entry itself is not fsync'd, so a whole-
+// machine power loss can still lose the rename/append. That is the standard
+// trade for journal-grade (process-crash) safety without a dirfd dance, and
+// is what the farm's resume logic assumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tq {
+
+/// Atomically replace `path` with `bytes` (temp file + fsync + rename).
+/// Throws Error on any I/O failure; the destination is untouched on throw.
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// Atomically replace `path` with `text`.
+void write_text_atomic(const std::string& path, const std::string& text);
+
+/// An append-only, fsync-per-record journal. Lines appended before a crash
+/// of this process are on disk; a torn final line (kill mid-write) is the
+/// reader's problem — see farm::Manifest::load, which drops it.
+class AppendLog {
+ public:
+  AppendLog() = default;
+  ~AppendLog();
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  /// Open (creating if absent) for appending. Throws Error on failure.
+  void open(const std::string& path);
+  bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Append `line` plus a trailing newline, then fsync. Throws Error.
+  void append(const std::string& line);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace tq

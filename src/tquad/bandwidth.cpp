@@ -1,6 +1,32 @@
 #include "tquad/bandwidth.hpp"
 
+#include <utility>
+
 namespace tq::tquad {
+
+void KernelBandwidth::merge(const KernelBandwidth& other) {
+  if (other.series.empty() && other.totals.empty()) return;
+  // Two-pointer merge of the ascending sparse series; equal slice indices
+  // (a slice cut by a shard boundary) fold by addition.
+  std::vector<SliceSample> merged;
+  merged.reserve(series.size() + other.series.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < series.size() || b < other.series.size()) {
+    if (b == other.series.size() ||
+        (a < series.size() && series[a].slice < other.series[b].slice)) {
+      merged.push_back(series[a++]);
+    } else if (a == series.size() || other.series[b].slice < series[a].slice) {
+      merged.push_back(other.series[b++]);
+    } else {
+      SliceSample sample = series[a++];
+      sample.counters.merge(other.series[b++].counters);
+      merged.push_back(sample);
+    }
+  }
+  series = std::move(merged);
+  totals.merge(other.totals);
+}
 
 BandwidthRecorder::BandwidthRecorder(std::size_t kernel_count,
                                      std::uint64_t slice_interval)

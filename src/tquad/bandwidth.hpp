@@ -60,6 +60,14 @@ struct KernelBandwidth {
   /// Number of slices in which the kernel touched memory (activity span
   /// column of Table IV).
   std::uint64_t active_slices() const noexcept { return series.size(); }
+
+  /// Fold `other` (same kernel, same slice interval) into this series:
+  /// samples for the same slice merge their counters, distinct slices
+  /// interleave in ascending order. The operation is associative and
+  /// commutative, so block-range shards of one trace merge into exactly
+  /// the whole-trace series regardless of shard boundaries or order — the
+  /// farm's fleet aggregation depends on that.
+  void merge(const KernelBandwidth& other);
 };
 
 /// Records per-kernel, per-slice byte counts.

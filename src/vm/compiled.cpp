@@ -205,28 +205,30 @@ RunOutcome CompiledMachine::start(ProbeProvider* probes, EventSink* sink) {
     trap(why);            \
   } while (0)
 
-// Stop check (budget / trap_at, folded into one compare) and tick
-// accounting for the (first) instruction of an op. `membit` is the static
-// has-memory-operand flag the batched tick records — predicated-off
-// instructions count, exactly as the interpreter-side trampolines see them.
-#define TQ_HEAD(membit)                  \
-  if (retired >= stop_at) [[unlikely]] { \
-    cpu_.pc = op->pc;                    \
-    goto handle_stop;                    \
-  }                                      \
-  if constexpr (M == Mode::kSinked) {    \
-    ++span_count;                        \
-    span_mem += (membit) ? 1 : 0;        \
+// Stop check (budget / trap_at folded into one compare, plus the cooperative
+// interrupt flag when armed — `irq` is null for uninterruptible runs, so the
+// extra test stays branch-predicted free) and tick accounting for the
+// (first) instruction of an op. `membit` is the static has-memory-operand
+// flag the batched tick records — predicated-off instructions count, exactly
+// as the interpreter-side trampolines see them.
+#define TQ_HEAD(membit)                                                \
+  if (retired >= stop_at || (irq != nullptr && *irq != 0)) [[unlikely]] { \
+    cpu_.pc = op->pc;                                                  \
+    goto handle_stop;                                                  \
+  }                                                                    \
+  if constexpr (M == Mode::kSinked) {                                  \
+    ++span_count;                                                      \
+    span_mem += (membit) ? 1 : 0;                                      \
   }
 
 // Stop check + tick for the second instruction of a fused pair.
-#define TQ_MID()                         \
-  if (retired >= stop_at) [[unlikely]] { \
-    cpu_.pc = op->pc + 1;                \
-    goto handle_stop;                    \
-  }                                      \
-  if constexpr (M == Mode::kSinked) {    \
-    ++span_count;                        \
+#define TQ_MID()                                                       \
+  if (retired >= stop_at || (irq != nullptr && *irq != 0)) [[unlikely]] { \
+    cpu_.pc = op->pc + 1;                                              \
+    goto handle_stop;                                                  \
+  }                                                                    \
+  if constexpr (M == Mode::kSinked) {                                  \
+    ++span_count;                                                      \
   }
 
 // Predicate evaluation, probe dispatch (with pre-execution operand state),
@@ -292,6 +294,9 @@ RunOutcome CompiledMachine::exec(ProbeProvider* probes, EventSink* sink) {
   if (fault_.trap_at_retired != 0 && fault_.trap_at_retired < stop_at) {
     stop_at = fault_.trap_at_retired;
   }
+  // Cached locally so the dispatch loop's stop check needs no member load;
+  // the pointed-to flag itself stays volatile (set from a signal handler).
+  const volatile std::sig_atomic_t* const irq = interrupt_;
 
   std::uint64_t retired = 0;
   std::uint32_t cur_func = cpu_.func;
@@ -759,11 +764,19 @@ RunOutcome CompiledMachine::exec(ProbeProvider* probes, EventSink* sink) {
 #undef TQ_NEXT
 
   handle_stop : {
-    // `retired >= stop_at` fired (cpu_.pc set at the jump site). The budget
-    // wins over trap_at when both trigger, like the interpreter's check
-    // order.
+    // `retired >= stop_at` or the interrupt flag fired (cpu_.pc set at the
+    // jump site). The interrupt wins over the budget, and the budget over
+    // trap_at, matching the interpreter's check order.
     cpu_.func = cur_func;
     retired_ = retired;
+    if (irq != nullptr && *irq != 0) {
+      TQ_FLUSH_SPAN()
+      if constexpr (M == Mode::kProbed) probes->on_end(retired);
+      RunOutcome out;
+      out.status = RunStatus::kInterrupted;
+      out.retired = retired;
+      return out;
+    }
     if (budget_ != 0 && retired >= budget_) {
       TQ_FLUSH_SPAN()
       if constexpr (M == Mode::kProbed) probes->on_end(retired);

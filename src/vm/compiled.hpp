@@ -121,6 +121,10 @@ class CompiledMachine final : public GuestEngine {
     budget_ = budget;
   }
   void set_fault_plan(const FaultPlan& plan) noexcept override { fault_ = plan; }
+  void set_interrupt_flag(
+      const volatile std::sig_atomic_t* flag) noexcept override {
+    interrupt_ = flag;
+  }
   const Cpu& cpu() const noexcept override { return cpu_; }
   std::uint64_t retired() const noexcept override { return retired_; }
   std::uint64_t heap_used() const noexcept override {
@@ -162,6 +166,7 @@ class CompiledMachine final : public GuestEngine {
   PagedMemory memory_;
   std::uint64_t retired_ = 0;
   std::uint64_t budget_ = 0;
+  const volatile std::sig_atomic_t* interrupt_ = nullptr;
   std::uint64_t heap_ptr_ = kHeapBase;
   FaultPlan fault_;
   std::uint64_t syscalls_seen_ = 0;

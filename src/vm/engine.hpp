@@ -9,6 +9,7 @@
 // CLI layers (`-engine interp|compiled`).
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 
 namespace tq::vm {
@@ -39,6 +40,14 @@ class GuestEngine {
 
   /// Arm deterministic fault injection (see FaultPlan).
   virtual void set_fault_plan(const FaultPlan& plan) noexcept = 0;
+
+  /// Arm cooperative interruption: when `*flag` becomes nonzero (typically
+  /// from a SIGINT/SIGTERM handler), the run stops at the next retirement
+  /// boundary with RunStatus::kInterrupted — the events delivered so far are
+  /// a valid prefix, exactly like a budget cut. `flag` must outlive the run;
+  /// null (default) disarms the check.
+  virtual void set_interrupt_flag(
+      const volatile std::sig_atomic_t* flag) noexcept = 0;
 
   /// Post-run inspection.
   virtual const Cpu& cpu() const noexcept = 0;

@@ -143,6 +143,15 @@ RunOutcome Machine::run_loop(ExecListener* listener) {
       trap("pc past end of function");
     }
     const Instr& ins = fn->code[cpu_.pc];
+    if (interrupt_ != nullptr && *interrupt_ != 0) [[unlikely]] {
+      // Cooperative interruption (SIGINT/SIGTERM flag): stop at a retirement
+      // boundary so the events delivered so far are a valid prefix.
+      if constexpr (kTraced) listener->on_program_end(retired_);
+      RunOutcome out;
+      out.status = RunStatus::kInterrupted;
+      out.retired = retired_;
+      return out;
+    }
     if (budget_ != 0 && retired_ >= budget_) [[unlikely]] {
       // Graceful truncation: the events so far are a valid prefix.
       if constexpr (kTraced) listener->on_program_end(retired_);

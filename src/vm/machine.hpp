@@ -149,6 +149,12 @@ class Machine : public GuestEngine {
   /// Arm deterministic fault injection (see FaultPlan).
   void set_fault_plan(const FaultPlan& plan) noexcept override { fault_ = plan; }
 
+  /// Arm cooperative interruption (see GuestEngine::set_interrupt_flag).
+  void set_interrupt_flag(
+      const volatile std::sig_atomic_t* flag) noexcept override {
+    interrupt_ = flag;
+  }
+
   /// Post-run inspection.
   const Cpu& cpu() const noexcept override { return cpu_; }
   const PagedMemory& memory() const noexcept { return memory_; }
@@ -172,6 +178,7 @@ class Machine : public GuestEngine {
   PagedMemory memory_;
   std::uint64_t retired_ = 0;
   std::uint64_t budget_ = 0;
+  const volatile std::sig_atomic_t* interrupt_ = nullptr;
   std::uint64_t heap_ptr_ = kHeapBase;
   FaultPlan fault_;
   std::uint64_t syscalls_seen_ = 0;

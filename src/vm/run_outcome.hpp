@@ -12,9 +12,10 @@
 namespace tq::vm {
 
 enum class RunStatus : std::uint8_t {
-  kHalted = 0,     ///< the guest reached kHalt; the profile is complete
-  kTrapped = 1,    ///< guest-attributable fault; the profile is a prefix
-  kTruncated = 2,  ///< instruction budget exhausted; graceful cut, a prefix
+  kHalted = 0,       ///< the guest reached kHalt; the profile is complete
+  kTrapped = 1,      ///< guest-attributable fault; the profile is a prefix
+  kTruncated = 2,    ///< instruction budget exhausted; graceful cut, a prefix
+  kInterrupted = 3,  ///< host asked to stop (SIGINT/SIGTERM); a prefix
 };
 
 /// What a run produced. `retired` is always the number of instructions whose
@@ -42,6 +43,9 @@ struct RunOutcome {
       case RunStatus::kTruncated:
         return "instruction budget exhausted (retired " +
                std::to_string(retired) + ")";
+      case RunStatus::kInterrupted:
+        return "interrupted by signal (retired " + std::to_string(retired) +
+               ")";
       case RunStatus::kHalted:
         break;
     }

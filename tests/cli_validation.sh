@@ -259,4 +259,31 @@ test -s trap.tqtr
 expect_status 0 trap_replay.txt -- \
     "$TOOLS/tquad_cli" -replay trap.tqtr -image trap.tqim -slice 5000
 
+# -pipeline auto resolves before the run (to parallel on this host iff it
+# has >= 4 hardware threads) and produces the same reports and trace as the
+# serial multi-tool run above.
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -tools tquad,quad,gprof \
+    -report flat -slice 2000 -trace multi_auto.tqtr \
+    -pipeline auto > multi_auto.txt
+grep -v "trace written to" multi_auto.txt > multi_auto_body.txt
+cmp multi_serial_body.txt multi_auto_body.txt
+cmp multi.tqtr multi_auto.tqtr
+
+# tquad_farm usage errors exit 2, validated before any worker is spawned.
+expect_status 2 usage.txt -- "$TOOLS/tquad_farm"
+grep -q "missing -traces" err.txt
+expect_status 2 usage.txt -- "$TOOLS/tquad_farm" -traces multi.tqtr
+grep -q "missing -state" err.txt
+expect_error "option -workers must be a positive integer (got 0)" -- \
+    "$TOOLS/tquad_farm" -traces multi.tqtr -state farm_state -workers 0
+expect_error "option -max-attempts must be a positive integer (got 0)" -- \
+    "$TOOLS/tquad_farm" -traces multi.tqtr -state farm_state -max-attempts 0
+expect_error "option -shard-blocks must not be negative (got -1)" -- \
+    "$TOOLS/tquad_farm" -traces multi.tqtr -state farm_state -shard-blocks -1
+expect_status 2 usage.txt -- \
+    "$TOOLS/tquad_farm" -traces multi.tqtr -state farm_state -chaos-kill 1.5
+grep -q "chaos-kill/-chaos-hang must be in" err.txt
+expect_status 2 usage.txt -- "$TOOLS/tquad_farm" -worker -trace multi.tqtr
+grep -q "worker needs -trace and -sidecar" err.txt
+
 echo "cli validation: OK"

@@ -1,0 +1,232 @@
+// Farm plumbing units: the TQFS sidecar codec, the checkpoint manifest
+// journal, and the report-merge algebra the fleet aggregation relies on.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "farm/manifest.hpp"
+#include "farm/sidecar.hpp"
+#include "support/check.hpp"
+#include "tquad/bandwidth.hpp"
+
+namespace tq::farm {
+namespace {
+
+tquad::SliceCounters counters(std::uint64_t ri, std::uint64_t re,
+                              std::uint64_t wi, std::uint64_t we) {
+  tquad::SliceCounters c;
+  c.read_incl = ri;
+  c.read_excl = re;
+  c.write_incl = wi;
+  c.write_excl = we;
+  return c;
+}
+
+JobReport sample_report() {
+  JobReport report;
+  report.job_id = 7;
+  report.trace_path = "state dir/run a.tqtr";  // spaces must survive
+  report.whole = false;
+  report.block_lo = 4;
+  report.block_hi = 9;
+  report.retired = 123'456;
+  report.slice_interval = 5'000;
+  report.kernel_names = {"main", "work_fft", "k2"};
+  report.kernels.resize(3);
+  report.kernels[0].totals = counters(100, 90, 50, 40);
+  report.kernels[0].series = {{2, counters(60, 55, 30, 25)},
+                              {5, counters(40, 35, 20, 15)}};
+  report.kernels[2].totals = counters(8, 8, 0, 0);
+  report.kernels[2].series = {{11, counters(8, 8, 0, 0)}};
+  report.quad_excl.resize(3);
+  report.quad_incl.resize(3);
+  report.quad_excl[1] = {1000, 64, 2000, 32};
+  report.quad_incl[1] = {1500, 96, 2500, 48};
+  report.metrics = {{"worker.retired", 123'456}, {"worker.records", 42}};
+  return report;
+}
+
+TEST(SidecarCodec, RoundTripsEveryField) {
+  const JobReport original = sample_report();
+  const JobReport decoded = decode_sidecar(encode_sidecar(original));
+
+  EXPECT_EQ(decoded.job_id, original.job_id);
+  EXPECT_EQ(decoded.trace_path, original.trace_path);
+  EXPECT_FALSE(decoded.whole);
+  EXPECT_EQ(decoded.block_lo, 4u);
+  EXPECT_EQ(decoded.block_hi, 9u);
+  EXPECT_EQ(decoded.retired, original.retired);
+  EXPECT_EQ(decoded.slice_interval, original.slice_interval);
+  ASSERT_EQ(decoded.kernels.size(), 3u);
+  EXPECT_EQ(decoded.kernel_names, original.kernel_names);
+  EXPECT_EQ(decoded.kernels[0].totals.read_incl, 100u);
+  EXPECT_EQ(decoded.kernels[0].totals.write_excl, 40u);
+  ASSERT_EQ(decoded.kernels[0].series.size(), 2u);
+  EXPECT_EQ(decoded.kernels[0].series[1].slice, 5u);
+  EXPECT_EQ(decoded.kernels[0].series[1].counters.read_incl, 40u);
+  EXPECT_TRUE(decoded.kernels[1].totals.empty());
+  EXPECT_TRUE(decoded.kernels[1].series.empty());
+  ASSERT_TRUE(decoded.has_quad());
+  EXPECT_EQ(decoded.quad_excl[1].in_bytes, 1000u);
+  EXPECT_EQ(decoded.quad_incl[1].out_unma, 48u);
+  EXPECT_TRUE(decoded.quad_excl[0].empty());
+  ASSERT_EQ(decoded.metrics.size(), 2u);
+  EXPECT_EQ(decoded.metrics[0].name, "worker.retired");
+  EXPECT_EQ(decoded.metrics[1].value, 42u);
+  // A second encode is byte-identical: the codec is canonical.
+  EXPECT_EQ(encode_sidecar(decoded), encode_sidecar(original));
+}
+
+TEST(SidecarCodec, WholeTraceOmitsRange) {
+  JobReport report;
+  report.job_id = 1;
+  report.trace_path = "run.tqtr";
+  report.kernel_names = {"k0"};
+  report.kernels.resize(1);
+  const std::string text = encode_sidecar(report);
+  EXPECT_EQ(text.find("range"), std::string::npos);
+  EXPECT_TRUE(decode_sidecar(text).whole);
+}
+
+TEST(SidecarCodec, RejectsTruncation) {
+  std::string text = encode_sidecar(sample_report());
+  // Strip the `end` terminator — the torn-write shape a crashed worker
+  // would leave if sidecars were not written atomically.
+  text.resize(text.size() - 4);
+  EXPECT_THROW(decode_sidecar(text), Error);
+  EXPECT_THROW(decode_sidecar("garbage\n"), Error);
+  EXPECT_THROW(decode_sidecar("TQFS 1\nbogus-tag 1\nend\n"), Error);
+  // Missing required lines.
+  EXPECT_THROW(decode_sidecar("TQFS 1\nend\n"), Error);
+}
+
+TEST(SidecarCodec, RejectsOutOfRangeKernelIds) {
+  EXPECT_THROW(
+      decode_sidecar("TQFS 1\ntrace t\nkernels 2\nk 5 1 1 1 1\nend\n"), Error);
+  EXPECT_THROW(
+      decode_sidecar("TQFS 1\ntrace t\nkernels 1\ns 0 3 1 1 1 1\ns 0 2 1 1 1 1\nend\n"),
+      Error);  // series must ascend
+}
+
+TEST(QuadCountsMerge, Sums) {
+  QuadCounts a{10, 2, 20, 3};
+  const QuadCounts b{5, 1, 5, 1};
+  a.merge(b);
+  EXPECT_EQ(a.in_bytes, 15u);
+  EXPECT_EQ(a.in_unma, 3u);
+  EXPECT_EQ(a.out_bytes, 25u);
+  EXPECT_EQ(a.out_unma, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// KernelBandwidth::merge — the algebra behind shard folding.
+
+TEST(KernelBandwidthMerge, InterleavesAndFoldsSeamSlices) {
+  tquad::KernelBandwidth a;
+  a.series = {{1, counters(10, 10, 0, 0)}, {4, counters(5, 5, 1, 1)}};
+  a.totals = counters(15, 15, 1, 1);
+  tquad::KernelBandwidth b;
+  b.series = {{2, counters(7, 6, 0, 0)}, {4, counters(3, 3, 1, 0)}};
+  b.totals = counters(10, 9, 1, 0);
+
+  a.merge(b);
+  ASSERT_EQ(a.series.size(), 3u);
+  EXPECT_EQ(a.series[0].slice, 1u);
+  EXPECT_EQ(a.series[1].slice, 2u);
+  EXPECT_EQ(a.series[2].slice, 4u);
+  // Slice 4 straddled the shard seam: counters add.
+  EXPECT_EQ(a.series[2].counters.read_incl, 8u);
+  EXPECT_EQ(a.series[2].counters.write_incl, 2u);
+  EXPECT_EQ(a.series[2].counters.write_excl, 1u);
+  EXPECT_EQ(a.totals.read_incl, 25u);
+  EXPECT_EQ(a.totals.read_excl, 24u);
+}
+
+TEST(KernelBandwidthMerge, EmptyIsIdentity) {
+  tquad::KernelBandwidth a;
+  a.series = {{3, counters(1, 1, 1, 1)}};
+  a.totals = counters(1, 1, 1, 1);
+  a.merge(tquad::KernelBandwidth{});
+  ASSERT_EQ(a.series.size(), 1u);
+
+  tquad::KernelBandwidth empty;
+  empty.merge(a);
+  ASSERT_EQ(empty.series.size(), 1u);
+  EXPECT_EQ(empty.totals.read_incl, 1u);
+}
+
+TEST(KernelBandwidthMerge, OrderIndependent) {
+  // Three shards merged in two different orders give identical results —
+  // required for resume, where completion order differs across runs.
+  auto shard = [](std::uint64_t slice, std::uint64_t bytes) {
+    tquad::KernelBandwidth k;
+    k.series = {{slice, counters(bytes, bytes, 0, 0)},
+                {slice + 1, counters(1, 1, 1, 1)}};
+    k.totals = counters(bytes + 1, bytes + 1, 1, 1);
+    return k;
+  };
+  tquad::KernelBandwidth left = shard(0, 10);
+  left.merge(shard(1, 20));
+  left.merge(shard(5, 30));
+
+  tquad::KernelBandwidth right = shard(5, 30);
+  right.merge(shard(0, 10));
+  right.merge(shard(1, 20));
+
+  ASSERT_EQ(left.series.size(), right.series.size());
+  for (std::size_t i = 0; i < left.series.size(); ++i) {
+    EXPECT_EQ(left.series[i].slice, right.series[i].slice);
+    EXPECT_EQ(left.series[i].counters.read_incl,
+              right.series[i].counters.read_incl);
+  }
+  EXPECT_EQ(left.totals.read_incl, right.totals.read_incl);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest journal
+
+TEST(Manifest, RoundTripsAndDropsTornTail) {
+  const std::string path =
+      testing::TempDir() + "tq_farm_manifest_test.jsonl";
+  std::remove(path.c_str());
+  {
+    Manifest manifest;
+    manifest.open(path);
+    manifest.record_farm(3, 5'000);
+    manifest.record_job(0, "a.tqtr", true, 0, 0);
+    manifest.record_job(1, "dir with \"quotes\"/b.tqtr", false, 2, 6);
+    manifest.record_job(2, "c.tqtr", true, 0, 0);
+    manifest.record_done(0, 2, "state/job0.tqfs");
+    manifest.record_quarantine(2, 3, "signal 9 (Killed)", "state/job2.attempt3.stderr");
+  }
+  // Simulate a supervisor killed mid-append: a torn, partial final line.
+  {
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"event\":\"done\",\"id\":1,\"att";
+  }
+  const ManifestState state = Manifest::load(path);
+  EXPECT_EQ(state.job_count, 3u);
+  EXPECT_EQ(state.slice_interval, 5'000u);
+  ASSERT_EQ(state.jobs.size(), 3u);
+  EXPECT_EQ(state.jobs.at(1).trace_path, "dir with \"quotes\"/b.tqtr");
+  EXPECT_FALSE(state.jobs.at(1).whole);
+  EXPECT_EQ(state.jobs.at(1).block_lo, 2u);
+  EXPECT_EQ(state.jobs.at(1).block_hi, 6u);
+  ASSERT_EQ(state.done.size(), 1u);  // the torn `done` for job 1 is dropped
+  EXPECT_EQ(state.done.at(0).attempts, 2u);
+  EXPECT_EQ(state.done.at(0).sidecar_path, "state/job0.tqfs");
+  ASSERT_EQ(state.quarantined.size(), 1u);
+  EXPECT_EQ(state.quarantined.at(2).reason, "signal 9 (Killed)");
+  std::remove(path.c_str());
+}
+
+TEST(Manifest, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape(std::string("x\ny")), "x\\u000ay");
+}
+
+}  // namespace
+}  // namespace tq::farm

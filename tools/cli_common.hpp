@@ -2,6 +2,7 @@
 // flag parsing/validation, and report fragments used by more than one tool.
 #pragma once
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -21,6 +22,27 @@
 #include "vm/run_outcome.hpp"
 
 namespace tq::cli {
+
+/// The graceful-shutdown flag the engines poll (vm::GuestEngine /
+/// session::SessionConfig interrupt plumbing). Set to 1 by the first
+/// SIGINT/SIGTERM; the handler is installed with SA_RESETHAND, so a second
+/// signal falls back to the default disposition and kills the process — an
+/// escape hatch if the graceful path itself wedges.
+inline volatile std::sig_atomic_t g_interrupt = 0;
+
+/// Install the graceful SIGINT/SIGTERM handler. Call once, before the run;
+/// wire `&g_interrupt` into SessionConfig::interrupt. The run then ends with
+/// RunStatus::kInterrupted: reports stamp INTERRUPTED, recorders finalize
+/// (the pre-interrupt trace replays, like pre-trap traces do), and the tool
+/// exits 4.
+inline void install_interrupt_handler() {
+  struct sigaction action {};
+  action.sa_handler = [](int) { g_interrupt = 1; };
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 inline std::vector<std::uint8_t> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -103,13 +125,20 @@ inline void validate_on_trap(const std::string& mode) {
 }
 
 /// Parse the `-pipeline` flag: `serial` (the default reference
-/// implementation) or `parallel[:N]` with N drain workers (N omitted =
-/// hardware concurrency). Malformed specs — including an explicit worker
-/// count of 0, which would otherwise silently fall through to the auto
-/// path — raise UsageError, which the CLIs map to exit code 2.
+/// implementation), `parallel[:N]` with N drain workers (N omitted =
+/// hardware concurrency), or `auto` — parallel only when the machine has at
+/// least 4 hardware threads (the floor the parallel perf contract is
+/// benchmarked on), serial otherwise. Malformed specs — including an
+/// explicit worker count of 0, which would otherwise silently fall through
+/// to the auto path — raise UsageError, which the CLIs map to exit code 2.
 inline session::PipelineOptions parse_pipeline(const std::string& spec) {
   session::PipelineOptions options;
   if (spec == "serial") return options;
+  if (spec == "auto") {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw >= 4) options.mode = session::PipelineMode::kParallel;
+    return options;
+  }
   const std::string kParallel = "parallel";
   if (spec.compare(0, kParallel.size(), kParallel) == 0) {
     options.mode = session::PipelineMode::kParallel;
@@ -130,7 +159,19 @@ inline session::PipelineOptions parse_pipeline(const std::string& spec) {
     }
   }
   throw UsageError("unknown -pipeline mode '" + spec +
-                   "' (serial|parallel[:N])");
+                   "' (serial|parallel[:N]|auto)");
+}
+
+/// One stderr advisory when `-pipeline auto` degraded to serial — graceful
+/// degradation should be visible, not silent. Call once, on the run path
+/// (parse_pipeline also runs during flag validation).
+inline void note_pipeline_auto_fallback(const std::string& spec,
+                                        const session::PipelineOptions& options) {
+  if (spec != "auto" || options.mode != session::PipelineMode::kSerial) return;
+  std::fprintf(stderr,
+               "note: -pipeline auto selected serial (%u hardware threads; "
+               "parallel needs >= 4)\n",
+               std::thread::hardware_concurrency());
 }
 
 /// The `-metrics` flag: off by default, `text` or `json`, optionally with a
@@ -224,10 +265,13 @@ inline void emit_viz(const std::string& body, const VizSpec& spec) {
   std::fputs(body.c_str(), stdout);
 }
 
-/// Exit code for a finished run: 3 flags a guest trap (distinct from tool
-/// errors = 1 and usage errors = 2); a budget cut is a graceful 0.
+/// Exit code for a finished run: 3 flags a guest trap and 4 a
+/// SIGINT/SIGTERM interruption (distinct from tool errors = 1 and usage
+/// errors = 2); a budget cut is a graceful 0.
 inline int outcome_exit_code(const vm::RunOutcome& outcome) {
-  return outcome.status == vm::RunStatus::kTrapped ? 3 : 0;
+  if (outcome.status == vm::RunStatus::kTrapped) return 3;
+  if (outcome.status == vm::RunStatus::kInterrupted) return 4;
+  return 0;
 }
 
 /// Stamp non-clean outcomes above the reports so a reader (or a script
@@ -241,6 +285,9 @@ inline void print_outcome_status(const vm::RunOutcome& outcome) {
       break;
     case vm::RunStatus::kTruncated:
       std::printf("status: TRUNCATED (%s)\n", outcome.summary().c_str());
+      break;
+    case vm::RunStatus::kInterrupted:
+      std::printf("status: INTERRUPTED (%s)\n", outcome.summary().c_str());
       break;
   }
 }

@@ -10,7 +10,10 @@
 // graph in Graphviz DOT and a communication-driven task clustering. -trace
 // additionally records a TQTR event trace (replayable with tquad -replay) —
 // the recorder rides the same single-pass ProfileSession as the analysis, so
-// the guest executes once.
+// the guest executes once. SIGINT/SIGTERM stop the run gracefully: reports
+// stamp INTERRUPTED, a -trace recording finalizes, and the tool exits 4.
+// Exit codes: 0 ok/truncated, 1 tool error, 2 usage error, 3 guest trap,
+// 4 interrupted.
 #include <cstdio>
 #include <optional>
 
@@ -48,7 +51,8 @@ int main(int argc, char** argv) {
                  "reports are byte-identical either way");
   cli.add_string("pipeline", "serial",
                  "analysis dispatch: serial (tools run on the VM thread) | "
-                 "parallel[:N] (tools drain event rings on N worker threads)");
+                 "parallel[:N] (tools drain event rings on N worker threads) | "
+                 "auto (parallel when the host has >= 4 hardware threads)");
   cli.add_string("metrics", "",
                  "emit profiler self-metrics after the reports: text | json, "
                  "optionally :path (e.g. json:metrics.json; default stdout)");
@@ -91,6 +95,12 @@ int main(int argc, char** argv) {
     if (metrics_spec.enabled) config.metrics = &registry;
     config.heartbeat_interval =
         static_cast<std::uint64_t>(cli.integer("heartbeat")) * 1'000'000;
+    cli::note_pipeline_auto_fallback(cli.str("pipeline"), config.pipeline);
+    // Graceful ^C: the engine stops at the next retirement boundary, every
+    // consumer flushes (the recorder finalizes its trace), and the reports
+    // stamp INTERRUPTED.
+    cli::install_interrupt_handler();
+    config.interrupt = &cli::g_interrupt;
     session::ProfileSession profile(program, config);
     quad::QuadTool tool(program, quad::QuadOptions{policy});
     profile.add_consumer(tool);

@@ -9,11 +9,15 @@
 // salvage scan to enumerate exactly which blocks are damaged and why.
 // `repair` re-encodes whatever salvage recovered into a fresh, clean v2.1
 // file (a truncated mid-write trace gains back its trailer index this way).
+// The rewrite is crash-safe — staged to a temp file and renamed over -out —
+// so an interrupted repair never leaves a half-written trace, and repairing
+// a file onto itself is safe.
 //
 // Exit codes: 0 ok, 1 corrupt file or tool error, 2 usage error.
 #include <cstdio>
 #include <string>
 
+#include "support/atomic_file.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "trace/trace_v2.hpp"
@@ -96,7 +100,9 @@ int repair(const std::vector<std::uint8_t>& bytes, const std::string& out_path) 
   for (std::size_t b = 0; b < view.block_count(); ++b) {
     for (const trace::Record& record : view.decode_block(b)) writer.add(record);
   }
-  cli::write_file(out_path, writer.finish(view.total_retired()));
+  // Crash-safe: repairing a trace in place (-out same as the input) must
+  // never leave a half-written file — stage to a temp and rename over.
+  write_file_atomic(out_path, writer.finish(view.total_retired()));
   std::printf("repaired trace written to %s (%llu records)\n", out_path.c_str(),
               static_cast<unsigned long long>(view.record_count()));
   return 0;

@@ -6,7 +6,7 @@
 //         [-tools tquad,quad,gprof] [-report flat|bandwidth|phases|series|all]
 //         [-csv out.csv] [-trace out.tqtr -trace-format v1|v2]
 //         [-sample N] [-cpu-ghz G -cpi C] [-budget N] [-on-trap report|abort]
-//         [-engine interp|compiled] [-pipeline serial|parallel[:N]]
+//         [-engine interp|compiled] [-pipeline serial|parallel[:N]|auto]
 //         [-metrics text|json[:path]] [-viz json[:path] [-viz-bucket B]]
 //         [-heartbeat N]
 //   tquad -replay run.tqtr [-image app.tqim] [-slice N] [-threads T] [-salvage]
@@ -30,8 +30,11 @@
 // still writes -trace/-csv/-out, and exits 3; -on-trap abort prints the trap
 // and exits 3 with no reports. -budget exhaustion stamps `status: TRUNCATED`
 // and exits 0. -salvage replays damaged v2 traces block-by-block, skipping
-// blocks whose CRC or structure check fails. Exit codes: 0 ok/truncated,
-// 1 tool error, 2 usage error, 3 guest trap.
+// blocks whose CRC or structure check fails. SIGINT/SIGTERM stop the run
+// gracefully: reports stamp INTERRUPTED, a -trace recording finalizes (the
+// pre-interrupt prefix replays, as pre-trap traces do), and the tool exits
+// 4; a second signal kills immediately. Exit codes: 0 ok/truncated, 1 tool
+// error, 2 usage error, 3 guest trap, 4 interrupted.
 #include <cstdio>
 #include <optional>
 
@@ -193,9 +196,15 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
   config.engine = cli::parse_engine(cli.str("engine"));
   config.pipeline = cli::parse_pipeline(cli.str("pipeline"));
   cli::warn_parallel_on_small_host(config.pipeline);
+  cli::note_pipeline_auto_fallback(cli.str("pipeline"), config.pipeline);
   if (metrics_spec.enabled) config.metrics = &registry;
   config.heartbeat_interval =
       static_cast<std::uint64_t>(cli.integer("heartbeat")) * 1'000'000;
+  // Graceful ^C: the engines stop at the next retirement boundary, every
+  // consumer flushes (the recorder finalizes its trace), reports stamp
+  // INTERRUPTED, and the tool exits 4.
+  cli::install_interrupt_handler();
+  config.interrupt = &cli::g_interrupt;
   session::ProfileSession profile(program, config);
 
   std::optional<tquad::TQuadTool> tquad_tool;
@@ -381,7 +390,8 @@ int main(int argc, char** argv) {
                  "reports are byte-identical either way");
   cli.add_string("pipeline", "serial",
                  "analysis dispatch: serial (tools run on the VM thread) | "
-                 "parallel[:N] (tools drain event rings on N worker threads)");
+                 "parallel[:N] (tools drain event rings on N worker threads) | "
+                 "auto (parallel when the host has >= 4 hardware threads)");
   cli.add_string("metrics", "",
                  "emit profiler self-metrics after the reports: text | json, "
                  "optionally :path (e.g. json:metrics.json; default stdout)");
