@@ -1,10 +1,14 @@
 #include "session/pipeline.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -47,6 +51,179 @@ struct PipelineEvent {
 };
 
 using Batch = std::vector<PipelineEvent>;
+
+// ---------------------------------------------------------------------------
+// BatchChannel: the producer->worker transport every lane is built on. It
+// owns the staging batch, the data ring, a reverse freelist ring, and the
+// adaptive batch-size controller:
+//
+//  * The freelist runs opposite to the data ring (worker produces via
+//    recycle(), the VM thread consumes in flush()), so steady state
+//    circulates a fixed set of buffers instead of heap-allocating every
+//    published batch. Buffer lifetimes never cross the drain barrier in a
+//    way the barrier doesn't already order, and a full/closed freelist just
+//    frees the buffer — both sides stay non-blocking.
+//
+//  * `PipelineOptions::batch_events` is only the starting batch size. Each
+//    accepted push reports what it saw (SpscRing::PushFeedback) and the
+//    controller resizes within [batch_events_min, batch_events_max]: a
+//    stalled push or an empty-ring push means the per-push cost dominates,
+//    so batches grow; a queue building up shrinks them back. The forced
+//    schedules drive the size through its whole range so tests can prove
+//    batch boundaries never leak into reports.
+//
+// Only the VM thread touches cap_/counters; cross-thread traffic goes
+// through the two rings, which lock internally. Drops on a closed data ring
+// (abort path) deliberately skip adapt(): a dying run must not steer the
+// controller.
+
+template <typename Rec>
+class BatchChannel {
+ public:
+  using Buffer = std::vector<Rec>;
+
+  explicit BatchChannel(const PipelineOptions& options)
+      : policy_(options.adaptive),
+        cap_(options.batch_events > 0 ? options.batch_events : 1),
+        ring_(options.ring_batches > 0 ? options.ring_batches : 1),
+        free_(ring_limit(options) + 2) {
+    min_cap_ = options.batch_events_min > 0
+                   ? options.batch_events_min
+                   : std::max<std::size_t>(1, cap_ / 16);
+    if (min_cap_ > cap_) min_cap_ = cap_;
+    max_cap_ = options.batch_events_max > 0 ? options.batch_events_max : 8 * cap_;
+    if (max_cap_ < cap_) max_cap_ = cap_;
+    ring_.set_capacity_limit(ring_limit(options));
+    batch_.reserve(cap_);
+  }
+
+  // -- producer side (VM thread) --
+
+  /// Reserve the next staging slot, publishing a full batch first.
+  Rec& append() {
+    if (batch_.size() >= cap_) flush();
+    batch_.emplace_back();
+    return batch_.back();
+  }
+
+  /// Publish the staging batch (no-op when empty). Reuses a recycled buffer
+  /// when the worker has returned one; adapts the batch size from what the
+  /// push observed.
+  void flush() {
+    if (batch_.empty()) return;
+    Buffer staging;
+    if (free_.try_pop(staging)) {
+      ++freelist_hits_;
+    } else {
+      ++freelist_misses_;
+    }
+    staging.swap(batch_);
+    batch_.reserve(cap_);
+    typename SpscRing<Buffer>::PushFeedback feedback;
+    if (ring_.push(std::move(staging), &feedback)) adapt(feedback);
+  }
+
+  void close() { ring_.close(); }
+  void set_bell(Doorbell* bell) { ring_.set_doorbell(bell); }
+
+  // -- worker side --
+
+  bool try_pop(Buffer& out) { return ring_.try_pop(out); }
+  bool done() const { return ring_.done(); }
+  std::size_t ring_capacity() const { return ring_.capacity(); }
+
+  /// Hand a drained buffer back to the producer. Clears on the worker (the
+  /// records are trivially destructible, so this is just a size reset) and
+  /// never blocks: a full freelist frees the buffer right here.
+  void recycle(Buffer&& buffer) {
+    buffer.clear();
+    free_.try_push(std::move(buffer));
+  }
+
+  // -- post-run introspection --
+
+  void add_stats(PipelineStats& stats) const {
+    const auto rs = ring_.stats();
+    stats.batches_published += rs.pushes;
+    stats.backpressure_waits += rs.push_waits;
+    stats.producer_stall_ns += rs.stall_ns;
+    stats.dropped_after_close += rs.dropped_after_close;
+    if (rs.occupancy_high_water > stats.ring_occupancy_high_water) {
+      stats.ring_occupancy_high_water = rs.occupancy_high_water;
+    }
+    stats.ring_capacity_grows += rs.capacity_grows;
+    stats.batch_grows += grows_;
+    stats.batch_shrinks += shrinks_;
+    stats.freelist_hits += freelist_hits_;
+    stats.freelist_misses += freelist_misses_;
+    ++stats.rings;  // data ring only; the freelist is plumbing, not payload
+  }
+
+ private:
+  static std::size_t ring_limit(const PipelineOptions& options) {
+    const std::size_t base = options.ring_batches > 0 ? options.ring_batches : 1;
+    return options.ring_batches_max > 0 ? options.ring_batches_max : 4 * base;
+  }
+
+  void adapt(const typename SpscRing<Buffer>::PushFeedback& feedback) {
+    switch (policy_) {
+      case AdaptiveBatch::kOff:
+        break;
+      case AdaptiveBatch::kOccupancy:
+        // Stalled: the push rate outruns the ring; bigger batches cut the
+        // push (lock + wake) frequency. Empty ring: the worker drains
+        // between pushes, so bigger batches cost nothing and amortize
+        // better. A standing queue: the worker is the bottleneck — back off
+        // so occupancy (and peak memory) stays bounded while it catches up.
+        if (feedback.stalled || feedback.was_empty) {
+          grow();
+        } else if (feedback.depth_after >= 2) {
+          shrink();
+        }
+        break;
+      case AdaptiveBatch::kForceGrow:
+        grow();
+        break;
+      case AdaptiveBatch::kForceShrink:
+        shrink();
+        break;
+      case AdaptiveBatch::kForceCycle:
+        if (rising_) {
+          grow();
+          if (cap_ == max_cap_) rising_ = false;
+        } else {
+          shrink();
+          if (cap_ == min_cap_) rising_ = true;
+        }
+        break;
+    }
+  }
+
+  void grow() {
+    if (cap_ >= max_cap_) return;
+    cap_ = std::min(cap_ * 2, max_cap_);
+    ++grows_;
+  }
+
+  void shrink() {
+    if (cap_ <= min_cap_) return;
+    cap_ = std::max(cap_ / 2, min_cap_);
+    ++shrinks_;
+  }
+
+  const AdaptiveBatch policy_;
+  std::size_t cap_;
+  std::size_t min_cap_ = 1;
+  std::size_t max_cap_ = 1;
+  bool rising_ = true;
+  Buffer batch_;
+  SpscRing<Buffer> ring_;
+  SpscRing<Buffer> free_;
+  std::uint64_t grows_ = 0;
+  std::uint64_t shrinks_ = 0;
+  std::uint64_t freelist_hits_ = 0;
+  std::uint64_t freelist_misses_ = 0;
+};
 
 /// What a worker thread drains: pump() applies whatever is queued, and once
 /// the ring is closed and empty the drainable marks itself drained (with the
@@ -102,19 +279,14 @@ class LaneBase : public AnalysisConsumer {
 
 // ---------------------------------------------------------------------------
 // EventLane: the general consumer lane. Forwards every subscribed event kind
-// through one ring; on_finish flushes, closes, waits for the drain, then
+// through one channel; on_finish flushes, closes, waits for the drain, then
 // lets the target see the outcome on the publisher thread.
 
 class EventLane final : public LaneBase, public Drainable {
  public:
   EventLane(AnalysisConsumer& target, unsigned interests,
             const PipelineOptions& options)
-      : target_(target),
-        interests_(interests),
-        batch_cap_(options.batch_events > 0 ? options.batch_events : 1),
-        ring_(options.ring_batches > 0 ? options.ring_batches : 1) {
-    batch_.reserve(batch_cap_);
-  }
+      : target_(target), interests_(interests), channel_(options) {}
 
   // -- publisher side (VM thread) --
   unsigned event_interests() const override { return interests_; }
@@ -145,8 +317,8 @@ class EventLane final : public LaneBase, public Drainable {
   }
 
   void on_finish(const vm::RunOutcome& outcome) override {
-    flush();
-    ring_.close();
+    channel_.flush();
+    channel_.close();
     wait_drained();
     // The drain barrier passed: the worker applied the whole stream, so the
     // target finalizes with complete (possibly prefix-exact partial) state.
@@ -157,18 +329,10 @@ class EventLane final : public LaneBase, public Drainable {
   void collect_drainables(std::vector<Drainable*>& out) override {
     out.push_back(this);
   }
-  void set_bell(Doorbell* bell) override { ring_.set_doorbell(bell); }
-  void abort_close() override { ring_.close(); }
+  void set_bell(Doorbell* bell) override { channel_.set_bell(bell); }
+  void abort_close() override { channel_.close(); }
   void add_stats(PipelineStats& stats) const override {
-    const auto rs = ring_.stats();
-    stats.batches_published += rs.pushes;
-    stats.backpressure_waits += rs.push_waits;
-    stats.producer_stall_ns += rs.stall_ns;
-    stats.dropped_after_close += rs.dropped_after_close;
-    if (rs.occupancy_high_water > stats.ring_occupancy_high_water) {
-      stats.ring_occupancy_high_water = rs.occupancy_high_water;
-    }
-    ++stats.rings;
+    channel_.add_stats(stats);
   }
 
   // -- worker side --
@@ -176,32 +340,25 @@ class EventLane final : public LaneBase, public Drainable {
     bool progress = false;
     Batch batch;
     // Cap the pops per call so sibling lanes on the same worker get a turn.
-    for (std::size_t i = 0; i < ring_.capacity() && ring_.try_pop(batch); ++i) {
+    const std::size_t burst = channel_.ring_capacity();
+    for (std::size_t i = 0; i < burst && channel_.try_pop(batch); ++i) {
       if (wm.batches != nullptr) {
         wm.batches->add(1);
         wm.batch_events->observe(batch.size());
       }
       apply(batch);
+      channel_.recycle(std::move(batch));
       progress = true;
     }
-    if (!drained() && ring_.done()) mark_drained();
+    if (!drained() && channel_.done()) mark_drained();
     return progress;
   }
 
  private:
   PipelineEvent& append(PipelineEvent::Kind kind) {
-    if (batch_.size() == batch_cap_) flush();
-    batch_.emplace_back();
-    batch_.back().kind = kind;
-    return batch_.back();
-  }
-
-  void flush() {
-    if (batch_.empty()) return;
-    Batch full;
-    full.reserve(batch_cap_);
-    batch_.swap(full);
-    ring_.push(std::move(full));
+    PipelineEvent& slot = channel_.append();
+    slot.kind = kind;
+    return slot;
   }
 
   void apply(const Batch& batch) {
@@ -231,13 +388,11 @@ class EventLane final : public LaneBase, public Drainable {
 
   AnalysisConsumer& target_;
   const unsigned interests_;
-  const std::size_t batch_cap_;
-  Batch batch_;
-  SpscRing<Batch> ring_;
+  BatchChannel<PipelineEvent> channel_;
 };
 
 // ---------------------------------------------------------------------------
-// Sharded access routing: one ring per address shard, each drained by its
+// Sharded access routing: one channel per address shard, each drained by its
 // own worker. The router lane carries only kAccessInterest; the consumer's
 // remaining interests ride a separate EventLane (the control lane), so
 // QUAD's tick counters and its shadow updates progress concurrently.
@@ -252,19 +407,16 @@ using ShardBatch = std::vector<ShardRecord>;
 class AccessShard final : public Drainable {
  public:
   AccessShard(ShardedAccessConsumer& sharded, unsigned shard,
-              std::size_t ring_batches)
-      : sharded_(sharded), shard_(shard),
-        ring_(ring_batches > 0 ? ring_batches : 1) {}
+              BatchChannel<ShardRecord>& channel)
+      : sharded_(sharded), shard_(shard), channel_(channel) {}
 
-  SpscRing<ShardBatch>& ring() noexcept { return ring_; }
-  const SpscRing<ShardBatch>& ring() const noexcept { return ring_; }
-
-  void set_bell(Doorbell* bell) override { ring_.set_doorbell(bell); }
+  void set_bell(Doorbell* bell) override { channel_.set_bell(bell); }
 
   bool pump(const WorkerMetrics& wm) override {
     bool progress = false;
     ShardBatch batch;
-    for (std::size_t i = 0; i < ring_.capacity() && ring_.try_pop(batch); ++i) {
+    const std::size_t burst = channel_.ring_capacity();
+    for (std::size_t i = 0; i < burst && channel_.try_pop(batch); ++i) {
       if (wm.batches != nullptr) {
         wm.batches->add(1);
         wm.batch_events->observe(batch.size());
@@ -272,16 +424,17 @@ class AccessShard final : public Drainable {
       for (const ShardRecord& record : batch) {
         sharded_.apply_access_shard(shard_, record.event, record.count_access);
       }
+      channel_.recycle(std::move(batch));
       progress = true;
     }
-    if (!drained() && ring_.done()) mark_drained();
+    if (!drained() && channel_.done()) mark_drained();
     return progress;
   }
 
  private:
   ShardedAccessConsumer& sharded_;
   const unsigned shard_;
-  SpscRing<ShardBatch> ring_;
+  BatchChannel<ShardRecord>& channel_;
 };
 
 class ShardedAccessLane final : public LaneBase {
@@ -290,16 +443,15 @@ class ShardedAccessLane final : public LaneBase {
 
   ShardedAccessLane(ShardedAccessConsumer& sharded, unsigned shards,
                     const PipelineOptions& options)
-      : sharded_(sharded),
-        batch_cap_(options.batch_events > 0 ? options.batch_events : 1) {
+      : sharded_(sharded) {
     TQUAD_CHECK(shards >= 1, "sharded lane needs at least one shard");
     sharded_.prepare_shards(shards);
+    channels_.reserve(shards);
     shards_.reserve(shards);
-    batches_.resize(shards);
     for (unsigned s = 0; s < shards; ++s) {
-      shards_.push_back(std::make_unique<AccessShard>(sharded_, s,
-                                                      options.ring_batches));
-      batches_[s].reserve(batch_cap_);
+      channels_.push_back(std::make_unique<BatchChannel<ShardRecord>>(options));
+      shards_.push_back(
+          std::make_unique<AccessShard>(sharded_, s, *channels_[s]));
     }
   }
 
@@ -336,8 +488,8 @@ class ShardedAccessLane final : public LaneBase {
     // The router is registered before the control lane, so this runs first:
     // drain every shard and fold the replicas back together before the
     // control lane forwards on_finish to the tool itself.
-    for (unsigned s = 0; s < shards_.size(); ++s) flush(s);
-    for (auto& shard : shards_) shard->ring().close();
+    for (auto& channel : channels_) channel->flush();
+    for (auto& channel : channels_) channel->close();
     for (auto& shard : shards_) shard->wait_drained();
     const auto fold_start = std::chrono::steady_clock::now();
     sharded_.merge_shards();
@@ -352,20 +504,10 @@ class ShardedAccessLane final : public LaneBase {
     for (auto& shard : shards_) out.push_back(shard.get());
   }
   void abort_close() override {
-    for (auto& shard : shards_) shard->ring().close();
+    for (auto& channel : channels_) channel->close();
   }
   void add_stats(PipelineStats& stats) const override {
-    for (const auto& shard : shards_) {
-      const auto rs = shard->ring().stats();
-      stats.batches_published += rs.pushes;
-      stats.backpressure_waits += rs.push_waits;
-      stats.producer_stall_ns += rs.stall_ns;
-      stats.dropped_after_close += rs.dropped_after_close;
-      if (rs.occupancy_high_water > stats.ring_occupancy_high_water) {
-        stats.ring_occupancy_high_water = rs.occupancy_high_water;
-      }
-      ++stats.rings;
-    }
+    for (const auto& channel : channels_) channel->add_stats(stats);
     stats.shard_fold_ns += fold_ns_;
   }
 
@@ -375,24 +517,14 @@ class ShardedAccessLane final : public LaneBase {
   }
 
   void append(unsigned shard, const AccessEvent& event, bool count_access) {
-    ShardBatch& batch = batches_[shard];
-    if (batch.size() == batch_cap_) flush(shard);
-    batches_[shard].push_back(ShardRecord{event, count_access});
-  }
-
-  void flush(unsigned shard) {
-    ShardBatch& batch = batches_[shard];
-    if (batch.empty()) return;
-    ShardBatch full;
-    full.reserve(batch_cap_);
-    batch.swap(full);
-    shards_[shard]->ring().push(std::move(full));
+    ShardRecord& slot = channels_[shard]->append();
+    slot.event = event;
+    slot.count_access = count_access;
   }
 
   ShardedAccessConsumer& sharded_;
-  const std::size_t batch_cap_;
+  std::vector<std::unique_ptr<BatchChannel<ShardRecord>>> channels_;
   std::vector<std::unique_ptr<AccessShard>> shards_;
-  std::vector<ShardBatch> batches_;
   std::uint64_t fold_ns_ = 0;  ///< written at the drain barrier, read after
 };
 
@@ -409,6 +541,32 @@ unsigned effective_workers(const PipelineOptions& options) {
   return hw > 0 ? hw : 1;
 }
 
+/// TQ_PIPELINE_FORCE_ADAPTIVE overrides the batch controller policy for a
+/// whole process — the tier-1 stress hook that replays every pipeline test
+/// under the forced schedules. Unknown values are noted and ignored rather
+/// than fatal: a typo in a CI matrix must not mask the actual test result.
+void apply_forced_adaptive(PipelineOptions& options) {
+  const char* forced = std::getenv("TQ_PIPELINE_FORCE_ADAPTIVE");
+  if (forced == nullptr || *forced == '\0') return;
+  const std::string_view value(forced);
+  if (value == "off") {
+    options.adaptive = AdaptiveBatch::kOff;
+  } else if (value == "occupancy") {
+    options.adaptive = AdaptiveBatch::kOccupancy;
+  } else if (value == "grow") {
+    options.adaptive = AdaptiveBatch::kForceGrow;
+  } else if (value == "shrink") {
+    options.adaptive = AdaptiveBatch::kForceShrink;
+  } else if (value == "cycle") {
+    options.adaptive = AdaptiveBatch::kForceCycle;
+  } else {
+    std::fprintf(stderr,
+                 "note: ignoring unknown TQ_PIPELINE_FORCE_ADAPTIVE value "
+                 "'%s' (want off|occupancy|grow|shrink|cycle)\n",
+                 forced);
+  }
+}
+
 }  // namespace
 
 ParallelPipeline::ParallelPipeline(const PipelineOptions& options,
@@ -416,6 +574,7 @@ ParallelPipeline::ParallelPipeline(const PipelineOptions& options,
     : options_(options), metrics_(metrics), workers_(effective_workers(options)) {
   TQUAD_CHECK(options.mode == PipelineMode::kParallel,
               "ParallelPipeline constructed in serial mode");
+  apply_forced_adaptive(options_);
   // Auto shard count: match the workers (the access stream is the heaviest
   // lane), but keep at least one shard and avoid silly fan-out.
   access_shards_ = options.access_shards != 0 ? options.access_shards : workers_;

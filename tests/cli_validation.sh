@@ -269,6 +269,18 @@ grep -v "trace written to" multi_auto.txt > multi_auto_body.txt
 cmp multi_serial_body.txt multi_auto_body.txt
 cmp multi.tqtr multi_auto.tqtr
 
+# auto is consumer-aware: one attached tool with nothing to shard means the
+# workers would be pure transport overhead, so auto must say why it stayed
+# serial. The note prefix is shared with the small-host branch, so the grep
+# holds on any machine.
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -tools tquad -report flat \
+    -slice 2000 -pipeline auto > auto_single.txt 2> auto_note.txt
+grep -q "note: -pipeline auto selected serial (" auto_note.txt
+# ...and the resolved-serial run reports exactly what -pipeline serial does.
+"$TOOLS/tquad_cli" -image wfs.tqim -in in.wav -tools tquad -report flat \
+    -slice 2000 -pipeline serial > serial_single.txt
+cmp serial_single.txt auto_single.txt
+
 # tquad_farm usage errors exit 2, validated before any worker is spawned.
 expect_status 2 usage.txt -- "$TOOLS/tquad_farm"
 grep -q "missing -traces" err.txt

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <thread>
@@ -56,6 +57,41 @@ PipelineOptions parallel_options(unsigned workers, std::size_t batch_events = 25
   options.access_shards = access_shards;
   return options;
 }
+
+/// Pin the transport exactly at the configured sizes: no batch resizing
+/// (min == max == start, so every controller policy — including one forced
+/// via TQ_PIPELINE_FORCE_ADAPTIVE — is a clamped no-op) and no ring growth.
+/// The backpressure-torture tests need this: their point is a ring that
+/// stays squeezed.
+PipelineOptions pin_transport(PipelineOptions options) {
+  options.batch_events_min = options.batch_events;
+  options.batch_events_max = options.batch_events;
+  options.ring_batches_max = options.ring_batches;
+  return options;
+}
+
+/// Scoped removal of TQ_PIPELINE_FORCE_ADAPTIVE, for tests that assert the
+/// stats of one specific controller schedule (tier1 replays this whole
+/// binary with the knob set; those runs must not flip a pinned schedule).
+class ForceAdaptiveEnvGuard {
+ public:
+  ForceAdaptiveEnvGuard() {
+    const char* value = std::getenv(kName);
+    if (value != nullptr) {
+      saved_ = value;
+      had_value_ = true;
+    }
+    ::unsetenv(kName);
+  }
+  ~ForceAdaptiveEnvGuard() {
+    if (had_value_) ::setenv(kName, saved_.c_str(), 1);
+  }
+
+ private:
+  static constexpr const char* kName = "TQ_PIPELINE_FORCE_ADAPTIVE";
+  std::string saved_;
+  bool had_value_ = false;
+};
 
 /// One session plus the masked subset of consumers.
 struct SessionRun {
@@ -215,8 +251,9 @@ TEST_P(PipelineBackpressureZoo, CapacityOneParity) {
   Reference ref(GetParam());
   workloads::Instance guest = make_guest(GetParam());
   SessionConfig config;
-  config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/1,
-                                     /*ring_batches=*/1, /*access_shards=*/2);
+  config.pipeline = pin_transport(parallel_options(
+      /*workers=*/2, /*batch_events=*/1, /*ring_batches=*/1,
+      /*access_shards=*/2));
   SessionRun run(guest.program, config, kAllTools);
   const vm::RunOutcome outcome = run.session.run_live(guest.host);
   EXPECT_EQ(outcome.status, ref.outcome.status);
@@ -251,9 +288,9 @@ TEST(PipelineBackpressure, HistogramFaultCapacityOne) {
   const std::vector<std::uint8_t> serial_trace = serial.recorder->take_encoded();
 
   SessionConfig parallel_config = fault_config;
-  parallel_config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/1,
-                                              /*ring_batches=*/1,
-                                              /*access_shards=*/2);
+  parallel_config.pipeline = pin_transport(parallel_options(
+      /*workers=*/2, /*batch_events=*/1, /*ring_batches=*/1,
+      /*access_shards=*/2));
   workloads::Instance parallel_guest = make_guest("histogram");
   SessionRun parallel(parallel_guest.program, parallel_config, kAllTools);
   const vm::RunOutcome outcome = parallel.session.run_live(parallel_guest.host);
@@ -453,6 +490,18 @@ TEST(PipelineMetrics, RegistryAttachedKeepsParityAndCountsBatches) {
   };
   EXPECT_EQ(counter("pipeline.batches_published"),
             run.session.pipeline_stats().batches_published);
+  // Every flush consults the freelist exactly once (hit or miss) before its
+  // push is accepted, so on a clean run the two sides tie out.
+  EXPECT_EQ(counter("pipeline.freelist.hits") +
+                counter("pipeline.freelist.misses"),
+            counter("pipeline.batches_published"));
+  // The adaptive counters are always published, even when zero.
+  EXPECT_EQ(counter("pipeline.batch.grows"),
+            run.session.pipeline_stats().batch_grows);
+  EXPECT_EQ(counter("pipeline.batch.shrinks"),
+            run.session.pipeline_stats().batch_shrinks);
+  EXPECT_EQ(counter("pipeline.ring.capacity_grows"),
+            run.session.pipeline_stats().ring_capacity_grows);
   EXPECT_EQ(counter("session.events.access"),
             run.session.attribution().event_counts().accesses);
   EXPECT_GT(counter("session.events.tick"), 0u);
@@ -467,6 +516,83 @@ TEST(PipelineMetrics, RegistryAttachedKeepsParityAndCountsBatches) {
   }
   EXPECT_TRUE(found_hist);
 }
+
+// ---------------------------------------------------------------------------
+// Adaptivity invariance: the batch controller may resize lanes however it
+// likes — reports must stay byte-identical to serial. Forced schedules pin
+// each controller branch so the assertions are deterministic; the EnvGuard
+// keeps an outer TQ_PIPELINE_FORCE_ADAPTIVE (tier1 stress legs) from
+// flipping the schedule under us.
+
+TEST(PipelineAdaptive, ForcedGrowKeepsParityAndGrows) {
+  ForceAdaptiveEnvGuard guard;
+  Reference ref("histogram");
+  workloads::Instance guest = make_guest("histogram");
+  SessionConfig config;
+  config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/8,
+                                     /*ring_batches=*/2, /*access_shards=*/2);
+  config.pipeline.adaptive = AdaptiveBatch::kForceGrow;
+  config.pipeline.batch_events_max = 1024;
+  SessionRun run(guest.program, config, kAllTools);
+  const vm::RunOutcome outcome = run.session.run_live(guest.host);
+  EXPECT_EQ(outcome.retired, ref.outcome.retired);
+  expect_matches_serial(*ref.run, ref.trace, run, kAllTools);
+
+  const PipelineStats stats = run.session.pipeline_stats();
+  EXPECT_GT(stats.batch_grows, 0u);
+  EXPECT_EQ(stats.batch_shrinks, 0u);
+  // Recycled buffers come back through the freelist once the lanes warm up.
+  EXPECT_GT(stats.freelist_hits, 0u);
+}
+
+TEST(PipelineAdaptive, ForcedShrinkKeepsParityAndShrinks) {
+  ForceAdaptiveEnvGuard guard;
+  Reference ref("histogram");
+  workloads::Instance guest = make_guest("histogram");
+  SessionConfig config;
+  config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/256,
+                                     /*ring_batches=*/2, /*access_shards=*/2);
+  config.pipeline.adaptive = AdaptiveBatch::kForceShrink;
+  SessionRun run(guest.program, config, kAllTools);
+  const vm::RunOutcome outcome = run.session.run_live(guest.host);
+  EXPECT_EQ(outcome.retired, ref.outcome.retired);
+  expect_matches_serial(*ref.run, ref.trace, run, kAllTools);
+
+  const PipelineStats stats = run.session.pipeline_stats();
+  EXPECT_GT(stats.batch_shrinks, 0u);
+  EXPECT_EQ(stats.batch_grows, 0u);
+}
+
+class PipelineAdaptiveZoo : public ::testing::TestWithParam<std::string> {};
+
+// The nastiest transport: every lane cycling its batch size through the
+// whole [min, max] range over a capacity-1 ring that is pinned so the
+// auto-tuner cannot relieve the pressure. Pure adaptivity + backpressure.
+TEST_P(PipelineAdaptiveZoo, ForcedCycleCapacityOneParity) {
+  ForceAdaptiveEnvGuard guard;
+  Reference ref(GetParam());
+  workloads::Instance guest = make_guest(GetParam());
+  SessionConfig config;
+  config.pipeline = parallel_options(/*workers=*/2, /*batch_events=*/16,
+                                     /*ring_batches=*/1, /*access_shards=*/2);
+  config.pipeline.adaptive = AdaptiveBatch::kForceCycle;
+  config.pipeline.batch_events_min = 1;
+  config.pipeline.batch_events_max = 64;
+  config.pipeline.ring_batches_max = 1;  // pin: no capacity relief
+  SessionRun run(guest.program, config, kAllTools);
+  const vm::RunOutcome outcome = run.session.run_live(guest.host);
+  EXPECT_EQ(outcome.retired, ref.outcome.retired);
+  expect_matches_serial(*ref.run, ref.trace, run, kAllTools);
+
+  const PipelineStats stats = run.session.pipeline_stats();
+  EXPECT_GT(stats.batch_grows, 0u);
+  EXPECT_GT(stats.batch_shrinks, 0u);
+  EXPECT_EQ(stats.ring_capacity_grows, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PipelineAdaptiveZoo,
+                         ::testing::ValuesIn(workloads::workload_names()),
+                         [](const auto& info) { return info.param; });
 
 TEST(PipelineReplay, StreamReplayParallel) {
   Reference ref("stream");

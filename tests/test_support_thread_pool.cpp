@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -258,6 +259,139 @@ TEST(Doorbell, CloseRingsTheBell) {
   ring.close();  // close on an empty ring must still wake sleepers
   waiter.join();
   EXPECT_GT(bell.epoch(), before);
+}
+
+// The Doorbell fast path: with no waiter registered, ring() and epoch() are
+// plain atomic operations. Observable contract: every ring() advances the
+// epoch exactly once, and a wait_past() whose snapshot is already stale
+// returns without sleeping.
+TEST(Doorbell, RingAdvancesEpochWithoutWaiters) {
+  Doorbell bell;
+  const std::uint64_t start = bell.epoch();
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    bell.ring();
+    EXPECT_EQ(bell.epoch(), start + i);
+  }
+  bell.wait_past(start);  // stale snapshot: must return immediately
+}
+
+// Hammer ring() against a repeatedly sleeping waiter to stress the
+// waiter-registration window of the eventcount protocol (run under TSan in
+// tier1). A lost wakeup hangs this test; the trailing ring-until-done loop
+// guarantees the waiter's final sleep is always released.
+TEST(Doorbell, RingStressNeverLosesWakeups) {
+  Doorbell bell;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> wakeups{0};
+  std::thread waiter([&] {
+    while (!stop.load()) {
+      const std::uint64_t seen = bell.epoch();
+      bell.wait_past(seen);
+      wakeups.fetch_add(1);
+    }
+    done.store(true);
+  });
+  // Ring until the waiter has observably cycled through wait_past() many
+  // times (a fixed ring count could finish before the thread even starts).
+  while (wakeups.load() < 1000) bell.ring();
+  stop.store(true);
+  while (!done.load()) {
+    bell.ring();
+    std::this_thread::yield();
+  }
+  waiter.join();
+  EXPECT_GT(wakeups.load(), 0u);
+}
+
+// PushFeedback reports what each push observed — the empty->non-empty edge
+// and post-insert depth feed the lanes' adaptive batch controller — and
+// try_push is the non-blocking variant the freelists use: a full ring
+// refuses without counting a drop, a closed ring drops and counts.
+TEST(SpscRing, PushFeedbackAndTryPush) {
+  SpscRing<int> ring(4);
+  SpscRing<int>::PushFeedback feedback;
+  ASSERT_TRUE(ring.push(1, &feedback));
+  EXPECT_TRUE(feedback.was_empty);
+  EXPECT_EQ(feedback.depth_after, 1u);
+  EXPECT_FALSE(feedback.stalled);
+  ASSERT_TRUE(ring.push(2, &feedback));
+  EXPECT_FALSE(feedback.was_empty);
+  EXPECT_EQ(feedback.depth_after, 2u);
+  ASSERT_TRUE(ring.try_push(3));
+  ASSERT_TRUE(ring.try_push(4));
+  EXPECT_FALSE(ring.try_push(5));  // full: refused, not a drop
+  EXPECT_EQ(ring.stats().dropped_after_close, 0u);
+  ring.close();
+  EXPECT_FALSE(ring.try_push(6));  // closed: dropped and counted
+  EXPECT_EQ(ring.stats().dropped_after_close, 1u);
+}
+
+// Capacity auto-tune: the first full-ring encounter blocks (one stall is
+// noise), but once a stall has been observed further full encounters grow
+// the ring — doubling up to the limit — instead of parking the producer.
+// FIFO order must survive the circular-buffer re-lay.
+TEST(SpscRing, CapacityGrowsAfterFirstStall) {
+  SpscRing<int> ring(1);
+  ring.set_capacity_limit(4);
+  ASSERT_TRUE(ring.push(1));  // full at the starting capacity
+  std::thread consumer([&] {
+    while (ring.push_waits() == 0) std::this_thread::yield();
+    int out = 0;
+    EXPECT_TRUE(ring.try_pop(out));
+  });
+  ASSERT_TRUE(ring.push(2));  // stalls until the consumer frees the slot
+  consumer.join();
+  ASSERT_TRUE(ring.push(3));  // full again, stall on record: grows 1 -> 2
+  ASSERT_TRUE(ring.push(4));  // full again: grows 2 -> 4
+  const auto stats = ring.stats();
+  EXPECT_EQ(stats.capacity_grows, 2u);
+  EXPECT_EQ(stats.capacity, 4u);
+  EXPECT_EQ(stats.push_waits, 1u);
+  int out = 0;
+  for (int expected = 2; expected <= 4; ++expected) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+// A limit at the constructed capacity keeps the ring fixed: every full
+// encounter blocks, forever, and the wait accounting reflects each episode.
+TEST(SpscRing, WaitAccountingAccumulatesAcrossStalls) {
+  SpscRing<int> ring(1);
+  ASSERT_TRUE(ring.push(0));
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    std::thread consumer([&] {
+      while (ring.push_waits() < i) std::this_thread::yield();
+      // Measurable stall: the producer is registered asleep by now.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      int out = 0;
+      EXPECT_TRUE(ring.try_pop(out));
+    });
+    ASSERT_TRUE(ring.push(static_cast<int>(i)));
+    consumer.join();
+  }
+  const auto stats = ring.stats();
+  EXPECT_EQ(stats.push_waits, 3u);
+  EXPECT_GE(stats.stall_ns, 1'000'000u);  // three >=5 ms sleeps behind it
+  EXPECT_EQ(stats.occupancy_high_water, 1u);
+  EXPECT_EQ(stats.capacity_grows, 0u);
+}
+
+// occupancy_high_water reflects real queue depth even when close races the
+// producer: accepted pushes raise it, dropped ones don't.
+TEST(SpscRing, HighWaterIgnoresDroppedPushes) {
+  SpscRing<int> ring(3);
+  ASSERT_TRUE(ring.push(1));
+  ASSERT_TRUE(ring.push(2));
+  ring.close();
+  EXPECT_FALSE(ring.push(3));
+  const auto stats = ring.stats();
+  EXPECT_EQ(stats.occupancy_high_water, 2u);
+  EXPECT_EQ(stats.dropped_after_close, 1u);
+  EXPECT_EQ(stats.pushes, 2u);
+  EXPECT_EQ(stats.push_waits, 0u);
 }
 
 }  // namespace

@@ -126,19 +126,16 @@ inline void validate_on_trap(const std::string& mode) {
 
 /// Parse the `-pipeline` flag: `serial` (the default reference
 /// implementation), `parallel[:N]` with N drain workers (N omitted =
-/// hardware concurrency), or `auto` — parallel only when the machine has at
-/// least 4 hardware threads (the floor the parallel perf contract is
-/// benchmarked on), serial otherwise. Malformed specs — including an
-/// explicit worker count of 0, which would otherwise silently fall through
-/// to the auto path — raise UsageError, which the CLIs map to exit code 2.
+/// hardware concurrency), or `auto`. For `auto` this only validates — it
+/// returns serial; the real decision needs to know how many consumer lanes
+/// the run will attach, which isn't known at flag-validation time. The run
+/// path calls resolve_pipeline() with that count. Malformed specs —
+/// including an explicit worker count of 0, which would otherwise silently
+/// fall through to the auto path — raise UsageError, which the CLIs map to
+/// exit code 2.
 inline session::PipelineOptions parse_pipeline(const std::string& spec) {
   session::PipelineOptions options;
-  if (spec == "serial") return options;
-  if (spec == "auto") {
-    const unsigned hw = std::thread::hardware_concurrency();
-    if (hw >= 4) options.mode = session::PipelineMode::kParallel;
-    return options;
-  }
+  if (spec == "serial" || spec == "auto") return options;
   const std::string kParallel = "parallel";
   if (spec.compare(0, kParallel.size(), kParallel) == 0) {
     options.mode = session::PipelineMode::kParallel;
@@ -162,16 +159,38 @@ inline session::PipelineOptions parse_pipeline(const std::string& spec) {
                    "' (serial|parallel[:N]|auto)");
 }
 
-/// One stderr advisory when `-pipeline auto` degraded to serial — graceful
-/// degradation should be visible, not silent. Call once, on the run path
-/// (parse_pipeline also runs during flag validation).
-inline void note_pipeline_auto_fallback(const std::string& spec,
-                                        const session::PipelineOptions& options) {
-  if (spec != "auto" || options.mode != session::PipelineMode::kSerial) return;
-  std::fprintf(stderr,
-               "note: -pipeline auto selected serial (%u hardware threads; "
-               "parallel needs >= 4)\n",
-               std::thread::hardware_concurrency());
+/// Resolve `-pipeline auto` into a real mode, consumer-aware. Parallel pays
+/// for itself only when the drain work can actually spread out: it needs a
+/// capable host (>= 4 hardware threads, the floor the perf contract is
+/// benchmarked on) AND either several consumer lanes or a shardable tool
+/// (QUAD splits its access stream across shard rings). With one unshardable
+/// lane the publisher copies the whole event stream to a single worker that
+/// then does exactly the serial work — pure overhead — so auto picks serial
+/// and says why on stderr (graceful degradation should be visible, not
+/// silent). Explicit serial/parallel specs pass through untouched. Call
+/// once, on the run path, after the tool set is known.
+inline session::PipelineOptions resolve_pipeline(const std::string& spec,
+                                                 unsigned consumer_lanes,
+                                                 bool has_sharded_consumer) {
+  session::PipelineOptions options = parse_pipeline(spec);
+  if (spec != "auto") return options;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 4) {
+    std::fprintf(stderr,
+                 "note: -pipeline auto selected serial (%u hardware threads; "
+                 "parallel needs >= 4)\n",
+                 hw);
+    return options;
+  }
+  if (consumer_lanes < 2 && !has_sharded_consumer) {
+    std::fprintf(stderr,
+                 "note: -pipeline auto selected serial (%u consumer lane%s, "
+                 "none shardable; parallel would be pure transport overhead)\n",
+                 consumer_lanes, consumer_lanes == 1 ? "" : "s");
+    return options;
+  }
+  options.mode = session::PipelineMode::kParallel;
+  return options;
 }
 
 /// The `-metrics` flag: off by default, `text` or `json`, optionally with a

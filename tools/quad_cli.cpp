@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
   cli.add_string("pipeline", "serial",
                  "analysis dispatch: serial (tools run on the VM thread) | "
                  "parallel[:N] (tools drain event rings on N worker threads) | "
-                 "auto (parallel when the host has >= 4 hardware threads)");
+                 "auto (parallel when the host has >= 4 hardware threads and "
+                 "the attached tools can actually use the workers)");
   cli.add_string("metrics", "",
                  "emit profiler self-metrics after the reports: text | json, "
                  "optionally :path (e.g. json:metrics.json; default stdout)");
@@ -68,8 +69,12 @@ int main(int argc, char** argv) {
     cli::validate_on_trap(cli.str("on-trap"));
     const vm::EngineKind engine = cli::parse_engine(cli.str("engine"));
     const cli::MetricsSpec metrics_spec = cli::parse_metrics(cli.str("metrics"));
+    // QUAD itself shards its access stream, so auto only needs the host
+    // check; -trace adds a second lane.
+    const unsigned consumer_lanes = 1u + (cli.str("trace").empty() ? 0u : 1u);
     const session::PipelineOptions pipeline =
-        cli::parse_pipeline(cli.str("pipeline"));
+        cli::resolve_pipeline(cli.str("pipeline"), consumer_lanes,
+                              /*has_sharded_consumer=*/true);
     cli::warn_parallel_on_small_host(pipeline);
     const trace::TraceFormat trace_format =
         cli::parse_trace_format(cli.str("trace-format"));
@@ -95,7 +100,6 @@ int main(int argc, char** argv) {
     if (metrics_spec.enabled) config.metrics = &registry;
     config.heartbeat_interval =
         static_cast<std::uint64_t>(cli.integer("heartbeat")) * 1'000'000;
-    cli::note_pipeline_auto_fallback(cli.str("pipeline"), config.pipeline);
     // Graceful ^C: the engine stops at the next retirement boundary, every
     // consumer flushes (the recorder finalizes its trace), and the reports
     // stamp INTERRUPTED.

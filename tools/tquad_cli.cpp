@@ -194,9 +194,17 @@ int run_profile(const CliParser& cli, const cli::ToolSet& tools) {
   config.library_policy = policy;
   config.instruction_budget = static_cast<std::uint64_t>(cli.integer("budget"));
   config.engine = cli::parse_engine(cli.str("engine"));
-  config.pipeline = cli::parse_pipeline(cli.str("pipeline"));
+  // -pipeline auto is consumer-aware: count the lanes this invocation will
+  // attach (tools, recorder, address map) and whether any of them shards
+  // its access stream (QUAD does) before committing to parallel transport.
+  const unsigned consumer_lanes =
+      static_cast<unsigned>(tools.tquad) + static_cast<unsigned>(tools.quad) +
+      static_cast<unsigned>(tools.gprof) +
+      static_cast<unsigned>(!cli.str("trace").empty()) +
+      static_cast<unsigned>(!cli.str("viz").empty());
+  config.pipeline = cli::resolve_pipeline(cli.str("pipeline"), consumer_lanes,
+                                          /*has_sharded_consumer=*/tools.quad);
   cli::warn_parallel_on_small_host(config.pipeline);
-  cli::note_pipeline_auto_fallback(cli.str("pipeline"), config.pipeline);
   if (metrics_spec.enabled) config.metrics = &registry;
   config.heartbeat_interval =
       static_cast<std::uint64_t>(cli.integer("heartbeat")) * 1'000'000;
@@ -391,7 +399,8 @@ int main(int argc, char** argv) {
   cli.add_string("pipeline", "serial",
                  "analysis dispatch: serial (tools run on the VM thread) | "
                  "parallel[:N] (tools drain event rings on N worker threads) | "
-                 "auto (parallel when the host has >= 4 hardware threads)");
+                 "auto (parallel when the host has >= 4 hardware threads and "
+                 "the attached tools can actually use the workers)");
   cli.add_string("metrics", "",
                  "emit profiler self-metrics after the reports: text | json, "
                  "optionally :path (e.g. json:metrics.json; default stdout)");
